@@ -1,0 +1,1 @@
+bench/common.ml: Array Deept Float Ir Linrelax List Mat Nn Printf String Tensor Text Unix

@@ -1,0 +1,1 @@
+bench/helpers_model.ml: Nn Tensor

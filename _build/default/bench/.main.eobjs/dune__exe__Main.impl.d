@@ -1,0 +1,1 @@
+bench/main.ml: Array Common List Micro Printf String Sys Tables Unix

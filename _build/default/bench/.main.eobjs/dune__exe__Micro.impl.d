@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Common Complete Deept Hashtbl Helpers_model Instance Lazy Linrelax List Mat Measure Nn Printf Rng Staged Tensor Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/tables.ml: Array Common Complete Deept Float Interval Linrelax List Mat Nn Printf Rng String Tensor Text Unix Vision Zoo

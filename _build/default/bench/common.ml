@@ -1,0 +1,122 @@
+(* Shared machinery for the table benchmarks: verifier wrappers with a
+   uniform radius-search interface, example selection, statistics and
+   paper-style table rendering. *)
+
+open Tensor
+
+type scale = {
+  examples : int;  (** sentences / images per table cell *)
+  positions : int;  (** perturbed word positions per sentence *)
+  iters : int;  (** binary-search refinement steps *)
+}
+
+let quick_scale = { examples = 2; positions = 1; iters = 6 }
+let full_scale = { examples = 6; positions = 4; iters = 8 }
+
+(* ------------------------------------------------------------------ *)
+
+type verifier = {
+  vname : string;
+  radius :
+    Ir.program -> p:Deept.Lp.t -> Mat.t -> word:int -> true_class:int ->
+    iters:int -> float;
+}
+
+(* Starting bracket of the radius binary search, by norm: linf radii are
+   an order of magnitude below l2/l1 ones, and a well-chosen bracket both
+   saves probes and improves grid resolution. *)
+let search_hi (p : Deept.Lp.t) =
+  match p with Deept.Lp.Linf -> 0.06 | Deept.Lp.L2 -> 0.4 | Deept.Lp.L1 -> 0.8
+
+let deept_verifier name cfg =
+  {
+    vname = name;
+    radius =
+      (fun program ~p x ~word ~true_class ~iters ->
+        Deept.Certify.certified_radius cfg program ~p x ~word ~true_class
+          ~hi:(search_hi p) ~iters ());
+  }
+
+let deept_fast = deept_verifier "DeepT-Fast" Deept.Config.fast
+let deept_precise = deept_verifier "DeepT-Precise" Deept.Config.precise
+let deept_combined = deept_verifier "DeepT-Combined" Deept.Config.combined
+
+let crown_verifier name v =
+  {
+    vname = name;
+    radius =
+      (fun program ~p x ~word ~true_class ~iters ->
+        Linrelax.Verify.certified_radius ~verifier:v ~hi:(search_hi p) ~iters
+          program ~p x ~word ~true_class ());
+  }
+
+let crown_baf = crown_verifier "CROWN-BaF" Linrelax.Verify.Baf
+let crown_backward = crown_verifier "CROWN-Backward" Linrelax.Verify.Backward
+
+(* ------------------------------------------------------------------ *)
+
+type example = { toks : int array; x : Mat.t; label : int }
+
+(* Correctly classified test sentences, preferring shorter ones (CROWN's
+   cost grows steeply with sequence length; the paper likewise bounds
+   sentence lengths, Section 6.2). *)
+let pick_examples ?(max_len = 8) model corpus ~n =
+  let program = Nn.Model.to_ir model in
+  let candidates =
+    List.filter_map
+      (fun (toks, label) ->
+        if Array.length toks > max_len then None
+        else
+          let x = Nn.Model.embed_tokens model toks in
+          if Nn.Forward.predict program x = label then Some { toks; x; label }
+          else None)
+      corpus.Text.Corpus.test
+  in
+  List.filteri (fun i _ -> i < n) candidates
+
+(* Evenly spaced word positions, skipping the [CLS] slot. *)
+let positions ~k n =
+  let avail = n - 1 in
+  let k = min k avail in
+  List.init k (fun i -> 1 + (i * avail / k))
+
+type row_stats = { min_r : float; avg_r : float; time : float; queries : int }
+
+let radius_stats verifier program ~p ~iters examples ~positions:k =
+  let t0 = Unix.gettimeofday () in
+  let radii =
+    List.concat_map
+      (fun ex ->
+        List.map
+          (fun word ->
+            verifier.radius program ~p ex.x ~word ~true_class:ex.label ~iters)
+          (positions ~k (Array.length ex.toks)))
+      examples
+  in
+  let time = Unix.gettimeofday () -. t0 in
+  let n = List.length radii in
+  if n = 0 then { min_r = nan; avg_r = nan; time; queries = 0 }
+  else
+    {
+      min_r = List.fold_left Float.min infinity radii;
+      avg_r = List.fold_left ( +. ) 0.0 radii /. float_of_int n;
+      time;
+      queries = n;
+    }
+
+(* ------------------------------------------------------------------ *)
+
+let hr = String.make 78 '-'
+
+let table_header title note =
+  Printf.printf "\n%s\n%s\n%s\n" hr title hr;
+  if note <> "" then Printf.printf "%s\n" note
+
+let fmt_r r = if Float.is_nan r then "-" else Printf.sprintf "%.5f" r
+
+let fmt_ratio a b =
+  if Float.is_nan a || Float.is_nan b then "-"
+  else if b = 0.0 then if a > 0.0 then "inf" else "-"
+  else Printf.sprintf "%.2f" (a /. b)
+
+let norms = [ (Deept.Lp.L1, "l1"); (Deept.Lp.L2, "l2"); (Deept.Lp.Linf, "linf") ]

@@ -1,0 +1,15 @@
+(* Tiny fixed model used by the micro-benchmarks (kept out of the zoo so
+   the kernels' cost is stable and independent of training). *)
+
+let tiny () =
+  let rng = Tensor.Rng.create 5 in
+  Nn.Model.create rng
+    {
+      Nn.Model.default_config with
+      Nn.Model.vocab_size = 16;
+      max_len = 6;
+      d_model = 8;
+      d_hidden = 8;
+      heads = 2;
+      layers = 1;
+    }

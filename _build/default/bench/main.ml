@@ -1,0 +1,57 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation on the scaled-down model zoo, plus Bechamel micro-benchmarks
+   of the verifier kernels.
+
+     dune exec bench/main.exe                 # all tables + figure + micro
+     dune exec bench/main.exe -- table1 table6
+     dune exec bench/main.exe -- --full table1
+     dune exec bench/main.exe -- micro
+
+   Models are loaded from data/ (trained on demand: run bin/train first
+   to avoid paying training time here). *)
+
+let targets : (string * (Common.scale -> unit)) list =
+  [
+    ("table1", Tables.table1);
+    ("table2", Tables.table2);
+    ("table3", Tables.table3);
+    ("table4", Tables.table4);
+    ("table5", Tables.table5);
+    ("table6", Tables.table6);
+    ("table7", Tables.table7);
+    ("table8", Tables.table8);
+    ("table9", Tables.table9);
+    ("table10", Tables.table10);
+    ("table11", Tables.table11);
+    ("table12", Tables.table12);
+    ("table13", Tables.table13);
+    ("table14", Tables.table14);
+    ("figure4", Tables.figure4);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let scale = if full then Common.full_scale else Common.quick_scale in
+  let wanted, micro =
+    match args with
+    | [] -> (List.map fst targets, true)
+    | _ -> (List.filter (fun a -> a <> "micro") args, List.mem "micro" args)
+  in
+  Printf.printf
+    "DeepT benchmark harness — scale: %d examples x %d positions, %d search \
+     iters (%s)\n"
+    scale.Common.examples scale.Common.positions scale.Common.iters
+    (if full then "--full" else "quick");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> f scale
+      | None ->
+          Printf.eprintf "unknown target %s (available: %s, micro)\n" name
+            (String.concat ", " (List.map fst targets)))
+    wanted;
+  if micro then Micro.run ();
+  Printf.printf "\ntotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,138 @@
+(* Bechamel micro-benchmarks of the verifier kernels — one per table
+   family, so regressions in the operations behind each experiment are
+   visible in isolation:
+
+   - zonotope affine map (all tables: every Linear/Center_norm op)
+   - fast vs precise dot product (Tables 1-5, 12, 14)
+   - softmax transformer, with and without refinement (Tables 1-3, 13)
+   - noise-symbol reduction (Section 5.1 knob behind Tables 1-3)
+   - CROWN backsubstitution (Tables 1-5, 7, 12, 14 baselines)
+   - complete BaB verification step (Table 10)                        *)
+
+open Bechamel
+open Toolkit
+open Tensor
+
+let rng = Rng.create 99
+
+let mk_zono ~vars ~eps =
+  let ctx = Deept.Zonotope.ctx () in
+  ignore (Deept.Zonotope.alloc_eps ctx eps);
+  let z =
+    Deept.Zonotope.make ~p:Deept.Lp.L2
+      ~center:(Mat.random_gaussian rng 4 (vars / 4) 1.0)
+      ~phi:(Mat.random_gaussian rng vars 8 0.2)
+      ~eps:(Mat.random_gaussian rng vars eps 0.2)
+  in
+  (ctx, z)
+
+let test_affine =
+  let _, z = mk_zono ~vars:64 ~eps:128 in
+  let w = Mat.random_gaussian rng 16 16 0.5 in
+  let b = Array.make 16 0.0 in
+  Test.make ~name:"zonotope linear_map 4x16 e=128"
+    (Staged.stage (fun () -> ignore (Deept.Zonotope.linear_map z w b)))
+
+let test_dot_fast =
+  Test.make ~name:"dot product fast 4x8 . 8x4 e=128"
+    (Staged.stage (fun () ->
+         let ctx, a = mk_zono ~vars:32 ~eps:128 in
+         let b =
+           Deept.Zonotope.make ~p:Deept.Lp.L2
+             ~center:(Mat.random_gaussian rng 8 4 1.0)
+             ~phi:(Mat.random_gaussian rng 32 8 0.2)
+             ~eps:(Mat.random_gaussian rng 32 128 0.2)
+         in
+         ignore (Deept.Dot.matmul_zz ~precise:false ctx a b)))
+
+let test_dot_precise =
+  Test.make ~name:"dot product precise 4x8 . 8x4 e=128"
+    (Staged.stage (fun () ->
+         let ctx, a = mk_zono ~vars:32 ~eps:128 in
+         let b =
+           Deept.Zonotope.make ~p:Deept.Lp.L2
+             ~center:(Mat.random_gaussian rng 8 4 1.0)
+             ~phi:(Mat.random_gaussian rng 32 8 0.2)
+             ~eps:(Mat.random_gaussian rng 32 128 0.2)
+         in
+         ignore (Deept.Dot.matmul_zz ~precise:true ctx a b)))
+
+let test_softmax refine =
+  let name = if refine then "softmax row n=8 + refinement" else "softmax row n=8" in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let ctx, z = mk_zono ~vars:8 ~eps:64 in
+         let row = Deept.Zonotope.reshape_value z ~rows:1 ~cols:8 in
+         ignore
+           (Deept.Softmax_t.apply_row ~form:Deept.Config.Stable ~refine ctx row)))
+
+let test_reduction =
+  Test.make ~name:"DecorrelateMin_k 64 vars 512->128"
+    (Staged.stage (fun () ->
+         let ctx, z = mk_zono ~vars:64 ~eps:512 in
+         ignore (Deept.Reduction.decorrelate_min_k ctx z 128)))
+
+let crown_setup =
+  lazy
+    (let model = Helpers_model.tiny () in
+     let program = Nn.Model.to_ir model in
+     let x = Nn.Model.embed_tokens model [| 0; 3; 5; 2 |] in
+     let g = Linrelax.Verify.graph_of program ~seq_len:4 in
+     let region =
+       Linrelax.Verify.region_word_ball ~p:Deept.Lp.L2 x ~word:1 ~radius:0.01
+     in
+     (g, region))
+
+let test_crown_backward =
+  Test.make ~name:"CROWN-Backward margin (1 layer, n=4)"
+    (Staged.stage (fun () ->
+         let g, region = Lazy.force crown_setup in
+         ignore
+           (Linrelax.Verify.margin ~verifier:Linrelax.Verify.Backward g region
+              ~true_class:0)))
+
+let test_bab =
+  let prog =
+    lazy
+      (let rng = Rng.create 7 in
+       let mlp = Nn.Mlp.create rng ~dims:[ 4; 8; 8; 2 ] in
+       Nn.Mlp.to_ir mlp)
+  in
+  Test.make ~name:"complete BaB verify r=0.05 (4-8-8-2)"
+    (Staged.stage (fun () ->
+         ignore
+           (Complete.Bab.verify (Lazy.force prog) ~p:Deept.Lp.L2
+              ~center:[| 0.3; 0.1; 0.4; 0.2 |] ~radius:0.05 ~true_class:0)))
+
+let benchmarks =
+  Test.make_grouped ~name:"kernels"
+    [
+      test_affine;
+      test_dot_fast;
+      test_dot_precise;
+      test_softmax false;
+      test_softmax true;
+      test_reduction;
+      test_crown_backward;
+      test_bab;
+    ]
+
+let run () =
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.6) ~kde:(Some 300) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances benchmarks in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) i raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instances results in
+  Printf.printf "\n%s\nMicro-benchmarks (ns per run, monotonic clock)\n%s\n"
+    Common.hr Common.hr;
+  Hashtbl.iter
+    (fun name tbl ->
+      Hashtbl.iter
+        (fun test result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-45s %12.0f ns (%s)\n" test est name
+          | _ -> ())
+        tbl)
+    results

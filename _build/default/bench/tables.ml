@@ -1,0 +1,571 @@
+(* One function per table/figure of the paper's evaluation. Each prints the
+   same rows the paper reports (min and average certified radius, time,
+   ratios), on the scaled-down model zoo (see DESIGN.md section 1). *)
+
+open Tensor
+open Common
+
+let layer_models prefix = List.map (fun m -> (m, prefix ^ "_" ^ string_of_int m)) [ 3; 6; 12 ]
+
+let load name = Zoo.load_or_train ~log:(fun s -> Printf.eprintf "%s\n%!" s) name
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2: DeepT-Fast vs CROWN-BaF on the SST-like / Yelp-like
+   corpora, certified radius per norm and depth.                        *)
+
+let fast_comparison ~title ~prefix ~corpus scale =
+  table_header title
+    (Printf.sprintf
+       "certified radius (min/avg over %d sentences x %d positions), avg time \
+        per radius search"
+       scale.examples scale.positions);
+  Printf.printf "%-3s %-5s | %9s %9s %7s | %9s %9s %7s | %s\n" "M" "lp"
+    "DT min" "DT avg" "DT t(s)" "BaF min" "BaF avg" "BaF t" "ratio";
+  List.iter
+    (fun (m, name) ->
+      let model = load name in
+      let program = Nn.Model.to_ir model in
+      let examples = pick_examples model corpus ~n:scale.examples in
+      List.iter
+        (fun (p, pname) ->
+          let dt =
+            radius_stats deept_fast program ~p ~iters:scale.iters examples
+              ~positions:scale.positions
+          in
+          let bf =
+            radius_stats crown_baf program ~p ~iters:scale.iters examples
+              ~positions:scale.positions
+          in
+          Printf.printf "%-3d %-5s | %9s %9s %7.2f | %9s %9s %7.2f | %s\n%!" m
+            pname (fmt_r dt.min_r) (fmt_r dt.avg_r)
+            (dt.time /. float_of_int (max 1 dt.queries))
+            (fmt_r bf.min_r) (fmt_r bf.avg_r)
+            (bf.time /. float_of_int (max 1 bf.queries))
+            (fmt_ratio dt.avg_r bf.avg_r))
+        norms)
+    (layer_models prefix)
+
+let table1 scale =
+  fast_comparison scale
+    ~title:"Table 1: DeepT-Fast vs CROWN-BaF (SST-like corpus)"
+    ~prefix:"sst" ~corpus:(Zoo.sst_corpus ())
+
+let table2 scale =
+  fast_comparison scale
+    ~title:"Table 2: DeepT-Fast vs CROWN-BaF (Yelp-like corpus)"
+    ~prefix:"yelp" ~corpus:(Zoo.yelp_corpus ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: wider networks; CROWN-BaF exceeds the memory budget on the
+   deepest one (the paper's 2080 Ti OOM, scaled to our sizes).          *)
+
+let crown_memory_budget = 64 * 1024 * 1024
+
+let table3 scale =
+  table_header "Table 3: wider Transformers (2x embedding, 4x hidden)"
+    (Printf.sprintf
+       "CROWN rows print '-' when the relaxation graph exceeds the %d MB \
+        budget (the paper's GPU OOM, scaled)"
+       (crown_memory_budget / 1024 / 1024));
+  Printf.printf "%-3s %-5s | %9s %9s %7s | %9s %9s %7s | %s\n" "M" "lp"
+    "DT min" "DT avg" "DT t(s)" "BaF min" "BaF avg" "BaF t" "ratio";
+  let corpus = Zoo.sst_corpus () in
+  List.iter
+    (fun (m, name) ->
+      let model = load name in
+      let program = Nn.Model.to_ir model in
+      let examples = pick_examples model corpus ~n:scale.examples in
+      let seq_len =
+        List.fold_left (fun acc e -> max acc (Array.length e.toks)) 2 examples
+      in
+      let bytes = Linrelax.Lgraph.approx_bytes (Linrelax.Verify.graph_of program ~seq_len) in
+      let crown_fits = bytes <= crown_memory_budget in
+      List.iter
+        (fun (p, pname) ->
+          let dt =
+            radius_stats deept_fast program ~p ~iters:scale.iters examples
+              ~positions:scale.positions
+          in
+          if crown_fits then begin
+            let bf =
+              radius_stats crown_baf program ~p ~iters:scale.iters examples
+                ~positions:scale.positions
+            in
+            Printf.printf "%-3d %-5s | %9s %9s %7.2f | %9s %9s %7.2f | %s\n%!" m
+              pname (fmt_r dt.min_r) (fmt_r dt.avg_r)
+              (dt.time /. float_of_int (max 1 dt.queries))
+              (fmt_r bf.min_r) (fmt_r bf.avg_r)
+              (bf.time /. float_of_int (max 1 bf.queries))
+              (fmt_ratio dt.avg_r bf.avg_r)
+          end
+          else
+            Printf.printf "%-3d %-5s | %9s %9s %7.2f | %9s %9s %7s | %s\n%!" m
+              pname (fmt_r dt.min_r) (fmt_r dt.avg_r)
+              (dt.time /. float_of_int (max 1 dt.queries))
+              "-" "-" "-" "-")
+        norms;
+      if not crown_fits then
+        Printf.printf "    (CROWN graph for M=%d needs %d MB)\n" m
+          (bytes / 1024 / 1024))
+    (layer_models "wide")
+
+(* ------------------------------------------------------------------ *)
+(* Tables 4 and 12: the precision/performance trade-off on the downscaled
+   networks, linf; Table 12 additionally reports CROWN-BaF.             *)
+
+let tradeoff ~with_baf ~title scale =
+  table_header title
+    "linf radii, one position per sentence (as in Section 6.3)";
+  let verifiers =
+    [ deept_fast ] @ (if with_baf then [ crown_baf ] else [])
+    @ [ deept_precise; crown_backward ]
+  in
+  Printf.printf "%-3s" "M";
+  List.iter (fun v -> Printf.printf " | %-15s min/avg/t" v.vname) verifiers;
+  Printf.printf "\n";
+  let corpus = Zoo.sst_small_corpus () in
+  List.iter
+    (fun (m, name) ->
+      let model = load name in
+      let program = Nn.Model.to_ir model in
+      let examples = pick_examples ~max_len:7 model corpus ~n:scale.examples in
+      Printf.printf "%-3d" m;
+      List.iter
+        (fun v ->
+          let st =
+            radius_stats v program ~p:Deept.Lp.Linf ~iters:scale.iters examples
+              ~positions:1
+          in
+          Printf.printf " | %9s %9s %6.2f" (fmt_r st.min_r) (fmt_r st.avg_r)
+            (st.time /. float_of_int (max 1 st.queries));
+          Printf.printf "%!")
+        verifiers;
+      Printf.printf "\n%!")
+    (layer_models "small")
+
+let table4 scale =
+  tradeoff scale ~with_baf:false
+    ~title:"Table 4: DeepT-Fast vs DeepT-Precise vs CROWN-Backward (linf)"
+
+let table12 scale =
+  tradeoff scale ~with_baf:true
+    ~title:"Table 12 (A.4): full precision-performance comparison (linf)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: l1/l2 comparison including CROWN-Backward.                  *)
+
+let table5 scale =
+  table_header "Table 5: l1/l2 radii vs CROWN-BaF and CROWN-Backward"
+    "downscaled networks (as in Section 6.4)";
+  Printf.printf "%-3s %-4s | %9s %9s %6s | %9s %9s %6s | %9s %9s %6s\n" "M" "lp"
+    "DT min" "DT avg" "t" "BaF min" "BaF avg" "t" "BW min" "BW avg" "t";
+  let corpus = Zoo.sst_small_corpus () in
+  List.iter
+    (fun (m, name) ->
+      let model = load name in
+      let program = Nn.Model.to_ir model in
+      let examples = pick_examples ~max_len:7 model corpus ~n:scale.examples in
+      List.iter
+        (fun (p, pname) ->
+          let cell v =
+            radius_stats v program ~p ~iters:scale.iters examples ~positions:1
+          in
+          let dt = cell deept_fast and bf = cell crown_baf and bw = cell crown_backward in
+          Printf.printf
+            "%-3d %-4s | %9s %9s %6.2f | %9s %9s %6.2f | %9s %9s %6.2f\n%!" m
+            pname (fmt_r dt.min_r) (fmt_r dt.avg_r)
+            (dt.time /. float_of_int (max 1 dt.queries))
+            (fmt_r bf.min_r) (fmt_r bf.avg_r)
+            (bf.time /. float_of_int (max 1 bf.queries))
+            (fmt_r bw.min_r) (fmt_r bw.avg_r)
+            (bw.time /. float_of_int (max 1 bw.queries)))
+        [ (Deept.Lp.L1, "l1"); (Deept.Lp.L2, "l2") ])
+    (layer_models "small")
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: dual-norm application order ablation (Section 6.5).          *)
+
+let table6 scale =
+  table_header "Table 6: dual-norm order in the fast dot product"
+    "applying the dual norm to the linf terms first vs the lp terms first";
+  Printf.printf "%-3s %-4s | %9s %9s %6s | %9s %9s %6s | %s\n" "M" "lp"
+    "linf-1st" "avg" "t" "lp-1st" "avg" "t" "change";
+  let corpus = Zoo.sst_corpus () in
+  let cfg_linf = Deept.Config.fast in
+  let cfg_lp = { Deept.Config.fast with Deept.Config.order = Deept.Config.Lp_first } in
+  List.iter
+    (fun (m, name) ->
+      let model = load name in
+      let program = Nn.Model.to_ir model in
+      let examples = pick_examples model corpus ~n:scale.examples in
+      List.iter
+        (fun (p, pname) ->
+          let a =
+            radius_stats (deept_verifier "linf-first" cfg_linf) program ~p
+              ~iters:scale.iters examples ~positions:scale.positions
+          in
+          let b =
+            radius_stats (deept_verifier "lp-first" cfg_lp) program ~p
+              ~iters:scale.iters examples ~positions:scale.positions
+          in
+          let change =
+            if b.avg_r > 0.0 then 100.0 *. ((a.avg_r /. b.avg_r) -. 1.0) else nan
+          in
+          Printf.printf "%-3d %-4s | %9s %9s %6.2f | %9s %9s %6.2f | %+.2f%%\n%!"
+            m pname (fmt_r a.min_r) (fmt_r a.avg_r)
+            (a.time /. float_of_int (max 1 a.queries))
+            (fmt_r b.min_r) (fmt_r b.avg_r)
+            (b.time /. float_of_int (max 1 b.queries))
+            change)
+        [ (Deept.Lp.L1, "l1"); (Deept.Lp.L2, "l2") ])
+    (layer_models "sst")
+
+(* ------------------------------------------------------------------ *)
+(* Table 7: standard layer normalization (divide by std).                *)
+
+let table7 scale =
+  table_header "Table 7: Transformers with standard layer normalization"
+    "both verifiers run the sqrt/recip decomposition of the std division";
+  Printf.printf "%-3s %-5s | %9s %9s %7s | %9s %9s %7s | %s\n" "M" "lp"
+    "DT min" "DT avg" "DT t(s)" "BaF min" "BaF avg" "BaF t" "ratio";
+  let corpus = Zoo.sst_corpus () in
+  List.iter
+    (fun (m, name) ->
+      let model = load name in
+      let program = Nn.Model.to_ir model in
+      let examples = pick_examples model corpus ~n:scale.examples in
+      List.iter
+        (fun (p, pname) ->
+          let dt =
+            radius_stats deept_fast program ~p ~iters:scale.iters examples
+              ~positions:scale.positions
+          in
+          let bf =
+            radius_stats crown_baf program ~p ~iters:scale.iters examples
+              ~positions:scale.positions
+          in
+          Printf.printf "%-3d %-5s | %9s %9s %7.2f | %9s %9s %7.2f | %s\n%!" m
+            pname (fmt_r dt.min_r) (fmt_r dt.avg_r)
+            (dt.time /. float_of_int (max 1 dt.queries))
+            (fmt_r bf.min_r) (fmt_r bf.avg_r)
+            (bf.time /. float_of_int (max 1 bf.queries))
+            (fmt_ratio dt.avg_r bf.avg_r))
+        norms)
+    (layer_models "std")
+
+(* ------------------------------------------------------------------ *)
+(* Table 8: certification against synonym attacks (threat model T2).     *)
+
+let synonym_sentences model corpus syn ~min_combos ~n =
+  let program = Nn.Model.to_ir model in
+  List.filteri (fun i _ -> i < n)
+    (List.filter
+       (fun (toks, label) ->
+         Text.Synonyms.count_combinations syn toks >= min_combos
+         && Nn.Forward.predict program (Nn.Model.embed_tokens model toks) = label)
+       corpus.Text.Corpus.test)
+
+let table8 scale =
+  table_header "Table 8: synonym-attack certification (noise-trained 3-layer)"
+    "each word may be replaced by any of its synonyms simultaneously";
+  let model = load "robust_3" in
+  let corpus = Zoo.sst_corpus () in
+  let entry = Zoo.entry "robust_3" in
+  Printf.printf "network accuracy: %.3f\n" (Zoo.test_accuracy model entry);
+  let syn = Zoo.synonyms_for model corpus in
+  let program = Nn.Model.to_ir model in
+  let sentences =
+    synonym_sentences model corpus syn ~min_combos:16 ~n:(scale.examples * 8)
+  in
+  let run label certify =
+    let t0 = Unix.gettimeofday () in
+    let certified =
+      List.fold_left (fun acc s -> if certify s then acc + 1 else acc) 0 sentences
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let n = List.length sentences in
+    Printf.printf "%-12s | certified %d / %d (%.0f%%) | %.2f s/sentence\n%!" label
+      certified n
+      (100.0 *. float_of_int certified /. float_of_int (max 1 n))
+      (dt /. float_of_int (max 1 n))
+  in
+  run "DeepT-Fast" (fun (toks, label) ->
+      let x = Nn.Model.embed_tokens model toks in
+      let subs = Text.Synonyms.substitutions syn model toks in
+      Deept.Certify.certify_synonyms Deept.Config.fast program x subs
+        ~true_class:label);
+  run "CROWN-BaF" (fun (toks, label) ->
+      let x = Nn.Model.embed_tokens model toks in
+      let subs = Text.Synonyms.substitutions syn model toks in
+      let g = Linrelax.Verify.graph_of program ~seq_len:(Mat.rows x) in
+      Linrelax.Verify.certify ~verifier:Linrelax.Verify.Baf g
+        (Linrelax.Verify.region_synonym_box x subs)
+        ~true_class:label)
+
+(* ------------------------------------------------------------------ *)
+(* Table 9: an example certifiable sentence with its synonyms and the
+   enumeration-cost comparison.                                          *)
+
+let table9 _scale =
+  table_header "Table 9: example certifiable sentence under synonym attack" "";
+  let model = load "robust_3" in
+  let corpus = Zoo.sst_corpus () in
+  let syn = Zoo.synonyms_for model corpus in
+  let program = Nn.Model.to_ir model in
+  (* the certified sentence with the most combinations *)
+  let candidates = synonym_sentences model corpus syn ~min_combos:16 ~n:100 in
+  let best = ref None in
+  List.iter
+    (fun (toks, label) ->
+      let x = Nn.Model.embed_tokens model toks in
+      let subs = Text.Synonyms.substitutions syn model toks in
+      if
+        Deept.Certify.certify_synonyms Deept.Config.fast program x subs
+          ~true_class:label
+      then begin
+        let combos = Text.Synonyms.count_combinations syn toks in
+        match !best with
+        | Some (c, _, _) when c >= combos -> ()
+        | _ -> best := Some (combos, toks, label)
+      end)
+    candidates;
+  match !best with
+  | None -> Printf.printf "no certifiable sentence found\n"
+  | Some (combos, toks, label) ->
+      Printf.printf "%-14s %-10s %s\n" "token" "#synonyms" "synonyms";
+      Array.iter
+        (fun tok ->
+          let names = Text.Synonyms.names syn corpus tok in
+          Printf.printf "%-14s %-10d %s\n" (Text.Corpus.word corpus tok)
+            (List.length names)
+            (if names = [] then "(none)" else String.concat ", " names))
+        toks;
+      let x = Nn.Model.embed_tokens model toks in
+      let subs = Text.Synonyms.substitutions syn model toks in
+      let t0 = Unix.gettimeofday () in
+      let ok =
+        Deept.Certify.certify_synonyms Deept.Config.fast program x subs
+          ~true_class:label
+      in
+      let t_cert = Unix.gettimeofday () -. t0 in
+      (* measured per-classification cost -> extrapolated enumeration cost *)
+      let t0 = Unix.gettimeofday () in
+      let reps = 200 in
+      for _ = 1 to reps do
+        ignore (Nn.Forward.predict program x)
+      done;
+      let per_forward = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+      let t_enum = per_forward *. float_of_int combos in
+      let breakeven = t_cert /. Float.max per_forward 1e-12 in
+      Printf.printf
+        "\n%d combinations; certified: %b in %.3f s; enumerating them: ~%.3f s.\n\
+         One abstract run costs as much as ~%.0f classifications, so any\n\
+         sentence beyond that many combinations is cheaper to certify than to\n\
+         enumerate; the paper's 23M-combination sentence would need ~%.0f s of\n\
+         enumeration against the same %.3f s certification (%.0fx).\n"
+        combos ok t_cert t_enum breakeven
+        (per_forward *. 23_000_000.0)
+        t_cert
+        (per_forward *. 23_000_000.0 /. Float.max t_cert 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Table 10 (A.2): complete verification vs the Multi-norm Zonotope on a
+   small fully-connected network.                                        *)
+
+let table10 scale =
+  table_header
+    "Table 10 (A.2): complete BaB verifier (GeoCert stand-in) vs DeepT, l2"
+    "tiny ReLU network on 4 quadrant-mean features of the synthetic 1-vs-7 task";
+  let rng = Rng.create 31415 in
+  let imgs = Zoo.vision_data () in
+  let data =
+    List.map
+      (fun (i : Vision.Images.image) -> (Vision.Images.features i, i.Vision.Images.label))
+      imgs
+  in
+  let train = List.filteri (fun i _ -> i < 400) data in
+  let eval = List.filteri (fun i _ -> i >= 400) data in
+  let mlp = Nn.Mlp.create rng ~dims:[ 4; 10; 50; 10; 2 ] in
+  Nn.Mlp.train ~epochs:20 ~lr:3e-3 ~rng mlp train;
+  let program = Nn.Mlp.to_ir mlp in
+  Printf.printf "network: 4-10-50-10-2, accuracy %.3f\n"
+    (Nn.Train.accuracy_ir program eval);
+  let examples =
+    List.filteri (fun i _ -> i < scale.examples)
+      (List.filter (fun (x, l) -> Nn.Forward.predict program x = l) eval)
+  in
+  let cfg = { Deept.Config.default with Deept.Config.reduction_k = 0 } in
+  let run label radius_of =
+    let t0 = Unix.gettimeofday () in
+    let radii = List.map radius_of examples in
+    let dt = Unix.gettimeofday () -. t0 in
+    let n = float_of_int (List.length radii) in
+    Printf.printf "%-18s | min %.5f  avg %.5f | %.2f s total\n%!" label
+      (List.fold_left Float.min infinity radii)
+      (List.fold_left ( +. ) 0.0 radii /. n)
+      dt
+  in
+  run "Complete (BaB)" (fun (x, l) ->
+      Complete.Bab.certified_radius ~iters:scale.iters ~max_boxes:40_000 program
+        ~p:Deept.Lp.L2 ~center:(Mat.row x 0) ~true_class:l ());
+  run "DeepT zonotope" (fun (x, l) ->
+      Deept.Certify.certified_radius cfg program ~p:Deept.Lp.L2 x ~word:0
+        ~true_class:l ~iters:scale.iters ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 11 (A.3): Vision Transformer certification.                     *)
+
+let table11 scale =
+  table_header "Table 11 (A.3): Vision Transformer certification"
+    "lp balls over all pixels, through patch embedding and encoder";
+  let model = load "vit_1" in
+  let entry = Zoo.entry "vit_1" in
+  Printf.printf "ViT accuracy: %.3f\n" (Zoo.test_accuracy model entry);
+  let program = Nn.Model.to_ir model in
+  let imgs = List.filteri (fun i _ -> i >= 400) (Zoo.vision_data ()) in
+  let examples =
+    List.filteri (fun i _ -> i < scale.examples)
+      (List.filter
+         (fun (im : Vision.Images.image) ->
+           Nn.Forward.predict program (Vision.Images.patches im)
+           = im.Vision.Images.label)
+         imgs)
+  in
+  List.iter
+    (fun (p, pname) ->
+      (* pixel-level linf radii are far smaller than l1/l2 ones; bracket
+         each norm's binary search accordingly *)
+      let hi = match p with Deept.Lp.Linf -> 0.03 | Deept.Lp.L2 -> 0.4 | Deept.Lp.L1 -> 1.0 in
+      let t0 = Unix.gettimeofday () in
+      let radii =
+        List.map
+          (fun (im : Vision.Images.image) ->
+            let x = Vision.Images.patches im in
+            Deept.Certify.max_radius ~hi ~iters:scale.iters (fun radius ->
+                radius > 0.0
+                && Deept.Certify.certify Deept.Config.fast program
+                     (Deept.Region.lp_ball_all ~p x ~radius)
+                     ~true_class:im.Vision.Images.label))
+          examples
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let n = float_of_int (List.length radii) in
+      Printf.printf "%-5s | min %.5f  avg %.5f | %.2f s/image\n%!" pname
+        (List.fold_left Float.min infinity radii)
+        (List.fold_left ( +. ) 0.0 radii /. n)
+        (dt /. n))
+    norms
+
+(* ------------------------------------------------------------------ *)
+(* Table 13 (A.5): softmax-sum refinement ablation.                      *)
+
+let table13 scale =
+  table_header "Table 13 (A.5): effect of the softmax-sum zonotope refinement"
+    "DeepT-Fast with and without the sum-constraint refinement";
+  Printf.printf "%-3s %-5s | %9s %6s | %9s %6s | %s\n" "M" "lp" "with" "t"
+    "without" "t" "change";
+  let corpus = Zoo.sst_corpus () in
+  let cfg_on = Deept.Config.fast in
+  let cfg_off = { Deept.Config.fast with Deept.Config.refine_softmax_sum = false } in
+  List.iter
+    (fun (m, name) ->
+      let model = load name in
+      let program = Nn.Model.to_ir model in
+      let examples = pick_examples model corpus ~n:scale.examples in
+      List.iter
+        (fun (p, pname) ->
+          let a =
+            radius_stats (deept_verifier "refine" cfg_on) program ~p
+              ~iters:scale.iters examples ~positions:scale.positions
+          in
+          let b =
+            radius_stats (deept_verifier "plain" cfg_off) program ~p
+              ~iters:scale.iters examples ~positions:scale.positions
+          in
+          let change =
+            if b.avg_r > 0.0 then 100.0 *. ((a.avg_r /. b.avg_r) -. 1.0) else nan
+          in
+          Printf.printf "%-3d %-5s | %9s %6.2f | %9s %6.2f | %+.2f%%\n%!" m pname
+            (fmt_r a.avg_r)
+            (a.time /. float_of_int (max 1 a.queries))
+            (fmt_r b.avg_r)
+            (b.time /. float_of_int (max 1 b.queries))
+            change)
+        norms)
+    (layer_models "sst")
+
+(* ------------------------------------------------------------------ *)
+(* Table 14 (A.6): the combined verifier (Precise last layer only).      *)
+
+let table14 scale =
+  table_header "Table 14 (A.6): combined DeepT (precise dot product in the last layer)"
+    "vs CROWN-Backward, linf, downscaled networks";
+  Printf.printf "%-3s | %9s %9s %6s | %9s %9s %6s\n" "M" "Comb min" "avg" "t"
+    "BW min" "avg" "t";
+  let corpus = Zoo.sst_small_corpus () in
+  List.iter
+    (fun m ->
+      let model = load ("small_" ^ string_of_int m) in
+      let program = Nn.Model.to_ir model in
+      let examples = pick_examples ~max_len:7 model corpus ~n:scale.examples in
+      let c =
+        radius_stats deept_combined program ~p:Deept.Lp.Linf ~iters:scale.iters
+          examples ~positions:1
+      in
+      let bw =
+        radius_stats crown_backward program ~p:Deept.Lp.Linf ~iters:scale.iters
+          examples ~positions:1
+      in
+      Printf.printf "%-3d | %9s %9s %6.2f | %9s %9s %6.2f\n%!" m (fmt_r c.min_r)
+        (fmt_r c.avg_r)
+        (c.time /. float_of_int (max 1 c.queries))
+        (fmt_r bw.min_r) (fmt_r bw.avg_r)
+        (bw.time /. float_of_int (max 1 bw.queries)))
+    [ 6; 12 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: the Multi-norm Zonotope example from the paper.             *)
+
+let figure4 _scale =
+  table_header "Figure 4: a Multi-norm Zonotope with two variables"
+    "x = 4 + p1 + p2 - e1 + 2 e2,  y = 3 + p1 + p2 + e1 + e2,  ||p||2 <= 1";
+  let center = Mat.of_rows [| [| 4.0; 3.0 |] |] in
+  let phi = Mat.of_rows [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let eps = Mat.of_rows [| [| -1.0; 2.0 |]; [| 1.0; 1.0 |] |] in
+  let z = Deept.Zonotope.make ~p:Deept.Lp.L2 ~center ~phi ~eps in
+  let b = Deept.Zonotope.bounds z in
+  Printf.printf "bounds: x in [%.4f, %.4f], y in [%.4f, %.4f]\n"
+    (Mat.get b.Interval.Imat.lo 0 0) (Mat.get b.Interval.Imat.hi 0 0)
+    (Mat.get b.Interval.Imat.lo 0 1) (Mat.get b.Interval.Imat.hi 0 1);
+  (* the classical sub-zonotope obtained by dropping the phi symbols *)
+  let zc =
+    Deept.Zonotope.make ~p:Deept.Lp.L2 ~center
+      ~phi:(Mat.create 2 0) ~eps
+  in
+  let bc = Deept.Zonotope.bounds zc in
+  Printf.printf "classical part: x in [%.4f, %.4f], y in [%.4f, %.4f]\n"
+    (Mat.get bc.Interval.Imat.lo 0 0) (Mat.get bc.Interval.Imat.hi 0 0)
+    (Mat.get bc.Interval.Imat.lo 0 1) (Mat.get bc.Interval.Imat.hi 0 1);
+  (* ASCII density plot of sampled points (the figure's shaded region) *)
+  let rng = Rng.create 4 in
+  let w = 56 and h = 20 in
+  let grid = Array.make_matrix h w ' ' in
+  let xmin = 0.0 and xmax = 8.5 and ymin = 0.0 and ymax = 6.5 in
+  let mark m (x, y) =
+    let cx = int_of_float ((x -. xmin) /. (xmax -. xmin) *. float_of_int (w - 1)) in
+    let cy = int_of_float ((y -. ymin) /. (ymax -. ymin) *. float_of_int (h - 1)) in
+    if cx >= 0 && cx < w && cy >= 0 && cy < h then begin
+      let row = h - 1 - cy in
+      if grid.(row).(cx) = ' ' || m = '#' then grid.(row).(cx) <- m
+    end
+  in
+  for _ = 1 to 20000 do
+    let s = Deept.Zonotope.sample rng z in
+    mark '.' (Mat.get s 0 0, Mat.get s 0 1)
+  done;
+  for _ = 1 to 20000 do
+    let s = Deept.Zonotope.sample rng zc in
+    mark '#' (Mat.get s 0 0, Mat.get s 0 1)
+  done;
+  Array.iter (fun row -> Printf.printf "|%s|\n" (String.init w (Array.get row))) grid;
+  Printf.printf "('#' = classical zonotope obtained by dropping the phi symbols)\n"

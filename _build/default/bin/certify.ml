@@ -1,0 +1,233 @@
+(* Command-line robustness certification front-end.
+
+     certify show   --model sst_3
+     certify t1     --model sst_3 --index 0 --word 2 --norm 2 --radius 0.05
+     certify radius --model sst_3 --index 0 --word 2 --norm 2
+     certify t2     --model robust_3 --index 0
+
+   Models come from the zoo (trained on demand into data/). *)
+
+open Cmdliner
+open Tensor
+
+type verifier = Deept_fast | Deept_precise | Crown_baf | Crown_backward
+
+let verifier_conv =
+  let parse = function
+    | "deept-fast" -> Ok Deept_fast
+    | "deept-precise" -> Ok Deept_precise
+    | "crown-baf" -> Ok Crown_baf
+    | "crown-backward" -> Ok Crown_backward
+    | s -> Error (`Msg ("unknown verifier " ^ s))
+  in
+  let print ppf v =
+    Format.pp_print_string ppf
+      (match v with
+      | Deept_fast -> "deept-fast"
+      | Deept_precise -> "deept-precise"
+      | Crown_baf -> "crown-baf"
+      | Crown_backward -> "crown-backward")
+  in
+  Arg.conv (parse, print)
+
+let norm_conv =
+  let parse = function
+    | "1" -> Ok Deept.Lp.L1
+    | "2" -> Ok Deept.Lp.L2
+    | "inf" -> Ok Deept.Lp.Linf
+    | s -> Error (`Msg ("unknown norm " ^ s ^ " (use 1, 2 or inf)"))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Deept.Lp.to_string p))
+
+let model_arg =
+  let doc = "Zoo model name (e.g. sst_3, yelp_12, robust_3, vit_1)." in
+  Arg.(required & opt (some string) None & info [ "model"; "m" ] ~doc)
+
+let index_arg =
+  let doc = "Index of the test sentence." in
+  Arg.(value & opt int 0 & info [ "index"; "i" ] ~doc)
+
+let sentence_arg =
+  let doc =
+    "Certify this sentence instead of a test-set one (words outside the \
+     corpus vocabulary become [UNK]); the concrete prediction is used as \
+     the class to certify."
+  in
+  Arg.(value & opt (some string) None & info [ "sentence"; "s" ] ~doc)
+
+let word_arg =
+  let doc = "Perturbed word position (threat model T1)." in
+  Arg.(value & opt int 1 & info [ "word"; "w" ] ~doc)
+
+let norm_arg =
+  let doc = "Perturbation norm: 1, 2 or inf." in
+  Arg.(value & opt norm_conv Deept.Lp.L2 & info [ "norm"; "p" ] ~doc)
+
+let radius_arg =
+  let doc = "Perturbation radius." in
+  Arg.(value & opt float 0.01 & info [ "radius"; "r" ] ~doc)
+
+let verifier_arg =
+  let doc = "Verifier: deept-fast, deept-precise, crown-baf, crown-backward." in
+  Arg.(value & opt verifier_conv Deept_fast & info [ "verifier"; "v" ] ~doc)
+
+let data_arg =
+  let doc = "Model directory." in
+  Arg.(value & opt string "data" & info [ "data" ] ~doc)
+
+let setup data = Zoo.data_dir := data
+
+let load name =
+  let entry = Zoo.entry name in
+  let model = Zoo.load_or_train ~log:(fun s -> Printf.eprintf "%s\n%!" s) name in
+  (entry, model)
+
+(* Either the indexed test sentence (with its gold label) or a user
+   sentence (certifying the model's own prediction). *)
+let pick_input entry model index sentence =
+  let c = Zoo.corpus_of entry.Zoo.corpus in
+  match sentence with
+  | None -> (c, List.nth c.Text.Corpus.test index)
+  | Some text ->
+      let toks = Text.Corpus.tokenize c text in
+      if Array.length toks < 2 then failwith "sentence is empty after tokenization";
+      let x = Nn.Model.embed_tokens model toks in
+      let program = Nn.Model.to_ir model in
+      (c, (toks, Nn.Forward.predict program x))
+
+(* --- show ----------------------------------------------------------- *)
+
+let show data name =
+  setup data;
+  let entry, model = load name in
+  let program = Nn.Model.to_ir model in
+  Format.printf "%a@." Ir.pp program;
+  Format.printf "test accuracy: %.3f@." (Zoo.test_accuracy model entry)
+
+let show_cmd =
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a model's architecture and accuracy.")
+    Term.(const show $ data_arg $ model_arg)
+
+(* --- t1 -------------------------------------------------------------- *)
+
+let certify_t1 data name index sentence word p radius verifier =
+  setup data;
+  let entry, model = load name in
+  let c, (toks, label) = pick_input entry model index sentence in
+  let program = Nn.Model.to_ir model in
+  let x = Nn.Model.embed_tokens model toks in
+  Printf.printf "sentence: %s\nlabel: %s, perturbing word %d (%s) with l%s radius %g\n"
+    (Text.Corpus.sentence c toks)
+    (if label = 1 then "positive" else "negative")
+    word
+    (Text.Corpus.word c toks.(word))
+    (Deept.Lp.to_string p |> fun s -> String.sub s 1 (String.length s - 1))
+    radius;
+  let pred = Nn.Forward.predict program x in
+  if pred <> label then Printf.printf "misclassified even without perturbation\n"
+  else begin
+    let ok =
+      match verifier with
+      | Deept_fast ->
+          Deept.Certify.certify Deept.Config.fast program
+            (Deept.Region.lp_ball ~p x ~word ~radius)
+            ~true_class:label
+      | Deept_precise ->
+          Deept.Certify.certify Deept.Config.precise program
+            (Deept.Region.lp_ball ~p x ~word ~radius)
+            ~true_class:label
+      | Crown_baf | Crown_backward ->
+          let g = Linrelax.Verify.graph_of program ~seq_len:(Mat.rows x) in
+          let v =
+            if verifier = Crown_baf then Linrelax.Verify.Baf
+            else Linrelax.Verify.Backward
+          in
+          Linrelax.Verify.certify ~verifier:v g
+            (Linrelax.Verify.region_word_ball ~p x ~word ~radius)
+            ~true_class:label
+    in
+    Printf.printf "%s\n" (if ok then "CERTIFIED" else "not certified")
+  end
+
+let t1_cmd =
+  Cmd.v
+    (Cmd.info "t1" ~doc:"Certify an lp-ball perturbation of one word.")
+    Term.(
+      const certify_t1 $ data_arg $ model_arg $ index_arg $ sentence_arg
+      $ word_arg $ norm_arg $ radius_arg $ verifier_arg)
+
+(* --- radius ----------------------------------------------------------- *)
+
+let radius_search data name index sentence word p verifier =
+  setup data;
+  let entry, model = load name in
+  let c, (toks, label) = pick_input entry model index sentence in
+  let program = Nn.Model.to_ir model in
+  let x = Nn.Model.embed_tokens model toks in
+  let pred = Nn.Forward.predict program x in
+  Printf.printf "sentence: %s\n" (Text.Corpus.sentence c toks);
+  if pred <> label then Printf.printf "misclassified even without perturbation\n"
+  else begin
+    let r =
+      match verifier with
+      | Deept_fast ->
+          Deept.Certify.certified_radius Deept.Config.fast program ~p x ~word
+            ~true_class:label ()
+      | Deept_precise ->
+          Deept.Certify.certified_radius Deept.Config.precise program ~p x ~word
+            ~true_class:label ()
+      | Crown_baf ->
+          Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Baf program
+            ~p x ~word ~true_class:label ()
+      | Crown_backward ->
+          Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Backward
+            program ~p x ~word ~true_class:label ()
+    in
+    Printf.printf "certified radius: %.6g\n" r
+  end
+
+let radius_cmd =
+  Cmd.v
+    (Cmd.info "radius" ~doc:"Binary-search the maximal certified radius.")
+    Term.(
+      const radius_search $ data_arg $ model_arg $ index_arg $ sentence_arg
+      $ word_arg $ norm_arg $ verifier_arg)
+
+(* --- t2 --------------------------------------------------------------- *)
+
+let certify_t2 data name index sentence =
+  setup data;
+  let entry, model = load name in
+  let c, (toks, label) = pick_input entry model index sentence in
+  let program = Nn.Model.to_ir model in
+  let x = Nn.Model.embed_tokens model toks in
+  let syn = Zoo.synonyms_for model c in
+  let subs = Text.Synonyms.substitutions syn model toks in
+  Printf.printf "sentence: %s\n" (Text.Corpus.sentence c toks);
+  Array.iteri
+    (fun pos tok ->
+      match Text.Synonyms.names syn c tok with
+      | [] -> ()
+      | names ->
+          Printf.printf "  %-12s -> %s\n" (Text.Corpus.word c tok)
+            (String.concat ", " names);
+          ignore pos)
+    toks;
+  let combos = Deept.Certify.count_combinations subs in
+  Printf.printf "synonym combinations: %d\n" combos;
+  let pred = Nn.Forward.predict program x in
+  if pred <> label then Printf.printf "misclassified even without perturbation\n"
+  else begin
+    let ok = Deept.Certify.certify_synonyms Deept.Config.fast program x subs ~true_class:label in
+    Printf.printf "DeepT-Fast: %s\n" (if ok then "CERTIFIED" else "not certified")
+  end
+
+let t2_cmd =
+  Cmd.v
+    (Cmd.info "t2" ~doc:"Certify a synonym-substitution attack on a sentence.")
+    Term.(const certify_t2 $ data_arg $ model_arg $ index_arg $ sentence_arg)
+
+let () =
+  let info = Cmd.info "certify" ~doc:"DeepT robustness certification CLI." in
+  exit (Cmd.eval (Cmd.group info [ show_cmd; t1_cmd; radius_cmd; t2_cmd ]))

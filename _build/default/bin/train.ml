@@ -1,0 +1,73 @@
+(* Trains the whole model zoo and reports held-out accuracies.
+
+   Models are independent, so they train in parallel OCaml 5 domains
+   (bounded by the CPU count). Re-running skips models whose files exist
+   unless --force is given. *)
+
+let usage = "train [--force] [--only NAME] [--jobs N] [--data DIR]"
+
+let () =
+  let force = ref false in
+  let only = ref [] in
+  let jobs = ref (max 1 (Domain.recommended_domain_count () - 1)) in
+  let args =
+    [
+      ("--force", Arg.Set force, " retrain even if the model file exists");
+      ("--only", Arg.String (fun s -> only := s :: !only), "NAME train only this entry (repeatable)");
+      ("--jobs", Arg.Set_int jobs, "N parallel training domains");
+      ("--data", Arg.String (fun s -> Zoo.data_dir := s), "DIR model directory (default data)");
+    ]
+  in
+  Arg.parse args (fun s -> raise (Arg.Bad ("unexpected argument " ^ s))) usage;
+  let entries =
+    match !only with
+    | [] -> Zoo.all
+    | names -> List.map Zoo.entry names
+  in
+  let todo =
+    List.filter (fun e -> !force || not (Sys.file_exists (Zoo.path e))) entries
+  in
+  let skipped = List.length entries - List.length todo in
+  if skipped > 0 then Printf.printf "%d model(s) already trained, skipping\n%!" skipped;
+  let mutex = Mutex.create () in
+  let log line =
+    Mutex.lock mutex;
+    Printf.printf "%s\n%!" line;
+    Mutex.unlock mutex
+  in
+  let queue = Queue.of_seq (List.to_seq todo) in
+  let next () =
+    Mutex.lock mutex;
+    let e = if Queue.is_empty queue then None else Some (Queue.pop queue) in
+    Mutex.unlock mutex;
+    e
+  in
+  let worker () =
+    let rec go () =
+      match next () with
+      | None -> ()
+      | Some e ->
+          let t0 = Unix.gettimeofday () in
+          let model = Zoo.train_entry ~log e in
+          let acc = Zoo.test_accuracy model e in
+          log
+            (Printf.sprintf "trained %-10s  test accuracy %.3f  (%.1fs)" e.Zoo.name
+               acc
+               (Unix.gettimeofday () -. t0));
+          go ()
+    in
+    go ()
+  in
+  let n_domains = min !jobs (max 1 (List.length todo)) in
+  let domains = List.init (max 0 (n_domains - 1)) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  (* Final summary over everything requested. *)
+  Printf.printf "\n== model zoo ==\n";
+  List.iter
+    (fun e ->
+      let model = Zoo.load_or_train e.Zoo.name in
+      Printf.printf "%-10s layers=%-2d d=%-3d h=%-3d  test acc %.3f\n" e.Zoo.name
+        e.Zoo.cfg.Nn.Model.layers e.Zoo.cfg.Nn.Model.d_model
+        e.Zoo.cfg.Nn.Model.d_hidden (Zoo.test_accuracy model e))
+    entries

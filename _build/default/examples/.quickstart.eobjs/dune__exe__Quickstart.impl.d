@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Deept Format List Nn Printf Rng Tensor Text

@@ -1,0 +1,1 @@
+examples/radius_sweep.ml: Array Deept Linrelax List Mat Nn Printf Tensor Text Zoo

@@ -1,0 +1,1 @@
+examples/radius_sweep.mli:

@@ -1,0 +1,1 @@
+examples/robustness_gap.ml: Array Attack Deept Float List Nn Printf Rng Tensor Text Zoo

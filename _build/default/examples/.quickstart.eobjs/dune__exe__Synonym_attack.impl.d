@@ -1,0 +1,1 @@
+examples/synonym_attack.ml: Array Deept List Nn Printf String Sys Text Zoo

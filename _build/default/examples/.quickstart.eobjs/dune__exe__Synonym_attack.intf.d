@@ -1,0 +1,1 @@
+examples/synonym_attack.mli:

@@ -1,0 +1,1 @@
+examples/vision_certify.ml: Array Deept Ir List Nn Printf Vision Zoo

@@ -1,0 +1,1 @@
+examples/vision_certify.mli:

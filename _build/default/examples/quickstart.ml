@@ -1,0 +1,57 @@
+(* Quickstart: train a small sentiment Transformer from scratch, compile it
+   to the verification IR, and certify an l2 perturbation of one word with
+   the Multi-norm Zonotope verifier.
+
+     dune exec examples/quickstart.exe *)
+
+open Tensor
+
+let () =
+  (* 1. A synthetic sentiment corpus (the SST stand-in). *)
+  let rng = Rng.create 42 in
+  let corpus = Text.Corpus.generate ~train_size:800 rng Text.Corpus.Sst_like in
+  Format.printf "%a@." Text.Corpus.pp_stats corpus;
+
+  (* 2. A small Transformer encoder, trained with the built-in autodiff. *)
+  let cfg =
+    { Nn.Model.default_config with
+      Nn.Model.vocab_size = Array.length corpus.Text.Corpus.vocab;
+      max_len = corpus.Text.Corpus.max_len;
+      d_model = 16; d_hidden = 16; heads = 4; layers = 2 }
+  in
+  let model = Nn.Model.create rng cfg in
+  Nn.Train.train_model ~epochs:5 ~rng model
+    (Text.Corpus.examples corpus.Text.Corpus.train);
+  Printf.printf "test accuracy: %.3f\n\n"
+    (Nn.Train.accuracy model (Text.Corpus.examples corpus.Text.Corpus.test));
+
+  (* 3. Compile to the IR every verifier interprets. *)
+  let program = Nn.Model.to_ir model in
+
+  (* 4. Certify: is the classification stable under an l2 ball of radius
+     0.05 around the embedding of word 2? *)
+  let toks, label =
+    List.find
+      (fun (toks, label) ->
+        Array.length toks > 2
+        && Nn.Forward.predict program (Nn.Model.embed_tokens model toks) = label)
+      corpus.Text.Corpus.test
+  in
+  let x = Nn.Model.embed_tokens model toks in
+  Printf.printf "sentence: %s\nlabel: %s\n"
+    (Text.Corpus.sentence corpus toks)
+    (if label = 1 then "positive" else "negative");
+  let region = Deept.Region.lp_ball ~p:Deept.Lp.L2 x ~word:2 ~radius:0.05 in
+  let margin =
+    Deept.Certify.certify_margin Deept.Config.fast program region ~true_class:label
+  in
+  Printf.printf "radius 0.05 at word 2: %s (margin %+.4f)\n"
+    (if margin > 0.0 then "CERTIFIED" else "not certified")
+    margin;
+
+  (* 5. And the largest certified radius, by binary search. *)
+  let r =
+    Deept.Certify.certified_radius Deept.Config.fast program ~p:Deept.Lp.L2 x
+      ~word:2 ~true_class:label ()
+  in
+  Printf.printf "maximal certified l2 radius at word 2: %.5f\n" r

@@ -1,0 +1,45 @@
+(* Per-word certified-radius profile of a sentence — the measurement behind
+   the paper's Tables 1-3: for every position, the largest lp ball around
+   that word's embedding whose classifications are all provably unchanged.
+   Also contrasts DeepT-Fast with the CROWN-BaF baseline on the same words.
+
+     dune exec examples/radius_sweep.exe *)
+
+open Tensor
+
+let () =
+  let model = Zoo.load_or_train ~log:print_endline "sst_3" in
+  let corpus = Zoo.sst_corpus () in
+  let program = Nn.Model.to_ir model in
+  let toks, label =
+    List.find
+      (fun (toks, label) ->
+        Array.length toks >= 6
+        && Array.length toks <= 8
+        && Nn.Forward.predict program (Nn.Model.embed_tokens model toks) = label)
+      corpus.Text.Corpus.test
+  in
+  let x = Nn.Model.embed_tokens model toks in
+  Printf.printf "sentence: %s\nlabel: %s\n\n"
+    (Text.Corpus.sentence corpus toks)
+    (if label = 1 then "positive" else "negative");
+  Printf.printf "%-4s %-14s %12s %12s %14s\n" "pos" "word" "DeepT l2"
+    "DeepT linf" "CROWN-BaF l2";
+  let g = Linrelax.Verify.graph_of program ~seq_len:(Mat.rows x) in
+  Array.iteri
+    (fun word tok ->
+      let deept p =
+        Deept.Certify.certified_radius Deept.Config.fast program ~p x ~word
+          ~true_class:label ~hi:0.4 ~iters:6 ()
+      in
+      let baf =
+        Deept.Certify.max_radius ~hi:0.4 ~iters:6 (fun radius ->
+            radius > 0.0
+            && Linrelax.Verify.certify ~verifier:Linrelax.Verify.Baf g
+                 (Linrelax.Verify.region_word_ball ~p:Deept.Lp.L2 x ~word ~radius)
+                 ~true_class:label)
+      in
+      Printf.printf "%-4d %-14s %12.5f %12.5f %14.5f\n" word
+        (Text.Corpus.word corpus tok)
+        (deept Deept.Lp.L2) (deept Deept.Lp.Linf) baf)
+    toks

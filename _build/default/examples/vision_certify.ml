@@ -1,0 +1,54 @@
+(* Certifying a Vision Transformer (Appendix A.3): lp robustness of image
+   classification, end to end from pixels through the patch embedding and
+   the encoder.
+
+     dune exec examples/vision_certify.exe *)
+
+let () =
+  let model = Zoo.load_or_train ~log:print_endline "vit_1" in
+  let program = Nn.Model.to_ir model in
+  let images = Zoo.vision_data () in
+  let eval = List.filteri (fun i _ -> i >= 400) images in
+  Printf.printf "Vision Transformer: 7x7 patches, %d params\n"
+    (Ir.num_params program);
+
+  (* ASCII rendering of the first evaluation image. *)
+  let img = List.hd eval in
+  Printf.printf "input image (label %s):\n"
+    (if img.Vision.Images.label = 0 then "'1'" else "'7'");
+  for r = 0 to 27 do
+    if r mod 2 = 0 then begin
+      for c = 0 to 27 do
+        let v = img.Vision.Images.pixels.((r * 28) + c) in
+        print_char (if v > 0.6 then '#' else if v > 0.2 then '+' else '.')
+      done;
+      print_newline ()
+    end
+  done;
+
+  let certified = ref 0 and total = ref 0 in
+  List.iteri
+    (fun i (im : Vision.Images.image) ->
+      if i < 3 then begin
+        let x = Vision.Images.patches im in
+        let pred = Nn.Forward.predict program x in
+        if pred = im.Vision.Images.label then begin
+          incr total;
+          List.iter
+            (fun (p, hi) ->
+              let r =
+                Deept.Certify.max_radius ~hi ~iters:5 (fun radius ->
+                    radius > 0.0
+                    && Deept.Certify.certify Deept.Config.fast program
+                         (Deept.Region.lp_ball_all ~p x ~radius)
+                         ~true_class:pred)
+              in
+              if p = Deept.Lp.Linf && r > 0.0 then incr certified;
+              Printf.printf "image %d  %-4s certified radius %.5f\n%!" i
+                (Deept.Lp.to_string p) r)
+            [ (Deept.Lp.L1, 1.0); (Deept.Lp.L2, 0.4); (Deept.Lp.Linf, 0.03) ]
+        end
+      end)
+    eval;
+  Printf.printf "\ncertified (linf, r > 0): %d / %d correctly classified\n"
+    !certified !total

@@ -1,0 +1,192 @@
+open Tensor
+
+type result = {
+  found : bool;
+  adversarial : Mat.t option;
+  queries : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* lp-ball projections for the perturbation of one row.                 *)
+
+(* Euclidean projection onto the l1 ball of radius r (sort-based simplex
+   projection, Duchi et al.). *)
+let project_l1 delta r =
+  let n = Array.length delta in
+  if Vecops.l1 delta <= r then delta
+  else begin
+    let u = Array.map Float.abs delta in
+    Array.sort (fun a b -> compare b a) u;
+    let css = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        acc := !acc +. x;
+        css.(i) <- !acc)
+      u;
+    let rho = ref 0 in
+    for i = 0 to n - 1 do
+      if u.(i) -. ((css.(i) -. r) /. float_of_int (i + 1)) > 0.0 then rho := i
+    done;
+    let theta = (css.(!rho) -. r) /. float_of_int (!rho + 1) in
+    Array.map
+      (fun x ->
+        let s = Float.abs x -. theta in
+        if s <= 0.0 then 0.0 else if x >= 0.0 then s else -.s)
+      delta
+  end
+
+let project ~p ~radius delta =
+  match (p : Deept.Lp.t) with
+  | Deept.Lp.Linf ->
+      Array.map (fun d -> Float.max (-.radius) (Float.min radius d)) delta
+  | Deept.Lp.L2 ->
+      let n = Vecops.l2 delta in
+      if n <= radius then delta else Vecops.scale (radius /. n) delta
+  | Deept.Lp.L1 -> project_l1 delta radius
+
+(* Ascent direction of maximal first-order loss increase within the ball
+   geometry (the lp-dual steepest-ascent step). *)
+let ascent_step ~p ~magnitude g =
+  match (p : Deept.Lp.t) with
+  | Deept.Lp.Linf ->
+      Array.map (fun gi -> magnitude *. if gi >= 0.0 then 1.0 else -1.0) g
+  | Deept.Lp.L2 ->
+      let n = Vecops.l2 g in
+      if n = 0.0 then Array.map (fun _ -> 0.0) g
+      else Vecops.scale (magnitude /. n) g
+  | Deept.Lp.L1 ->
+      (* steepest ascent for l1 geometry: all mass on the max coordinate *)
+      let k = ref 0 in
+      Array.iteri (fun i gi -> if Float.abs gi > Float.abs g.(!k) then k := i) g;
+      Array.mapi
+        (fun i gi -> if i = !k then magnitude *. (if gi >= 0.0 then 1.0 else -1.0) else 0.0)
+        g
+
+let with_delta x ~word delta =
+  Mat.mapi (fun i j v -> if i = word then v +. delta.(j) else v) x
+
+let pgd ?(steps = 30) ?(restarts = 4) ?(step_frac = 0.25) ~rng program ~p x
+    ~word ~radius ~true_class =
+  if radius < 0.0 then invalid_arg "Attack.pgd: negative radius";
+  let d = Mat.cols x in
+  let queries = ref 0 in
+  let misclassified cand =
+    incr queries;
+    Nn.Forward.predict program cand <> true_class
+  in
+  let try_one restart =
+    let delta =
+      if restart = 0 then Array.make d 0.0
+      else
+        project ~p ~radius
+          (Array.map (fun v -> radius *. v) (Deept.Lp.unit_ball_sample rng p d))
+    in
+    let delta = ref delta in
+    let result = ref None in
+    (try
+       for _ = 1 to steps do
+         let cand = with_delta x ~word !delta in
+         if misclassified cand then begin
+           result := Some cand;
+           raise Exit
+         end;
+         (* ascend the loss of the true class *)
+         incr queries;
+         let g = Nn.Forward_diff.input_gradient program cand ~loss_class:true_class in
+         let grow = Mat.row g word in
+         let step = ascent_step ~p ~magnitude:(step_frac *. radius) grow in
+         delta := project ~p ~radius (Vecops.add !delta step)
+       done;
+       let cand = with_delta x ~word !delta in
+       if misclassified cand then result := Some cand
+     with Exit -> ());
+    !result
+  in
+  let rec go restart =
+    if restart > restarts then None
+    else match try_one restart with Some c -> Some c | None -> go (restart + 1)
+  in
+  match go 0 with
+  | Some adv ->
+      (* sanity: the returned point really is inside the ball *)
+      let delta = Array.init d (fun j -> Mat.get adv word j -. Mat.get x word j) in
+      assert (Deept.Lp.norm p delta <= radius *. (1.0 +. 1e-9));
+      { found = true; adversarial = Some adv; queries = !queries }
+  | None -> { found = false; adversarial = None; queries = !queries }
+
+let attacked_radius ?(iters = 10) ?steps ?restarts ~rng program ~p x ~word
+    ~true_class () =
+  (* smallest radius where the attack succeeds; monotone in practice, and
+     the search is conservative in the sound direction (an upper bound). *)
+  let succeeds radius =
+    radius > 0.0
+    && (pgd ?steps ?restarts ~rng program ~p x ~word ~radius ~true_class).found
+  in
+  let lo = ref 0.0 and hi = ref 0.25 in
+  let grow = ref 0 in
+  while (not (succeeds !hi)) && !grow < 8 do
+    lo := !hi;
+    hi := !hi *. 2.0;
+    incr grow
+  done;
+  if !grow >= 8 then infinity
+  else begin
+    for _ = 1 to iters do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if succeeds mid then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let synonym_attack program x subs ~true_class =
+  let queries = ref 0 in
+  let loss cand =
+    incr queries;
+    let logits = Nn.Forward.logits program cand in
+    Vecops.logsumexp logits -. logits.(true_class)
+  in
+  let misclassified cand =
+    incr queries;
+    Nn.Forward.predict program cand <> true_class
+  in
+  let current = ref (Mat.copy x) in
+  let remaining = ref subs in
+  let result = ref None in
+  (try
+     if misclassified !current then begin
+       result := Some (Mat.copy !current);
+       raise Exit
+     end;
+     let continue = ref true in
+     while !continue && !remaining <> [] do
+       let base_loss = loss !current in
+       (* best single substitution among the remaining positions *)
+       let best = ref None in
+       List.iter
+         (fun (pos, alts) ->
+           List.iter
+             (fun (alt : float array) ->
+               let cand =
+                 Mat.mapi (fun i j v -> if i = pos then alt.(j) else v) !current
+               in
+               let l = loss cand in
+               match !best with
+               | Some (_, _, bl) when bl >= l -> ()
+               | _ -> if l > base_loss then best := Some (pos, cand, l))
+             alts)
+         !remaining;
+       match !best with
+       | None -> continue := false
+       | Some (pos, cand, _) ->
+           current := cand;
+           remaining := List.filter (fun (q, _) -> q <> pos) !remaining;
+           if misclassified !current then begin
+             result := Some (Mat.copy !current);
+             raise Exit
+           end
+     done
+   with Exit -> ());
+  match !result with
+  | Some adv -> { found = true; adversarial = Some adv; queries = !queries }
+  | None -> { found = false; adversarial = None; queries = !queries }

@@ -1,0 +1,51 @@
+(** Adversarial attacks — the upper-bound counterpart of certification.
+
+    A certified radius lower-bounds the true robustness radius; an attack
+    that finds a misclassifying perturbation upper-bounds it. Together
+    they bracket the exact radius, which is how we sanity-check every
+    verifier in this repository (certified ≤ attacked must always hold)
+    and how the paper's threat models are motivated (Section 2; the
+    synonym attack follows Alzantot et al.).
+
+    Two attacks are provided:
+    - {!pgd}: projected gradient ascent on the embedding of one word
+      inside an ℓp ball (threat model T1), with random restarts — the
+      classic first-order attack, using the repository's own autodiff
+      to differentiate the loss with respect to the input;
+    - {!synonym_attack}: greedy search over synonym substitutions
+      (threat model T2), the enumeration-free attack of the kind the
+      paper cites. *)
+
+type result = {
+  found : bool;
+  adversarial : Tensor.Mat.t option;  (** a misclassified input, if found *)
+  queries : int;  (** forward/gradient evaluations spent *)
+}
+
+val pgd :
+  ?steps:int -> ?restarts:int -> ?step_frac:float ->
+  rng:Tensor.Rng.t ->
+  Ir.program -> p:Deept.Lp.t -> Tensor.Mat.t -> word:int -> radius:float ->
+  true_class:int -> result
+(** [pgd program ~p x ~word ~radius ~true_class] searches the ℓp ball of
+    the given radius around row [word] of [x] for a misclassified point.
+    Defaults: 30 steps, 4 restarts, step size [step_frac = 0.25] of the
+    radius. The returned adversarial input, when present, is verified to
+    lie inside the ball and to be misclassified. *)
+
+val attacked_radius :
+  ?iters:int -> ?steps:int -> ?restarts:int ->
+  rng:Tensor.Rng.t ->
+  Ir.program -> p:Deept.Lp.t -> Tensor.Mat.t -> word:int -> true_class:int ->
+  unit -> float
+(** Binary search for the smallest radius at which {!pgd} succeeds — an
+    {e upper} bound on the true robustness radius (the dual measurement
+    to {!Deept.Certify.certified_radius}; certified ≤ exact ≤ attacked). *)
+
+val synonym_attack :
+  Ir.program -> Tensor.Mat.t -> (int * float array list) list ->
+  true_class:int -> result
+(** Greedy substitution search: repeatedly applies, at the position with
+    the largest loss increase, the best synonym, until misclassification
+    or a fixed point. Linear in (positions x synonyms) per round instead
+    of exponential enumeration. *)

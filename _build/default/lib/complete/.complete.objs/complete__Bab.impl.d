@@ -1,0 +1,1 @@
+lib/complete/bab.ml: Array Deept Mat Nn Queue Tensor

@@ -1,0 +1,1 @@
+lib/complete/bab.mli: Deept Ir

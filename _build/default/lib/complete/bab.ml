@@ -1,0 +1,93 @@
+open Tensor
+
+type result = Robust | Counterexample of float array | Unknown
+
+let last_boxes = ref 0
+let boxes_explored () = !last_boxes
+
+(* Distance helpers for pruning: the nearest/farthest point of a box to the
+   ball center, coordinate-separable for lp norms. *)
+let box_min_dist ~p ~center lo hi =
+  let n = Array.length center in
+  let d = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let c = center.(i) in
+    d.(i) <- (if c < lo.(i) then lo.(i) -. c else if c > hi.(i) then c -. hi.(i) else 0.0)
+  done;
+  Deept.Lp.norm p d
+
+let certify_box cfg program ~true_class lo hi =
+  let region = Deept.Region.box (Mat.row_vector lo) (Mat.row_vector hi) in
+  Deept.Certify.certify cfg program region ~true_class
+
+(* Project a point onto the lp ball (exact for linf and l2; for l1 we use a
+   simple scaling fallback that stays inside the ball). *)
+let project_into_ball ~p ~center ~radius x =
+  let delta = Array.mapi (fun i v -> v -. center.(i)) x in
+  let n = Deept.Lp.norm p delta in
+  if n <= radius then x
+  else begin
+    let s = radius /. n in
+    Array.mapi (fun i d -> center.(i) +. (s *. d)) delta
+  end
+
+let misclassified program ~true_class x =
+  Nn.Forward.predict program (Mat.row_vector x) <> true_class
+
+let verify ?(max_boxes = 200_000) ?(min_width = 1e-4) program ~p ~center ~radius
+    ~true_class =
+  let n = Array.length center in
+  let cfg = { Deept.Config.default with Deept.Config.reduction_k = 0 } in
+  last_boxes := 0;
+  (* Worklist of boxes still straddling. Start with the bounding box. *)
+  let q = Queue.create () in
+  let lo0 = Array.map (fun c -> c -. radius) center in
+  let hi0 = Array.map (fun c -> c +. radius) center in
+  Queue.add (lo0, hi0) q;
+  let undecided = ref false in
+  let counterexample = ref None in
+  (try
+     while not (Queue.is_empty q) do
+       if !last_boxes >= max_boxes then begin
+         undecided := true;
+         raise Exit
+       end;
+       let lo, hi = Queue.pop q in
+       incr last_boxes;
+       (* Prune boxes entirely outside the ball. *)
+       if box_min_dist ~p ~center lo hi <= radius then begin
+         (* Counterexample test at the box midpoint, projected inside. *)
+         let mid = Array.init n (fun i -> 0.5 *. (lo.(i) +. hi.(i))) in
+         let cand = project_into_ball ~p ~center ~radius mid in
+         if misclassified program ~true_class cand then begin
+           counterexample := Some cand;
+           raise Exit
+         end;
+         if not (certify_box cfg program ~true_class lo hi) then begin
+           (* Split along the widest dimension. *)
+           let widest = ref 0 in
+           for i = 1 to n - 1 do
+             if hi.(i) -. lo.(i) > hi.(!widest) -. lo.(!widest) then widest := i
+           done;
+           let w = hi.(!widest) -. lo.(!widest) in
+           if w < min_width then undecided := true
+           else begin
+             let m = 0.5 *. (lo.(!widest) +. hi.(!widest)) in
+             let hi_left = Array.copy hi and lo_right = Array.copy lo in
+             hi_left.(!widest) <- m;
+             lo_right.(!widest) <- m;
+             Queue.add (lo, hi_left) q;
+             Queue.add (lo_right, hi) q
+           end
+         end
+       end
+     done
+   with Exit -> ());
+  match !counterexample with
+  | Some x -> Counterexample x
+  | None -> if !undecided then Unknown else Robust
+
+let certified_radius ?(iters = 10) ?max_boxes program ~p ~center ~true_class () =
+  Deept.Certify.max_radius ~iters (fun radius ->
+      radius > 0.0
+      && verify ?max_boxes program ~p ~center ~radius ~true_class = Robust)

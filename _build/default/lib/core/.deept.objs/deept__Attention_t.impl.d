@@ -1,0 +1,1 @@
+lib/core/attention_t.ml: Config Dot Ir List Mat Softmax_t Tensor Zonotope

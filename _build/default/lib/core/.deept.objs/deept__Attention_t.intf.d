@@ -1,0 +1,1 @@
+lib/core/attention_t.mli: Config Ir Zonotope

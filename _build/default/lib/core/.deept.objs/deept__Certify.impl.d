@@ -1,0 +1,1 @@
+lib/core/certify.ml: Array Float List Lp Mat Nn Propagate Region Tensor Vecops Zonotope

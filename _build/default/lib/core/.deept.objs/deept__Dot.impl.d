@@ -1,0 +1,1 @@
+lib/core/dot.ml: Array Config Float Interval Itv Lp Mat Tensor Vecops Zonotope

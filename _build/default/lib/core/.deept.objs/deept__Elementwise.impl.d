@@ -1,0 +1,1 @@
+lib/core/elementwise.ml: Array Float Imat Interval Itv Mat Tensor Zonotope

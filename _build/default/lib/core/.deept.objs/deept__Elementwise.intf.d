@@ -1,0 +1,1 @@
+lib/core/elementwise.mli: Interval Zonotope

@@ -1,0 +1,1 @@
+lib/core/lp.ml: Array Rng Tensor Vecops

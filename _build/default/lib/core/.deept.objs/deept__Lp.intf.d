@@ -1,0 +1,1 @@
+lib/core/lp.mli: Tensor

@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Array Attention_t Config Elementwise Interval Ir Printf Reduction Std_norm Sys Tensor Zonotope

@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Array Float Mat Tensor Zonotope

@@ -1,0 +1,1 @@
+lib/core/refinement.ml: Array Float Lp Mat Tensor Vecops Zonotope

@@ -1,0 +1,1 @@
+lib/core/region.ml: Array Float List Lp Mat Tensor Zonotope

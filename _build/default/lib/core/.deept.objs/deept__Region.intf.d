@@ -1,0 +1,1 @@
+lib/core/region.mli: Lp Tensor Zonotope

@@ -1,0 +1,1 @@
+lib/core/softmax_t.ml: Config Dot Elementwise Float Interval List Mat Refinement Tensor Zonotope

@@ -1,0 +1,1 @@
+lib/core/softmax_t.mli: Config Zonotope

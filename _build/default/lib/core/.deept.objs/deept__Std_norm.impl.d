@@ -1,0 +1,1 @@
+lib/core/std_norm.ml: Array Dot Elementwise Mat Tensor Zonotope

@@ -1,0 +1,1 @@
+lib/core/std_norm.mli: Zonotope

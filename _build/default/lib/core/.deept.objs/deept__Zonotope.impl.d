@@ -1,0 +1,1 @@
+lib/core/zonotope.ml: Array Float Imat Interval Itv List Lp Mat Rng Tensor

@@ -1,0 +1,1 @@
+lib/core/zonotope.mli: Interval Lp Tensor

@@ -1,0 +1,14 @@
+(** Multi-head self-attention abstract transformer.
+
+    Composes the affine projections with the two perturbed-by-perturbed
+    products of Section 4.8 and the softmax transformer of Section 5.2:
+
+    [Z = softmax(Q·Kᵀ / √dk) · V], per head, then the output projection.
+
+    [precise] selects the DeepT-Precise dot-product remainder bound for
+    both products of each head. *)
+
+val apply :
+  cfg:Config.t ->
+  precise:bool ->
+  Zonotope.ctx -> Ir.attention -> Zonotope.t -> Zonotope.t

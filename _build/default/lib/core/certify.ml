@@ -1,0 +1,111 @@
+open Tensor
+
+let margin (out : Zonotope.t) ~true_class =
+  if out.Zonotope.vrows <> 1 then invalid_arg "Certify.margin: output not 1 x C";
+  let c = out.Zonotope.vcols in
+  if true_class < 0 || true_class >= c then invalid_arg "Certify.margin: class";
+  let ct, at, bt = Zonotope.var_affine out true_class in
+  let best = ref infinity in
+  for j = 0 to c - 1 do
+    if j <> true_class then begin
+      let cj, aj, bj = Zonotope.var_affine out j in
+      let alpha = Vecops.sub at aj in
+      (* ε widths can differ between reads only through padding; var_affine
+         returns rows of the same matrix, so they match. *)
+      let beta = Vecops.sub bt bj in
+      let q = Lp.dual out.Zonotope.p in
+      let lb = ct -. cj -. Lp.norm q alpha -. Vecops.l1 beta in
+      if lb < !best then best := lb
+    end
+  done;
+  !best
+
+let certify_margin cfg program region ~true_class =
+  (* An Unbounded abstraction (overflowed exponential at an absurd radius)
+     simply cannot be certified. *)
+  match Propagate.run cfg program region with
+  | out ->
+      let m = margin out ~true_class in
+      if Float.is_nan m then neg_infinity else m
+  | exception Zonotope.Unbounded -> neg_infinity
+
+let certify cfg program region ~true_class =
+  certify_margin cfg program region ~true_class > 0.0
+
+let max_radius ?(lo = 0.0) ?(hi = 0.5) ?(iters = 10) certifies =
+  if hi <= lo then invalid_arg "Certify.max_radius: hi <= lo";
+  (* Establish a bracket [good, bad]. *)
+  let good = ref lo and bad = ref infinity in
+  let r = ref hi in
+  (try
+     for _ = 0 to 3 do
+       if certifies !r then begin
+         good := !r;
+         r := !r *. 2.0
+       end
+       else begin
+         bad := !r;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !bad = infinity then !good
+  else begin
+    for _ = 1 to iters do
+      let mid = 0.5 *. (!good +. !bad) in
+      if certifies mid then good := mid else bad := mid
+    done;
+    !good
+  end
+
+let certified_radius cfg program ~p x ~word ~true_class ?hi ?(iters = 10) () =
+  max_radius ?hi ~iters (fun radius ->
+      radius > 0.0
+      && certify cfg program (Region.lp_ball ~p x ~word ~radius) ~true_class)
+
+let certify_synonyms cfg program x subs ~true_class =
+  certify cfg program (Region.synonym_box x subs) ~true_class
+
+let count_combinations subs =
+  List.fold_left (fun acc (_, alts) -> acc * (1 + List.length alts)) 1 subs
+
+let enumerate_synonyms ?(limit = 1_000_000) program x subs ~true_class =
+  let subs = Array.of_list subs in
+  let n = Array.length subs in
+  let current = Mat.copy x in
+  let checked = ref 0 in
+  let ok = ref true in
+  let d = Mat.cols x in
+  let set_row pos (row : float array option) =
+    match row with
+    | None ->
+        for j = 0 to d - 1 do
+          Mat.set current pos j (Mat.get x pos j)
+        done
+    | Some r ->
+        for j = 0 to d - 1 do
+          Mat.set current pos j r.(j)
+        done
+  in
+  let rec go i =
+    if not !ok || !checked >= limit then ()
+    else if i = n then begin
+      incr checked;
+      if Nn.Forward.predict program current <> true_class then ok := false
+    end
+    else begin
+      let pos, alts = subs.(i) in
+      set_row pos None;
+      go (i + 1);
+      List.iter
+        (fun alt ->
+          if !ok && !checked < limit then begin
+            set_row pos (Some alt);
+            go (i + 1)
+          end)
+        alts;
+      set_row pos None
+    end
+  in
+  go 0;
+  (!ok, !checked)

@@ -1,0 +1,51 @@
+(** Robustness certification (Sections 2, 3.2 and 6).
+
+    A classification is certified on a region when the lower bound of
+    [y_true − y_other] is positive for every competing class; the bound
+    is read off the output zonotope's affine forms (difference of two
+    variables is again affine, so correlations cancel exactly — this is
+    strictly tighter than comparing interval bounds). *)
+
+val margin : Zonotope.t -> true_class:int -> float
+(** Lower bound of [min_{j ≠ t} (y_t − y_j)] on an output zonotope of
+    value shape [1 x C]. *)
+
+val certify :
+  Config.t -> Ir.program -> Zonotope.t -> true_class:int -> bool
+(** Propagates the region and checks the margin. *)
+
+val certify_margin :
+  Config.t -> Ir.program -> Zonotope.t -> true_class:int -> float
+(** Like {!certify} but returns the margin itself. *)
+
+val max_radius :
+  ?lo:float -> ?hi:float -> ?iters:int ->
+  (float -> bool) -> float
+(** [max_radius certifies] binary-searches the largest radius accepted by
+    the monotone predicate [certifies]: starting from [hi] (default 0.5,
+    doubled up to 3 times while certified), then [iters] (default 10)
+    bisection steps between the bracketing values. Returns the largest
+    radius known to certify (0 if even tiny radii fail). *)
+
+val certified_radius :
+  Config.t -> Ir.program -> p:Lp.t -> Tensor.Mat.t -> word:int ->
+  true_class:int -> ?hi:float -> ?iters:int -> unit -> float
+(** The paper's main measurement: the largest ℓp radius around one
+    word's embedding that certifies (binary search over {!certify}). *)
+
+val certify_synonyms :
+  Config.t -> Ir.program -> Tensor.Mat.t -> (int * float array list) list ->
+  true_class:int -> bool
+(** Threat model T2: certify the synonym box {!Region.synonym_box}. *)
+
+val enumerate_synonyms :
+  ?limit:int -> Ir.program -> Tensor.Mat.t -> (int * float array list) list ->
+  true_class:int -> bool * int
+(** Enumeration baseline: classifies every combination of substitutions
+    concretely. Returns [(all_correct, combinations_checked)]; stops
+    early at [limit] combinations (default 1_000_000) or on the first
+    misclassification. *)
+
+val count_combinations : (int * float array list) list -> int
+(** Number of sentences the enumeration baseline must classify
+    (product over positions of [1 + #alternatives]). *)

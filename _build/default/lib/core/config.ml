@@ -1,0 +1,33 @@
+type dot_variant = Fast | Precise | Combined
+type dual_order = Linf_first | Lp_first
+type softmax_form = Stable | Direct
+
+type t = {
+  variant : dot_variant;
+  order : dual_order;
+  softmax : softmax_form;
+  refine_softmax_sum : bool;
+  reduction_k : int;
+}
+
+let default =
+  {
+    variant = Fast;
+    order = Linf_first;
+    softmax = Stable;
+    refine_softmax_sum = true;
+    reduction_k = 128;
+  }
+
+let fast = default
+let precise = { default with variant = Precise; reduction_k = 96 }
+let combined = { default with variant = Combined; reduction_k = 128 }
+
+let variant_name = function Fast -> "fast" | Precise -> "precise" | Combined -> "combined"
+
+let pp ppf c =
+  Format.fprintf ppf "deept(%s, %s, softmax=%s, refine=%b, k=%d)"
+    (variant_name c.variant)
+    (match c.order with Linf_first -> "linf-first" | Lp_first -> "lp-first")
+    (match c.softmax with Stable -> "stable" | Direct -> "direct")
+    c.refine_softmax_sum c.reduction_k

@@ -1,0 +1,44 @@
+(** Verifier configuration: the DeepT variants evaluated in the paper.
+
+    - [DeepT-Fast] (Section 4.8, "Fast Bounds") — dual-norm cascade for
+      all quadratic terms of the dot product;
+    - [DeepT-Precise] — O(E∞²) interval analysis for the ε·ε term;
+    - [Combined] (Appendix A.6) — Precise in the last Transformer layer,
+      Fast elsewhere. *)
+
+type dot_variant = Fast | Precise | Combined
+
+type dual_order = Linf_first | Lp_first
+(** Which operand of the fast dot-product bound has the dual-norm trick
+    applied first (Section 6.5). The paper finds [Linf_first] slightly
+    better on average. *)
+
+type softmax_form = Stable | Direct
+(** [Stable]: 1 / Σ exp(νj − νi) (the paper's choice, Section 5.2).
+    [Direct]: exp(νi) · recip(Σ exp(νj)) — what CROWN uses; exposed for
+    the ablation. *)
+
+type t = {
+  variant : dot_variant;
+  order : dual_order;
+  softmax : softmax_form;
+  refine_softmax_sum : bool;
+      (** apply the softmax-sum zonotope refinement (Section 5.3) *)
+  reduction_k : int;
+      (** ℓ∞ noise symbols kept by DecorrelateMin_k at each layer input;
+          0 disables reduction *)
+}
+
+val default : t
+(** DeepT-Fast with ℓ∞-first dual order, stable softmax, sum refinement
+    on, reduction to 128 symbols. *)
+
+val fast : t
+val precise : t
+(** Like {!default} with the Precise dot product (and a smaller symbol
+    budget, mirroring the paper's setup). *)
+
+val combined : t
+(** Appendix A.6 variant. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,220 @@
+open Tensor
+open Interval
+
+type quad_bound = {
+  phi_phi : Itv.t;
+  phi_eps : Itv.t;
+  eps_phi : Itv.t;
+  eps_eps : Itv.t;
+}
+
+(* |V^T| applied to a vector of row norms: t_k = sum_j norms_j * |V_{jk}|. *)
+let abs_vec_mat norms (v : Mat.t) =
+  let d = Mat.rows v and e = Mat.cols v in
+  if Array.length norms <> d then invalid_arg "Dot.abs_vec_mat";
+  let out = Array.make e 0.0 in
+  for j = 0 to d - 1 do
+    let nj = norms.(j) in
+    if nj <> 0.0 then begin
+      let base = j * e in
+      for kk = 0 to e - 1 do
+        out.(kk) <- out.(kk) +. (nj *. Float.abs v.Mat.data.(base + kk))
+      done
+    end
+  done;
+  out
+
+(* Equation 5 with [w] normed first:
+   bound = || (||w_j||_{q2})_j^T |V| ||_{q1}. *)
+let cascade_w_first ~p1 ~p2 (v : Mat.t) (w : Mat.t) =
+  if Mat.cols v = 0 || Mat.cols w = 0 then 0.0
+  else begin
+    let nw = Mat.row_lp_norms w (Lp.to_float (Lp.dual p2)) in
+    let t = abs_vec_mat nw v in
+    Lp.norm (Lp.dual p1) t
+  end
+
+let fast_abs_bound ~order ~p1 ~p2 (v : Mat.t) (w : Mat.t) =
+  if Mat.rows v <> Mat.rows w then invalid_arg "Dot.fast_abs_bound: dim mismatch";
+  let w_first =
+    if p1 = p2 then true
+    else
+      match (order : Config.dual_order) with
+      | Config.Linf_first -> p2 = Lp.Linf
+      | Config.Lp_first -> p2 <> Lp.Linf
+  in
+  if w_first then cascade_w_first ~p1 ~p2 v w else cascade_w_first ~p1:p2 ~p2:p1 w v
+
+let precise_eps_bound (b1 : Mat.t) (b2 : Mat.t) =
+  if Mat.rows b1 <> Mat.rows b2 || Mat.cols b1 <> Mat.cols b2 then
+    invalid_arg "Dot.precise_eps_bound: shape mismatch";
+  let e = Mat.cols b1 in
+  if e = 0 then Itv.zero
+  else begin
+    (* C = B1^T B2; diagonal entries multiply eps^2 in [0,1], symmetrized
+       off-diagonal pairs multiply eps_k eps_l in [-1,1]. *)
+    let c = Mat.gemm ~ta:true b1 b2 in
+    let lo = ref 0.0 and hi = ref 0.0 in
+    for k = 0 to e - 1 do
+      let ckk = Mat.get c k k in
+      if ckk > 0.0 then hi := !hi +. ckk else lo := !lo +. ckk;
+      for l = k + 1 to e - 1 do
+        let s = Float.abs (Mat.get c k l +. Mat.get c l k) in
+        hi := !hi +. s;
+        lo := !lo -. s
+      done
+    done;
+    Itv.make !lo !hi
+  end
+
+let sym m = Itv.make (-.m) m
+
+let quad_bounds ~precise ~order ~p ~a1 ~b1 ~a2 ~b2 =
+  {
+    phi_phi = sym (fast_abs_bound ~order ~p1:p ~p2:p a1 a2);
+    phi_eps = sym (fast_abs_bound ~order ~p1:p ~p2:Lp.Linf a1 b2);
+    eps_phi = sym (fast_abs_bound ~order ~p1:Lp.Linf ~p2:p b1 a2);
+    eps_eps =
+      (if precise then precise_eps_bound b1 b2
+       else sym (fast_abs_bound ~order ~p1:Lp.Linf ~p2:Lp.Linf b1 b2));
+  }
+
+let total_quad q =
+  Itv.add q.phi_phi (Itv.add q.phi_eps (Itv.add q.eps_phi q.eps_eps))
+
+(* When the remainder bound overflows to infinity, keep the center
+   untouched and make the fresh symbol's radius infinite: downstream
+   bounds become infinite and certification honestly fails, instead of
+   center = (inf + -inf)/2 = NaN poisoning everything. *)
+let mid_rad itv =
+  let c = Itv.center itv and r = 0.5 *. Itv.width itv in
+  if Float.is_finite c then (c, r) else (0.0, infinity)
+
+(* Gather the coefficient rows of value column [j] of [z] (a k x m value):
+   rows { t*m + j : t = 0..k-1 } of the coefficient matrix. *)
+let gather_col_block (g : Mat.t) ~k ~m ~j =
+  let e = Mat.cols g in
+  let out = Mat.create k e in
+  for t = 0 to k - 1 do
+    Array.blit g.Mat.data (((t * m) + j) * e) out.Mat.data (t * e) e
+  done;
+  out
+
+let matmul_zz ?(precise = false) ?(order = Config.Linf_first) ctx
+    (a : Zonotope.t) (b : Zonotope.t) =
+  if a.Zonotope.vcols <> b.Zonotope.vrows then
+    invalid_arg "Dot.matmul_zz: inner dimension mismatch";
+  if a.Zonotope.p <> b.Zonotope.p then invalid_arg "Dot.matmul_zz: norm mismatch";
+  if Zonotope.num_phi a <> Zonotope.num_phi b then
+    invalid_arg "Dot.matmul_zz: phi width mismatch";
+  let a = Zonotope.pad_eps a (Zonotope.ctx_symbols ctx) in
+  let b = Zonotope.pad_eps b (Zonotope.ctx_symbols ctx) in
+  let n = a.Zonotope.vrows and k = a.Zonotope.vcols and m = b.Zonotope.vcols in
+  let ep = Zonotope.num_phi a and ee = Zonotope.num_eps a in
+  let p = a.Zonotope.p in
+  (* Pre-gather row blocks of [a] and column blocks of [b]. *)
+  let aphi = Array.init n (fun i -> Zonotope.phi_block a (i * k) k) in
+  let aeps = Array.init n (fun i -> Zonotope.eps_block a (i * k) k) in
+  let ca = Array.init n (fun i -> Mat.row a.Zonotope.center i) in
+  let bphi = Array.init m (fun j -> gather_col_block b.Zonotope.phi ~k ~m ~j) in
+  let beps = Array.init m (fun j -> gather_col_block b.Zonotope.eps ~k ~m ~j) in
+  let cb = Array.init m (fun j -> Mat.col b.Zonotope.center j) in
+  let nv = n * m in
+  let center = Mat.matmul a.Zonotope.center b.Zonotope.center in
+  let phi = Mat.create nv ep in
+  let eps_aff = Mat.create nv ee in
+  let rad = Array.make nv 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      let v = (i * m) + j in
+      (* Exact affine part: c_a^T . (b coeff block) + c_b^T . (a coeff block) *)
+      if ep > 0 then begin
+        let pa = Vecops.add (Mat.vec_mat ca.(i) bphi.(j)) (Mat.vec_mat cb.(j) aphi.(i)) in
+        Array.blit pa 0 phi.Mat.data (v * ep) ep
+      end;
+      if ee > 0 then begin
+        let pe = Vecops.add (Mat.vec_mat ca.(i) beps.(j)) (Mat.vec_mat cb.(j) aeps.(i)) in
+        Array.blit pe 0 eps_aff.Mat.data (v * ee) ee
+      end;
+      (* Quadratic remainder. *)
+      let q =
+        quad_bounds ~precise ~order ~p ~a1:aphi.(i) ~b1:aeps.(i) ~a2:bphi.(j)
+          ~b2:beps.(j)
+      in
+      let itv = total_quad q in
+      let mid, r = mid_rad itv in
+      center.Mat.data.(v) <- center.Mat.data.(v) +. mid;
+      rad.(v) <- r
+    done
+  done;
+  (* One fresh symbol per output with a non-trivial remainder. *)
+  let fresh = Array.make nv (-1) in
+  let n_new = ref 0 in
+  Array.iteri
+    (fun v r ->
+      if r > 0.0 then begin
+        fresh.(v) <- !n_new;
+        incr n_new
+      end)
+    rad;
+  let base = Zonotope.alloc_eps ctx !n_new in
+  assert (base = ee);
+  let w = base + !n_new in
+  let eps = Mat.create nv w in
+  for v = 0 to nv - 1 do
+    Array.blit eps_aff.Mat.data (v * ee) eps.Mat.data (v * w) ee;
+    if fresh.(v) >= 0 then eps.Mat.data.((v * w) + base + fresh.(v)) <- rad.(v)
+  done;
+  Zonotope.make ~p ~center ~phi ~eps
+
+let mul_zz ?(precise = false) ?(order = Config.Linf_first) ctx (a : Zonotope.t)
+    (b : Zonotope.t) =
+  if a.Zonotope.vrows <> b.Zonotope.vrows || a.Zonotope.vcols <> b.Zonotope.vcols
+  then invalid_arg "Dot.mul_zz: shape mismatch";
+  if a.Zonotope.p <> b.Zonotope.p then invalid_arg "Dot.mul_zz: norm mismatch";
+  let a = Zonotope.pad_eps a (Zonotope.ctx_symbols ctx) in
+  let b = Zonotope.pad_eps b (Zonotope.ctx_symbols ctx) in
+  let nv = Zonotope.num_vars a in
+  let ep = Zonotope.num_phi a and ee = Zonotope.num_eps a in
+  let p = a.Zonotope.p in
+  let center = Mat.mul a.Zonotope.center b.Zonotope.center in
+  let phi = Mat.create nv ep in
+  let eps_aff = Mat.create nv ee in
+  let rad = Array.make nv 0.0 in
+  for v = 0 to nv - 1 do
+    let c1 = a.Zonotope.center.Mat.data.(v) and c2 = b.Zonotope.center.Mat.data.(v) in
+    for t = 0 to ep - 1 do
+      phi.Mat.data.((v * ep) + t) <-
+        (c1 *. b.Zonotope.phi.Mat.data.((v * ep) + t))
+        +. (c2 *. a.Zonotope.phi.Mat.data.((v * ep) + t))
+    done;
+    for t = 0 to ee - 1 do
+      eps_aff.Mat.data.((v * ee) + t) <-
+        (c1 *. b.Zonotope.eps.Mat.data.((v * ee) + t))
+        +. (c2 *. a.Zonotope.eps.Mat.data.((v * ee) + t))
+    done;
+    let a1 = Zonotope.phi_block a v 1 and b1 = Zonotope.eps_block a v 1 in
+    let a2 = Zonotope.phi_block b v 1 and b2 = Zonotope.eps_block b v 1 in
+    let q = quad_bounds ~precise ~order ~p ~a1 ~b1 ~a2 ~b2 in
+    let itv = total_quad q in
+    let mid, r = mid_rad itv in
+    center.Mat.data.(v) <- center.Mat.data.(v) +. mid;
+    rad.(v) <- r
+  done;
+  let fresh = Array.make nv (-1) in
+  let n_new = ref 0 in
+  Array.iteri
+    (fun v r ->
+      if r > 0.0 then begin
+        fresh.(v) <- !n_new;
+        incr n_new
+      end)
+    rad;
+  let base = Zonotope.alloc_eps ctx !n_new in
+  let w = base + !n_new in
+  let eps = Mat.create nv w in
+  for v = 0 to nv - 1 do
+    Array.blit eps_aff.Mat.data (v * ee) eps.Mat.data (v * w) ee;
+    if fresh.(v) >= 0 then eps.Mat.data.((v * w) + base + fresh.(v)) <- rad.(v)
+  done;
+  Zonotope.make ~p ~center ~phi ~eps

@@ -1,0 +1,61 @@
+(** Dot-product and multiplication abstract transformers (Sections 4.8–4.9).
+
+    These are the key transformers of the paper: self-attention multiplies
+    two quantities that are {e both} under perturbation — the query/key
+    product [Q·Kᵀ] and the attention/value product [softmax(S)·V]. The
+    output of a product of two affine forms has a quadratic remainder in
+    the noise symbols; each output variable receives the exact affine part
+    plus one fresh ε symbol covering an interval bound of the remainder.
+
+    Two remainder bounds are provided:
+    - {b Fast} (Equation 5): dual-norm cascade, [O(N(Ep + E∞))] per output;
+    - {b Precise} (Equation 6): exact treatment of the ε²/ε·ε structure of
+      the ℓ∞-ℓ∞ term, [O(N·E∞²)] per output. *)
+
+type quad_bound = {
+  phi_phi : Interval.Itv.t;
+  phi_eps : Interval.Itv.t;
+  eps_phi : Interval.Itv.t;
+  eps_eps : Interval.Itv.t;
+}
+(** Interval bounds of the four noise-interaction terms of one output. *)
+
+val fast_abs_bound :
+  order:Config.dual_order ->
+  p1:Lp.t -> p2:Lp.t -> Tensor.Mat.t -> Tensor.Mat.t -> float
+(** [fast_abs_bound ~order ~p1 ~p2 v w] bounds [|(V ξ₁)·(W ξ₂)|] for
+    [‖ξ₁‖_{p1} ≤ 1, ‖ξ₂‖_{p2} ≤ 1] by the dual-norm cascade of
+    Equation 5. [order] selects which operand is normed first when the
+    two norms differ (the Section 6.5 ablation). [v] and [w] are the
+    coefficient blocks ([dim x E]). *)
+
+val precise_eps_bound : Tensor.Mat.t -> Tensor.Mat.t -> Interval.Itv.t
+(** Equation 6: bound of [(B₁ε)·(B₂ε)] that accounts for [ε² ∈ [0,1]]
+    on the diagonal and symmetrizes off-diagonal pairs. *)
+
+val quad_bounds :
+  precise:bool ->
+  order:Config.dual_order ->
+  p:Lp.t ->
+  a1:Tensor.Mat.t -> b1:Tensor.Mat.t ->
+  a2:Tensor.Mat.t -> b2:Tensor.Mat.t ->
+  quad_bound
+(** Bounds for all four interaction terms of one dot product; the ε-ε
+    term uses {!precise_eps_bound} when [precise]. *)
+
+val matmul_zz :
+  ?precise:bool ->
+  ?order:Config.dual_order ->
+  Zonotope.ctx -> Zonotope.t -> Zonotope.t -> Zonotope.t
+(** [matmul_zz ctx a b] abstracts the value-level matrix product
+    [A·B] of two zonotopes sharing noise symbols ([a : n x k],
+    [b : k x m]). Each output variable gets the exact affine part
+    [c₁·c₂ + (c₁ᵀA₂ + c₂ᵀA₁)φ + (c₁ᵀB₂ + c₂ᵀB₁)ε] plus one fresh ε
+    symbol covering the quadratic remainder. *)
+
+val mul_zz :
+  ?precise:bool ->
+  ?order:Config.dual_order ->
+  Zonotope.ctx -> Zonotope.t -> Zonotope.t -> Zonotope.t
+(** Element-wise product of two zonotopes with identical value shapes
+    (Section 4.9: multiplication is the 1-element dot product). *)

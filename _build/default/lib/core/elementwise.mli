@@ -1,0 +1,65 @@
+(** Element-wise abstract transformers (Sections 4.3–4.7).
+
+    Every non-affine scalar function [f] is abstracted, per variable, by
+    the affine form [y = λ·x + μ + β·ε_new] with a fresh ℓ∞ noise symbol
+    [ε_new]; the coefficients depend only on the function and the
+    variable's concrete bounds [l, u], and are chosen to minimize the
+    area of the relaxation in input-output space (following Singh et al.
+    for ReLU/tanh and Mueller et al. for exp/reciprocal). Theorem 3:
+    these transformers are sound and area-optimal. *)
+
+type coeffs = { lambda : float; mu : float; beta : float }
+(** The relaxation [y = lambda*x + mu + beta*ε_new], [β >= 0]. *)
+
+exception Unbounded
+(** Alias of {!Zonotope.Unbounded}: the transformer's input bounds are
+    non-finite (or, for the reciprocal, non-positive) — the abstraction
+    has collapsed, typically because the radius search probed an absurdly
+    large perturbation and the exponential overflowed. Certification
+    front-ends catch this and report "not certified", which is sound. *)
+
+val relu_coeffs : l:float -> u:float -> coeffs
+(** Minimal-area ReLU relaxation (exact when the sign is fixed). *)
+
+val tanh_coeffs : l:float -> u:float -> coeffs
+
+val exp_coeffs : l:float -> u:float -> coeffs
+(** Exponential relaxation whose concretization is strictly positive
+    (required by the downstream reciprocal); tangent point
+    [t_opt = min(t_crit, l + 1 - 0.01)]. Falls back to the interval
+    relaxation for very large [u] where the chord slope overflows. *)
+
+val sqrt_coeffs : l:float -> u:float -> coeffs
+(** Square-root relaxation (chord from below, parallel tangent from
+    above — minimal area for a concave function). A negative [l] is
+    clamped to 0: the square-root argument in layer normalization is a
+    true square whose zonotope bounds may dip below zero, while every
+    concrete execution stays non-negative. *)
+
+val recip_coeffs : ?floor:float -> l:float -> u:float -> unit -> coeffs
+(** Reciprocal relaxation for strictly positive inputs; tangent point
+    [t_opt = max(√(u·l), u/2·(1 + ε))] keeps the output positive. (The
+    paper prints [min], but positivity of the tangent at [u] requires
+    [t > u/2], so the implementation uses [max]; with [max] the
+    chord-side bound also remains valid since [t ≥ √(u·l)] always.)
+    [floor] (default 0) clamps the lower bound upward — sound whenever
+    every concrete execution's input is at least [floor] (e.g. the
+    ε-stabilized standard deviation in layer normalization), even though
+    the zonotope's own bound may dip lower.
+    @raise Unbounded if [l <= 0] after clamping. *)
+
+val eval : coeffs -> l:float -> u:float -> float -> Interval.Itv.t
+(** [eval c ~l ~u x] is the output range of the relaxation at input [x]
+    (used by tests to check the relaxation covers [f x] pointwise). *)
+
+val apply :
+  Zonotope.ctx -> Zonotope.t -> (l:float -> u:float -> coeffs) -> Zonotope.t
+(** Applies a coefficient rule element-wise to a whole zonotope:
+    rescales the affine part by [λ], shifts the center by [μ], and
+    allocates one fresh ε symbol per variable with [β > 0]. *)
+
+val relu : Zonotope.ctx -> Zonotope.t -> Zonotope.t
+val tanh_ : Zonotope.ctx -> Zonotope.t -> Zonotope.t
+val exp_ : Zonotope.ctx -> Zonotope.t -> Zonotope.t
+val recip : ?floor:float -> Zonotope.ctx -> Zonotope.t -> Zonotope.t
+val sqrt_ : Zonotope.ctx -> Zonotope.t -> Zonotope.t

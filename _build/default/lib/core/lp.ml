@@ -1,0 +1,33 @@
+open Tensor
+
+type t = L1 | L2 | Linf
+
+let of_float p =
+  if p = 1.0 then L1
+  else if p = 2.0 then L2
+  else if p = infinity then Linf
+  else invalid_arg "Lp.of_float: p must be 1, 2 or infinity"
+
+let to_float = function L1 -> 1.0 | L2 -> 2.0 | Linf -> infinity
+let to_string = function L1 -> "l1" | L2 -> "l2" | Linf -> "linf"
+let dual = function L1 -> Linf | L2 -> L2 | Linf -> L1
+
+let norm p v =
+  match p with
+  | L1 -> Vecops.l1 v
+  | L2 -> Vecops.l2 v
+  | Linf -> Vecops.linf v
+
+let dual_norm p v = norm (dual p) v
+
+let unit_ball_sample rng p n =
+  if n = 0 then [||]
+  else begin
+    (* A uniformly random direction scaled by a random fraction of the
+       distance to the ball's boundary along that direction. *)
+    let dir = Array.init n (fun _ -> Rng.gaussian rng) in
+    let nrm = norm p dir in
+    let nrm = if nrm = 0.0 then 1.0 else nrm in
+    let r = Rng.float rng in
+    Array.map (fun x -> r *. x /. nrm) dir
+  end

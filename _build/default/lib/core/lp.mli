@@ -1,0 +1,29 @@
+(** ℓp norms and duality (Section 3.3 of the paper).
+
+    The Multi-norm Zonotope bounds its [φ] noise symbols jointly by
+    [‖φ‖ₚ ≤ 1]; concrete bounds of zonotope variables follow from the
+    dual-norm characterisation (Lemma 1): the extrema of [z · x] over
+    [‖x‖ₚ ≤ 1] are [±‖z‖_q] with [1/p + 1/q = 1]. *)
+
+type t = L1 | L2 | Linf
+
+val of_float : float -> t
+(** [of_float p] for p ∈ {1., 2., infinity}.
+    @raise Invalid_argument otherwise. *)
+
+val to_float : t -> float
+val to_string : t -> string
+
+val dual : t -> t
+(** [dual L1 = Linf], [dual L2 = L2], [dual Linf = L1]. *)
+
+val norm : t -> float array -> float
+(** ℓp norm of a vector. *)
+
+val dual_norm : t -> float array -> float
+(** [dual_norm p z = norm (dual p) z] — the tight bound of [z · x] over
+    the unit ℓp ball (Lemma 1). *)
+
+val unit_ball_sample : Tensor.Rng.t -> t -> int -> float array
+(** Random point of the unit ℓp ball in dimension [n] (for soundness
+    sampling tests): uniform direction, radius scaled to stay inside. *)

@@ -1,0 +1,60 @@
+let use_precise (cfg : Config.t) ~layer ~total =
+  match cfg.Config.variant with
+  | Config.Fast -> false
+  | Config.Precise -> true
+  | Config.Combined -> layer = total - 1
+
+let run_all (cfg : Config.t) (p : Ir.program) input =
+  if input.Zonotope.vcols <> p.input_dim then
+    invalid_arg "Propagate.run: input dim mismatch";
+  let ctx = Zonotope.ctx () in
+  ignore (Zonotope.alloc_eps ctx (Zonotope.num_eps input));
+  let total_layers = Ir.depth_of_kind p "self_attention" in
+  let layer = ref 0 in
+  let vals = Array.make (Ir.num_values p) input in
+  Array.iteri
+    (fun i (op : Ir.op) ->
+      let out =
+        match op with
+        | Linear { src; w; b } -> Zonotope.linear_map vals.(src) w b
+        | Relu src -> Elementwise.relu ctx vals.(src)
+        | Tanh src -> Elementwise.tanh_ ctx vals.(src)
+        | Add (a, b) -> Zonotope.add vals.(a) vals.(b)
+        | Center_norm { src; gamma; beta; divide_std } ->
+            if divide_std then
+              Std_norm.apply ctx vals.(src) ~gamma ~beta
+            else Zonotope.center_rows vals.(src) ~gamma ~beta
+        | Self_attention { src; att } ->
+            (* Layer input: reduce noise symbols before the residual split
+               (Section 5.1), updating the stored value so the residual
+               Add sees the reduced zonotope too. *)
+            if cfg.Config.reduction_k > 0 then
+              vals.(src) <-
+                Reduction.decorrelate_min_k ctx vals.(src) cfg.Config.reduction_k;
+            let precise = use_precise cfg ~layer:!layer ~total:total_layers in
+            incr layer;
+            Attention_t.apply ~cfg ~precise ctx att vals.(src)
+        | Pool_first src -> Zonotope.pool_first vals.(src)
+        | Positional { src; pos } -> Zonotope.positional vals.(src) pos
+      in
+      (if Sys.getenv_opt "DEEPT_TRACE" <> None then begin
+         let w =
+           try
+             let b = Zonotope.bounds out in
+             Tensor.Mat.max_abs
+               (Tensor.Mat.sub b.Interval.Imat.hi b.Interval.Imat.lo)
+           with Zonotope.Unbounded -> nan
+         in
+         Printf.eprintf "op %-3d %-16s width %.4g eps=%d\n%!" i
+           (match op with
+            | Linear _ -> "linear" | Relu _ -> "relu" | Tanh _ -> "tanh"
+            | Add _ -> "add" | Center_norm _ -> "center_norm"
+            | Self_attention _ -> "self_attention" | Pool_first _ -> "pool"
+            | Positional _ -> "positional")
+           w (Zonotope.num_eps out)
+       end);
+      vals.(i + 1) <- out)
+    p.ops;
+  vals
+
+let run cfg p input = (run_all cfg p input).(Ir.output_id p)

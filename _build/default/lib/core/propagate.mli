@@ -1,0 +1,23 @@
+(** Multi-norm Zonotope interpreter over {!Ir.program}s — the verifier's
+    engine (Section 5).
+
+    Walks the program, maintaining one zonotope per IR value. Following
+    the paper, {!Reduction.decorrelate_min_k} runs on the input of every
+    Transformer layer, just before the residual split around the
+    self-attention (the only point where a single zonotope is alive, so
+    symbol renumbering is safe). With [Config.variant = Combined], the
+    precise dot product is used in the last Transformer layer only
+    (Appendix A.6). *)
+
+val run : Config.t -> Ir.program -> Zonotope.t -> Zonotope.t
+(** Output zonotope of the program on the given input region. *)
+
+val run_all : Config.t -> Ir.program -> Zonotope.t -> Zonotope.t array
+(** All intermediate zonotopes (sharing one symbol context); index 0 is
+    the input. Intended for inspection and tests — note that, unlike
+    {!run}, values from different stages may have different ε widths.
+
+    Setting the environment variable [DEEPT_TRACE] makes the interpreter
+    print one line per op (kind, bound width, ε count) to stderr — the
+    first tool to reach for when certification of a deep network fails
+    unexpectedly. *)

@@ -1,0 +1,65 @@
+open Tensor
+
+let scores (z : Zonotope.t) =
+  let nv = Zonotope.num_vars z and w = Zonotope.num_eps z in
+  let s = Array.make w 0.0 in
+  let data = z.Zonotope.eps.Mat.data in
+  for v = 0 to nv - 1 do
+    let base = v * w in
+    for j = 0 to w - 1 do
+      s.(j) <- s.(j) +. Float.abs (Array.unsafe_get data (base + j))
+    done
+  done;
+  s
+
+let decorrelate_min_k ctx (z : Zonotope.t) k =
+  if k < 0 then invalid_arg "Reduction.decorrelate_min_k: negative k";
+  let w = Zonotope.num_eps z in
+  if w <= k then begin
+    Zonotope.reset_symbols ctx w;
+    z
+  end
+  else begin
+    let s = scores z in
+    let order = Array.init w (fun j -> j) in
+    (* Highest score first; ties broken by index for determinism. *)
+    Array.sort
+      (fun a b ->
+        match compare s.(b) s.(a) with 0 -> compare a b | c -> c)
+      order;
+    let keep = Array.sub order 0 k in
+    Array.sort compare keep;
+    let dropped = Array.make w true in
+    Array.iter (fun j -> dropped.(j) <- false) keep;
+    let nv = Zonotope.num_vars z in
+    (* Per-variable folded mass of the dropped symbols. *)
+    let fold = Array.make nv 0.0 in
+    let data = z.Zonotope.eps.Mat.data in
+    for v = 0 to nv - 1 do
+      let base = v * w in
+      let acc = ref 0.0 in
+      for j = 0 to w - 1 do
+        if dropped.(j) then acc := !acc +. Float.abs data.(base + j)
+      done;
+      fold.(v) <- !acc
+    done;
+    let fresh = Array.make nv (-1) in
+    let n_new = ref 0 in
+    Array.iteri
+      (fun v m ->
+        if m > 0.0 then begin
+          fresh.(v) <- !n_new;
+          incr n_new
+        end)
+      fold;
+    let new_w = k + !n_new in
+    let eps = Mat.create nv new_w in
+    for v = 0 to nv - 1 do
+      let base = v * w and obase = v * new_w in
+      Array.iteri (fun t j -> eps.Mat.data.(obase + t) <- data.(base + j)) keep;
+      if fresh.(v) >= 0 then eps.Mat.data.(obase + k + fresh.(v)) <- fold.(v)
+    done;
+    Zonotope.reset_symbols ctx new_w;
+    Zonotope.make ~p:z.Zonotope.p ~center:(Mat.copy z.Zonotope.center)
+      ~phi:(Mat.copy z.Zonotope.phi) ~eps
+  end

@@ -1,0 +1,22 @@
+(** Noise symbol reduction — DecorrelateMin_k (Section 5.1).
+
+    Non-affine transformers keep allocating fresh ε symbols; without
+    intervention the coefficient matrices grow with network depth. The
+    paper bounds memory by keeping, at every Transformer layer input, only
+    the [k] ε symbols with the largest total coefficient mass
+    [m_j = Σᵢ |B_{ij}|] and folding all eliminated symbols into one fresh
+    independent symbol per variable (the row-wise absolute sum of the
+    dropped coefficients).
+
+    This renumbers the ε symbol space, so it is only sound when a single
+    zonotope is alive — exactly the situation at a layer input, before
+    the residual split (which is where the paper applies it). *)
+
+val decorrelate_min_k : Zonotope.ctx -> Zonotope.t -> int -> Zonotope.t
+(** [decorrelate_min_k ctx z k] reduces [z] to at most
+    [k + num_vars z] ε symbols and resets the context's symbol counter
+    to the new width. [k = 0] folds every symbol (pure interval
+    decorrelation); a negative [k] is an error. *)
+
+val scores : Zonotope.t -> float array
+(** The heuristic importance score [m_j] of each ε symbol. *)

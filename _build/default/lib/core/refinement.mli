@@ -1,0 +1,42 @@
+(** Softmax-sum zonotope refinement (Section 5.3 and Appendix A.1).
+
+    The true softmax outputs of a row always sum to exactly 1, but the
+    zonotope produced by the softmax abstract transformer admits symbol
+    instantiations violating this. The refinement intersects the zonotope
+    with the hyperplane [Σᵢ yᵢ = 1] following the logical-product method
+    of Ghorbal et al.:
+
+    + the residual [S = 1 − Σᵢ yᵢ] is formed (an affine form that is 0 on
+      every true execution);
+    + variable [y₁] is replaced by [y₁ + t*·S] with [t*] chosen to
+      minimize the total coefficient mass [‖α‖₁ + ‖β‖₁] (the O(E log E)
+      breakpoint search of Appendix A.1, skipping candidates that would
+      eliminate a φ symbol);
+    + every other variable is rewritten to eliminate the pivot symbol
+      [ε_k] using the constraint;
+    + the constraint further tightens the range of each ε symbol
+      appearing in [S]; tightened symbols are renormalized back to
+      [[-1,1]] in this zonotope.
+
+    Adding any multiple of [S] and restricting symbol ranges implied by
+    [S = 0] both preserve every true execution, so the refinement is
+    sound by construction. Multipliers are capped (and fall back to 0,
+    i.e. no refinement) when the residual's coefficients nearly vanish —
+    which happens once the softmax saturates in deep layers — since an
+    extreme multiplier amplifies the residual's remaining coefficients
+    instead of cancelling anything. *)
+
+val minimize_abs_sum :
+  r:float array -> s:float array -> allowed:bool array -> float
+(** [minimize_abs_sum ~r ~s ~allowed] returns [t*] minimizing
+    [Σᵢ |rᵢ + sᵢ·t|] over the breakpoints [-rᵢ/sᵢ] with [allowedᵢ]
+    (weighted-median search; Appendix A.1). Returns 0 if no breakpoint
+    is allowed. *)
+
+val sum_residual : Zonotope.t -> target:float -> float * float array * float array
+(** [(c_S, α_S, β_S)] of the affine form [target − Σ variables]. *)
+
+val softmax_sum : Zonotope.t -> Zonotope.t
+(** Refines a zonotope whose variables are one softmax row (value shape
+    [1 x N] or [N x 1]) under the constraint that they sum to 1. Returns
+    the input unchanged when no ε symbol can serve as pivot. *)

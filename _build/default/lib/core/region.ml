@@ -1,0 +1,67 @@
+open Tensor
+
+let lp_ball ~p x ~word ~radius =
+  if radius < 0.0 then invalid_arg "Region.lp_ball: negative radius";
+  let n = Mat.rows x and d = Mat.cols x in
+  if word < 0 || word >= n then invalid_arg "Region.lp_ball: word out of range";
+  let nv = n * d in
+  match p with
+  | Lp.Linf ->
+      let eps = Mat.create nv d in
+      for j = 0 to d - 1 do
+        Mat.set eps ((word * d) + j) j radius
+      done;
+      Zonotope.make ~p ~center:(Mat.copy x) ~phi:(Mat.create nv 0) ~eps
+  | Lp.L1 | Lp.L2 ->
+      let phi = Mat.create nv d in
+      for j = 0 to d - 1 do
+        Mat.set phi ((word * d) + j) j radius
+      done;
+      Zonotope.make ~p ~center:(Mat.copy x) ~phi ~eps:(Mat.create nv 0)
+
+let lp_ball_all ~p x ~radius =
+  if radius < 0.0 then invalid_arg "Region.lp_ball_all: negative radius";
+  let nv = Mat.rows x * Mat.cols x in
+  let diag = Mat.init nv nv (fun i j -> if i = j then radius else 0.0) in
+  match p with
+  | Lp.Linf ->
+      Zonotope.make ~p ~center:(Mat.copy x) ~phi:(Mat.create nv 0) ~eps:diag
+  | Lp.L1 | Lp.L2 ->
+      Zonotope.make ~p ~center:(Mat.copy x) ~phi:diag ~eps:(Mat.create nv 0)
+
+let box lo hi =
+  if Mat.dims lo <> Mat.dims hi then invalid_arg "Region.box: shape mismatch";
+  let nv = Mat.rows lo * Mat.cols lo in
+  let center = Mat.zip (fun l h -> 0.5 *. (l +. h)) lo hi in
+  let rads = Mat.zip (fun l h -> 0.5 *. (h -. l)) lo hi in
+  (* One ε symbol per genuinely perturbed entry. *)
+  let idx = ref [] and count = ref 0 in
+  for v = 0 to nv - 1 do
+    let r = rads.Mat.data.(v) in
+    if r < 0.0 then invalid_arg "Region.box: lo > hi";
+    if r > 0.0 then begin
+      idx := (v, !count, r) :: !idx;
+      incr count
+    end
+  done;
+  let eps = Mat.create nv !count in
+  List.iter (fun (v, k, r) -> eps.Mat.data.((v * !count) + k) <- r) !idx;
+  Zonotope.make ~p:Lp.Linf ~center ~phi:(Mat.create nv 0) ~eps
+
+let synonym_box x subs =
+  let d = Mat.cols x in
+  let lo = Mat.copy x and hi = Mat.copy x in
+  List.iter
+    (fun (pos, alts) ->
+      if pos < 0 || pos >= Mat.rows x then invalid_arg "Region.synonym_box: position";
+      List.iter
+        (fun alt ->
+          if Array.length alt <> d then
+            invalid_arg "Region.synonym_box: embedding size mismatch";
+          for j = 0 to d - 1 do
+            Mat.set lo pos j (Float.min (Mat.get lo pos j) alt.(j));
+            Mat.set hi pos j (Float.max (Mat.get hi pos j) alt.(j))
+          done)
+        alts)
+    subs;
+  box lo hi

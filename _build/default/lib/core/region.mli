@@ -1,0 +1,30 @@
+(** Input regions for the two threat models (Section 2).
+
+    T1: an ℓp-norm ball (p ∈ {1, 2, ∞}) around the embedding of one word
+    of the sequence. For p ∈ {1, 2} the ball is expressed {e exactly} by
+    φ symbols with the joint constraint [‖φ‖ₚ ≤ 1] — the whole point of
+    the Multi-norm Zonotope; a classical zonotope could only
+    over-approximate it with a box.
+
+    T2: an ℓ∞ box per word covering the embeddings of all its synonyms. *)
+
+val lp_ball :
+  p:Lp.t -> Tensor.Mat.t -> word:int -> radius:float -> Zonotope.t
+(** [lp_ball ~p x ~word ~radius] perturbs row [word] of the embedded
+    sequence [x] by an ℓp ball of the given radius. *)
+
+val lp_ball_all : p:Lp.t -> Tensor.Mat.t -> radius:float -> Zonotope.t
+(** ℓp ball over {e all} entries of the input (the vision threat model of
+    Appendix A.3). *)
+
+val box : Tensor.Mat.t -> Tensor.Mat.t -> Zonotope.t
+(** [box lo hi] is the axis-aligned box region (ℓ∞ symbols; entries with
+    [lo = hi] get no symbol). *)
+
+val synonym_box :
+  Tensor.Mat.t -> (int * float array list) list -> Zonotope.t
+(** [synonym_box x subs] covers, for every [(position, alternatives)]
+    pair, all alternative embedding rows together with the original row
+    of [x] by a per-dimension interval box (threat model T2; the
+    alternatives must already include any positional offset). Unlisted
+    positions stay exact. *)

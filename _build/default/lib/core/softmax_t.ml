@@ -1,0 +1,90 @@
+open Tensor
+
+(* A score position is saturated when some other position dominates it by
+   more than this margin everywhere on the region: the softmax output is
+   then provably below exp(-margin) and the exponential would overflow the
+   float range if materialized. *)
+let saturation_margin = 700.0
+
+(* sigma_i = 1 / sum_j exp(nu_j - nu_i) for one score row (1 x n value). *)
+let stable_row ctx row =
+  let n = row.Zonotope.vcols in
+  (* Difference matrix D(i,j) = nu_j - nu_i as a linear map of the n score
+     variables viewed as an n x 1 value. *)
+  let col = Zonotope.transpose_value row in
+  let m =
+    Mat.init (n * n) n (fun v t ->
+        let i = v / n and j = v mod n in
+        (if t = j then 1.0 else 0.0) -. if t = i then 1.0 else 0.0)
+  in
+  let d = Zonotope.reshape_value (Zonotope.map_rows_affine col m) ~rows:n ~cols:n in
+  let db = Zonotope.bounds d in
+  (* Saturated outputs are emitted directly as [0, exp(-l_max)] — exact up
+     to float resolution and immune to exponential overflow (the attention
+     of trained networks saturates routinely in deep layers). *)
+  let sat_bound i =
+    let l_max = ref neg_infinity in
+    for j = 0 to n - 1 do
+      l_max := Float.max !l_max (Mat.get db.Interval.Imat.lo i j)
+    done;
+    if !l_max > saturation_margin then
+      Some (Float.max (exp (-. !l_max)) 1e-300)
+    else None
+  in
+  let boxed u =
+    (* the interval [0, u] as an independent scalar zonotope *)
+    let base = Zonotope.alloc_eps ctx 1 in
+    let eps = Mat.create 1 (base + 1) in
+    Mat.set eps 0 base (0.5 *. u);
+    Zonotope.make ~p:row.Zonotope.p
+      ~center:(Mat.make 1 1 (0.5 *. u))
+      ~phi:(Mat.create 1 (Zonotope.num_phi row))
+      ~eps
+  in
+  let outputs =
+    List.init n (fun i ->
+        match sat_bound i with
+        | Some u -> boxed u
+        | None -> (
+            (* generic chain on row i of D; if the exponential still
+               overflows (a huge range that is not uniformly dominated),
+               fall back to the universally valid sigma_i in [0, 1] *)
+            let di = Zonotope.select_value_rows d i 1 in
+            try
+              let e = Elementwise.exp_ ctx di in
+              let t = Zonotope.linear_map e (Mat.make n 1 1.0) [| 0.0 |] in
+              Elementwise.recip ctx t
+            with Zonotope.Unbounded -> boxed 1.0))
+  in
+  (* Stack the n scalar outputs into a 1 x n row. *)
+  let stacked = Zonotope.of_rows outputs in
+  Zonotope.transpose_value stacked
+
+(* sigma_i = exp(nu_i) * recip(sum_j exp(nu_j)) — the CROWN-style
+   composition, for the ablation. *)
+let direct_row ctx row =
+  let n = row.Zonotope.vcols in
+  let e = Elementwise.exp_ ctx row in
+  let s = Zonotope.linear_map e (Mat.make n 1 1.0) [| 0.0 |] in
+  let r = Elementwise.recip ctx s in
+  (* Broadcast the scalar reciprocal across the row. *)
+  let r_bcast =
+    Zonotope.transpose_value (Zonotope.map_rows_affine r (Mat.make n 1 1.0))
+  in
+  Dot.mul_zz ctx e r_bcast
+
+let apply_row ~form ~refine ctx row =
+  if row.Zonotope.vrows <> 1 then invalid_arg "Softmax_t.apply_row: need 1 x N";
+  let out =
+    match (form : Config.softmax_form) with
+    | Config.Stable -> stable_row ctx row
+    | Config.Direct -> direct_row ctx row
+  in
+  if refine then Refinement.softmax_sum out else out
+
+let apply ~form ~refine ctx z =
+  let rows =
+    List.init z.Zonotope.vrows (fun r ->
+        apply_row ~form ~refine ctx (Zonotope.select_value_rows z r 1))
+  in
+  Zonotope.of_rows rows

@@ -1,0 +1,25 @@
+(** Softmax abstract transformer (Section 5.2).
+
+    Applied row-wise to an attention-score zonotope. The default form is
+    the mathematically equivalent but abstractly favourable
+    [σᵢ = 1 / Σⱼ exp(νⱼ − νᵢ)]: the differences cancel shared noise
+    symbols exactly (shrinking the exponential's input range), no
+    multiplication transformer is needed, and the output is guaranteed to
+    lie in (0, 1]. The [Direct] form
+    [σᵢ = exp(νᵢ) · recip(Σⱼ exp(νⱼ))] — the composition CROWN uses — is
+    provided for the ablation.
+
+    With [refine], each output row is intersected with the hyperplane
+    [Σᵢ σᵢ = 1] (Section 5.3). *)
+
+val apply_row :
+  form:Config.softmax_form ->
+  refine:bool ->
+  Zonotope.ctx -> Zonotope.t -> Zonotope.t
+(** Softmax of a single-row zonotope (value shape [1 x N]). *)
+
+val apply :
+  form:Config.softmax_form ->
+  refine:bool ->
+  Zonotope.ctx -> Zonotope.t -> Zonotope.t
+(** Row-wise softmax of an [N x M] score zonotope. *)

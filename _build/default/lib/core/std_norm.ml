@@ -1,0 +1,29 @@
+open Tensor
+
+let apply ctx (z : Zonotope.t) ~gamma ~beta =
+  let d = z.Zonotope.vcols in
+  if Array.length gamma <> d || Array.length beta <> d then
+    invalid_arg "Std_norm.apply: parameter length";
+  (* Exact centering without the scale/shift. *)
+  let ones = Array.make d 1.0 in
+  let zeros = Array.make d 0.0 in
+  let centered = Zonotope.center_rows z ~gamma:ones ~beta:zeros in
+  (* Row variance: mean of squares of the centered values. *)
+  let sq = Dot.mul_zz ctx centered centered in
+  let var =
+    Zonotope.add_const
+      (Zonotope.linear_map sq (Mat.make d 1 (1.0 /. float_of_int d)) [| 0.0 |])
+      (Mat.make z.Zonotope.vrows 1 1e-5)
+  in
+  (* Every concrete execution has var >= 1e-5, hence sigma >= sqrt 1e-5;
+     the zonotope bound of the squared term can dip below that, so the
+     reciprocal is floored at the guaranteed minimum. *)
+  let inv_sigma =
+    Elementwise.recip ~floor:(0.999 *. sqrt 1e-5) ctx (Elementwise.sqrt_ ctx var)
+  in
+  (* Broadcast 1/sigma across the row and multiply. *)
+  let inv_b = Zonotope.linear_map inv_sigma (Mat.make 1 d 1.0) zeros in
+  let scaled = Dot.mul_zz ctx centered inv_b in
+  (* Final affine scale and shift. *)
+  let gmat = Mat.init d d (fun i j -> if i = j then gamma.(i) else 0.0) in
+  Zonotope.linear_map scaled gmat beta

@@ -1,0 +1,12 @@
+(** Standard layer normalization in the zonotope domain (Section 6.6).
+
+    The paper's default network omits the division by the standard
+    deviation; Table 7 evaluates networks {e with} the division. This
+    transformer composes the exact mean-centering with the square,
+    square-root and reciprocal transformers and a perturbed-by-perturbed
+    multiplication:
+
+    [y = γ · (x − μ) / √(var + 1e-5) + β] per value row. *)
+
+val apply :
+  Zonotope.ctx -> Zonotope.t -> gamma:float array -> beta:float array -> Zonotope.t

@@ -1,0 +1,404 @@
+open Tensor
+open Interval
+
+exception Unbounded
+
+type ctx = { mutable n_eps : int }
+
+let ctx () = { n_eps = 0 }
+let ctx_symbols c = c.n_eps
+
+let alloc_eps c n =
+  if n < 0 then invalid_arg "Zonotope.alloc_eps";
+  let first = c.n_eps in
+  c.n_eps <- c.n_eps + n;
+  first
+
+let reset_symbols c n =
+  if n < 0 then invalid_arg "Zonotope.reset_symbols";
+  c.n_eps <- n
+
+type t = {
+  vrows : int;
+  vcols : int;
+  p : Lp.t;
+  center : Mat.t;
+  phi : Mat.t;
+  eps : Mat.t;
+}
+
+let num_vars z = z.vrows * z.vcols
+let num_phi z = Mat.cols z.phi
+let num_eps z = Mat.cols z.eps
+
+let make ~p ~center ~phi ~eps =
+  let n = Mat.rows center * Mat.cols center in
+  if Mat.rows phi <> n || Mat.rows eps <> n then
+    invalid_arg "Zonotope.make: coefficient row count mismatch";
+  { vrows = Mat.rows center; vcols = Mat.cols center; p; center; phi; eps }
+
+let of_const p m =
+  let n = Mat.rows m * Mat.cols m in
+  {
+    vrows = Mat.rows m;
+    vcols = Mat.cols m;
+    p;
+    center = Mat.copy m;
+    phi = Mat.create n 0;
+    eps = Mat.create n 0;
+  }
+
+(* ---------------- bounds ---------------- *)
+
+let dual_row_norm p (m : Mat.t) v =
+  (* ℓ_dual(p) norm of row [v] of [m], without copying the row. *)
+  let c = Mat.cols m in
+  let base = v * c in
+  match Lp.dual p with
+  | Lp.L1 ->
+      let acc = ref 0.0 in
+      for j = 0 to c - 1 do
+        acc := !acc +. Float.abs (Array.unsafe_get m.Mat.data (base + j))
+      done;
+      !acc
+  | Lp.L2 ->
+      (* scaled to avoid overflow on huge coefficients (saturated softmax
+         layers produce exp-scale values) *)
+      let mx = ref 0.0 in
+      for j = 0 to c - 1 do
+        mx := Float.max !mx (Float.abs (Array.unsafe_get m.Mat.data (base + j)))
+      done;
+      if !mx = 0.0 || not (Float.is_finite !mx) then !mx
+      else begin
+        let acc = ref 0.0 in
+        for j = 0 to c - 1 do
+          let x = Array.unsafe_get m.Mat.data (base + j) /. !mx in
+          acc := !acc +. (x *. x)
+        done;
+        !mx *. sqrt !acc
+      end
+  | Lp.Linf ->
+      let acc = ref 0.0 in
+      for j = 0 to c - 1 do
+        acc := Float.max !acc (Float.abs (Array.unsafe_get m.Mat.data (base + j)))
+      done;
+      !acc
+
+let radius_terms z v =
+  if v < 0 || v >= num_vars z then invalid_arg "Zonotope.radius_terms";
+  let a = dual_row_norm z.p z.phi v in
+  let b = dual_row_norm Lp.Linf z.eps v in
+  (a, b)
+
+let bounds_var z v =
+  let c = z.center.Mat.data.(v) in
+  let a, b = radius_terms z v in
+  let lo = c -. a -. b and hi = c +. a +. b in
+  if Float.is_nan lo || Float.is_nan hi then raise Unbounded;
+  Itv.make lo hi
+
+let bounds z =
+  let lo = Mat.create z.vrows z.vcols and hi = Mat.create z.vrows z.vcols in
+  for v = 0 to num_vars z - 1 do
+    let c = z.center.Mat.data.(v) in
+    let a, b = radius_terms z v in
+    let l = c -. a -. b and h = c +. a +. b in
+    if Float.is_nan l || Float.is_nan h then raise Unbounded;
+    lo.Mat.data.(v) <- l;
+    hi.Mat.data.(v) <- h
+  done;
+  Imat.make lo hi
+
+(* ---------------- sampling ---------------- *)
+
+let instantiate z ~phi ~eps =
+  if Array.length phi <> num_phi z then invalid_arg "Zonotope.instantiate: phi length";
+  if Array.length eps > num_eps z then
+    invalid_arg "Zonotope.instantiate: too many eps";
+  let out = Mat.copy z.center in
+  let n = num_vars z in
+  let ep = num_phi z and ee = num_eps z in
+  for v = 0 to n - 1 do
+    let acc = ref out.Mat.data.(v) in
+    let pb = v * ep in
+    for j = 0 to ep - 1 do
+      acc := !acc +. (z.phi.Mat.data.(pb + j) *. phi.(j))
+    done;
+    let eb = v * ee in
+    for j = 0 to min ee (Array.length eps) - 1 do
+      acc := !acc +. (z.eps.Mat.data.(eb + j) *. eps.(j))
+    done;
+    out.Mat.data.(v) <- !acc
+  done;
+  out
+
+let sample rng z =
+  let phi = Lp.unit_ball_sample rng z.p (num_phi z) in
+  let eps = Array.init (num_eps z) (fun _ -> Rng.uniform rng (-1.0) 1.0) in
+  instantiate z ~phi ~eps
+
+(* ---------------- alignment ---------------- *)
+
+let pad_eps z w =
+  let cur = num_eps z in
+  if cur >= w then z
+  else begin
+    let n = num_vars z in
+    let eps = Mat.create n w in
+    for v = 0 to n - 1 do
+      Array.blit z.eps.Mat.data (v * cur) eps.Mat.data (v * w) cur
+    done;
+    { z with eps }
+  end
+
+let align a b =
+  let w = max (num_eps a) (num_eps b) in
+  (pad_eps a w, pad_eps b w)
+
+(* ---------------- affine transformers ---------------- *)
+
+(* Apply [block -> w^T . block] to every per-value-row coefficient block. *)
+let map_coeff_blocks vrows vcols_in vcols_out (w : Mat.t) (g : Mat.t) =
+  let e = Mat.cols g in
+  let out = Mat.create (vrows * vcols_out) e in
+  if e > 0 then
+    for i = 0 to vrows - 1 do
+      let block = Mat.sub_rows g (i * vcols_in) vcols_in in
+      let mapped = Mat.gemm ~ta:true w block in
+      Array.blit mapped.Mat.data 0 out.Mat.data (i * vcols_out * e)
+        (vcols_out * e)
+    done;
+  out
+
+let linear_map z w b =
+  if Mat.rows w <> z.vcols then invalid_arg "Zonotope.linear_map: shape mismatch";
+  if Array.length b <> Mat.cols w then invalid_arg "Zonotope.linear_map: bias";
+  let vcols = Mat.cols w in
+  {
+    vrows = z.vrows;
+    vcols;
+    p = z.p;
+    center = Mat.add_row_broadcast (Mat.matmul z.center w) b;
+    phi = map_coeff_blocks z.vrows z.vcols vcols w z.phi;
+    eps = map_coeff_blocks z.vrows z.vcols vcols w z.eps;
+  }
+
+let add a b =
+  if a.vrows <> b.vrows || a.vcols <> b.vcols then
+    invalid_arg "Zonotope.add: value shape mismatch";
+  if num_phi a <> num_phi b then invalid_arg "Zonotope.add: phi width mismatch";
+  let a, b = align a b in
+  {
+    a with
+    center = Mat.add a.center b.center;
+    phi = Mat.add a.phi b.phi;
+    eps = Mat.add a.eps b.eps;
+  }
+
+let add_const z m = { z with center = Mat.add z.center m }
+
+let scale s z =
+  {
+    z with
+    center = Mat.scale s z.center;
+    phi = Mat.scale s z.phi;
+    eps = Mat.scale s z.eps;
+  }
+
+let neg z = scale (-1.0) z
+
+let center_rows z ~gamma ~beta =
+  if Array.length gamma <> z.vcols || Array.length beta <> z.vcols then
+    invalid_arg "Zonotope.center_rows: parameter length";
+  let d = z.vcols in
+  let fd = float_of_int d in
+  (* Per value row: y_ij = gamma_j * (x_ij - mean_i) + beta_j. All linear:
+     the same map applies to the center (plus bias) and to every
+     coefficient column (no bias). *)
+    let center =
+    let means = Mat.row_means z.center in
+    Mat.mapi (fun i j v -> (gamma.(j) *. (v -. means.(i))) +. beta.(j)) z.center
+  in
+  let coeff (m : Mat.t) =
+    (* coefficient matrices: same linear map, no bias *)
+    let e = Mat.cols m in
+    let out = Mat.create (Mat.rows m) e in
+    if e > 0 then
+      for i = 0 to z.vrows - 1 do
+        let base = i * d in
+        for j = 0 to e - 1 do
+          let mean = ref 0.0 in
+          for c = 0 to d - 1 do
+            mean := !mean +. m.Mat.data.(((base + c) * e) + j)
+          done;
+          let mean = !mean /. fd in
+          for c = 0 to d - 1 do
+            out.Mat.data.(((base + c) * e) + j) <-
+              gamma.(c) *. (m.Mat.data.(((base + c) * e) + j) -. mean)
+          done
+        done
+      done;
+    out
+  in
+  { z with center; phi = coeff z.phi; eps = coeff z.eps }
+
+let positional z pos =
+  if Mat.rows pos < z.vrows || Mat.cols pos <> z.vcols then
+    invalid_arg "Zonotope.positional: shape mismatch";
+  let shift = Mat.init z.vrows z.vcols (fun i j -> Mat.get pos i j) in
+  add_const z shift
+
+(* ---------------- structural ---------------- *)
+
+let select_rows_of_mat (m : Mat.t) idx =
+  let c = Mat.cols m in
+  let out = Mat.create (Array.length idx) c in
+  Array.iteri
+    (fun k r -> Array.blit m.Mat.data (r * c) out.Mat.data (k * c) c)
+    idx;
+  out
+
+let reindex z vrows vcols idx =
+  {
+    z with
+    vrows;
+    vcols;
+    center =
+      Mat.of_array ~rows:vrows ~cols:vcols
+        (Array.map (fun v -> z.center.Mat.data.(v)) idx);
+    phi = select_rows_of_mat z.phi idx;
+    eps = select_rows_of_mat z.eps idx;
+  }
+
+let select_value_rows z start n =
+  if start < 0 || n < 0 || start + n > z.vrows then
+    invalid_arg "Zonotope.select_value_rows";
+  let idx =
+    Array.init (n * z.vcols) (fun k ->
+        let i = k / z.vcols and j = k mod z.vcols in
+        ((start + i) * z.vcols) + j)
+  in
+  reindex z n z.vcols idx
+
+let pool_first z = select_value_rows z 0 1
+
+let select_value_cols z start n =
+  if start < 0 || n < 0 || start + n > z.vcols then
+    invalid_arg "Zonotope.select_value_cols";
+  let idx =
+    Array.init (z.vrows * n) (fun k ->
+        let i = k / n and j = k mod n in
+        (i * z.vcols) + start + j)
+  in
+  reindex z z.vrows n idx
+
+let transpose_value z =
+  let idx =
+    Array.init (num_vars z) (fun k ->
+        let i = k / z.vrows and j = k mod z.vrows in
+        (* output var (i, j) with shape (vcols, vrows) reads input (j, i) *)
+        (j * z.vcols) + i)
+  in
+  reindex z z.vcols z.vrows idx
+
+let reshape_value z ~rows ~cols =
+  if rows * cols <> num_vars z then invalid_arg "Zonotope.reshape_value";
+  { z with vrows = rows; vcols = cols;
+    center = Mat.reshape z.center ~rows ~cols }
+
+let hcat_value a b =
+  if a.vrows <> b.vrows then invalid_arg "Zonotope.hcat_value: row mismatch";
+  if num_phi a <> num_phi b then invalid_arg "Zonotope.hcat_value: phi mismatch";
+  let a, b = align a b in
+  let vcols = a.vcols + b.vcols in
+  let pick (ma : Mat.t) (mb : Mat.t) cols_kind =
+    let e = match cols_kind with `Phi -> num_phi a | `Eps -> num_eps a in
+    let out = Mat.create (a.vrows * vcols) e in
+    if e > 0 then
+      for i = 0 to a.vrows - 1 do
+        Array.blit ma.Mat.data (i * a.vcols * e) out.Mat.data (i * vcols * e)
+          (a.vcols * e);
+        Array.blit mb.Mat.data (i * b.vcols * e) out.Mat.data
+          ((i * vcols * e) + (a.vcols * e))
+          (b.vcols * e)
+      done;
+    out
+  in
+  {
+    vrows = a.vrows;
+    vcols;
+    p = a.p;
+    center = Mat.hcat a.center b.center;
+    phi = pick a.phi b.phi `Phi;
+    eps = pick a.eps b.eps `Eps;
+  }
+
+let vcat_value a b =
+  if a.vcols <> b.vcols then invalid_arg "Zonotope.vcat_value: col mismatch";
+  if num_phi a <> num_phi b then invalid_arg "Zonotope.vcat_value: phi mismatch";
+  let a, b = align a b in
+  {
+    a with
+    vrows = a.vrows + b.vrows;
+    center = Mat.vcat a.center b.center;
+    phi = Mat.vcat a.phi b.phi;
+    eps = Mat.vcat a.eps b.eps;
+  }
+
+let of_rows = function
+  | [] -> invalid_arg "Zonotope.of_rows: empty"
+  | z :: rest -> List.fold_left vcat_value z rest
+
+let map_rows_affine z m =
+  if Mat.cols m <> z.vrows then invalid_arg "Zonotope.map_rows_affine";
+  (* y = m . x : output var (i, j) = sum_k m_ik x_kj. Coefficients combine
+     linearly with the same weights. *)
+  let vrows = Mat.rows m in
+  let combine (g : Mat.t) =
+    let e = Mat.cols g in
+    let out = Mat.create (vrows * z.vcols) e in
+    if e > 0 then
+      for i = 0 to vrows - 1 do
+        for k = 0 to z.vrows - 1 do
+          let w = Mat.get m i k in
+          if w <> 0.0 then
+            for j = 0 to z.vcols - 1 do
+              let orow = ((i * z.vcols) + j) * e in
+              let irow = ((k * z.vcols) + j) * e in
+              for t = 0 to e - 1 do
+                out.Mat.data.(orow + t) <-
+                  out.Mat.data.(orow + t) +. (w *. g.Mat.data.(irow + t))
+              done
+            done
+        done
+      done;
+    out
+  in
+  {
+    z with
+    vrows;
+    center = Mat.matmul m z.center;
+    phi = combine z.phi;
+    eps = combine z.eps;
+  }
+
+(* ---------------- variable access ---------------- *)
+
+let var_affine z v =
+  if v < 0 || v >= num_vars z then invalid_arg "Zonotope.var_affine";
+  (z.center.Mat.data.(v), Mat.row z.phi v, Mat.row z.eps v)
+
+let phi_block z start n = Mat.sub_rows z.phi start n
+let eps_block z start n = Mat.sub_rows z.eps start n
+
+let contains_sample ?(tol = 1e-7) z m =
+  if Mat.dims m <> (z.vrows, z.vcols) then false
+  else begin
+    let ok = ref true in
+    for v = 0 to num_vars z - 1 do
+      let itv = bounds_var z v in
+      let x = m.Mat.data.(v) in
+      if x < itv.Itv.lo -. tol || x > itv.Itv.hi +. tol then ok := false
+    done;
+    !ok
+  end

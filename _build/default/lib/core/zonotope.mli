@@ -1,0 +1,156 @@
+(** The Multi-norm Zonotope abstract domain (Section 4, Equation 4).
+
+    A Multi-norm Zonotope abstracts a matrix-shaped set of values
+    [x = c + A·φ + B·ε] with [‖φ‖ₚ ≤ 1] and [ε ∈ [-1, 1]^E∞]. The [φ]
+    symbols express an ℓp-ball input perturbation exactly; the [ε]
+    symbols are the classical zonotope generators, and new ones are
+    introduced by the non-linear abstract transformers.
+
+    {b Representation.} The abstracted value is an [vrows x vcols]
+    matrix; variable [(i, j)] is row [i * vcols + j] of the coefficient
+    matrices. [phi] has one column per φ symbol and never grows after
+    construction; [eps] has one column per ε symbol and grows as
+    transformers allocate fresh symbols from a shared {!ctx}.
+
+    {b Symbol identity.} ε column [k] always denotes the global symbol
+    [k] of the owning context. Zonotopes created earlier simply have
+    fewer columns; {!align} zero-pads so that values produced at
+    different times can be combined exactly. *)
+
+exception Unbounded
+(** Raised when the abstraction has numerically collapsed: a bound became
+    NaN (typically inf - inf after the exponential or a dot-product
+    remainder overflowed at an absurdly large probe radius). Certification
+    front-ends catch it and report "not certified" — always sound. *)
+
+type ctx
+(** Shared ε-symbol allocator for one verification run. *)
+
+val ctx : unit -> ctx
+(** Fresh context with no allocated symbols. *)
+
+val ctx_symbols : ctx -> int
+(** Number of ε symbols allocated so far. *)
+
+val alloc_eps : ctx -> int -> int
+(** [alloc_eps ctx n] reserves [n] fresh symbol ids, returning the first. *)
+
+val reset_symbols : ctx -> int -> unit
+(** [reset_symbols ctx n] declares that only [n] symbols remain live —
+    used by noise-symbol reduction, which renumbers the symbol space.
+    Only sound when a single zonotope is alive. *)
+
+type t = {
+  vrows : int;
+  vcols : int;
+  p : Lp.t;  (** the norm bounding the φ symbols *)
+  center : Tensor.Mat.t;  (** [vrows x vcols] *)
+  phi : Tensor.Mat.t;  (** [(vrows * vcols) x Ep] *)
+  eps : Tensor.Mat.t;  (** [(vrows * vcols) x E∞ (prefix)] *)
+}
+
+(** {1 Construction} *)
+
+val of_const : Lp.t -> Tensor.Mat.t -> t
+(** Point zonotope (no noise symbols). *)
+
+val make : p:Lp.t -> center:Tensor.Mat.t -> phi:Tensor.Mat.t -> eps:Tensor.Mat.t -> t
+(** Checks coefficient row counts against the value shape. *)
+
+val num_vars : t -> int
+val num_phi : t -> int
+val num_eps : t -> int
+
+(** {1 Concrete bounds (Theorem 1)} *)
+
+val bounds : t -> Interval.Imat.t
+(** Tight per-variable interval bounds: [c ± (‖α‖_q + ‖β‖₁)]. *)
+
+val bounds_var : t -> int -> Interval.Itv.t
+(** Bounds of one flat variable index. *)
+
+val radius_terms : t -> int -> float * float
+(** [(‖α_v‖_q, ‖β_v‖₁)] for variable [v] — the φ and ε contributions to
+    its radius. *)
+
+(** {1 Sampling (for soundness tests)} *)
+
+val sample : Tensor.Rng.t -> t -> Tensor.Mat.t
+(** A concrete matrix obtained by instantiating all noise symbols inside
+    their domains. Every sample must satisfy the bounds. *)
+
+val instantiate : t -> phi:float array -> eps:float array -> Tensor.Mat.t
+(** Concrete value for given symbol instantiations ([eps] may be shorter
+    than the global symbol count; missing symbols are 0). *)
+
+(** {1 Exact affine transformers (Theorem 2)} *)
+
+val linear_map : t -> Tensor.Mat.t -> float array -> t
+(** [linear_map x w b] abstracts the row-wise affine map [x·w + b]. *)
+
+val add : t -> t -> t
+(** Sum of two zonotopes over the same symbols (ε widths may differ;
+    the shorter is zero-padded). Value shapes must match. *)
+
+val add_const : t -> Tensor.Mat.t -> t
+val scale : float -> t -> t
+val neg : t -> t
+
+val center_rows : t -> gamma:float array -> beta:float array -> t
+(** The paper's normalization layer (no std): subtract the row mean of
+    the value, then scale each column by [gamma] and shift by [beta] —
+    all affine, hence exact. *)
+
+val positional : t -> Tensor.Mat.t -> t
+(** Adds constant positional rows to the value. *)
+
+(** {1 Structural operations} *)
+
+val align : t -> t -> t * t
+(** Zero-pads ε matrices to a common width. *)
+
+val pad_eps : t -> int -> t
+(** Zero-pads the ε matrix to the given width (no-op if already wider). *)
+
+val pool_first : t -> t
+(** Restricts to the first value row. *)
+
+val select_value_rows : t -> int -> int -> t
+(** [select_value_rows z start n] keeps value rows [start..start+n-1]. *)
+
+val select_value_cols : t -> int -> int -> t
+(** Keeps a contiguous range of value columns. *)
+
+val transpose_value : t -> t
+(** Transposes the abstracted value (pure reindexing of variables). *)
+
+val reshape_value : t -> rows:int -> cols:int -> t
+(** Reinterprets the value shape keeping the flat (row-major) variable
+    order; [rows * cols] must equal {!num_vars}. *)
+
+val hcat_value : t -> t -> t
+(** Horizontally concatenates the abstracted values. *)
+
+val vcat_value : t -> t -> t
+(** Vertically concatenates the abstracted values. *)
+
+val of_rows : t list -> t
+(** Stacks single-row zonotopes (value shape [1 x d] each). *)
+
+val map_rows_affine : t -> Tensor.Mat.t -> t
+(** [map_rows_affine z m] abstracts [m · x] for the constant matrix [m]
+    applied from the left to the [vrows x vcols] value [x]. *)
+
+(** {1 Variable-level access (used by the transformers)} *)
+
+val var_affine : t -> int -> float * float array * float array
+(** [(c, α_row, β_row)] of a flat variable (copies). *)
+
+val phi_block : t -> int -> int -> Tensor.Mat.t
+(** [phi_block z start n] copies coefficient rows [start..start+n-1]. *)
+
+val eps_block : t -> int -> int -> Tensor.Mat.t
+
+val contains_sample : ?tol:float -> t -> Tensor.Mat.t -> bool
+(** Quick necessary check used in tests: the matrix lies inside the
+    interval concretization {!bounds}. *)

@@ -1,0 +1,1 @@
+lib/interval/ibp.ml: Array Imat Ir Itv Mat Option Tensor

@@ -1,0 +1,1 @@
+lib/interval/ibp.mli: Imat Ir

@@ -1,0 +1,1 @@
+lib/interval/imat.ml: Array Float Itv Mat Tensor

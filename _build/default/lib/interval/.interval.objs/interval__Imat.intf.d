@@ -1,0 +1,1 @@
+lib/interval/imat.mli: Itv Tensor

@@ -1,0 +1,1 @@
+lib/interval/itv.ml: Float Format Printf

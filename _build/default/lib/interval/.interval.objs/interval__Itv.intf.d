@@ -1,0 +1,1 @@
+lib/interval/itv.mli: Format

@@ -1,0 +1,24 @@
+(** Interval bound propagation through {!Ir.program}s.
+
+    The cheapest sound verifier in the repository. It serves three roles:
+    a baseline in tests (every tighter domain must fit inside its bounds
+    only when that domain degrades to intervals — and must always contain
+    the concrete execution), the bounding procedure of the complete
+    branch-and-bound verifier, and a sanity oracle for the zonotope and
+    CROWN implementations. *)
+
+val attention : Ir.attention -> Imat.t -> Imat.t
+(** Interval transformer for multi-head self-attention; uses the
+    numerically favourable softmax form 1 / Σ exp(νj − νi) with the exact
+    zero for the j = i term. *)
+
+val run : Ir.program -> Imat.t -> Imat.t
+(** Propagates an interval input through the program. *)
+
+val run_all : Ir.program -> Imat.t -> Imat.t array
+(** All intermediate bounds; index 0 is the input. *)
+
+val certify : Ir.program -> Imat.t -> true_class:int -> bool
+(** [certify p region ~true_class] holds when the lower bound of
+    [logit_true - logit_other] is positive for every other class, i.e.
+    IBP proves local robustness on the region. *)

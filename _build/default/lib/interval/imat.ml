@@ -1,0 +1,99 @@
+open Tensor
+
+type t = { lo : Mat.t; hi : Mat.t }
+
+let make lo hi =
+  if Mat.dims lo <> Mat.dims hi then invalid_arg "Imat.make: shape mismatch";
+  let ok = ref true in
+  for i = 0 to Array.length lo.Mat.data - 1 do
+    if not (lo.Mat.data.(i) <= hi.Mat.data.(i)) then ok := false
+  done;
+  if not !ok then invalid_arg "Imat.make: lo > hi somewhere";
+  { lo; hi }
+
+let of_mat m = { lo = Mat.copy m; hi = Mat.copy m }
+
+let of_ball_linf c r =
+  if r < 0.0 then invalid_arg "Imat.of_ball_linf: negative radius";
+  { lo = Mat.add_scalar (-.r) c; hi = Mat.add_scalar r c }
+
+let dims x = Mat.dims x.lo
+let get x i j =
+  let l = Mat.get x.lo i j and h = Mat.get x.hi i j in
+  Itv.{ lo = l; hi = h }
+
+let set x i j (v : Itv.t) =
+  Mat.set x.lo i j v.Itv.lo;
+  Mat.set x.hi i j v.Itv.hi
+
+let create r c = { lo = Mat.create r c; hi = Mat.create r c }
+
+let add a b = { lo = Mat.add a.lo b.lo; hi = Mat.add a.hi b.hi }
+let sub a b = { lo = Mat.sub a.lo b.hi; hi = Mat.sub a.hi b.lo }
+
+let map f x =
+  let r, c = dims x in
+  let out = create r c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      set out i j (f (get x i j))
+    done
+  done;
+  out
+
+let matmul_const x w =
+  let wpos = Mat.map (fun v -> Float.max v 0.0) w in
+  let wneg = Mat.map (fun v -> Float.min v 0.0) w in
+  {
+    lo = Mat.add (Mat.matmul x.lo wpos) (Mat.matmul x.hi wneg);
+    hi = Mat.add (Mat.matmul x.hi wpos) (Mat.matmul x.lo wneg);
+  }
+
+let matmul a b =
+  let m, k = dims a in
+  let k2, n = dims b in
+  if k <> k2 then invalid_arg "Imat.matmul: inner dimension mismatch";
+  let out = create m n in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref Itv.zero in
+      for p = 0 to k - 1 do
+        acc := Itv.add !acc (Itv.mul (get a i p) (get b p j))
+      done;
+      set out i j !acc
+    done
+  done;
+  out
+
+let add_row_const x v =
+  {
+    lo = Mat.add_row_broadcast x.lo v;
+    hi = Mat.add_row_broadcast x.hi v;
+  }
+
+let mul_row_const x v =
+  let r, c = dims x in
+  if Array.length v <> c then invalid_arg "Imat.mul_row_const";
+  let out = create r c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      set out i j (Itv.scale v.(j) (get x i j))
+    done
+  done;
+  out
+
+let max_width x = Mat.max_abs (Mat.sub x.hi x.lo)
+
+let contains x m =
+  let tol = 1e-9 in
+  Mat.dims m = dims x
+  &&
+  let ok = ref true in
+  let r, c = dims x in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      let v = Mat.get m i j in
+      if v < Mat.get x.lo i j -. tol || v > Mat.get x.hi i j +. tol then ok := false
+    done
+  done;
+  !ok

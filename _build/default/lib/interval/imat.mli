@@ -1,0 +1,42 @@
+(** Interval matrices: entrywise lower/upper bound pairs. *)
+
+type t = { lo : Tensor.Mat.t; hi : Tensor.Mat.t }
+(** Invariant: same shape, [lo <= hi] entrywise. *)
+
+val make : Tensor.Mat.t -> Tensor.Mat.t -> t
+(** Checks shapes and ordering. *)
+
+val of_mat : Tensor.Mat.t -> t
+(** Degenerate (point) interval matrix. *)
+
+val of_ball_linf : Tensor.Mat.t -> float -> t
+(** [of_ball_linf c r] is the ℓ∞ ball of radius [r] around [c]. *)
+
+val dims : t -> int * int
+val get : t -> int -> int -> Itv.t
+val set : t -> int -> int -> Itv.t -> unit
+val create : int -> int -> t
+(** Zero-point interval matrix. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val map : (Itv.t -> Itv.t) -> t -> t
+
+val matmul_const : t -> Tensor.Mat.t -> t
+(** [matmul_const x w] bounds [x * w] for a constant [w] (exact per-entry
+    via the sign split of [w]). *)
+
+val matmul : t -> t -> t
+(** Interval-interval matrix product (natural extension). *)
+
+val add_row_const : t -> float array -> t
+(** Adds a constant row vector to each row. *)
+
+val mul_row_const : t -> float array -> t
+(** Scales each column by a constant. *)
+
+val max_width : t -> float
+(** Largest interval width; used as a precision metric in tests. *)
+
+val contains : t -> Tensor.Mat.t -> bool
+(** Entrywise membership (with a tiny tolerance for rounding). *)

@@ -1,0 +1,62 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if not (lo <= hi) then
+    invalid_arg (Printf.sprintf "Itv.make: lo %g > hi %g" lo hi);
+  { lo; hi }
+
+let point x = { lo = x; hi = x }
+let zero = point 0.0
+let top = { lo = neg_infinity; hi = infinity }
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let width i = i.hi -. i.lo
+let center i = 0.5 *. (i.lo +. i.hi)
+let contains i x = i.lo <= x && x <= i.hi
+
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+let sub a b = { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+
+let mul a b =
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
+  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  { lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+    hi = Float.max (Float.max p1 p2) (Float.max p3 p4) }
+
+let recip a =
+  if a.lo <= 0.0 then invalid_arg "Itv.recip: interval must be strictly positive";
+  { lo = 1.0 /. a.hi; hi = 1.0 /. a.lo }
+
+let div a b =
+  if b.lo <= 0.0 && b.hi >= 0.0 then invalid_arg "Itv.div: divisor contains zero";
+  if b.lo > 0.0 then mul a (recip b)
+  else mul a (neg (recip (neg b)))
+
+let scale s a = if s >= 0.0 then { lo = s *. a.lo; hi = s *. a.hi } else { lo = s *. a.hi; hi = s *. a.lo }
+let add_const c a = { lo = a.lo +. c; hi = a.hi +. c }
+
+let abs a =
+  if a.lo >= 0.0 then a
+  else if a.hi <= 0.0 then neg a
+  else { lo = 0.0; hi = Float.max (-.a.lo) a.hi }
+
+let relu a = { lo = Float.max 0.0 a.lo; hi = Float.max 0.0 a.hi }
+let tanh_ a = { lo = tanh a.lo; hi = tanh a.hi }
+let exp_ a = { lo = exp a.lo; hi = exp a.hi }
+
+let sqrt_ a =
+  if a.lo < 0.0 then invalid_arg "Itv.sqrt_: negative lower bound";
+  { lo = sqrt a.lo; hi = sqrt a.hi }
+
+let sq a =
+  let l = a.lo *. a.lo and h = a.hi *. a.hi in
+  if contains a 0.0 then { lo = 0.0; hi = Float.max l h }
+  else { lo = Float.min l h; hi = Float.max l h }
+
+let mul_unit a =
+  let m = Float.max (Float.abs a.lo) (Float.abs a.hi) in
+  { lo = -.m; hi = m }
+
+let mul_pos_unit a = { lo = Float.min 0.0 a.lo; hi = Float.max 0.0 a.hi }
+
+let pp ppf i = Format.fprintf ppf "[%g, %g]" i.lo i.hi

@@ -1,0 +1,58 @@
+(** Scalar interval arithmetic.
+
+    The natural interval extension used by the IBP baseline, the complete
+    verifier's bounding step, and as a helper inside the zonotope dot
+    product (Equation 6 of the paper evaluates products of [-1,1] /
+    [0,1] intervals). *)
+
+type t = { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi]; raises [Invalid_argument] if [lo > hi] (NaN-safe). *)
+
+val point : float -> t
+(** Degenerate interval. *)
+
+val zero : t
+val top : t
+(** [(-inf, +inf)]. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val width : t -> float
+val center : t -> float
+val contains : t -> float -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Requires the divisor to not contain 0. *)
+
+val scale : float -> t -> t
+val add_const : float -> t -> t
+val abs : t -> t
+
+val relu : t -> t
+val tanh_ : t -> t
+val exp_ : t -> t
+
+val recip : t -> t
+(** Reciprocal; requires [0 < lo]. *)
+
+val sqrt_ : t -> t
+(** Requires [0 <= lo]. *)
+
+val sq : t -> t
+(** Square (tight: accounts for intervals straddling 0). *)
+
+val mul_unit : t -> t
+(** [mul_unit i] is the range of [x * e] for [x ∈ i], [e ∈ [-1, 1]]. *)
+
+val mul_pos_unit : t -> t
+(** Range of [x * e] for [x ∈ i], [e ∈ [0, 1]] — the ε² case in the
+    precise dot-product transformer. *)
+
+val pp : Format.formatter -> t -> unit

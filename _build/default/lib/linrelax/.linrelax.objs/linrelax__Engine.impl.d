@@ -1,0 +1,1 @@
+lib/linrelax/engine.ml: Array Deept Float Lgraph List Mat Option Relax Tensor

@@ -1,0 +1,1 @@
+lib/linrelax/engine.mli: Deept Lgraph

@@ -1,0 +1,1 @@
+lib/linrelax/lgraph.ml: Array Float Format Ir List Mat Tensor

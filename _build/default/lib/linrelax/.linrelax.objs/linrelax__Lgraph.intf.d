@@ -1,0 +1,1 @@
+lib/linrelax/lgraph.mli: Format Ir Tensor

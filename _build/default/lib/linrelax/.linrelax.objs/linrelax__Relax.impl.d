@@ -1,0 +1,1 @@
+lib/linrelax/relax.ml: Deept Lgraph

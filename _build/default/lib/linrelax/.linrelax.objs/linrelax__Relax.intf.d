@@ -1,0 +1,1 @@
+lib/linrelax/relax.mli: Lgraph

@@ -1,0 +1,1 @@
+lib/linrelax/verify.ml: Array Deept Engine Float Lgraph List Mat Tensor

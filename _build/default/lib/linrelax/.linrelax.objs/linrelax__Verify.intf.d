@@ -1,0 +1,1 @@
+lib/linrelax/verify.mli: Deept Engine Ir Lgraph Tensor

@@ -1,0 +1,370 @@
+open Tensor
+
+type mode = Backward | Baf of int
+
+type region = { center : float array; p : Deept.Lp.t; scale : float array }
+
+type sparse_row = (int * float) array
+
+type rel =
+  | Rlinear of { src : int; m : Mat.t; c : float array }
+  | Radd of int * int
+  | Rdiag of { src : int; low : Relax.line array; high : Relax.line array }
+  | Rbilin of {
+      a : int;
+      b : int;
+      la : sparse_row array;
+      lb : sparse_row array;
+      lc : float array;
+      ua : sparse_row array;
+      ub : sparse_row array;
+      uc : float array;
+    }
+
+type t = {
+  g : Lgraph.t;
+  mode : mode;
+  region : region;
+  rels : rel option array;
+  itv_lo : float array array;
+  itv_hi : float array array;
+  best : (float array * float array) option array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Forward interval bounds (always available; used by BaF concretization
+   and to intersect with backsubstituted bounds). Sources are read through
+   their refined bounds when those exist: the naive interval chain blows up
+   to infinities within a couple of Transformer layers, and inf * 0 in the
+   bilinear products would turn into NaN.                               *)
+
+(* Best currently known interval bounds of a node (used when a BaF pass
+   concretizes early, and to floor/intersect results). *)
+let known_bounds st id =
+  match st.best.(id) with
+  | Some b -> b
+  | None -> (st.itv_lo.(id), st.itv_hi.(id))
+
+(* NaN (from inf - inf or inf * 0) carries no information: widen to the
+   trivial bound instead of poisoning downstream intersections. *)
+let clean_bounds (lo, hi) =
+  ( Array.map (fun v -> if Float.is_nan v then neg_infinity else v) lo,
+    Array.map (fun v -> if Float.is_nan v then infinity else v) hi )
+
+let forward_interval st (node : Lgraph.node) =
+  match node with
+  | Lgraph.Input ->
+      let n = st.g.Lgraph.sizes.(0) in
+      let lo = Array.init n (fun i -> st.region.center.(i) -. st.region.scale.(i)) in
+      let hi = Array.init n (fun i -> st.region.center.(i) +. st.region.scale.(i)) in
+      (lo, hi)
+  | Lgraph.Linear { src; m; c } ->
+      let slo, shi = known_bounds st src in
+      let n = Mat.rows m in
+      let lo = Array.make n 0.0 and hi = Array.make n 0.0 in
+      for r = 0 to n - 1 do
+        let accl = ref c.(r) and acch = ref c.(r) in
+        let base = r * Mat.cols m in
+        for k = 0 to Mat.cols m - 1 do
+          let w = m.Mat.data.(base + k) in
+          if w > 0.0 then begin
+            accl := !accl +. (w *. slo.(k));
+            acch := !acch +. (w *. shi.(k))
+          end
+          else if w < 0.0 then begin
+            accl := !accl +. (w *. shi.(k));
+            acch := !acch +. (w *. slo.(k))
+          end
+        done;
+        lo.(r) <- !accl;
+        hi.(r) <- !acch
+      done;
+      (lo, hi)
+  | Lgraph.Unary { src; kind } ->
+      let f_lo, f_hi =
+        match kind with
+        | Lgraph.Relu -> ((fun x -> Float.max 0.0 x), fun x -> Float.max 0.0 x)
+        | Lgraph.Tanh -> (tanh, tanh)
+        | Lgraph.Exp -> (exp, exp)
+        | Lgraph.Sqrt -> ((fun x -> sqrt (Float.max 0.0 x)), fun x -> sqrt (Float.max 0.0 x))
+        | Lgraph.Recip ->
+            (* antitone; inputs floored as in the relaxation *)
+            let r x = 1.0 /. Float.max x Relax.recip_floor in
+            (r, r)
+      in
+      let slo, shi = known_bounds st src in
+      if kind = Lgraph.Recip then
+        (Array.map f_lo shi, Array.map f_hi slo)
+      else (Array.map f_lo slo, Array.map f_hi shi)
+  | Lgraph.Add (a, b) ->
+      let alo, ahi = known_bounds st a and blo, bhi = known_bounds st b in
+      (Array.map2 ( +. ) alo blo, Array.map2 ( +. ) ahi bhi)
+  | Lgraph.Bilinear { a; b; terms } ->
+      let alo, ahi = known_bounds st a in
+      let blo, bhi = known_bounds st b in
+      let n = Array.length terms in
+      let lo = Array.make n 0.0 and hi = Array.make n 0.0 in
+      Array.iteri
+        (fun k ts ->
+          List.iter
+            (fun (i, j, s) ->
+              let p1 = alo.(i) *. blo.(j) and p2 = alo.(i) *. bhi.(j) in
+              let p3 = ahi.(i) *. blo.(j) and p4 = ahi.(i) *. bhi.(j) in
+              let pmin = Float.min (Float.min p1 p2) (Float.min p3 p4) in
+              let pmax = Float.max (Float.max p1 p2) (Float.max p3 p4) in
+              if s > 0.0 then begin
+                lo.(k) <- lo.(k) +. (s *. pmin);
+                hi.(k) <- hi.(k) +. (s *. pmax)
+              end
+              else begin
+                lo.(k) <- lo.(k) +. (s *. pmax);
+                hi.(k) <- hi.(k) +. (s *. pmin)
+              end)
+            ts)
+        terms;
+      (lo, hi)
+
+(* ------------------------------------------------------------------ *)
+(* Backsubstitution.                                                    *)
+
+let split_pos_neg w = if w > 0.0 then (w, 0.0) else (0.0, w)
+
+(* Concretize a coefficient matrix at known bounds of [id], accumulating
+   into the constant vectors. [which] selects the bound being computed. *)
+let concretize_at st id (mat : Mat.t) (const : float array) ~upper =
+  let lo, hi = known_bounds st id in
+  let n = Mat.cols mat in
+  for r = 0 to Mat.rows mat - 1 do
+    let base = r * n in
+    let acc = ref const.(r) in
+    for k = 0 to n - 1 do
+      let w = mat.Mat.data.(base + k) in
+      if w > 0.0 then acc := !acc +. (w *. if upper then hi.(k) else lo.(k))
+      else if w < 0.0 then acc := !acc +. (w *. if upper then lo.(k) else hi.(k))
+    done;
+    const.(r) <- !acc
+  done
+
+let concretize_input st (mat : Mat.t) (const : float array) ~upper =
+  let q = Deept.Lp.dual st.region.p in
+  let n = Mat.cols mat in
+  let out = Array.make (Mat.rows mat) 0.0 in
+  let scaled = Array.make n 0.0 in
+  for r = 0 to Mat.rows mat - 1 do
+    let base = r * n in
+    let dot = ref const.(r) in
+    for k = 0 to n - 1 do
+      let w = mat.Mat.data.(base + k) in
+      dot := !dot +. (w *. st.region.center.(k));
+      scaled.(k) <- w *. st.region.scale.(k)
+    done;
+    let radius = Deept.Lp.norm q scaled in
+    out.(r) <- (if upper then !dot +. radius else !dot -. radius)
+  done;
+  out
+
+(* Push an accumulated coefficient matrix backwards through a relaxation.
+   [lower] selects which bound of the TARGET is being computed; positive
+   coefficients then consume the relaxation's lower side and negative ones
+   its upper side (flipped for the upper target bound). *)
+let push_through st id (mat : Mat.t) (const : float array) ~upper add_coefs =
+  let rel = Option.get st.rels.(id) in
+  let m = Mat.rows mat in
+  match rel with
+  | Rlinear { src; m = w; c } ->
+      add_coefs src (Mat.matmul mat w);
+      for r = 0 to m - 1 do
+        let base = r * Mat.cols mat in
+        let acc = ref const.(r) in
+        for k = 0 to Mat.cols mat - 1 do
+          let v = mat.Mat.data.(base + k) in
+          if v <> 0.0 then acc := !acc +. (v *. c.(k))
+        done;
+        const.(r) <- !acc
+      done
+  | Radd (a, b) ->
+      add_coefs a (Mat.copy mat);
+      add_coefs b (Mat.copy mat)
+  | Rdiag { src; low; high } ->
+      let n = Mat.cols mat in
+      let out = Mat.create m n in
+      for r = 0 to m - 1 do
+        let base = r * n in
+        let acc = ref const.(r) in
+        for k = 0 to n - 1 do
+          let w = mat.Mat.data.(base + k) in
+          if w <> 0.0 then begin
+            let pos, neg = split_pos_neg w in
+            let lline, uline = if upper then (high.(k), low.(k)) else (low.(k), high.(k)) in
+            out.Mat.data.(base + k) <- (pos *. lline.Relax.slope) +. (neg *. uline.Relax.slope);
+            acc := !acc +. (pos *. lline.Relax.icept) +. (neg *. uline.Relax.icept)
+          end
+        done;
+        const.(r) <- !acc
+      done;
+      add_coefs src out
+  | Rbilin { a; b; la; lb; lc; ua; ub; uc } ->
+      let na = st.g.Lgraph.sizes.(a) and nb = st.g.Lgraph.sizes.(b) in
+      let ca = Mat.create m na and cb = Mat.create m nb in
+      let n = Mat.cols mat in
+      for r = 0 to m - 1 do
+        let base = r * n in
+        let acc = ref const.(r) in
+        for k = 0 to n - 1 do
+          let w = mat.Mat.data.(base + k) in
+          if w <> 0.0 then begin
+            (* choose the side matching the sign (and target bound) *)
+            let use_lower = (w > 0.0) <> upper in
+            let sa, sb, sc =
+              if use_lower then (la.(k), lb.(k), lc.(k)) else (ua.(k), ub.(k), uc.(k))
+            in
+            Array.iter
+              (fun (i, v) -> ca.Mat.data.((r * na) + i) <- ca.Mat.data.((r * na) + i) +. (w *. v))
+              sa;
+            Array.iter
+              (fun (j, v) -> cb.Mat.data.((r * nb) + j) <- cb.Mat.data.((r * nb) + j) +. (w *. v))
+              sb;
+            acc := !acc +. (w *. sc)
+          end
+        done;
+        const.(r) <- !acc
+      done;
+      add_coefs a ca;
+      add_coefs b cb
+
+(* Backsubstitute a linear functional [t_mat · v_node] down to the input,
+   obtaining one bound vector. *)
+let backsub_one st ~node ~(t_mat : Mat.t) ~upper =
+  let m = Mat.rows t_mat in
+  let coefs : Mat.t option array = Array.make (node + 1) None in
+  let const = Array.make m 0.0 in
+  let add_coefs id mat =
+    match coefs.(id) with
+    | None -> coefs.(id) <- Some mat
+    | Some acc -> Mat.add_in_place acc mat
+  in
+  coefs.(node) <- Some (Mat.copy t_mat);
+  (* BaF stops backsubstituting once the coefficients have travelled
+     [window] node ids backwards from the query node (about one
+     Transformer layer by default) and concretizes them at the best known
+     bounds of the node reached — "backsubstitution with early stopping". *)
+  let horizon =
+    match st.mode with Backward -> -1 | Baf window -> node - window
+  in
+  for id = node downto 1 do
+    match coefs.(id) with
+    | None -> ()
+    | Some mat ->
+        coefs.(id) <- None;
+        if id <= horizon then concretize_at st id mat const ~upper
+        else push_through st id mat const ~upper add_coefs
+  done;
+  (match coefs.(0) with
+  | None -> const
+  | Some mat -> concretize_input st mat const ~upper)
+
+(* ------------------------------------------------------------------ *)
+(* Relaxation construction.                                            *)
+
+let rec node_bounds st id =
+  match st.best.(id) with
+  | Some b -> b
+  | None ->
+      let n = st.g.Lgraph.sizes.(id) in
+      let b =
+        if id = 0 then (st.itv_lo.(0), st.itv_hi.(0))
+        else begin
+          let idm = Mat.identity n in
+          let lo = backsub_one st ~node:id ~t_mat:idm ~upper:false in
+          let hi = backsub_one st ~node:id ~t_mat:idm ~upper:true in
+          (* intersect with the forward interval (both are sound); NaN on
+             either side is "no information" *)
+          let safe_max a b = if Float.is_nan a then b else if Float.is_nan b then a else Float.max a b in
+          let safe_min a b = if Float.is_nan a then b else if Float.is_nan b then a else Float.min a b in
+          let lo = Array.mapi (fun i v -> safe_max v st.itv_lo.(id).(i)) lo in
+          let hi = Array.mapi (fun i v -> safe_min v st.itv_hi.(id).(i)) hi in
+          (lo, hi)
+        end
+      in
+      st.best.(id) <- Some b;
+      b
+
+and build_rel st (node : Lgraph.node) =
+  match node with
+  | Lgraph.Input -> None
+  | Lgraph.Linear { src; m; c } -> Some (Rlinear { src; m; c })
+  | Lgraph.Add (a, b) -> Some (Radd (a, b))
+  | Lgraph.Unary { src; kind } ->
+      let lo, hi = node_bounds st src in
+      let n = st.g.Lgraph.sizes.(src) in
+      let low = Array.make n { Relax.slope = 0.0; icept = 0.0 } in
+      let high = Array.make n { Relax.slope = 0.0; icept = 0.0 } in
+      for k = 0 to n - 1 do
+        let l, u = Relax.unary_lines kind ~l:lo.(k) ~u:hi.(k) in
+        low.(k) <- l;
+        high.(k) <- u
+      done;
+      Some (Rdiag { src; low; high })
+  | Lgraph.Bilinear { a; b; terms } ->
+      let alo, ahi = node_bounds st a in
+      let blo, bhi = node_bounds st b in
+      let n = Array.length terms in
+      let la = Array.make n [||] and lb = Array.make n [||] in
+      let ua = Array.make n [||] and ub = Array.make n [||] in
+      let lc = Array.make n 0.0 and uc = Array.make n 0.0 in
+      Array.iteri
+        (fun k ts ->
+          let la_l = ref [] and lb_l = ref [] and ua_l = ref [] and ub_l = ref [] in
+          List.iter
+            (fun (i, j, s) ->
+              let pl, pu =
+                Relax.product_planes ~lx:alo.(i) ~ux:ahi.(i) ~ly:blo.(j) ~uy:bhi.(j)
+              in
+              (* s * (x*y): s > 0 keeps the plane roles, s < 0 swaps them. *)
+              let lo_pl, hi_pl = if s > 0.0 then (pl, pu) else (pu, pl) in
+              la_l := (i, s *. lo_pl.Relax.cx) :: !la_l;
+              lb_l := (j, s *. lo_pl.Relax.cy) :: !lb_l;
+              lc.(k) <- lc.(k) +. (s *. lo_pl.Relax.c);
+              ua_l := (i, s *. hi_pl.Relax.cx) :: !ua_l;
+              ub_l := (j, s *. hi_pl.Relax.cy) :: !ub_l;
+              uc.(k) <- uc.(k) +. (s *. hi_pl.Relax.c))
+            ts;
+          la.(k) <- Array.of_list !la_l;
+          lb.(k) <- Array.of_list !lb_l;
+          ua.(k) <- Array.of_list !ua_l;
+          ub.(k) <- Array.of_list !ub_l)
+        terms;
+      Some (Rbilin { a; b; la; lb; lc; ua; ub; uc })
+
+let analyze ~mode (g : Lgraph.t) region =
+  if Array.length region.center <> g.Lgraph.sizes.(0)
+     || Array.length region.scale <> g.Lgraph.sizes.(0)
+  then invalid_arg "Engine.analyze: region size mismatch";
+  let n = Array.length g.Lgraph.nodes in
+  let st =
+    {
+      g;
+      mode;
+      region;
+      rels = Array.make n None;
+      itv_lo = Array.make n [||];
+      itv_hi = Array.make n [||];
+      best = Array.make n None;
+    }
+  in
+  Array.iteri
+    (fun id node ->
+      (* Relaxation first (it may query bounds of earlier nodes), then the
+         forward interval of this node. *)
+      st.rels.(id) <- build_rel st node;
+      let lo, hi = clean_bounds (forward_interval st node) in
+      st.itv_lo.(id) <- lo;
+      st.itv_hi.(id) <- hi)
+    g.Lgraph.nodes;
+  st
+
+let output_bounds st = node_bounds st st.g.Lgraph.output
+
+let linear_lower_bound st ~node ~coeffs =
+  let t_mat = Mat.row_vector coeffs in
+  (backsub_one st ~node ~t_mat ~upper:false).(0)

@@ -1,0 +1,48 @@
+(** Linear bound propagation with backsubstitution — the CROWN engine.
+
+    For every node the engine records a {e relaxation}: linear lower and
+    upper bounds of the node's variables in terms of its source(s).
+    Concrete bounds of any linear functional of a node are obtained by
+    {e backsubstitution}: the functional's coefficients are pushed
+    backwards through the relaxations (splitting positive and negative
+    parts against the lower/upper sides), until they reach the input,
+    where the input region concretizes them via the dual norm.
+
+    Two modes reproduce the paper's two baselines:
+    - [Backward] — full backsubstitution to the input for every query
+      (CROWN-Backward: precise, memory- and time-hungry, superlinear in
+      depth because every non-linearity re-traverses the whole prefix);
+    - [Baf window] — backsubstitution stops once the coefficients are
+      [window] node ids behind the query (about one Transformer layer)
+      and concretizes them at the best known bounds of the node reached
+      (CROWN-Backward-and-Forward: fast, loses precision with depth,
+      especially through the bilinear nodes). *)
+
+type mode = Backward | Baf of int
+
+type region = {
+  center : float array;  (** flattened input point *)
+  p : Deept.Lp.t;
+  scale : float array;  (** per-coordinate perturbation scale (>= 0) *)
+}
+(** The input set [{ center + r : ‖(r_i / scale_i)_i‖_p ≤ 1 }] (entries
+    with scale 0 are unperturbed). An ℓp ball of radius ρ on some
+    coordinates uses [scale_i = ρ] there; a box uses [p = Linf] with
+    per-coordinate radii. *)
+
+type t
+(** Analysis state for one graph and region. *)
+
+val analyze : mode:mode -> Lgraph.t -> region -> t
+(** Runs the relaxation pass over the whole graph. *)
+
+val node_bounds : t -> int -> float array * float array
+(** Concrete (lower, upper) bounds of a node's variables, computed per
+    the analysis mode (cached). *)
+
+val output_bounds : t -> float array * float array
+
+val linear_lower_bound : t -> node:int -> coeffs:float array -> float
+(** Lower bound of [coeffs · v_node] by backsubstitution in the current
+    mode — used for certification margins [y_t − y_f], where keeping the
+    functional un-concretized is what makes CROWN relational. *)

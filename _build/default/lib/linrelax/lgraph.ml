@@ -1,0 +1,297 @@
+open Tensor
+
+type unary_kind = Relu | Tanh | Exp | Recip | Sqrt
+
+type node =
+  | Input
+  | Linear of { src : int; m : Mat.t; c : float array }
+  | Unary of { src : int; kind : unary_kind }
+  | Add of int * int
+  | Bilinear of { a : int; b : int; terms : (int * int * float) list array }
+
+type t = { nodes : node array; sizes : int array; output : int }
+
+let node_srcs = function
+  | Input -> []
+  | Linear { src; _ } | Unary { src; _ } -> [ src ]
+  | Add (a, b) | Bilinear { a; b; _ } -> [ a; b ]
+
+(* --- builders ------------------------------------------------------ *)
+
+type builder = { mutable rev_nodes : node list; mutable rev_sizes : int list; mutable count : int }
+
+let new_builder () = { rev_nodes = []; rev_sizes = []; count = 0 }
+
+let push b node size =
+  b.rev_nodes <- node :: b.rev_nodes;
+  b.rev_sizes <- size :: b.rev_sizes;
+  b.count <- b.count + 1;
+  b.count - 1
+
+(* Row-wise [x . w + bias] on an [n x din] value, flattened. *)
+let rowwise_linear ~n ~din w bias =
+  let dout = Mat.cols w in
+  let m = Mat.create (n * dout) (n * din) in
+  for i = 0 to n - 1 do
+    for jo = 0 to dout - 1 do
+      for ji = 0 to din - 1 do
+        Mat.set m ((i * dout) + jo) ((i * din) + ji) (Mat.get w ji jo)
+      done
+    done
+  done;
+  let c = Array.init (n * dout) (fun v -> bias.(v mod dout)) in
+  (m, c)
+
+(* Row-centering followed by gamma scale and beta shift, flattened. *)
+let center_norm_linear ~n ~d gamma beta =
+  let m = Mat.create (n * d) (n * d) in
+  let inv = 1.0 /. float_of_int d in
+  for i = 0 to n - 1 do
+    for c = 0 to d - 1 do
+      for c' = 0 to d - 1 do
+        let base = if c = c' then 1.0 -. inv else -.inv in
+        Mat.set m ((i * d) + c) ((i * d) + c') (gamma.(c) *. base)
+      done
+    done
+  done;
+  let cvec = Array.init (n * d) (fun v -> beta.(v mod d)) in
+  (m, cvec)
+
+let selection_linear ~out_size ~in_size pick =
+  let m = Mat.create out_size in_size in
+  for v = 0 to out_size - 1 do
+    Mat.set m v (pick v) 1.0
+  done;
+  (m, Array.make out_size 0.0)
+
+(* Embeds an [n x dv] head output into the [n x (heads*dv)] concatenation. *)
+let head_embedding ~n ~dv ~heads ~h =
+  let out = n * heads * dv and inp = n * dv in
+  let m = Mat.create out inp in
+  for i = 0 to n - 1 do
+    for t = 0 to dv - 1 do
+      Mat.set m ((i * heads * dv) + (h * dv) + t) ((i * dv) + t) 1.0
+    done
+  done;
+  (m, Array.make out 0.0)
+
+let attention b ~n ~src (att : Ir.attention) =
+  let adk = Mat.cols att.wq and adv = Mat.cols att.wv in
+  let heads = att.heads in
+  let dk = adk / heads and dv = adv / heads in
+  let d = Mat.rows att.wq in
+  let lin w bias =
+    let m, c = rowwise_linear ~n ~din:d w bias in
+    push b (Linear { src; m; c }) (n * Mat.cols w)
+  in
+  let q = lin att.wq att.bq in
+  let k = lin att.wk att.bk in
+  let v = lin att.wv att.bv in
+  let scale = 1.0 /. sqrt (float_of_int dk) in
+  let head h =
+    (* scores: S[i,j] = scale * sum_t Q[i, h dk + t] * K[j, h dk + t] *)
+    let terms =
+      Array.init (n * n) (fun s ->
+          let i = s / n and j = s mod n in
+          List.init dk (fun t ->
+              (((i * adk) + (h * dk) + t), ((j * adk) + (h * dk) + t), scale)))
+    in
+    let s = push b (Bilinear { a = q; b = k; terms }) (n * n) in
+    let e = push b (Unary { src = s; kind = Exp }) (n * n) in
+    let sum_m, sum_c =
+      let m = Mat.create n (n * n) in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          Mat.set m i ((i * n) + j) 1.0
+        done
+      done;
+      (m, Array.make n 0.0)
+    in
+    let sums = push b (Linear { src = e; m = sum_m; c = sum_c }) n in
+    let r = push b (Unary { src = sums; kind = Recip }) n in
+    (* P[i,j] = e[i,j] * r[i] *)
+    let pterms =
+      Array.init (n * n) (fun s ->
+          let i = s / n in
+          [ (s, i, 1.0) ])
+    in
+    let p = push b (Bilinear { a = e; b = r; terms = pterms }) (n * n) in
+    (* Z[i,t] = sum_j P[i,j] * V[j, h dv + t] *)
+    let zterms =
+      Array.init (n * dv) (fun s ->
+          let i = s / dv and t = s mod dv in
+          List.init n (fun j -> (((i * n) + j), ((j * adv) + (h * dv) + t), 1.0)))
+    in
+    push b (Bilinear { a = p; b = v; terms = zterms }) (n * dv)
+  in
+  let z_heads = List.init heads head in
+  (* Concatenate heads by summing per-head embeddings. *)
+  let embed h zh =
+    let m, c = head_embedding ~n ~dv ~heads ~h in
+    push b (Linear { src = zh; m; c }) (n * heads * dv)
+  in
+  let embedded = List.mapi embed z_heads in
+  let zcat =
+    match embedded with
+    | [] -> invalid_arg "Lgraph.attention: no heads"
+    | first :: rest ->
+        List.fold_left (fun acc e -> push b (Add (acc, e)) (n * heads * dv)) first rest
+  in
+  let m, c = rowwise_linear ~n ~din:adv att.wo att.bo in
+  push b (Linear { src = zcat; m; c }) (n * d)
+
+(* Standard layer norm (divide by std): centered value, variance via a
+   bilinear square, sqrt, reciprocal, bilinear rescale, affine gamma/beta. *)
+let std_norm b ~n ~src ~d gamma beta =
+  let ones = Array.make d 1.0 and zeros = Array.make d 0.0 in
+  let cm, cc = center_norm_linear ~n ~d ones zeros in
+  let centered = push b (Linear { src; m = cm; c = cc }) (n * d) in
+  let vterms =
+    Array.init n (fun i ->
+        List.init d (fun c -> (((i * d) + c), ((i * d) + c), 1.0 /. float_of_int d)))
+  in
+  let var0 = push b (Bilinear { a = centered; b = centered; terms = vterms }) n in
+  let var =
+    push b
+      (Linear { src = var0; m = Mat.identity n; c = Array.make n 1e-5 })
+      n
+  in
+  let sigma = push b (Unary { src = var; kind = Sqrt }) n in
+  let r = push b (Unary { src = sigma; kind = Recip }) n in
+  let sterms =
+    Array.init (n * d) (fun v ->
+        let i = v / d in
+        [ (v, i, 1.0) ])
+  in
+  let scaled = push b (Bilinear { a = centered; b = r; terms = sterms }) (n * d) in
+  let gm = Mat.init (n * d) (n * d) (fun v v' -> if v = v' then gamma.(v mod d) else 0.0) in
+  let gc = Array.init (n * d) (fun v -> beta.(v mod d)) in
+  push b (Linear { src = scaled; m = gm; c = gc }) (n * d)
+
+let of_ir (p : Ir.program) ~seq_len =
+  let n = seq_len in
+  let b = new_builder () in
+  let input = push b Input (n * p.input_dim) in
+  assert (input = 0);
+  (* Per-IR-value node id and row count (Pool_first collapses rows). *)
+  let ids = Array.make (Ir.num_values p) 0 in
+  let rows = Array.make (Ir.num_values p) n in
+  rows.(0) <- n;
+  let dims v = Ir.out_dim p v in
+  Array.iteri
+    (fun i (op : Ir.op) ->
+      let out = i + 1 in
+      (match op with
+      | Linear { src; w; b = bias } ->
+          let m, c = rowwise_linear ~n:rows.(src) ~din:(dims src) w bias in
+          rows.(out) <- rows.(src);
+          ids.(out) <-
+            push b (Linear { src = ids.(src); m; c }) (rows.(src) * Mat.cols w)
+      | Relu src ->
+          rows.(out) <- rows.(src);
+          ids.(out) <-
+            push b (Unary { src = ids.(src); kind = Relu }) (rows.(src) * dims src)
+      | Tanh src ->
+          rows.(out) <- rows.(src);
+          ids.(out) <-
+            push b (Unary { src = ids.(src); kind = Tanh }) (rows.(src) * dims src)
+      | Add (x, y) ->
+          rows.(out) <- rows.(x);
+          ids.(out) <- push b (Add (ids.(x), ids.(y))) (rows.(x) * dims x)
+      | Center_norm { src; gamma; beta; divide_std } ->
+          rows.(out) <- rows.(src);
+          if divide_std then
+            ids.(out) <-
+              std_norm b ~n:rows.(src) ~src:ids.(src) ~d:(dims src) gamma beta
+          else begin
+            let m, c = center_norm_linear ~n:rows.(src) ~d:(dims src) gamma beta in
+            ids.(out) <-
+              push b (Linear { src = ids.(src); m; c }) (rows.(src) * dims src)
+          end
+      | Self_attention { src; att } ->
+          rows.(out) <- rows.(src);
+          ids.(out) <- attention b ~n:rows.(src) ~src:ids.(src) att
+      | Pool_first src ->
+          let d = dims src in
+          let m, c = selection_linear ~out_size:d ~in_size:(rows.(src) * d) (fun v -> v) in
+          rows.(out) <- 1;
+          ids.(out) <- push b (Linear { src = ids.(src); m; c }) d
+      | Positional { src; pos } ->
+          let d = dims src in
+          let size = rows.(src) * d in
+          let m = Mat.identity size in
+          let c = Array.init size (fun v -> Mat.get pos (v / d) (v mod d)) in
+          rows.(out) <- rows.(src);
+          ids.(out) <- push b (Linear { src = ids.(src); m; c }) size);
+      ())
+    p.ops;
+  {
+    nodes = Array.of_list (List.rev b.rev_nodes);
+    sizes = Array.of_list (List.rev b.rev_sizes);
+    output = ids.(Ir.output_id p);
+  }
+
+let eval g input =
+  let vals = Array.make (Array.length g.nodes) [||] in
+  Array.iteri
+    (fun id node ->
+      let v =
+        match node with
+        | Input ->
+            if Array.length input <> g.sizes.(0) then
+              invalid_arg "Lgraph.eval: input size";
+            input
+        | Linear { src; m; c } ->
+            let y = Mat.mat_vec m vals.(src) in
+            Array.mapi (fun i x -> x +. c.(i)) y
+        | Unary { src; kind } ->
+            let f =
+              match kind with
+              | Relu -> fun x -> Float.max 0.0 x
+              | Tanh -> tanh
+              | Exp -> exp
+              | Recip -> fun x -> 1.0 /. x
+              | Sqrt -> sqrt
+            in
+            Array.map f vals.(src)
+        | Add (a, b) -> Array.map2 ( +. ) vals.(a) vals.(b)
+        | Bilinear { a; b; terms } ->
+            Array.map
+              (fun ts ->
+                List.fold_left
+                  (fun acc (i, j, s) -> acc +. (s *. vals.(a).(i) *. vals.(b).(j)))
+                  0.0 ts)
+              terms
+      in
+      vals.(id) <- v)
+    g.nodes;
+  vals
+
+let approx_bytes g =
+  Array.fold_left
+    (fun acc node ->
+      acc
+      +
+      match node with
+      | Linear { m; _ } -> 8 * Mat.rows m * Mat.cols m
+      | Bilinear { terms; _ } ->
+          (* two sparse sides, lower and upper *)
+          32 * Array.fold_left (fun a ts -> a + List.length ts) 0 terms
+      | Input | Unary _ | Add _ -> 0)
+    0 g.nodes
+  + (* per-node cached bounds *)
+  Array.fold_left (fun acc s -> acc + (16 * s)) 0 g.sizes
+
+let pp_stats ppf g =
+  let count k =
+    Array.fold_left
+      (fun acc n ->
+        acc
+        +
+        match (n, k) with
+        | Input, `I | Linear _, `L | Unary _, `U | Add _, `A | Bilinear _, `B -> 1
+        | _ -> 0)
+      0 g.nodes
+  in
+  Format.fprintf ppf "lgraph: %d nodes (%d linear, %d unary, %d add, %d bilinear)"
+    (Array.length g.nodes) (count `L) (count `U) (count `A) (count `B)

@@ -1,0 +1,49 @@
+(** Scalar-level linear-relaxation graph — the CROWN baseline's IR.
+
+    The paper compares DeepT against the CROWN verifier of Shi et al.,
+    which propagates {e linear} lower/upper bounds and backsubstitutes
+    them towards the input. To reproduce that baseline we expand each
+    {!Ir.program} into a graph of primitive nodes over {e flattened}
+    variable vectors: exact linear maps, elementwise non-linearities, and
+    bilinear forms (the query-key product, the softmax's
+    exponential-times-reciprocal recombination, and the attention-value
+    product). Per the paper (Section 5.4), the softmax is decomposed in
+    the {e direct} form [exp → sum → recip → mul] — one of the precision
+    disadvantages DeepT's stable form avoids. *)
+
+type unary_kind = Relu | Tanh | Exp | Recip | Sqrt
+
+type node =
+  | Input
+      (** the flattened program input, [n_input] variables *)
+  | Linear of { src : int; m : Tensor.Mat.t; c : float array }
+      (** [v = m · v_src + c] (exact) *)
+  | Unary of { src : int; kind : unary_kind }
+      (** elementwise non-linearity *)
+  | Add of int * int
+  | Bilinear of { a : int; b : int; terms : (int * int * float) list array }
+      (** [v.(k) = Σ_{(i,j,s) ∈ terms.(k)} s · v_a.(i) · v_b.(j)] *)
+
+type t = {
+  nodes : node array;  (** node 0 is [Input] *)
+  sizes : int array;  (** variable count of each node *)
+  output : int;  (** id of the program output node *)
+}
+
+val node_srcs : node -> int list
+
+val of_ir : Ir.program -> seq_len:int -> t
+(** Expands a program for a fixed sequence length (linear-bound matrices
+    need static shapes, so CROWN runs per sentence length — as does the
+    original implementation, which builds per-input computation graphs). *)
+
+val eval : t -> float array -> float array array
+(** Concrete reference evaluation of every node on a flat input (testing:
+    must agree with {!Nn.Forward}). *)
+
+val approx_bytes : t -> int
+(** Rough resident size of the graph's relaxation matrices — the memory
+    gate used to reproduce the paper's CROWN out-of-memory failures on
+    wide networks (Table 3). *)
+
+val pp_stats : Format.formatter -> t -> unit

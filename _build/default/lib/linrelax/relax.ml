@@ -1,0 +1,33 @@
+type line = { slope : float; icept : float }
+
+let lines_of_coeffs (c : Deept.Elementwise.coeffs) =
+  ( { slope = c.Deept.Elementwise.lambda; icept = c.Deept.Elementwise.mu -. c.Deept.Elementwise.beta },
+    { slope = c.Deept.Elementwise.lambda; icept = c.Deept.Elementwise.mu +. c.Deept.Elementwise.beta } )
+
+let recip_floor = 1e-30
+
+let unary_lines (kind : Lgraph.unary_kind) ~l ~u =
+  let module E = Deept.Elementwise in
+  match kind with
+  | Lgraph.Relu -> lines_of_coeffs (E.relu_coeffs ~l ~u)
+  | Lgraph.Tanh -> lines_of_coeffs (E.tanh_coeffs ~l ~u)
+  | Lgraph.Exp -> lines_of_coeffs (E.exp_coeffs ~l ~u)
+  | Lgraph.Recip -> lines_of_coeffs (E.recip_coeffs ~floor:recip_floor ~l ~u ())
+  | Lgraph.Sqrt -> lines_of_coeffs (E.sqrt_coeffs ~l ~u)
+
+type plane = { cx : float; cy : float; c : float }
+
+let eval_plane p x y = (p.cx *. x) +. (p.cy *. y) +. p.c
+
+let product_planes ~lx ~ux ~ly ~uy =
+  let mx = 0.5 *. (lx +. ux) and my = 0.5 *. (ly +. uy) in
+  (* McCormick envelopes: both lower planes under-approximate x*y on the
+     box, both upper planes over-approximate; pick the tighter at the
+     midpoint. *)
+  let lo1 = { cx = ly; cy = lx; c = -.(lx *. ly) } in
+  let lo2 = { cx = uy; cy = ux; c = -.(ux *. uy) } in
+  let hi1 = { cx = ly; cy = ux; c = -.(ux *. ly) } in
+  let hi2 = { cx = uy; cy = lx; c = -.(lx *. uy) } in
+  let lower = if eval_plane lo1 mx my >= eval_plane lo2 mx my then lo1 else lo2 in
+  let upper = if eval_plane hi1 mx my <= eval_plane hi2 mx my then hi1 else hi2 in
+  (lower, upper)

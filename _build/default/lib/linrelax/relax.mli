@@ -1,0 +1,27 @@
+(** Linear relaxations for the CROWN baseline.
+
+    Unary functions are relaxed by the same minimal-area parallel-line
+    machinery as the zonotope transformers (sound by construction; see
+    {!Deept.Elementwise}), giving a lower and an upper bounding line per
+    variable. Products are relaxed by McCormick planes, picking for each
+    bound the candidate plane that is tighter at the box midpoint —
+    the standard choice in linear-relaxation verifiers for Transformers. *)
+
+type line = { slope : float; icept : float }
+(** The line [x ↦ slope·x + icept]. *)
+
+val unary_lines : Lgraph.unary_kind -> l:float -> u:float -> line * line
+(** [(lower, upper)] bounding lines of the function on [[l, u]].
+    For [Recip] the input is floored at a tiny positive constant (1e-30, below any reachable true value) (its
+    uses in the softmax and layer-norm decompositions are provably
+    positive); for [Sqrt] a negative [l] is clamped to 0. *)
+
+type plane = { cx : float; cy : float; c : float }
+(** The plane [(x, y) ↦ cx·x + cy·y + c]. *)
+
+val product_planes :
+  lx:float -> ux:float -> ly:float -> uy:float -> plane * plane
+(** [(lower, upper)] McCormick planes bounding [x·y] on the box. *)
+
+val recip_floor : float
+(** The positivity floor applied to reciprocal inputs. *)

@@ -1,0 +1,85 @@
+open Tensor
+
+type verifier = Backward | Baf
+
+(* About two Transformer layers' worth of relaxation nodes (one layer with
+   4 heads is ~42 nodes: QKV, per-head score/exp/sum/recip/P/Z chains,
+   concatenation, residuals, normalization, feed-forward). Tuned so BaF is
+   close to full backsubstitution on shallow stacks while degrading with
+   depth — the trade-off the paper reports for CROWN-BaF. *)
+let default_baf_steps = 96
+
+let graph_of p ~seq_len = Lgraph.of_ir p ~seq_len
+
+let flat (m : Mat.t) = Array.copy m.Mat.data
+
+let region_word_ball ~p x ~word ~radius : Engine.region =
+  let n = Mat.rows x and d = Mat.cols x in
+  if word < 0 || word >= n then invalid_arg "Verify.region_word_ball";
+  let scale = Array.make (n * d) 0.0 in
+  for j = 0 to d - 1 do
+    scale.((word * d) + j) <- radius
+  done;
+  { center = flat x; p; scale }
+
+let region_all_ball ~p x ~radius : Engine.region =
+  { center = flat x; p; scale = Array.make (Mat.rows x * Mat.cols x) radius }
+
+let region_box lo hi : Engine.region =
+  if Mat.dims lo <> Mat.dims hi then invalid_arg "Verify.region_box";
+  let n = Mat.rows lo * Mat.cols lo in
+  let center = Array.init n (fun v -> 0.5 *. (lo.Mat.data.(v) +. hi.Mat.data.(v))) in
+  let scale = Array.init n (fun v -> 0.5 *. (hi.Mat.data.(v) -. lo.Mat.data.(v))) in
+  Array.iter (fun s -> if s < 0.0 then invalid_arg "Verify.region_box: lo > hi") scale;
+  { center; p = Deept.Lp.Linf; scale }
+
+let region_synonym_box x subs =
+  let d = Mat.cols x in
+  let lo = Mat.copy x and hi = Mat.copy x in
+  List.iter
+    (fun (pos, alts) ->
+      List.iter
+        (fun (alt : float array) ->
+          if Array.length alt <> d then invalid_arg "Verify.region_synonym_box";
+          for j = 0 to d - 1 do
+            Mat.set lo pos j (Float.min (Mat.get lo pos j) alt.(j));
+            Mat.set hi pos j (Float.max (Mat.get hi pos j) alt.(j))
+          done)
+        alts)
+    subs;
+  region_box lo hi
+
+let mode_of verifier baf_steps : Engine.mode =
+  match verifier with Backward -> Engine.Backward | Baf -> Engine.Baf baf_steps
+
+let rec margin ~verifier ?(baf_steps = default_baf_steps) g region ~true_class =
+  try margin_exn ~verifier ~baf_steps g region ~true_class
+  with Deept.Zonotope.Unbounded -> neg_infinity
+
+and margin_exn ~verifier ~baf_steps g region ~true_class =
+  let st = Engine.analyze ~mode:(mode_of verifier baf_steps) g region in
+  let n_out = g.Lgraph.sizes.(g.Lgraph.output) in
+  if true_class < 0 || true_class >= n_out then invalid_arg "Verify.margin: class";
+  let best = ref infinity in
+  for j = 0 to n_out - 1 do
+    if j <> true_class then begin
+      let coeffs = Array.make n_out 0.0 in
+      coeffs.(true_class) <- 1.0;
+      coeffs.(j) <- -1.0;
+      let lb = Engine.linear_lower_bound st ~node:g.Lgraph.output ~coeffs in
+      if lb < !best then best := lb
+    end
+  done;
+  !best
+
+let certify ~verifier ?baf_steps g region ~true_class =
+  margin ~verifier ?baf_steps g region ~true_class > 0.0
+
+let certified_radius ~verifier ?baf_steps ?hi ?(iters = 10) program ~p x ~word
+    ~true_class () =
+  let g = graph_of program ~seq_len:(Mat.rows x) in
+  Deept.Certify.max_radius ?hi ~iters (fun radius ->
+      radius > 0.0
+      && certify ~verifier ?baf_steps g
+           (region_word_ball ~p x ~word ~radius)
+           ~true_class)

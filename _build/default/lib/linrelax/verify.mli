@@ -1,0 +1,45 @@
+(** The CROWN baseline verifiers (Shi et al.), as compared against in the
+    paper's evaluation: [Backward] (precise, slow, superlinear in depth)
+    and [Baf] (backward-and-forward: early-stopped backsubstitution —
+    fast, loses precision with depth). The API mirrors {!Deept.Certify}
+    so benchmarks can drive both verifiers uniformly. *)
+
+type verifier = Backward | Baf
+(** [Baf] stops backsubstitution after roughly one Transformer layer's
+    worth of relaxations (configurable via [baf_steps]). *)
+
+val graph_of : Ir.program -> seq_len:int -> Lgraph.t
+(** Expansion cache helper (building the scalar graph is the expensive
+    setup step; reuse it across the radius search). *)
+
+val region_word_ball :
+  p:Deept.Lp.t -> Tensor.Mat.t -> word:int -> radius:float -> Engine.region
+(** Threat model T1 (one word perturbed), as an engine region. *)
+
+val region_all_ball : p:Deept.Lp.t -> Tensor.Mat.t -> radius:float -> Engine.region
+
+val region_box : Tensor.Mat.t -> Tensor.Mat.t -> Engine.region
+(** Axis-aligned box [lo, hi]. *)
+
+val region_synonym_box :
+  Tensor.Mat.t -> (int * float array list) list -> Engine.region
+(** Threat model T2, mirroring {!Deept.Region.synonym_box}. *)
+
+val margin :
+  verifier:verifier -> ?baf_steps:int -> Lgraph.t -> Engine.region ->
+  true_class:int -> float
+(** Lower bound of [min_{j≠t} (y_t − y_j)] (the functional is
+    backsubstituted as a whole, so common terms cancel). *)
+
+val certify :
+  verifier:verifier -> ?baf_steps:int -> Lgraph.t -> Engine.region ->
+  true_class:int -> bool
+
+val certified_radius :
+  verifier:verifier -> ?baf_steps:int -> ?hi:float -> ?iters:int ->
+  Ir.program -> p:Deept.Lp.t -> Tensor.Mat.t -> word:int -> true_class:int ->
+  unit -> float
+(** Binary search for the largest certified ℓp radius around one word,
+    mirroring {!Deept.Certify.certified_radius}. *)
+
+val default_baf_steps : int

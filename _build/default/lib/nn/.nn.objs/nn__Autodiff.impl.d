@@ -1,0 +1,1 @@
+lib/nn/autodiff.ml: Array List Mat Tensor Vecops

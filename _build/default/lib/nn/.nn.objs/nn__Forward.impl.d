@@ -1,0 +1,1 @@
+lib/nn/forward.ml: Array Ir Mat Tensor Vecops

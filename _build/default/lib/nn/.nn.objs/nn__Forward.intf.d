@@ -1,0 +1,1 @@
+lib/nn/forward.mli: Ir Tensor

@@ -1,0 +1,1 @@
+lib/nn/forward_diff.ml: Array Autodiff Ir List Mat Tensor

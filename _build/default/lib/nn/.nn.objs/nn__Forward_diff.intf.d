@@ -1,0 +1,1 @@
+lib/nn/forward_diff.mli: Autodiff Ir Tensor

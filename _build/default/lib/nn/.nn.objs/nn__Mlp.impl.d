@@ -1,0 +1,1 @@
+lib/nn/mlp.ml: Array Autodiff Ir List Mat Printf Rng Tensor Train

@@ -1,0 +1,1 @@
+lib/nn/mlp.mli: Autodiff Ir Tensor Train

@@ -1,0 +1,1 @@
+lib/nn/model.ml: Array Autodiff Filename In_channel Ir List Mat Option Out_channel Printf Rng String Sys Tensor

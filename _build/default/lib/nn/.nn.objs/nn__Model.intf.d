@@ -1,0 +1,1 @@
+lib/nn/model.mli: Autodiff Ir Tensor

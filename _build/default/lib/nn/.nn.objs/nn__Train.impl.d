@@ -1,0 +1,1 @@
+lib/nn/train.ml: Array Autodiff Forward Hashtbl List Mat Model Rng Tensor Vecops

@@ -1,0 +1,1 @@
+lib/nn/train.mli: Ir Model Tensor

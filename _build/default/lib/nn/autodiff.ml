@@ -1,0 +1,245 @@
+open Tensor
+
+type t = {
+  mutable tape : (unit -> unit) list;
+  mutable params : (Mat.t * v) list;
+}
+
+and v = { tp : t; value : Mat.t; mutable grad : Mat.t option }
+
+let create () = { tape = []; params = [] }
+let const tp m = { tp; value = m; grad = None }
+let leaf = const
+
+let param tp m =
+  match List.find_opt (fun (m0, _) -> m0 == m) tp.params with
+  | Some (_, node) -> node
+  | None ->
+      let node = leaf tp m in
+      tp.params <- (m, node) :: tp.params;
+      node
+
+let param_grads tp =
+  List.rev_map
+    (fun (m, node) ->
+      ( m,
+        match node.grad with
+        | Some g -> g
+        | None -> Mat.create (Mat.rows m) (Mat.cols m) ))
+    tp.params
+let value n = n.value
+
+let grad n =
+  match n.grad with
+  | Some g -> g
+  | None -> Mat.create (Mat.rows n.value) (Mat.cols n.value)
+
+(* Gradient accumulator, allocated on first touch. *)
+let gacc n =
+  match n.grad with
+  | Some g -> g
+  | None ->
+      let g = Mat.create (Mat.rows n.value) (Mat.cols n.value) in
+      n.grad <- Some g;
+      g
+
+(* Creates the output node and registers its backward closure. The closure
+   receives the output gradient; it is skipped entirely if no path from the
+   loss reached this node. *)
+let node1 tp value back =
+  let out = { tp; value; grad = None } in
+  tp.tape <- (fun () -> match out.grad with None -> () | Some d -> back d) :: tp.tape;
+  out
+
+let matmul a b =
+  node1 a.tp (Mat.matmul a.value b.value) (fun d ->
+      Mat.add_in_place (gacc a) (Mat.gemm ~tb:true d b.value);
+      Mat.add_in_place (gacc b) (Mat.gemm ~ta:true a.value d))
+
+let add a b =
+  node1 a.tp (Mat.add a.value b.value) (fun d ->
+      Mat.add_in_place (gacc a) d;
+      Mat.add_in_place (gacc b) d)
+
+let sub a b =
+  node1 a.tp (Mat.sub a.value b.value) (fun d ->
+      Mat.add_in_place (gacc a) d;
+      Mat.axpy (-1.0) d (gacc b))
+
+let hadamard a b =
+  node1 a.tp (Mat.mul a.value b.value) (fun d ->
+      Mat.add_in_place (gacc a) (Mat.mul d b.value);
+      Mat.add_in_place (gacc b) (Mat.mul d a.value))
+
+let scale s a = node1 a.tp (Mat.scale s a.value) (fun d -> Mat.axpy s d (gacc a))
+
+let transpose a =
+  node1 a.tp (Mat.transpose a.value) (fun d ->
+      Mat.add_in_place (gacc a) (Mat.transpose d))
+
+let add_bias x b =
+  if Mat.rows b.value <> 1 || Mat.cols b.value <> Mat.cols x.value then
+    invalid_arg "Autodiff.add_bias: bias must be 1 x cols(x)";
+  let brow = Mat.row b.value 0 in
+  node1 x.tp (Mat.add_row_broadcast x.value brow) (fun d ->
+      Mat.add_in_place (gacc x) d;
+      let db = Mat.col_sums d in
+      Mat.add_in_place (gacc b) (Mat.row_vector db))
+
+let mul_rows x g =
+  if Mat.rows g.value <> 1 || Mat.cols g.value <> Mat.cols x.value then
+    invalid_arg "Autodiff.mul_rows: scale must be 1 x cols(x)";
+  let grow = Mat.row g.value 0 in
+  node1 x.tp (Mat.mul_row_broadcast x.value grow) (fun d ->
+      Mat.add_in_place (gacc x) (Mat.mul_row_broadcast d grow);
+      (* dg_j = sum_i d_ij * x_ij *)
+      let dg = Mat.col_sums (Mat.mul d x.value) in
+      Mat.add_in_place (gacc g) (Mat.row_vector dg))
+
+let relu x =
+  let y = Mat.map (fun v -> if v > 0.0 then v else 0.0) x.value in
+  node1 x.tp y (fun d ->
+      Mat.add_in_place (gacc x)
+        (Mat.zip (fun di xi -> if xi > 0.0 then di else 0.0) d x.value))
+
+let tanh_ x =
+  let y = Mat.map tanh x.value in
+  node1 x.tp y (fun d ->
+      Mat.add_in_place (gacc x) (Mat.zip (fun di yi -> di *. (1.0 -. (yi *. yi))) d y))
+
+let softmax_rows x =
+  let n = Mat.rows x.value and c = Mat.cols x.value in
+  let y = Mat.of_rows (Array.init n (fun i -> Vecops.softmax (Mat.row x.value i))) in
+  node1 x.tp y (fun d ->
+      let dx = Mat.create n c in
+      for i = 0 to n - 1 do
+        let s = ref 0.0 in
+        for j = 0 to c - 1 do
+          s := !s +. (Mat.get d i j *. Mat.get y i j)
+        done;
+        for j = 0 to c - 1 do
+          Mat.set dx i j (Mat.get y i j *. (Mat.get d i j -. !s))
+        done
+      done;
+      Mat.add_in_place (gacc x) dx)
+
+let center_rows x =
+  let means = Mat.row_means x.value in
+  let y = Mat.mapi (fun i _ v -> v -. means.(i)) x.value in
+  node1 x.tp y (fun d ->
+      let dmeans = Mat.row_means d in
+      Mat.add_in_place (gacc x) (Mat.mapi (fun i _ v -> v -. dmeans.(i)) d))
+
+let ln_eps = 1e-5
+
+let normalize_rows_std x =
+  let n = Mat.rows x.value and c = Mat.cols x.value in
+  let fc = float_of_int c in
+  let means = Mat.row_means x.value in
+  let sigmas = Array.make n 0.0 in
+  let y = Mat.create n c in
+  for i = 0 to n - 1 do
+    let var = ref 0.0 in
+    for j = 0 to c - 1 do
+      let u = Mat.get x.value i j -. means.(i) in
+      var := !var +. (u *. u)
+    done;
+    let sigma = sqrt ((!var /. fc) +. ln_eps) in
+    sigmas.(i) <- sigma;
+    for j = 0 to c - 1 do
+      Mat.set y i j ((Mat.get x.value i j -. means.(i)) /. sigma)
+    done
+  done;
+  node1 x.tp y (fun d ->
+      (* dx = (d - mean(d) - y * mean(d .* y)) / sigma, row-wise. *)
+      let dx = Mat.create n c in
+      for i = 0 to n - 1 do
+        let md = ref 0.0 and mdy = ref 0.0 in
+        for j = 0 to c - 1 do
+          md := !md +. Mat.get d i j;
+          mdy := !mdy +. (Mat.get d i j *. Mat.get y i j)
+        done;
+        let md = !md /. fc and mdy = !mdy /. fc in
+        for j = 0 to c - 1 do
+          Mat.set dx i j
+            ((Mat.get d i j -. md -. (Mat.get y i j *. mdy)) /. sigmas.(i))
+        done
+      done;
+      Mat.add_in_place (gacc x) dx)
+
+let gather_rows e idx =
+  let c = Mat.cols e.value in
+  let y = Mat.init (Array.length idx) c (fun i j -> Mat.get e.value idx.(i) j) in
+  node1 e.tp y (fun d ->
+      let ge = gacc e in
+      Array.iteri
+        (fun i r ->
+          for j = 0 to c - 1 do
+            Mat.set ge r j (Mat.get ge r j +. Mat.get d i j)
+          done)
+        idx)
+
+let slice_cols x start n =
+  node1 x.tp (Mat.sub_cols x.value start n) (fun d ->
+      let gx = gacc x in
+      for i = 0 to Mat.rows d - 1 do
+        for j = 0 to n - 1 do
+          Mat.set gx i (start + j) (Mat.get gx i (start + j) +. Mat.get d i j)
+        done
+      done)
+
+let slice_rows x start n =
+  node1 x.tp (Mat.sub_rows x.value start n) (fun d ->
+      let gx = gacc x in
+      for i = 0 to n - 1 do
+        for j = 0 to Mat.cols d - 1 do
+          Mat.set gx (start + i) j (Mat.get gx (start + i) j +. Mat.get d i j)
+        done
+      done)
+
+let hcat vs =
+  match vs with
+  | [] -> invalid_arg "Autodiff.hcat: empty"
+  | [ x ] -> x
+  | first :: _ ->
+      let value = List.fold_left (fun acc x -> Mat.hcat acc x.value) (Mat.copy first.value) (List.tl vs) in
+      node1 first.tp value (fun d ->
+          let off = ref 0 in
+          List.iter
+            (fun x ->
+              let w = Mat.cols x.value in
+              Mat.add_in_place (gacc x) (Mat.sub_cols d !off w);
+              off := !off + w)
+            vs)
+
+let cross_entropy_loss logits label =
+  if Mat.rows logits.value <> 1 then
+    invalid_arg "Autodiff.cross_entropy_loss: logits must be 1 x C";
+  let z = Mat.row logits.value 0 in
+  if label < 0 || label >= Array.length z then
+    invalid_arg "Autodiff.cross_entropy_loss: label out of range";
+  let lse = Vecops.logsumexp z in
+  let loss = lse -. z.(label) in
+  node1 logits.tp (Mat.make 1 1 loss) (fun d ->
+      let dscale = Mat.get d 0 0 in
+      let p = Vecops.softmax z in
+      let g = gacc logits in
+      Array.iteri
+        (fun j pj ->
+          let delta = if j = label then 1.0 else 0.0 in
+          Mat.set g 0 j (Mat.get g 0 j +. (dscale *. (pj -. delta))))
+        p)
+
+let mean_of vs =
+  match vs with
+  | [] -> invalid_arg "Autodiff.mean_of: empty"
+  | v :: rest ->
+      let s = List.fold_left add v rest in
+      scale (1.0 /. float_of_int (List.length vs)) s
+
+let backward tp out =
+  if Mat.rows out.value <> 1 || Mat.cols out.value <> 1 then
+    invalid_arg "Autodiff.backward: output must be 1 x 1";
+  (gacc out).Mat.data.(0) <- 1.0;
+  List.iter (fun f -> f ()) tp.tape;
+  tp.tape <- []

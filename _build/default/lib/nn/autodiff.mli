@@ -1,0 +1,106 @@
+(** Tape-based reverse-mode automatic differentiation over {!Tensor.Mat}.
+
+    The paper's experiments certify networks *trained from scratch*; since
+    no OCaml tensor/autodiff library is available in this environment, we
+    provide our own. The design is a classic Wengert tape: every operation
+    records a backward closure; {!backward} seeds the output gradient and
+    replays the tape in reverse.
+
+    Typical usage:
+    {[
+      let tape = Autodiff.create () in
+      let w = Autodiff.leaf tape w_mat in
+      let y = Autodiff.(matmul (const tape x) w) in
+      let loss = Autodiff.cross_entropy_loss y label in
+      Autodiff.backward tape loss;
+      let dw = Autodiff.grad w in
+      ...
+    ]} *)
+
+type t
+(** A tape recording the computation. *)
+
+type v
+(** A differentiable matrix value bound to a tape. *)
+
+val create : unit -> t
+(** Fresh empty tape. *)
+
+val const : t -> Tensor.Mat.t -> v
+(** A value whose gradient is not needed (inputs, masks). *)
+
+val leaf : t -> Tensor.Mat.t -> v
+(** A differentiable leaf (parameter). Read its gradient with {!grad}
+    after {!backward}. *)
+
+val param : t -> Tensor.Mat.t -> v
+(** Like {!leaf}, but memoized per tape by the physical identity of the
+    matrix: calling [param tp m] twice returns the same node, so gradient
+    contributions from all uses accumulate. {!param_grads} retrieves all
+    parameter gradients after the backward pass. *)
+
+val param_grads : t -> (Tensor.Mat.t * Tensor.Mat.t) list
+(** All [(parameter storage, gradient)] pairs for nodes created with
+    {!param} on this tape. *)
+
+val value : v -> Tensor.Mat.t
+(** Forward value. *)
+
+val grad : v -> Tensor.Mat.t
+(** Accumulated gradient; zero matrix if the node was never reached. *)
+
+(** {1 Operations} *)
+
+val matmul : v -> v -> v
+val add : v -> v -> v
+val sub : v -> v -> v
+val hadamard : v -> v -> v
+val scale : float -> v -> v
+val transpose : v -> v
+
+val add_bias : v -> v -> v
+(** [add_bias x b] adds the [1 x n] row [b] to every row of [x]. *)
+
+val mul_rows : v -> v -> v
+(** [mul_rows x g] multiplies every row of [x] entrywise by the [1 x n]
+    row [g]. *)
+
+val relu : v -> v
+val tanh_ : v -> v
+
+val softmax_rows : v -> v
+(** Row-wise softmax (numerically stable). *)
+
+val center_rows : v -> v
+(** Subtracts the row mean from each row — the paper's default
+    normalization (no division by the standard deviation). *)
+
+val normalize_rows_std : v -> v
+(** Full layer-norm core: subtract the row mean and divide by the row
+    standard deviation (epsilon-stabilized). *)
+
+val gather_rows : v -> int array -> v
+(** [gather_rows e idx] selects rows of [e]; the backward pass
+    scatter-adds into the selected rows (embedding lookup). *)
+
+val slice_cols : v -> int -> int -> v
+(** [slice_cols x start n] takes columns [start .. start+n-1]. *)
+
+val slice_rows : v -> int -> int -> v
+(** [slice_rows x start n] takes rows [start .. start+n-1]. *)
+
+val hcat : v list -> v
+(** Horizontal concatenation of at least one value. *)
+
+val cross_entropy_loss : v -> int -> v
+(** [cross_entropy_loss logits label] for [1 x C] logits: the stable
+    softmax cross entropy [logsumexp logits - logits.(label)], as a
+    [1 x 1] value. *)
+
+val mean_of : v list -> v
+(** Arithmetic mean of [1 x 1] values (batch loss). *)
+
+val backward : t -> v -> unit
+(** [backward tape out] seeds the gradient of the [1 x 1] value [out]
+    with 1 and propagates through the tape. Raises [Invalid_argument]
+    if [out] is not [1 x 1]. *)

@@ -1,0 +1,23 @@
+(** Concrete (floating-point) execution of {!Ir.program}s.
+
+    This is the reference semantics that every abstract interpreter in the
+    repository over-approximates; soundness tests compare abstract bounds
+    against values computed here. *)
+
+val attention : Ir.attention -> Tensor.Mat.t -> Tensor.Mat.t
+(** Multi-head self-attention on an [n x d] input (Eq. 1 of the paper). *)
+
+val run : Ir.program -> Tensor.Mat.t -> Tensor.Mat.t
+(** [run p x] evaluates the program on input [x] ([n x input_dim]) and
+    returns the output value. *)
+
+val run_all : Ir.program -> Tensor.Mat.t -> Tensor.Mat.t array
+(** Like {!run} but returns every intermediate value ([length] =
+    [Ir.num_values p]); index 0 is the input. *)
+
+val logits : Ir.program -> Tensor.Mat.t -> float array
+(** [logits p x] runs the program and returns the (single) output row.
+    Raises [Invalid_argument] if the output has more than one row. *)
+
+val predict : Ir.program -> Tensor.Mat.t -> int
+(** Argmax class of {!logits}. *)

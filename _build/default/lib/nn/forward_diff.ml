@@ -1,0 +1,63 @@
+open Tensor
+module A = Autodiff
+
+let attention tp (att : Ir.attention) x =
+  let adk = Mat.cols att.wq and adv = Mat.cols att.wv in
+  let dk = adk / att.heads and dv = adv / att.heads in
+  let proj w b = A.add_bias (A.matmul x (A.const tp w)) (A.const tp (Mat.row_vector b)) in
+  let q = proj att.wq att.bq in
+  let k = proj att.wk att.bk in
+  let v = proj att.wv att.bv in
+  let scale = 1.0 /. sqrt (float_of_int dk) in
+  let heads =
+    List.init att.heads (fun h ->
+        let qh = A.slice_cols q (h * dk) dk in
+        let kh = A.slice_cols k (h * dk) dk in
+        let vh = A.slice_cols v (h * dv) dv in
+        let scores = A.scale scale (A.matmul qh (A.transpose kh)) in
+        A.matmul (A.softmax_rows scores) vh)
+  in
+  A.add_bias
+    (A.matmul (A.hcat heads) (A.const tp att.wo))
+    (A.const tp (Mat.row_vector att.bo))
+
+let run tp (p : Ir.program) x0 =
+  let vals = Array.make (Ir.num_values p) x0 in
+  Array.iteri
+    (fun i (op : Ir.op) ->
+      let out =
+        match op with
+        | Ir.Linear { src; w; b } ->
+            A.add_bias
+              (A.matmul vals.(src) (A.const tp w))
+              (A.const tp (Mat.row_vector b))
+        | Ir.Relu src -> A.relu vals.(src)
+        | Ir.Tanh src -> A.tanh_ vals.(src)
+        | Ir.Add (a, b) -> A.add vals.(a) vals.(b)
+        | Ir.Center_norm { src; gamma; beta; divide_std } ->
+            let centered =
+              if divide_std then A.normalize_rows_std vals.(src)
+              else A.center_rows vals.(src)
+            in
+            A.add_bias
+              (A.mul_rows centered (A.const tp (Mat.row_vector gamma)))
+              (A.const tp (Mat.row_vector beta))
+        | Ir.Self_attention { src; att } -> attention tp att vals.(src)
+        | Ir.Pool_first src -> A.slice_rows vals.(src) 0 1
+        | Ir.Positional { src; pos } ->
+            let n = Mat.rows (A.value vals.(src)) in
+            A.add vals.(src) (A.const tp (Mat.sub_rows pos 0 n))
+      in
+      vals.(i + 1) <- out)
+    p.ops;
+  vals.(Ir.output_id p)
+
+let input_gradient (p : Ir.program) x ~loss_class =
+  let tp = A.create () in
+  let input = A.param tp (Mat.copy x) in
+  let logits = run tp p input in
+  if Mat.rows (A.value logits) <> 1 then
+    invalid_arg "Forward_diff.input_gradient: output is not a single row";
+  let loss = A.cross_entropy_loss logits loss_class in
+  A.backward tp loss;
+  A.grad input

@@ -1,0 +1,16 @@
+(** Differentiable execution of {!Ir.program}s.
+
+    Like {!Forward}, but through {!Autodiff}, so gradients with respect
+    to the {e input} are available — the engine behind gradient-based
+    adversarial attacks (and a second, independently derived semantics
+    that the tests compare against {!Forward}). Program weights are
+    treated as constants. *)
+
+val run : Autodiff.t -> Ir.program -> Autodiff.v -> Autodiff.v
+(** [run tape p x] evaluates the program on the differentiable input. *)
+
+val input_gradient :
+  Ir.program -> Tensor.Mat.t -> loss_class:int -> Tensor.Mat.t
+(** Gradient of the cross-entropy loss of class [loss_class] with respect
+    to the input, evaluated at [x]. Raises [Invalid_argument] if the
+    program output is not a single row. *)

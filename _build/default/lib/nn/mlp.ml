@@ -1,0 +1,102 @@
+open Tensor
+
+type t = { dims : int list; ws : Mat.t array; bs : Mat.t array }
+
+let create rng ~dims =
+  (match dims with
+  | [] | [ _ ] -> invalid_arg "Mlp.create: need at least two dims"
+  | _ -> ());
+  let pairs =
+    let rec go = function
+      | a :: (b :: _ as rest) -> (a, b) :: go rest
+      | _ -> []
+    in
+    go dims
+  in
+  let ws =
+    Array.of_list
+      (List.map
+         (fun (a, b) ->
+           let s = sqrt (6.0 /. float_of_int (a + b)) in
+           Mat.random_uniform rng a b s)
+         pairs)
+  in
+  let bs = Array.of_list (List.map (fun (_, b) -> Mat.create 1 b) pairs) in
+  { dims; ws; bs }
+
+let parameters m =
+  List.concat
+    (List.init (Array.length m.ws) (fun i ->
+         [ (Printf.sprintf "w%d" i, m.ws.(i)); (Printf.sprintf "b%d" i, m.bs.(i)) ]))
+
+let forward tp m x =
+  let module A = Autodiff in
+  let n = Array.length m.ws in
+  let h = ref (A.const tp x) in
+  for i = 0 to n - 1 do
+    let z = A.add_bias (A.matmul !h (A.param tp m.ws.(i))) (A.param tp m.bs.(i)) in
+    h := if i < n - 1 then A.relu z else z
+  done;
+  !h
+
+let to_ir m =
+  let n = Array.length m.ws in
+  let ops = ref [] in
+  let cur = ref 0 and count = ref 0 in
+  for i = 0 to n - 1 do
+    ops := Ir.Linear { src = !cur; w = Mat.copy m.ws.(i); b = Mat.row m.bs.(i) 0 } :: !ops;
+    incr count;
+    cur := !count;
+    if i < n - 1 then begin
+      ops := Ir.Relu !cur :: !ops;
+      incr count;
+      cur := !count
+    end
+  done;
+  let p : Ir.program =
+    { input_dim = List.hd m.dims; ops = Array.of_list (List.rev !ops) }
+  in
+  Ir.validate_exn p;
+  p
+
+let train ?(log = fun _ -> ()) ?(epochs = 10) ?(batch = 16) ?(lr = 2e-3) ~rng m
+    pairs =
+  let params = parameters m in
+  let opt = Train.adam ~lr params in
+  let data = Array.of_list pairs in
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Mlp.train: no examples";
+  for epoch = 1 to epochs do
+    Rng.shuffle rng data;
+    let epoch_loss = ref 0.0 in
+    let idx = ref 0 in
+    while !idx < n do
+      let bsize = min batch (n - !idx) in
+      let tp = Autodiff.create () in
+      let losses =
+        List.init bsize (fun k ->
+            let x, label = data.(!idx + k) in
+            Autodiff.cross_entropy_loss (forward tp m x) label)
+      in
+      let loss = Autodiff.mean_of losses in
+      Autodiff.backward tp loss;
+      epoch_loss := !epoch_loss +. Mat.get (Autodiff.value loss) 0 0;
+      let grads =
+        List.filter_map
+          (fun (mat, g) ->
+            match List.find_opt (fun (_, m0) -> m0 == mat) params with
+            | Some (name, _) -> Some (name, g)
+            | None -> None)
+          (Autodiff.param_grads tp)
+      in
+      Train.step opt grads;
+      idx := !idx + bsize
+    done;
+    let acc =
+      let prog = to_ir m in
+      Train.accuracy_ir prog pairs
+    in
+    log { Train.epoch; loss = !epoch_loss; train_acc = acc }
+  done
+
+let accuracy m pairs = Train.accuracy_ir (to_ir m) pairs

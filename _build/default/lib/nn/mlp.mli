@@ -1,0 +1,26 @@
+(** Plain fully-connected ReLU classifiers.
+
+    Used for the Appendix A.2 experiment (the tiny FC network compared
+    against the complete verifier) and as a generic building block. *)
+
+type t
+
+val create : Tensor.Rng.t -> dims:int list -> t
+(** [create rng ~dims] with [dims = [d_in; h1; ...; n_classes]] builds a
+    ReLU MLP ([length dims - 1] linear layers, ReLU between them, no
+    activation after the last). *)
+
+val parameters : t -> (string * Tensor.Mat.t) list
+
+val forward : Autodiff.t -> t -> Tensor.Mat.t -> Autodiff.v
+(** Differentiable forward pass on a [1 x d_in] input. *)
+
+val to_ir : t -> Ir.program
+
+val train :
+  ?log:(Train.report -> unit) ->
+  ?epochs:int -> ?batch:int -> ?lr:float ->
+  rng:Tensor.Rng.t -> t -> (Tensor.Mat.t * int) list -> unit
+(** Adam training on (input, label) pairs. *)
+
+val accuracy : t -> (Tensor.Mat.t * int) list -> float

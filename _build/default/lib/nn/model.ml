@@ -1,0 +1,377 @@
+open Tensor
+
+type config = {
+  vocab_size : int;
+  max_len : int;
+  d_model : int;
+  d_hidden : int;
+  heads : int;
+  layers : int;
+  divide_std : bool;
+  n_classes : int;
+  patch_dim : int option;
+}
+
+let default_config =
+  {
+    vocab_size = 128;
+    max_len = 16;
+    d_model = 24;
+    d_hidden = 24;
+    heads = 4;
+    layers = 3;
+    divide_std = false;
+    n_classes = 2;
+    patch_dim = None;
+  }
+
+type layer = {
+  wq : Mat.t;
+  bq : Mat.t;
+  wk : Mat.t;
+  bk : Mat.t;
+  wv : Mat.t;
+  bv : Mat.t;
+  wo : Mat.t;
+  bo : Mat.t;
+  g1 : Mat.t;
+  n1 : Mat.t;
+  fw1 : Mat.t;
+  fb1 : Mat.t;
+  fw2 : Mat.t;
+  fb2 : Mat.t;
+  g2 : Mat.t;
+  n2 : Mat.t;
+}
+
+type t = {
+  cfg : config;
+  embed : Mat.t;  (* vocab x d (NLP) *)
+  patch_w : Mat.t;  (* patch_dim x d (vision) *)
+  patch_b : Mat.t;
+  pos : Mat.t;  (* max_len x d *)
+  enc : layer array;
+  pool_w : Mat.t;
+  pool_b : Mat.t;
+  cls_w : Mat.t;
+  cls_b : Mat.t;
+}
+
+let config m = m.cfg
+
+let xavier rng fan_in fan_out =
+  let s = sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
+  Mat.random_uniform rng fan_in fan_out s
+
+let create rng cfg =
+  if cfg.d_model mod cfg.heads <> 0 then
+    invalid_arg "Model.create: heads must divide d_model";
+  let d = cfg.d_model in
+  (* Residual-branch outputs (wo, fw2) are scaled down by 1/sqrt(2 M), the
+     standard remedy for training deep post-norm stacks from scratch:
+     without it the residual stream's magnitude grows with depth and the
+     6/12-layer models never leave chance accuracy. *)
+  let residual_scale = 1.0 /. sqrt (2.0 *. float_of_int (max 1 cfg.layers)) in
+  let mk_layer () =
+    {
+      wq = xavier rng d d;
+      bq = Mat.create 1 d;
+      wk = xavier rng d d;
+      bk = Mat.create 1 d;
+      wv = xavier rng d d;
+      bv = Mat.create 1 d;
+      wo = Mat.scale residual_scale (xavier rng d d);
+      bo = Mat.create 1 d;
+      g1 = Mat.make 1 d 1.0;
+      n1 = Mat.create 1 d;
+      fw1 = xavier rng d cfg.d_hidden;
+      fb1 = Mat.create 1 cfg.d_hidden;
+      fw2 = Mat.scale residual_scale (xavier rng cfg.d_hidden d);
+      fb2 = Mat.create 1 d;
+      g2 = Mat.make 1 d 1.0;
+      n2 = Mat.create 1 d;
+    }
+  in
+  let patch_dim = Option.value cfg.patch_dim ~default:1 in
+  {
+    cfg;
+    embed = Mat.random_gaussian rng cfg.vocab_size d 0.5;
+    patch_w = xavier rng patch_dim d;
+    patch_b = Mat.create 1 d;
+    pos = Mat.random_gaussian rng cfg.max_len d 0.1;
+    enc = Array.init cfg.layers (fun _ -> mk_layer ());
+    pool_w = xavier rng d d;
+    pool_b = Mat.create 1 d;
+    cls_w = xavier rng d cfg.n_classes;
+    cls_b = Mat.create 1 cfg.n_classes;
+  }
+
+let parameters m =
+  let base =
+    match m.cfg.patch_dim with
+    | None -> [ ("embed", m.embed); ("pos", m.pos) ]
+    | Some _ -> [ ("patch.w", m.patch_w); ("patch.b", m.patch_b); ("pos", m.pos) ]
+  in
+  let enc =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i l ->
+              let p name mat = (Printf.sprintf "layer%d.%s" i name, mat) in
+              [
+                p "wq" l.wq; p "bq" l.bq; p "wk" l.wk; p "bk" l.bk;
+                p "wv" l.wv; p "bv" l.bv; p "wo" l.wo; p "bo" l.bo;
+                p "g1" l.g1; p "n1" l.n1;
+                p "fw1" l.fw1; p "fb1" l.fb1; p "fw2" l.fw2; p "fb2" l.fb2;
+                p "g2" l.g2; p "n2" l.n2;
+              ])
+            m.enc))
+  in
+  base @ enc
+  @ [ ("pool.w", m.pool_w); ("pool.b", m.pool_b); ("cls.w", m.cls_w); ("cls.b", m.cls_b) ]
+
+(* ---------------- differentiable forward ---------------- *)
+
+let attention_fwd tp m (l : layer) x =
+  let module A = Autodiff in
+  let d = m.cfg.d_model in
+  let heads = m.cfg.heads in
+  let dk = d / heads in
+  let q = A.add_bias (A.matmul x (A.param tp l.wq)) (A.param tp l.bq) in
+  let k = A.add_bias (A.matmul x (A.param tp l.wk)) (A.param tp l.bk) in
+  let v = A.add_bias (A.matmul x (A.param tp l.wv)) (A.param tp l.bv) in
+  let scale = 1.0 /. sqrt (float_of_int dk) in
+  let zs =
+    List.init heads (fun h ->
+        let qh = A.slice_cols q (h * dk) dk in
+        let kh = A.slice_cols k (h * dk) dk in
+        let vh = A.slice_cols v (h * dk) dk in
+        let scores = A.scale scale (A.matmul qh (A.transpose kh)) in
+        A.matmul (A.softmax_rows scores) vh)
+  in
+  A.add_bias (A.matmul (A.hcat zs) (A.param tp l.wo)) (A.param tp l.bo)
+
+let norm_fwd tp m gamma beta x =
+  let module A = Autodiff in
+  let centered =
+    if m.cfg.divide_std then A.normalize_rows_std x else A.center_rows x
+  in
+  A.add_bias (A.mul_rows centered (A.param tp gamma)) (A.param tp beta)
+
+let encoder_fwd tp m x0 =
+  let module A = Autodiff in
+  let x = ref x0 in
+  Array.iter
+    (fun l ->
+      let z = attention_fwd tp m l !x in
+      let x1 = norm_fwd tp m l.g1 l.n1 (A.add !x z) in
+      let h = A.relu (A.add_bias (A.matmul x1 (A.param tp l.fw1)) (A.param tp l.fb1)) in
+      let f = A.add_bias (A.matmul h (A.param tp l.fw2)) (A.param tp l.fb2) in
+      x := norm_fwd tp m l.g2 l.n2 (A.add x1 f))
+    m.enc;
+  let pooled = A.slice_rows !x 0 1 in
+  let hid =
+    A.tanh_ (A.add_bias (A.matmul pooled (A.param tp m.pool_w)) (A.param tp m.pool_b))
+  in
+  A.add_bias (A.matmul hid (A.param tp m.cls_w)) (A.param tp m.cls_b)
+
+let positional_v tp m n x =
+  let module A = Autodiff in
+  A.add x (A.slice_rows (A.param tp m.pos) 0 n)
+
+let forward_tokens tp m tokens =
+  if m.cfg.patch_dim <> None then
+    invalid_arg "Model.forward_tokens: vision-mode model";
+  let n = Array.length tokens in
+  if n = 0 || n > m.cfg.max_len then invalid_arg "Model.forward_tokens: bad length";
+  let module A = Autodiff in
+  let x = A.gather_rows (A.param tp m.embed) tokens in
+  encoder_fwd tp m (positional_v tp m n x)
+
+let forward_input tp m input =
+  let module A = Autodiff in
+  let n = Mat.rows input in
+  if n = 0 || n > m.cfg.max_len then invalid_arg "Model.forward_input: bad length";
+  match m.cfg.patch_dim with
+  | None -> encoder_fwd tp m (positional_v tp m n (A.const tp input))
+  | Some pd ->
+      if Mat.cols input <> pd then
+        invalid_arg "Model.forward_input: patch dim mismatch";
+      let x =
+        A.add_bias (A.matmul (A.const tp input) (A.param tp m.patch_w))
+          (A.param tp m.patch_b)
+      in
+      encoder_fwd tp m (positional_v tp m n x)
+
+(* ---------------- concrete embedding ---------------- *)
+
+let embed_tokens m tokens =
+  let n = Array.length tokens in
+  if n = 0 || n > m.cfg.max_len then invalid_arg "Model.embed_tokens: bad length";
+  Mat.init n m.cfg.d_model (fun i j ->
+      Mat.get m.embed tokens.(i) j +. Mat.get m.pos i j)
+
+let embedding_row m tok = Mat.row m.embed tok
+
+(* ---------------- persistence ---------------- *)
+
+let magic = "deept-nn-model v1"
+
+let save path m =
+  let dir = Filename.dirname path in
+  let rec mkdir_p d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  mkdir_p dir;
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "%s\n" magic;
+      let c = m.cfg in
+      Printf.fprintf oc "config %d %d %d %d %d %d %b %d %d\n" c.vocab_size
+        c.max_len c.d_model c.d_hidden c.heads c.layers c.divide_std c.n_classes
+        (Option.value c.patch_dim ~default:(-1));
+      List.iter
+        (fun (name, mat) ->
+          Printf.fprintf oc "param %s %d %d\n" name (Mat.rows mat) (Mat.cols mat);
+          Array.iteri
+            (fun i x ->
+              if i > 0 then output_char oc ' ';
+              Printf.fprintf oc "%h" x)
+            mat.Mat.data;
+          output_char oc '\n')
+        (parameters m))
+
+let load path =
+  In_channel.with_open_text path (fun ic ->
+      let line () =
+        match In_channel.input_line ic with
+        | Some l -> l
+        | None -> failwith "Model.load: unexpected end of file"
+      in
+      if line () <> magic then failwith "Model.load: bad magic";
+      let cfg =
+        match String.split_on_char ' ' (line ()) with
+        | [ "config"; vs; ml; dm; dh; h; l; ds; nc; pd ] ->
+            {
+              vocab_size = int_of_string vs;
+              max_len = int_of_string ml;
+              d_model = int_of_string dm;
+              d_hidden = int_of_string dh;
+              heads = int_of_string h;
+              layers = int_of_string l;
+              divide_std = bool_of_string ds;
+              n_classes = int_of_string nc;
+              patch_dim =
+                (let p = int_of_string pd in
+                 if p < 0 then None else Some p);
+            }
+        | _ -> failwith "Model.load: bad config line"
+      in
+      let m = create (Rng.create 0) cfg in
+      let params = parameters m in
+      let rec fill () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some header ->
+            (match String.split_on_char ' ' header with
+            | [ "param"; name; r; c ] ->
+                let r = int_of_string r and c = int_of_string c in
+                let mat =
+                  match List.assoc_opt name params with
+                  | Some mat -> mat
+                  | None -> failwith ("Model.load: unknown parameter " ^ name)
+                in
+                if Mat.rows mat <> r || Mat.cols mat <> c then
+                  failwith ("Model.load: shape mismatch for " ^ name);
+                let toks =
+                  String.split_on_char ' ' (line ())
+                  |> List.filter (fun t -> t <> "")
+                in
+                if List.length toks <> r * c then
+                  failwith ("Model.load: bad data for " ^ name);
+                List.iteri
+                  (fun i t -> mat.Mat.data.(i) <- float_of_string t)
+                  toks
+            | _ -> failwith "Model.load: bad param header");
+            fill ()
+      in
+      fill ();
+      m)
+
+(* ---------------- compilation to IR ---------------- *)
+
+let to_ir m =
+  let ops = ref [] in
+  let count = ref 0 in
+  let emit op =
+    ops := op :: !ops;
+    incr count;
+    !count
+  in
+  let start =
+    match m.cfg.patch_dim with
+    | None -> 0
+    | Some _ ->
+        let lin =
+          emit (Ir.Linear { src = 0; w = Mat.copy m.patch_w; b = Mat.row m.patch_b 0 })
+        in
+        emit (Ir.Positional { src = lin; pos = Mat.copy m.pos })
+  in
+  let cur = ref start in
+  Array.iter
+    (fun l ->
+      let att : Ir.attention =
+        {
+          heads = m.cfg.heads;
+          wq = Mat.copy l.wq;
+          bq = Mat.row l.bq 0;
+          wk = Mat.copy l.wk;
+          bk = Mat.row l.bk 0;
+          wv = Mat.copy l.wv;
+          bv = Mat.row l.bv 0;
+          wo = Mat.copy l.wo;
+          bo = Mat.row l.bo 0;
+        }
+      in
+      let z = emit (Ir.Self_attention { src = !cur; att }) in
+      let r1 = emit (Ir.Add (!cur, z)) in
+      let x1 =
+        emit
+          (Ir.Center_norm
+             {
+               src = r1;
+               gamma = Mat.row l.g1 0;
+               beta = Mat.row l.n1 0;
+               divide_std = m.cfg.divide_std;
+             })
+      in
+      let h = emit (Ir.Linear { src = x1; w = Mat.copy l.fw1; b = Mat.row l.fb1 0 }) in
+      let hr = emit (Ir.Relu h) in
+      let f = emit (Ir.Linear { src = hr; w = Mat.copy l.fw2; b = Mat.row l.fb2 0 }) in
+      let r2 = emit (Ir.Add (x1, f)) in
+      let x2 =
+        emit
+          (Ir.Center_norm
+             {
+               src = r2;
+               gamma = Mat.row l.g2 0;
+               beta = Mat.row l.n2 0;
+               divide_std = m.cfg.divide_std;
+             })
+      in
+      cur := x2)
+    m.enc;
+  let pooled = emit (Ir.Pool_first !cur) in
+  let ph = emit (Ir.Linear { src = pooled; w = Mat.copy m.pool_w; b = Mat.row m.pool_b 0 }) in
+  let pt = emit (Ir.Tanh ph) in
+  let _logits =
+    emit (Ir.Linear { src = pt; w = Mat.copy m.cls_w; b = Mat.row m.cls_b 0 })
+  in
+  let input_dim =
+    match m.cfg.patch_dim with None -> m.cfg.d_model | Some pd -> pd
+  in
+  let p : Ir.program = { input_dim; ops = Array.of_list (List.rev !ops) } in
+  Ir.validate_exn p;
+  p

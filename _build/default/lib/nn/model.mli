@@ -1,0 +1,81 @@
+(** Trainable Transformer encoder classifiers.
+
+    A [Model.t] owns all parameters (embeddings, attention projections,
+    feed-forward weights, normalization scales, pooler and classifier) and
+    provides:
+
+    - a differentiable forward pass ({!forward_tokens} / {!forward_input})
+      used by the trainer,
+    - compilation to the shared {!Ir.program} used by every verifier
+      ({!to_ir}),
+    - construction of the concrete verifier input ({!embed_tokens}).
+
+    The architecture follows Section 3.1 of the paper: token embedding +
+    positional encoding, [M] layers of (multi-head self-attention, residual,
+    center-norm, feed-forward ReLU net, residual, center-norm), first-token
+    pooling, a tanh hidden layer and a linear classifier. *)
+
+type config = {
+  vocab_size : int;  (** token vocabulary size (NLP mode) *)
+  max_len : int;  (** maximum sequence length (positional table size) *)
+  d_model : int;  (** embedding size E *)
+  d_hidden : int;  (** feed-forward hidden size H *)
+  heads : int;  (** attention heads A *)
+  layers : int;  (** Transformer layers M *)
+  divide_std : bool;
+      (** if true, layer normalization divides by the standard deviation
+          (Section 6.6); the paper's default is [false] *)
+  n_classes : int;  (** classifier output size (2 for sentiment) *)
+  patch_dim : int option;
+      (** [Some k]: vision mode — the input is an [n x k] patch matrix
+          embedded by a trainable linear map before the positional
+          encoding (Appendix A.3). [None]: NLP token mode. *)
+}
+
+val default_config : config
+(** Small sentiment model: vocab 128, max_len 16, E 24, H 24, 4 heads,
+    3 layers, no std division, 2 classes. *)
+
+type t
+(** A model with all its parameters. *)
+
+val config : t -> config
+
+val create : Tensor.Rng.t -> config -> t
+(** Random initialization (Xavier-style for projections). *)
+
+val parameters : t -> (string * Tensor.Mat.t) list
+(** All trainable parameters with stable names. The matrices are the live
+    storage: the optimizer updates them in place. *)
+
+val forward_tokens : Autodiff.t -> t -> int array -> Autodiff.v
+(** Differentiable forward pass from token ids to [1 x n_classes] logits.
+    Only valid in NLP mode ([patch_dim = None]). *)
+
+val forward_input : Autodiff.t -> t -> Tensor.Mat.t -> Autodiff.v
+(** Differentiable forward pass from a raw input matrix. In NLP mode the
+    input is an embedded sequence {e without} positional encoding (it is
+    added inside, and the embedding table receives no gradient) — used for
+    noise-augmented training. In vision mode the input is an
+    [n x patch_dim] patch matrix. *)
+
+val embed_tokens : t -> int array -> Tensor.Mat.t
+(** Concrete verifier input for a token sequence: embedding rows plus
+    positional encoding. The {!to_ir} program expects exactly this. *)
+
+val embedding_row : t -> int -> float array
+(** Raw embedding (without positional encoding) of one token. *)
+
+val save : string -> t -> unit
+(** Persists the configuration and every parameter (text format,
+    hex-exact floats), creating parent directories. *)
+
+val load : string -> t
+(** Restores a model saved with {!save}.
+    @raise Failure on malformed input. *)
+
+val to_ir : t -> Ir.program
+(** Compiles the model to the verification IR. In NLP mode the program
+    input is the embedded sequence ([n x d_model], see {!embed_tokens});
+    in vision mode it is the patch matrix and the program starts with the
+    patch embedding and positional ops. *)

@@ -1,0 +1,178 @@
+open Tensor
+
+type slot = { value : Mat.t; m : Mat.t; v : Mat.t }
+
+type adam = {
+  mutable lr : float;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+  mutable t : int;
+  slots : (string, slot) Hashtbl.t;
+}
+
+let adam ?(lr = 1e-3) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) params =
+  let slots = Hashtbl.create 64 in
+  List.iter
+    (fun (name, value) ->
+      if Hashtbl.mem slots name then invalid_arg ("Train.adam: duplicate param " ^ name);
+      Hashtbl.add slots name
+        { value; m = Mat.create (Mat.rows value) (Mat.cols value);
+          v = Mat.create (Mat.rows value) (Mat.cols value) })
+    params;
+  { lr; beta1; beta2; eps; t = 0; slots }
+
+let set_lr opt lr = opt.lr <- lr
+
+let clip_norm = 5.0
+
+let step opt grads =
+  (* Global gradient clipping across all supplied gradients. *)
+  let total_sq =
+    List.fold_left
+      (fun acc (_, g) -> acc +. Mat.fold (fun a x -> a +. (x *. x)) 0.0 g)
+      0.0 grads
+  in
+  let norm = sqrt total_sq in
+  let gscale = if norm > clip_norm then clip_norm /. norm else 1.0 in
+  opt.t <- opt.t + 1;
+  let t = float_of_int opt.t in
+  let bc1 = 1.0 -. (opt.beta1 ** t) and bc2 = 1.0 -. (opt.beta2 ** t) in
+  List.iter
+    (fun (name, g) ->
+      match Hashtbl.find_opt opt.slots name with
+      | None -> invalid_arg ("Train.step: unknown param " ^ name)
+      | Some s ->
+          let n = Array.length s.value.Mat.data in
+          if Array.length g.Mat.data <> n then
+            invalid_arg ("Train.step: gradient shape mismatch for " ^ name);
+          for i = 0 to n - 1 do
+            let gi = gscale *. Array.unsafe_get g.Mat.data i in
+            let mi =
+              (opt.beta1 *. Array.unsafe_get s.m.Mat.data i)
+              +. ((1.0 -. opt.beta1) *. gi)
+            in
+            let vi =
+              (opt.beta2 *. Array.unsafe_get s.v.Mat.data i)
+              +. ((1.0 -. opt.beta2) *. gi *. gi)
+            in
+            Array.unsafe_set s.m.Mat.data i mi;
+            Array.unsafe_set s.v.Mat.data i vi;
+            let mhat = mi /. bc1 and vhat = vi /. bc2 in
+            Array.unsafe_set s.value.Mat.data i
+              (Array.unsafe_get s.value.Mat.data i
+              -. (opt.lr *. mhat /. (sqrt vhat +. opt.eps)))
+          done)
+    grads
+
+type example = { input : int array option; matrix : Mat.t option; label : int }
+
+let token_example toks label = { input = Some toks; matrix = None; label }
+let matrix_example m label = { input = None; matrix = Some m; label }
+
+type report = { epoch : int; loss : float; train_acc : float }
+
+let forward_example tp model ~embed_noise ~rng ex =
+  match ex.input, ex.matrix with
+  | Some toks, _ ->
+      if embed_noise > 0.0 then begin
+        let d = (Model.config model).Model.d_model in
+        let x =
+          Mat.init (Array.length toks) d (fun i j ->
+              Model.embedding_row model toks.(i) |> fun row ->
+              row.(j) +. Rng.uniform rng (-.embed_noise) embed_noise)
+        in
+        Model.forward_input tp model x
+      end
+      else Model.forward_tokens tp model toks
+  | None, Some m -> Model.forward_input tp model m
+  | None, None -> invalid_arg "Train: empty example"
+
+let predict_example model ex =
+  match ex.input, ex.matrix with
+  | Some toks, _ ->
+      let tp = Autodiff.create () in
+      Vecops.argmax (Mat.row (Autodiff.value (Model.forward_tokens tp model toks)) 0)
+  | None, Some m ->
+      let tp = Autodiff.create () in
+      Vecops.argmax (Mat.row (Autodiff.value (Model.forward_input tp model m)) 0)
+  | None, None -> invalid_arg "Train: empty example"
+
+let accuracy model examples =
+  match examples with
+  | [] -> 0.0
+  | _ ->
+      let good =
+        List.fold_left
+          (fun acc ex -> if predict_example model ex = ex.label then acc + 1 else acc)
+          0 examples
+      in
+      float_of_int good /. float_of_int (List.length examples)
+
+let accuracy_ir program pairs =
+  match pairs with
+  | [] -> 0.0
+  | _ ->
+      let good =
+        List.fold_left
+          (fun acc (x, label) ->
+            if Forward.predict program x = label then acc + 1 else acc)
+          0 pairs
+      in
+      float_of_int good /. float_of_int (List.length pairs)
+
+let train_model ?(log = fun _ -> ()) ?(epochs = 10) ?(batch = 8) ?(lr = 2e-3)
+    ?(embed_noise = 0.0) ~rng model examples =
+  let params = Model.parameters model in
+  let opt = adam ~lr params in
+  let data = Array.of_list examples in
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Train.train_model: no examples";
+  let steps_per_epoch = (n + batch - 1) / batch in
+  let total_steps = epochs * steps_per_epoch in
+  let step_no = ref 0 in
+  for epoch = 1 to epochs do
+    Rng.shuffle rng data;
+    let epoch_loss = ref 0.0 in
+    let idx = ref 0 in
+    while !idx < n do
+      let bsize = min batch (n - !idx) in
+      (* Warmup over the first 10% of steps, then linear decay to 10% of
+         the peak rate — the standard schedule for training Transformer
+         stacks from scratch. *)
+      incr step_no;
+      let frac = float_of_int !step_no /. float_of_int total_steps in
+      let schedule =
+        if frac < 0.1 then frac /. 0.1 else 1.0 -. (0.9 *. ((frac -. 0.1) /. 0.9))
+      in
+      set_lr opt (lr *. schedule);
+      let tp = Autodiff.create () in
+      let losses =
+        List.init bsize (fun k ->
+            let ex = data.(!idx + k) in
+            let logits = forward_example tp model ~embed_noise ~rng ex in
+            Autodiff.cross_entropy_loss logits ex.label)
+      in
+      let loss = Autodiff.mean_of losses in
+      Autodiff.backward tp loss;
+      epoch_loss := !epoch_loss +. Mat.get (Autodiff.value loss) 0 0;
+      (* Map gradient storage back to parameter names by physical identity:
+         Model.parameters returns the live matrices the forward pass bound
+         with [Autodiff.param]. *)
+      let grads =
+        List.filter_map
+          (fun (mat, g) ->
+            match List.find_opt (fun (_, m0) -> m0 == mat) params with
+            | Some (name, _) -> Some (name, g)
+            | None -> None)
+          (Autodiff.param_grads tp)
+      in
+      step opt grads;
+      idx := !idx + bsize
+    done;
+    let report =
+      { epoch; loss = !epoch_loss /. float_of_int steps_per_epoch;
+        train_acc = accuracy model examples }
+    in
+    log report
+  done

@@ -1,0 +1,52 @@
+(** Optimization: Adam, minibatch training loops, evaluation metrics.
+
+    The trainer is generic over "a list of named parameter matrices plus a
+    per-example loss builder", so the same code trains sentiment
+    Transformers, the Vision Transformer and plain MLPs. *)
+
+type adam
+(** Adam optimizer state over a fixed parameter list. *)
+
+val adam :
+  ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float ->
+  (string * Tensor.Mat.t) list -> adam
+(** [adam params] creates optimizer state. Defaults: lr 1e-3, beta1 0.9,
+    beta2 0.999, eps 1e-8. The matrices are updated in place by {!step}. *)
+
+val set_lr : adam -> float -> unit
+(** Updates the learning rate (for schedules). *)
+
+val step : adam -> (string * Tensor.Mat.t) list -> unit
+(** [step opt grads] applies one Adam update. [grads] must name a subset
+    of the optimizer's parameters; missing parameters are left untouched
+    this step. Gradients are clipped to a global ℓ2 norm of 5. *)
+
+type example = { input : int array option; matrix : Tensor.Mat.t option; label : int }
+(** A training example: either token ids or a raw input matrix. *)
+
+val token_example : int array -> int -> example
+val matrix_example : Tensor.Mat.t -> int -> example
+
+type report = { epoch : int; loss : float; train_acc : float }
+
+val train_model :
+  ?log:(report -> unit) ->
+  ?epochs:int ->
+  ?batch:int ->
+  ?lr:float ->
+  ?embed_noise:float ->
+  rng:Tensor.Rng.t ->
+  Model.t ->
+  example list ->
+  unit
+(** Trains a {!Model.t} in place with Adam and a linear learning-rate
+    decay. [embed_noise] (NLP mode, default 0) enables noise-augmented
+    training: each token embedding is perturbed by uniform noise of that
+    ℓ∞ magnitude before the forward pass — our stand-in for the certified
+    training of Xu et al. used by the paper's Table 8 network. *)
+
+val accuracy : Model.t -> example list -> float
+(** Fraction of examples classified correctly (concrete forward). *)
+
+val accuracy_ir : Ir.program -> (Tensor.Mat.t * int) list -> float
+(** Accuracy of a compiled program on (input, label) pairs. *)

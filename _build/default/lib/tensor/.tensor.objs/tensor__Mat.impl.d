@@ -1,0 +1,1 @@
+lib/tensor/mat.ml: Array Float Format Rng

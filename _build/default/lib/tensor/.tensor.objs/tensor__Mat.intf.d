@@ -1,0 +1,1 @@
+lib/tensor/mat.mli: Format Rng

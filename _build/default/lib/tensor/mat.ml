@@ -1,0 +1,307 @@
+type t = { rows : int; cols : int; data : float array }
+
+let check_dims r c =
+  if r < 0 || c < 0 then invalid_arg "Mat: negative dimension"
+
+let create rows cols =
+  check_dims rows cols;
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let make rows cols v =
+  check_dims rows cols;
+  { rows; cols; data = Array.make (rows * cols) v }
+
+let init rows cols f =
+  check_dims rows cols;
+  let data = Array.make (rows * cols) 0.0 in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    for j = 0 to cols - 1 do
+      Array.unsafe_set data (base + j) (f i j)
+    done
+  done;
+  { rows; cols; data }
+
+let of_array ~rows ~cols data =
+  if Array.length data <> rows * cols then
+    invalid_arg "Mat.of_array: size mismatch";
+  { rows; cols; data }
+
+let of_rows rws =
+  let rows = Array.length rws in
+  if rows = 0 then { rows = 0; cols = 0; data = [||] }
+  else begin
+    let cols = Array.length rws.(0) in
+    Array.iter
+      (fun r -> if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged rows")
+      rws;
+    init rows cols (fun i j -> rws.(i).(j))
+  end
+
+let row_vector v = { rows = 1; cols = Array.length v; data = Array.copy v }
+let col_vector v = { rows = Array.length v; cols = 1; data = Array.copy v }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let random_uniform rng rows cols s =
+  init rows cols (fun _ _ -> Rng.uniform rng (-.s) s)
+
+let random_gaussian rng rows cols std =
+  init rows cols (fun _ _ -> Rng.gaussian_scaled rng ~mean:0.0 ~std)
+
+let copy m = { m with data = Array.copy m.data }
+
+let rows m = m.rows
+let cols m = m.cols
+let dims m = (m.rows, m.cols)
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Mat.get";
+  Array.unsafe_get m.data ((i * m.cols) + j)
+
+let set m i j v =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Mat.set";
+  Array.unsafe_set m.data ((i * m.cols) + j) v
+
+let row m i =
+  if i < 0 || i >= m.rows then invalid_arg "Mat.row";
+  Array.sub m.data (i * m.cols) m.cols
+
+let col m j =
+  if j < 0 || j >= m.cols then invalid_arg "Mat.col";
+  Array.init m.rows (fun i -> Array.unsafe_get m.data ((i * m.cols) + j))
+
+let to_rows m = Array.init m.rows (fun i -> row m i)
+
+let transpose m =
+  init m.cols m.rows (fun i j -> Array.unsafe_get m.data ((j * m.cols) + i))
+
+let hcat a b =
+  if a.rows <> b.rows then invalid_arg "Mat.hcat: row mismatch";
+  let cols = a.cols + b.cols in
+  let data = Array.make (a.rows * cols) 0.0 in
+  for i = 0 to a.rows - 1 do
+    Array.blit a.data (i * a.cols) data (i * cols) a.cols;
+    Array.blit b.data (i * b.cols) data ((i * cols) + a.cols) b.cols
+  done;
+  { rows = a.rows; cols; data }
+
+let vcat a b =
+  if a.cols <> b.cols then invalid_arg "Mat.vcat: column mismatch";
+  let data = Array.append a.data b.data in
+  { rows = a.rows + b.rows; cols = a.cols; data }
+
+let sub_rows m start n =
+  if start < 0 || n < 0 || start + n > m.rows then invalid_arg "Mat.sub_rows";
+  { rows = n; cols = m.cols; data = Array.sub m.data (start * m.cols) (n * m.cols) }
+
+let sub_cols m start n =
+  if start < 0 || n < 0 || start + n > m.cols then invalid_arg "Mat.sub_cols";
+  init m.rows n (fun i j -> Array.unsafe_get m.data ((i * m.cols) + start + j))
+
+let reshape m ~rows ~cols =
+  if rows * cols <> m.rows * m.cols then invalid_arg "Mat.reshape: size mismatch";
+  { rows; cols; data = Array.copy m.data }
+
+let select_cols m idx =
+  Array.iter (fun j -> if j < 0 || j >= m.cols then invalid_arg "Mat.select_cols") idx;
+  init m.rows (Array.length idx) (fun i k ->
+      Array.unsafe_get m.data ((i * m.cols) + Array.unsafe_get idx k))
+
+let map f m = { m with data = Array.map f m.data }
+
+let mapi f m =
+  init m.rows m.cols (fun i j -> f i j (Array.unsafe_get m.data ((i * m.cols) + j)))
+
+let zip f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.zip: shape mismatch";
+  let n = Array.length a.data in
+  let data = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data i
+      (f (Array.unsafe_get a.data i) (Array.unsafe_get b.data i))
+  done;
+  { a with data }
+
+let add a b = zip ( +. ) a b
+let sub a b = zip ( -. ) a b
+let mul a b = zip ( *. ) a b
+let scale s m = map (fun x -> s *. x) m
+let add_scalar s m = map (fun x -> s +. x) m
+let abs m = map Float.abs m
+let neg m = map Float.neg m
+
+let add_in_place dst src =
+  if dst.rows <> src.rows || dst.cols <> src.cols then
+    invalid_arg "Mat.add_in_place: shape mismatch";
+  for i = 0 to Array.length dst.data - 1 do
+    Array.unsafe_set dst.data i
+      (Array.unsafe_get dst.data i +. Array.unsafe_get src.data i)
+  done
+
+let axpy a x y =
+  if x.rows <> y.rows || x.cols <> y.cols then invalid_arg "Mat.axpy: shape mismatch";
+  for i = 0 to Array.length y.data - 1 do
+    Array.unsafe_set y.data i
+      (Array.unsafe_get y.data i +. (a *. Array.unsafe_get x.data i))
+  done
+
+let scale_in_place s m =
+  for i = 0 to Array.length m.data - 1 do
+    Array.unsafe_set m.data i (s *. Array.unsafe_get m.data i)
+  done
+
+let fill m v = Array.fill m.data 0 (Array.length m.data) v
+
+(* i-k-j loop order: the inner loop walks both [b] and [out] contiguously. *)
+let matmul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.matmul: inner dimension mismatch";
+  let m = a.rows and k = a.cols and n = b.cols in
+  let out = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    let arow = i * k and orow = i * n in
+    for p = 0 to k - 1 do
+      let aip = Array.unsafe_get a.data (arow + p) in
+      if aip <> 0.0 then begin
+        let brow = p * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set out (orow + j)
+            (Array.unsafe_get out (orow + j)
+            +. (aip *. Array.unsafe_get b.data (brow + j)))
+        done
+      end
+    done
+  done;
+  { rows = m; cols = n; data = out }
+
+let gemm ?(ta = false) ?(tb = false) a b =
+  let a = if ta then transpose a else a in
+  let b = if tb then transpose b else b in
+  matmul a b
+
+let mat_vec m v =
+  if Array.length v <> m.cols then invalid_arg "Mat.mat_vec: size mismatch";
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (Array.unsafe_get m.data (base + j) *. Array.unsafe_get v j)
+      done;
+      !acc)
+
+let vec_mat v m =
+  if Array.length v <> m.rows then invalid_arg "Mat.vec_mat: size mismatch";
+  let out = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let vi = Array.unsafe_get v i in
+    if vi <> 0.0 then begin
+      let base = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        Array.unsafe_set out j
+          (Array.unsafe_get out j +. (vi *. Array.unsafe_get m.data (base + j)))
+      done
+    end
+  done;
+  out
+
+let add_row_broadcast m v =
+  if Array.length v <> m.cols then invalid_arg "Mat.add_row_broadcast";
+  mapi (fun _ j x -> x +. Array.unsafe_get v j) m
+
+let mul_row_broadcast m v =
+  if Array.length v <> m.cols then invalid_arg "Mat.mul_row_broadcast";
+  mapi (fun _ j x -> x *. Array.unsafe_get v j) m
+
+let fold f acc m = Array.fold_left f acc m.data
+let sum m = fold ( +. ) 0.0 m
+let frobenius m = sqrt (fold (fun acc x -> acc +. (x *. x)) 0.0 m)
+let max_abs m = fold (fun acc x -> Float.max acc (Float.abs x)) 0.0 m
+
+let row_sums m =
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      let acc = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. Array.unsafe_get m.data (base + j)
+      done;
+      !acc)
+
+let row_means m =
+  let s = row_sums m in
+  Array.map (fun x -> x /. float_of_int m.cols) s
+
+let col_sums m =
+  let out = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let base = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      Array.unsafe_set out j
+        (Array.unsafe_get out j +. Array.unsafe_get m.data (base + j))
+    done
+  done;
+  out
+
+let row_lp_norms m p =
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      if p = infinity then begin
+        let acc = ref 0.0 in
+        for j = 0 to m.cols - 1 do
+          acc := Float.max !acc (Float.abs (Array.unsafe_get m.data (base + j)))
+        done;
+        !acc
+      end
+      else if p = 1.0 then begin
+        let acc = ref 0.0 in
+        for j = 0 to m.cols - 1 do
+          acc := !acc +. Float.abs (Array.unsafe_get m.data (base + j))
+        done;
+        !acc
+      end
+      else if p = 2.0 then begin
+        (* scaled to avoid overflow on huge entries *)
+        let mx = ref 0.0 in
+        for j = 0 to m.cols - 1 do
+          mx := Float.max !mx (Float.abs (Array.unsafe_get m.data (base + j)))
+        done;
+        if !mx = 0.0 || not (Float.is_finite !mx) then !mx
+        else begin
+          let acc = ref 0.0 in
+          for j = 0 to m.cols - 1 do
+            let x = Array.unsafe_get m.data (base + j) /. !mx in
+            acc := !acc +. (x *. x)
+          done;
+          !mx *. sqrt !acc
+        end
+      end
+      else begin
+        let acc = ref 0.0 in
+        for j = 0 to m.cols - 1 do
+          acc := !acc +. (Float.abs (Array.unsafe_get m.data (base + j)) ** p)
+        done;
+        !acc ** (1.0 /. p)
+      end)
+
+let equal ?(tol = 0.0) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a.data - 1 do
+    if Float.abs (Array.unsafe_get a.data i -. Array.unsafe_get b.data i) > tol then
+      ok := false
+  done;
+  !ok
+
+let pp ppf m =
+  let max_show = 8 in
+  Format.fprintf ppf "@[<v>mat %dx%d" m.rows m.cols;
+  for i = 0 to min m.rows max_show - 1 do
+    Format.fprintf ppf "@,[";
+    for j = 0 to min m.cols max_show - 1 do
+      Format.fprintf ppf "%s%.4g" (if j > 0 then " " else "") (get m i j)
+    done;
+    if m.cols > max_show then Format.fprintf ppf " ...";
+    Format.fprintf ppf "]"
+  done;
+  if m.rows > max_show then Format.fprintf ppf "@,...";
+  Format.fprintf ppf "@]"

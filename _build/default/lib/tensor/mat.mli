@@ -1,0 +1,155 @@
+(** Dense row-major matrices of floats.
+
+    This is the numeric workhorse of the whole library: concrete network
+    inference, autodiff, interval matrices and zonotope coefficient blocks
+    are all stored as [Mat.t]. The representation is a flat [float array]
+    indexed as [data.(r * cols + c)]; all loops are written in the
+    cache-friendly i-k-j order where it matters. *)
+
+type t = private { rows : int; cols : int; data : float array }
+(** A [rows] x [cols] matrix. The [data] array has length [rows * cols]
+    and is exposed (read-only via the private row) for hot loops. *)
+
+(** {1 Construction} *)
+
+val create : int -> int -> t
+(** [create r c] is the r x c zero matrix. *)
+
+val make : int -> int -> float -> t
+(** [make r c v] fills every entry with [v]. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+(** [init r c f] sets entry (i, j) to [f i j]. *)
+
+val of_array : rows:int -> cols:int -> float array -> t
+(** Wraps a flat row-major array (takes ownership; no copy). *)
+
+val of_rows : float array array -> t
+(** Builds a matrix from an array of equal-length rows (copies). *)
+
+val row_vector : float array -> t
+(** 1 x n matrix sharing no storage with the argument. *)
+
+val col_vector : float array -> t
+(** n x 1 matrix. *)
+
+val identity : int -> t
+(** Identity matrix. *)
+
+val random_uniform : Rng.t -> int -> int -> float -> t
+(** [random_uniform rng r c s] has entries uniform in [-s, s]. *)
+
+val random_gaussian : Rng.t -> int -> int -> float -> t
+(** [random_gaussian rng r c std] has N(0, std^2) entries. *)
+
+val copy : t -> t
+(** Deep copy. *)
+
+(** {1 Access} *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+(** Bounds-checked element access. *)
+
+val set : t -> int -> int -> float -> unit
+(** Bounds-checked element update. *)
+
+val row : t -> int -> float array
+(** [row m i] copies row [i] out. *)
+
+val col : t -> int -> float array
+(** [col m j] copies column [j] out. *)
+
+val to_rows : t -> float array array
+(** All rows, copied. *)
+
+val dims : t -> int * int
+(** [(rows, cols)]. *)
+
+(** {1 Shape surgery} *)
+
+val transpose : t -> t
+val hcat : t -> t -> t
+(** Horizontal concatenation; requires equal row counts. *)
+
+val vcat : t -> t -> t
+(** Vertical concatenation; requires equal column counts. *)
+
+val sub_rows : t -> int -> int -> t
+(** [sub_rows m start n] extracts rows [start .. start+n-1]. *)
+
+val sub_cols : t -> int -> int -> t
+(** [sub_cols m start n] extracts columns [start .. start+n-1]. *)
+
+val reshape : t -> rows:int -> cols:int -> t
+(** Reinterprets the same data with a new shape (copies; sizes must agree). *)
+
+val select_cols : t -> int array -> t
+(** [select_cols m idx] keeps the listed columns, in order. *)
+
+(** {1 Pointwise and scalar operations} *)
+
+val map : (float -> float) -> t -> t
+val mapi : (int -> int -> float -> float) -> t -> t
+val zip : (float -> float -> float) -> t -> t -> t
+(** Pointwise binary operation; shapes must match. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Hadamard (entrywise) product. *)
+
+val scale : float -> t -> t
+val add_scalar : float -> t -> t
+val abs : t -> t
+val neg : t -> t
+
+val add_in_place : t -> t -> unit
+(** [add_in_place dst src] accumulates [src] into [dst]. *)
+
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs y := y + a*x in place. *)
+
+val scale_in_place : float -> t -> unit
+val fill : t -> float -> unit
+
+(** {1 Linear algebra} *)
+
+val matmul : t -> t -> t
+(** [matmul a b] with a: m x k, b: k x n gives m x n. *)
+
+val gemm : ?ta:bool -> ?tb:bool -> t -> t -> t
+(** General matrix product with optional operand transposes. *)
+
+val mat_vec : t -> float array -> float array
+(** Matrix-vector product. *)
+
+val vec_mat : float array -> t -> float array
+(** Row-vector times matrix. *)
+
+val add_row_broadcast : t -> float array -> t
+(** Adds a length-[cols] vector to every row. *)
+
+val mul_row_broadcast : t -> float array -> t
+(** Multiplies every row entrywise by a length-[cols] vector. *)
+
+(** {1 Reductions} *)
+
+val sum : t -> float
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+val frobenius : t -> float
+val max_abs : t -> float
+val row_sums : t -> float array
+val row_means : t -> float array
+val col_sums : t -> float array
+
+val row_lp_norms : t -> float -> float array
+(** [row_lp_norms m p] is the ℓp norm of each row; [p] may be [infinity]. *)
+
+val equal : ?tol:float -> t -> t -> bool
+(** Entrywise comparison with absolute tolerance (default 0). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable printer (truncates large matrices). *)

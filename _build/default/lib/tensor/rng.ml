@@ -1,0 +1,60 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+let copy t = { state = t.state }
+
+(* Take the top 53 bits for a uniform double in [0, 1). *)
+let float t =
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible for n << 2^63. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int n))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t =
+  (* Box-Muller; guard against log 0. *)
+  let u1 = ref (float t) in
+  while !u1 <= 1e-300 do
+    u1 := float t
+  done;
+  let u2 = float t in
+  sqrt (-2.0 *. log !u1) *. cos (2.0 *. Float.pi *. u2)
+
+let gaussian_scaled t ~mean ~std = mean +. (std *. gaussian t)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  let all = Array.init n (fun i -> i) in
+  shuffle t all;
+  Array.sub all 0 k

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the library (weight initialization,
+    dataset synthesis, sampling-based tests) draws from an explicit
+    generator state, so whole experiments are reproducible from a seed.
+    The generator is splitmix64, which has a 64-bit state, passes BigCrush
+    and supports cheap splitting. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [lo, hi). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). Requires [n > 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller). *)
+
+val gaussian_scaled : t -> mean:float -> std:float -> float
+(** Normal deviate with the given mean and standard deviation. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly random element. Requires a non-empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int array
+(** [sample_without_replacement t k n] draws [k] distinct indices from
+    [0..n-1], in random order. Requires [k <= n]. *)

@@ -1,0 +1,41 @@
+(** Operations on plain [float array] vectors.
+
+    Used wherever a full matrix is overkill: norm computations in the
+    zonotope domain, classifier logits, dataset statistics. *)
+
+val dot : float array -> float array -> float
+(** Inner product; lengths must match. *)
+
+val add : float array -> float array -> float array
+val sub : float array -> float array -> float array
+val scale : float -> float array -> float array
+val axpy : float -> float array -> float array -> unit
+(** [axpy a x y] performs y := y + a*x in place. *)
+
+val l1 : float array -> float
+(** ℓ1 norm. *)
+
+val l2 : float array -> float
+(** ℓ2 norm. *)
+
+val linf : float array -> float
+(** ℓ∞ norm. *)
+
+val lp : float array -> float -> float
+(** [lp v p] for any p >= 1, including [infinity]. *)
+
+val sum : float array -> float
+val mean : float array -> float
+val max : float array -> float
+val min : float array -> float
+val argmax : float array -> int
+(** Index of the maximum entry (first on ties); requires non-empty. *)
+
+val softmax : float array -> float array
+(** Numerically stable softmax. *)
+
+val logsumexp : float array -> float
+(** Numerically stable log of the sum of exponentials. *)
+
+val approx_equal : ?tol:float -> float array -> float array -> bool
+(** Pointwise comparison with absolute tolerance (default 1e-9). *)

@@ -1,0 +1,1 @@
+lib/text/corpus.ml: Array Format List Nn Printf Rng String Tensor

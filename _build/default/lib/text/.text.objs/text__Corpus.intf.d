@@ -1,0 +1,1 @@
+lib/text/corpus.mli: Format Nn Tensor

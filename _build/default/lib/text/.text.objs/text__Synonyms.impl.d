@@ -1,0 +1,1 @@
+lib/text/synonyms.ml: Array Corpus Hashtbl List Mat Nn Option Printf Rng Tensor

@@ -1,0 +1,1 @@
+lib/text/synonyms.mli: Corpus Nn Tensor

@@ -1,0 +1,140 @@
+open Tensor
+
+type style = Sst_like | Yelp_like
+
+type t = {
+  style : style;
+  vocab : string array;
+  n_positive : int;
+  n_negative : int;
+  train : (int array * int) list;
+  test : (int array * int) list;
+  max_len : int;
+}
+
+let cls = 0
+
+(* Small word stems so rendered sentences look plausible in examples. *)
+let positive_stems =
+  [| "great"; "lovely"; "superb"; "delightful"; "brilliant"; "charming";
+     "moving"; "fresh" |]
+
+let negative_stems =
+  [| "awful"; "dull"; "tedious"; "clumsy"; "bland"; "grim"; "hollow"; "stale" |]
+
+let neutral_stems =
+  [| "movie"; "plot"; "actor"; "scene"; "script"; "camera"; "story"; "film";
+     "the"; "a"; "with"; "very"; "quite"; "its"; "and"; "was" |]
+
+let build_vocab vocab_size =
+  if vocab_size < 16 then invalid_arg "Corpus.generate: vocabulary too small";
+  let n_sentiment = vocab_size / 4 in
+  let n_positive = n_sentiment and n_negative = n_sentiment in
+  let vocab = Array.make vocab_size "" in
+  vocab.(0) <- "[CLS]";
+  vocab.(1) <- "[UNK]";
+  for i = 0 to n_positive - 1 do
+    vocab.(2 + i) <-
+      Printf.sprintf "%s%d" positive_stems.(i mod Array.length positive_stems)
+        (i / Array.length positive_stems)
+  done;
+  for i = 0 to n_negative - 1 do
+    vocab.(2 + n_positive + i) <-
+      Printf.sprintf "%s%d" negative_stems.(i mod Array.length negative_stems)
+        (i / Array.length negative_stems)
+  done;
+  for i = 2 + n_positive + n_negative to vocab_size - 1 do
+    let k = i - 2 - n_positive - n_negative in
+    vocab.(i) <-
+      Printf.sprintf "%s%d" neutral_stems.(k mod Array.length neutral_stems)
+        (k / Array.length neutral_stems)
+  done;
+  (vocab, n_positive, n_negative)
+
+let gen_sentence rng ~style ~vocab_size ~n_positive ~n_negative ~max_len =
+  let label = if Rng.bool rng then 1 else 0 in
+  let min_len, noise_prob =
+    match style with Sst_like -> (4, 0.2) | Yelp_like -> (7, 0.05)
+  in
+  let n = min_len + Rng.int rng (max_len - min_len) in
+  let neutral_base = 2 + n_positive + n_negative in
+  let n_neutral_words = vocab_size - neutral_base in
+  let toks = Array.make n 0 in
+  toks.(0) <- cls;
+  for i = 1 to n - 1 do
+    toks.(i) <- neutral_base + Rng.int rng n_neutral_words
+  done;
+  (* Sentiment words matching the label; occasionally one conflicting word
+     (SST reviews hedge a lot, Yelp reviews rarely). *)
+  let k = 1 + Rng.int rng 2 in
+  let body_positions = Rng.sample_without_replacement rng (min k (n - 1)) (n - 1) in
+  Array.iter
+    (fun p ->
+      let id =
+        if label = 1 then 2 + Rng.int rng n_positive
+        else 2 + n_positive + Rng.int rng n_negative
+      in
+      toks.(1 + p) <- id)
+    body_positions;
+  if n > 3 && Rng.float rng < noise_prob then begin
+    let p = 1 + Rng.int rng (n - 1) in
+    if not (Array.exists (fun q -> 1 + q = p) body_positions) then
+      toks.(p) <-
+        (if label = 1 then 2 + n_positive + Rng.int rng n_negative
+         else 2 + Rng.int rng n_positive)
+  end;
+  (toks, label)
+
+let generate ?(vocab_size = 64) ?(train_size = 1600) ?(test_size = 200) ?max_len
+    rng style =
+  let max_len =
+    match max_len with
+    | Some m -> m
+    | None -> ( match style with Sst_like -> 12 | Yelp_like -> 14)
+  in
+  let vocab, n_positive, n_negative = build_vocab vocab_size in
+  let gen () =
+    gen_sentence rng ~style ~vocab_size ~n_positive ~n_negative ~max_len
+  in
+  let train = List.init train_size (fun _ -> gen ()) in
+  let test = List.init test_size (fun _ -> gen ()) in
+  { style; vocab; n_positive; n_negative; train; test; max_len }
+
+let word c id =
+  if id < 0 || id >= Array.length c.vocab then invalid_arg "Corpus.word";
+  c.vocab.(id)
+
+let is_sentiment_word c id = id >= 2 && id < 2 + c.n_positive + c.n_negative
+
+let sentence c toks =
+  String.concat " " (Array.to_list (Array.map (word c) toks))
+
+let tokenize c text =
+  let words =
+    String.split_on_char ' ' text
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "" && w <> "[CLS]")
+  in
+  let lookup w =
+    let rec find i = if i >= Array.length c.vocab then 1 (* [UNK] *)
+      else if c.vocab.(i) = w then i else find (i + 1)
+    in
+    find 0
+  in
+  let toks = cls :: List.map lookup words in
+  let toks = List.filteri (fun i _ -> i < c.max_len) toks in
+  Array.of_list toks
+
+let examples pairs =
+  List.map (fun (toks, label) -> Nn.Train.token_example toks label) pairs
+
+let pp_stats ppf c =
+  let avg l =
+    List.fold_left (fun acc (t, _) -> acc +. float_of_int (Array.length t)) 0.0 l
+    /. float_of_int (List.length l)
+  in
+  Format.fprintf ppf
+    "%s corpus: vocab %d (%d pos, %d neg), %d train / %d test, avg len %.1f"
+    (match c.style with Sst_like -> "SST-like" | Yelp_like -> "Yelp-like")
+    (Array.length c.vocab) c.n_positive c.n_negative (List.length c.train)
+    (List.length c.test) (avg c.train)

@@ -1,0 +1,59 @@
+(** Synthetic sentiment corpora — the SST / Yelp stand-ins.
+
+    The real datasets are unavailable in this environment; certification
+    experiments only need networks trained on a {e real} binary
+    classification task whose decision depends on the input tokens, so we
+    synthesize one: a vocabulary partitioned into positive, negative and
+    neutral words; sentences mix sentiment-bearing words (determining the
+    label) with neutral distractors. The two styles mirror the datasets'
+    characters: [Sst_like] sentences are short and noisy (an
+    opposite-polarity word may appear); [Yelp_like] sentences are longer
+    with a cleaner signal, mirroring the higher accuracies the paper
+    reports on Yelp.
+
+    Token 0 is the [[CLS]] marker heading every sentence — the embedding
+    the Transformer pools for classification. *)
+
+type style = Sst_like | Yelp_like
+
+type t = {
+  style : style;
+  vocab : string array;
+  n_positive : int;  (** ids [2 .. 2 + n_positive) are positive words *)
+  n_negative : int;
+  train : (int array * int) list;  (** (tokens, label); label 1 = positive *)
+  test : (int array * int) list;
+  max_len : int;
+}
+
+val cls : int
+(** The [[CLS]] token id (0). *)
+
+val generate :
+  ?vocab_size:int ->
+  ?train_size:int ->
+  ?test_size:int ->
+  ?max_len:int ->
+  Tensor.Rng.t -> style -> t
+(** Deterministic corpus from the generator state. Defaults: vocabulary
+    64, 1600 training and 200 test sentences, [max_len] 12 (SST-like) /
+    14 (Yelp-like). *)
+
+val word : t -> int -> string
+(** Vocabulary lookup. *)
+
+val is_sentiment_word : t -> int -> bool
+(** Whether a token carries polarity (candidate for synonym attack). *)
+
+val sentence : t -> int array -> string
+(** Human-readable rendering of a token sequence. *)
+
+val tokenize : t -> string -> int array
+(** Whitespace tokenizer: maps each word to its vocabulary id (the
+    [[UNK]] id for unknown words) and prepends [[CLS]]. The result is
+    truncated to [max_len]. *)
+
+val examples : (int array * int) list -> Nn.Train.example list
+(** Adapter for the trainer. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+open Tensor
+
+type t = {
+  radius : float;
+  table : (int, float array list) Hashtbl.t;  (** token -> offsets *)
+}
+
+let generate ?(max_synonyms = 6) ?(radius = 0.015) ?(coverage = 0.8) rng
+    (c : Corpus.t) ~dim =
+  if radius < 0.0 then invalid_arg "Synonyms.generate: negative radius";
+  let table = Hashtbl.create 64 in
+  let n_sentiment = c.Corpus.n_positive + c.Corpus.n_negative in
+  for id = 2 to 1 + n_sentiment do
+    if Rng.float rng < coverage then begin
+      let k = 1 + Rng.int rng max_synonyms in
+      let offs =
+        List.init k (fun _ ->
+            Array.init dim (fun _ -> Rng.uniform rng (-.radius) radius))
+      in
+      Hashtbl.replace table id offs
+    end
+  done;
+  { radius; table }
+
+let radius t = t.radius
+
+let offsets t id = Option.value (Hashtbl.find_opt t.table id) ~default:[]
+
+let names t c id =
+  List.mapi (fun i _ -> Printf.sprintf "%s~%d" (Corpus.word c id) (i + 1)) (offsets t id)
+
+let substitutions t model tokens =
+  (* Row [pos] of the embedded sequence already includes the positional
+     encoding, so a synonym's row is simply that row plus its offset. *)
+  let embedded = Nn.Model.embed_tokens model tokens in
+  let d = Mat.cols embedded in
+  let out = ref [] in
+  Array.iteri
+    (fun pos tok ->
+      match offsets t tok with
+      | [] -> ()
+      | offs ->
+          let rows =
+            List.map
+              (fun (off : float array) ->
+                Array.init d (fun j -> Mat.get embedded pos j +. off.(j)))
+              offs
+          in
+          out := (pos, rows) :: !out)
+    tokens;
+  List.rev !out
+
+let count_combinations t tokens =
+  Array.fold_left (fun acc tok -> acc * (1 + List.length (offsets t tok))) 1 tokens

@@ -1,0 +1,44 @@
+(** Synthetic synonym dictionary (threat model T2, Section 6.7).
+
+    The paper's synonym sets (Alzantot et al.) are nearest neighbours in
+    a counter-fitted embedding space — the property certification relies
+    on is purely geometric: a word's synonyms embed {e close to it}. We
+    generate exactly that geometry: each sentiment-bearing word gets up
+    to [max_synonyms] synonyms whose embeddings are the base word's
+    embedding plus a fixed small ℓ∞-bounded offset (drawn once per seed,
+    so the dictionary is deterministic and shared between certification
+    and enumeration). *)
+
+type t
+
+val generate :
+  ?max_synonyms:int ->
+  ?radius:float ->
+  ?coverage:float ->
+  Tensor.Rng.t -> Corpus.t -> dim:int -> t
+(** [generate rng corpus ~dim] draws offsets in dimension [dim] for the
+    corpus's sentiment words. Defaults: up to 6 synonyms per word,
+    ℓ∞ offset radius 0.015 (within the robust region the noise-augmented
+    training of the Table 8 network produces — the analogue of using a
+    counter-fitted space where synonyms embed very close to their base
+    word), coverage 0.8 (fraction of sentiment words that have any
+    synonyms — Table 9 shows not all words do). *)
+
+val radius : t -> float
+
+val offsets : t -> int -> float array list
+(** Offsets of a token's synonyms (empty if it has none). *)
+
+val names : t -> Corpus.t -> int -> string list
+(** Display names for a token's synonyms ("great0~1", ...). *)
+
+val substitutions :
+  t -> Nn.Model.t -> int array -> (int * float array list) list
+(** [(position, alternative embedding rows)] for every position of the
+    token sequence that has synonyms — the exact input of
+    {!Deept.Region.synonym_box} and {!Deept.Certify.enumerate_synonyms}.
+    Alternatives include the positional encoding of the position they
+    substitute at. *)
+
+val count_combinations : t -> int array -> int
+(** Number of sentences enumeration must classify for this sequence. *)

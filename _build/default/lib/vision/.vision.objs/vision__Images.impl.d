@@ -1,0 +1,1 @@
+lib/vision/images.ml: Array Float List Mat Rng Tensor

@@ -1,0 +1,1 @@
+lib/vision/images.mli: Tensor

@@ -1,0 +1,96 @@
+open Tensor
+
+type image = { pixels : float array; label : int }
+
+let side = 28
+
+let idx r c = (r * side) + c
+
+let set_px px r c v =
+  if r >= 0 && r < side && c >= 0 && c < side then
+    px.(idx r c) <- Float.max px.(idx r c) v
+
+let draw_stroke px ~r0 ~c0 ~r1 ~c1 ~thickness ~intensity =
+  let steps = 2 * side in
+  for s = 0 to steps do
+    let t = float_of_int s /. float_of_int steps in
+    let r = r0 +. (t *. (r1 -. r0)) and c = c0 +. (t *. (c1 -. c0)) in
+    let half = thickness /. 2.0 in
+    let rlo = int_of_float (Float.round (r -. half)) in
+    let rhi = int_of_float (Float.round (r +. half)) in
+    let clo = int_of_float (Float.round (c -. half)) in
+    let chi = int_of_float (Float.round (c +. half)) in
+    for rr = rlo to rhi do
+      for cc = clo to chi do
+        set_px px rr cc intensity
+      done
+    done
+  done
+
+let gen_one rng label =
+  let px = Array.make (side * side) 0.0 in
+  let jx = Rng.uniform rng (-3.0) 3.0 in
+  let jy = Rng.uniform rng (-2.0) 2.0 in
+  let thickness = Rng.uniform rng 1.0 2.2 in
+  let intensity = Rng.uniform rng 0.75 1.0 in
+  let cx = 14.0 +. jx in
+  (if label = 0 then
+     (* a "1": near-vertical stem *)
+     let slant = Rng.uniform rng (-1.5) 1.5 in
+     draw_stroke px ~r0:(4.0 +. jy) ~c0:(cx +. slant) ~r1:(23.0 +. jy) ~c1:cx
+       ~thickness ~intensity
+   else begin
+     (* a "7": top bar plus slanted stem *)
+     let bar_len = Rng.uniform rng 8.0 12.0 in
+     draw_stroke px ~r0:(5.0 +. jy)
+       ~c0:(cx -. (bar_len /. 2.0))
+       ~r1:(5.0 +. jy)
+       ~c1:(cx +. (bar_len /. 2.0))
+       ~thickness ~intensity;
+     let slant = Rng.uniform rng 3.0 6.0 in
+     draw_stroke px
+       ~r0:(5.0 +. jy)
+       ~c0:(cx +. (bar_len /. 2.0))
+       ~r1:(23.0 +. jy)
+       ~c1:(cx -. slant) ~thickness ~intensity
+   end);
+  (* pixel noise *)
+  for i = 0 to (side * side) - 1 do
+    let noisy = px.(i) +. Rng.gaussian_scaled rng ~mean:0.0 ~std:0.03 in
+    px.(i) <- Float.min 1.0 (Float.max 0.0 noisy)
+  done;
+  { pixels = px; label }
+
+let generate rng n = List.init n (fun i -> gen_one rng (i mod 2))
+
+let patch_side = 7
+let patches_per_side = side / patch_side
+
+let patches img =
+  Mat.init (patches_per_side * patches_per_side) (patch_side * patch_side)
+    (fun p k ->
+      let pr = p / patches_per_side and pc = p mod patches_per_side in
+      let r = (pr * patch_side) + (k / patch_side) in
+      let c = (pc * patch_side) + (k mod patch_side) in
+      img.pixels.(idx r c))
+
+let flat img = Mat.row_vector img.pixels
+
+let feature_dim = 4
+
+let features img =
+  let half = side / 2 in
+  let quad qr qc =
+    let acc = ref 0.0 in
+    for r = qr * half to ((qr + 1) * half) - 1 do
+      for c = qc * half to ((qc + 1) * half) - 1 do
+        acc := !acc +. img.pixels.(idx r c)
+      done
+    done;
+    !acc /. float_of_int (half * half)
+  in
+  (* Scaled so the features span roughly [0, 2]: the complete-verification
+     comparison needs decision radii in the regime where ReLUs actually
+     switch, as in the paper's MNIST setting. *)
+  Mat.row_vector
+    (Array.map (fun v -> 5.0 *. v) [| quad 0 0; quad 0 1; quad 1 0; quad 1 1 |])

@@ -1,0 +1,32 @@
+(** Synthetic two-class 28x28 image dataset — the MNIST "1 vs 7" stand-in
+    for the vision experiments (Appendices A.2 and A.3).
+
+    Class 0 renders a (jittered, variable-thickness, noisy) vertical
+    stroke — a "1"; class 1 adds a horizontal top bar and slants the
+    stem — a "7". The certification experiments only need a learned
+    two-class image task exercising the same architectures; parametric
+    strokes provide one deterministically. *)
+
+type image = { pixels : float array; label : int }
+(** [pixels] is 28*28 row-major in [0, 1]; label 0 = "1", 1 = "7". *)
+
+val side : int
+(** Image side length (28). *)
+
+val generate : Tensor.Rng.t -> int -> image list
+(** [generate rng n] draws [n] images, classes balanced. *)
+
+val patches : image -> Tensor.Mat.t
+(** 16 x 49 matrix of the image's 7x7 patches (row-major patch grid) —
+    the Vision Transformer input. *)
+
+val flat : image -> Tensor.Mat.t
+(** 1 x 784 matrix — the fully-connected network input. *)
+
+val features : image -> Tensor.Mat.t
+(** 1 x 4 scaled quadrant-mean features (range about [0, 2]) — the
+    low-dimensional input of the complete-verifier comparison
+    (Appendix A.2; see DESIGN.md on why the complete method runs on a
+    reduced input, and the scale comment in the implementation). *)
+
+val feature_dim : int

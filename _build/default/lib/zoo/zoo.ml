@@ -1,0 +1,180 @@
+open Tensor
+
+type corpus_kind = Sst | Yelp | Sst_small | Vision_task
+
+type entry = {
+  name : string;
+  corpus : corpus_kind;
+  cfg : Nn.Model.config;
+  epochs : int;
+  lr : float;
+  embed_noise : float;
+}
+
+(* ---------------- corpora (deterministic, cached) ---------------- *)
+
+let sst_seed = 1001
+let yelp_seed = 1002
+let sst_small_seed = 1003
+let vision_seed = 1004
+let synonym_seed = 1005
+
+let cache f =
+  let r = ref None in
+  fun () ->
+    match !r with
+    | Some v -> v
+    | None ->
+        let v = f () in
+        r := Some v;
+        v
+
+let sst_corpus =
+  cache (fun () ->
+      Text.Corpus.generate ~vocab_size:64 ~train_size:1600 ~test_size:200
+        (Rng.create sst_seed) Text.Corpus.Sst_like)
+
+let yelp_corpus =
+  cache (fun () ->
+      Text.Corpus.generate ~vocab_size:96 ~train_size:1600 ~test_size:200
+        (Rng.create yelp_seed) Text.Corpus.Yelp_like)
+
+let sst_small_corpus =
+  cache (fun () ->
+      Text.Corpus.generate ~vocab_size:48 ~train_size:1200 ~test_size:200
+        ~max_len:8 (Rng.create sst_small_seed) Text.Corpus.Sst_like)
+
+let corpus_of = function
+  | Sst -> sst_corpus ()
+  | Yelp -> yelp_corpus ()
+  | Sst_small -> sst_small_corpus ()
+  | Vision_task -> invalid_arg "Zoo.corpus_of: vision task has no corpus"
+
+let vision_data = cache (fun () -> Vision.Images.generate (Rng.create vision_seed) 600)
+
+let synonyms_for model corpus =
+  let d = (Nn.Model.config model).Nn.Model.d_model in
+  Text.Synonyms.generate (Rng.create synonym_seed) corpus ~dim:d
+
+(* ---------------- the zoo ---------------- *)
+
+let nlp_cfg ~corpus ~d ~h layers =
+  let c = corpus_of corpus in
+  {
+    Nn.Model.default_config with
+    Nn.Model.vocab_size = Array.length c.Text.Corpus.vocab;
+    max_len = c.Text.Corpus.max_len;
+    d_model = d;
+    d_hidden = h;
+    heads = 4;
+    layers;
+  }
+
+let depth_epochs m = if m >= 12 then 8 else if m >= 6 then 8 else 6
+
+let nlp_entry ?(embed_noise = 0.0) ?(divide_std = false) ~corpus ~d ~h ~prefix m
+    =
+  {
+    name = Printf.sprintf "%s_%d" prefix m;
+    corpus;
+    cfg = { (nlp_cfg ~corpus ~d ~h m) with Nn.Model.divide_std };
+    epochs = depth_epochs m;
+    (* The deep wide stack needs a gentler peak rate to stay stable. *)
+    lr = (if m >= 12 && d >= 48 then 8e-4 else 2e-3);
+    embed_noise;
+  }
+
+let vit_entry =
+  {
+    name = "vit_1";
+    corpus = Vision_task;
+    cfg =
+      {
+        Nn.Model.default_config with
+        Nn.Model.vocab_size = 1;
+        max_len = 16;
+        d_model = 32;
+        d_hidden = 64;
+        heads = 4;
+        layers = 1;
+        patch_dim = Some 49;
+      };
+    epochs = 6;
+    lr = 2e-3;
+    embed_noise = 0.0;
+  }
+
+let all =
+  List.concat
+    [
+      List.map (nlp_entry ~corpus:Sst ~d:24 ~h:24 ~prefix:"sst") [ 3; 6; 12 ];
+      List.map (nlp_entry ~corpus:Yelp ~d:24 ~h:24 ~prefix:"yelp") [ 3; 6; 12 ];
+      List.map (nlp_entry ~corpus:Sst ~d:48 ~h:96 ~prefix:"wide") [ 3; 6; 12 ];
+      List.map (nlp_entry ~corpus:Sst_small ~d:16 ~h:16 ~prefix:"small") [ 3; 6; 12 ];
+      List.map
+        (nlp_entry ~divide_std:true ~corpus:Sst ~d:24 ~h:24 ~prefix:"std")
+        [ 3; 6; 12 ];
+      [ nlp_entry ~embed_noise:0.08 ~corpus:Sst ~d:24 ~h:24 ~prefix:"robust" 3 ];
+      [ vit_entry ];
+    ]
+
+let entry name = List.find (fun e -> e.name = name) all
+
+let data_dir = ref "data"
+let path e = Filename.concat !data_dir (e.name ^ ".model")
+
+(* Deterministic per-entry training seed. *)
+let train_seed e = 7000 + Hashtbl.hash e.name mod 1000
+
+let train_entry ?(log = fun _ -> ()) e =
+  let rng = Rng.create (train_seed e) in
+  let model = Nn.Model.create rng e.cfg in
+  (match e.corpus with
+  | Vision_task ->
+      let imgs = vision_data () in
+      let train = List.filteri (fun i _ -> i < 400) imgs in
+      let data =
+        List.map
+          (fun (i : Vision.Images.image) ->
+            Nn.Train.matrix_example (Vision.Images.patches i) i.Vision.Images.label)
+          train
+      in
+      Nn.Train.train_model
+        ~log:(fun r ->
+          log
+            (Printf.sprintf "%s epoch %d: loss %.4f acc %.3f" e.name r.Nn.Train.epoch
+               r.Nn.Train.loss r.Nn.Train.train_acc))
+        ~epochs:e.epochs ~batch:8 ~lr:e.lr ~rng model data
+  | _ ->
+      let c = corpus_of e.corpus in
+      let data = Text.Corpus.examples c.Text.Corpus.train in
+      Nn.Train.train_model
+        ~log:(fun r ->
+          log
+            (Printf.sprintf "%s epoch %d: loss %.4f acc %.3f" e.name r.Nn.Train.epoch
+               r.Nn.Train.loss r.Nn.Train.train_acc))
+        ~epochs:e.epochs ~batch:8 ~lr:e.lr ~embed_noise:e.embed_noise ~rng model
+        data);
+  Nn.Model.save (path e) model;
+  model
+
+let load_or_train ?log name =
+  let e = entry name in
+  let p = path e in
+  if Sys.file_exists p then Nn.Model.load p else train_entry ?log e
+
+let test_accuracy model e =
+  match e.corpus with
+  | Vision_task ->
+      let imgs = vision_data () in
+      let test = List.filteri (fun i _ -> i >= 400) imgs in
+      let data =
+        List.map
+          (fun (i : Vision.Images.image) ->
+            Nn.Train.matrix_example (Vision.Images.patches i) i.Vision.Images.label)
+          test
+      in
+      Nn.Train.accuracy model data
+  | k ->
+      let c = corpus_of k in
+      Nn.Train.accuracy model (Text.Corpus.examples c.Text.Corpus.test)

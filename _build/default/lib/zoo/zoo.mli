@@ -1,0 +1,61 @@
+(** The experiment model zoo.
+
+    Every network the evaluation needs — the SST-like and Yelp-like
+    Transformer stacks at 3/6/12 layers, the wide variants, the
+    downscaled variants used against CROWN-Backward, the standard-
+    layer-norm variants, the noise-augmented "certifiably trained"
+    3-layer model, and the Vision Transformer — is described here once,
+    with its corpus, architecture and training recipe, so [bin/train]
+    and the benchmark harness agree exactly on what they run.
+
+    Models are persisted under [data/] and trained on demand when the
+    file is missing; corpora and synonym dictionaries are regenerated
+    deterministically from fixed seeds. *)
+
+type corpus_kind = Sst | Yelp | Sst_small | Vision_task
+(** [Sst_small] is the short-sentence corpus used wherever
+    CROWN-Backward participates (its cost grows steeply with sequence
+    length — the paper equally had to shrink networks to fit the
+    baseline in memory, Section 6.3). *)
+
+type entry = {
+  name : string;  (** file stem under [data/] *)
+  corpus : corpus_kind;
+  cfg : Nn.Model.config;
+  epochs : int;
+  lr : float;
+  embed_noise : float;  (** > 0: noise-augmented training (Table 8) *)
+}
+
+val all : entry list
+(** Every model of the evaluation. *)
+
+val entry : string -> entry
+(** Lookup by name. @raise Not_found for unknown names. *)
+
+val sst_corpus : unit -> Text.Corpus.t
+val yelp_corpus : unit -> Text.Corpus.t
+val sst_small_corpus : unit -> Text.Corpus.t
+val corpus_of : corpus_kind -> Text.Corpus.t
+(** Deterministic corpora (cached per process). *)
+
+val vision_data : unit -> Vision.Images.image list
+(** Deterministic synthetic image set (train + eval pool). *)
+
+val synonyms_for : Nn.Model.t -> Text.Corpus.t -> Text.Synonyms.t
+(** The synonym dictionary used by the T2 experiments (deterministic,
+    dimensioned by the model). *)
+
+val data_dir : string ref
+(** Where models are stored (default "data"). *)
+
+val path : entry -> string
+
+val train_entry : ?log:(string -> unit) -> entry -> Nn.Model.t
+(** Trains from scratch (deterministic) and saves. *)
+
+val load_or_train : ?log:(string -> unit) -> string -> Nn.Model.t
+(** Loads [data/<name>.model], training and saving it first if absent. *)
+
+val test_accuracy : Nn.Model.t -> entry -> float
+(** Accuracy on the entry's held-out set. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Deept Float Interval Mat Nn QCheck QCheck_alcotest Rng Tensor

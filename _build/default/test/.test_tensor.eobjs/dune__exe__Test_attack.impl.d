@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest Array Attack Deept Helpers Ir List Mat Nn Printf Rng Tensor Vecops

@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Array Hashtbl Helpers List Mat Nn Printf Rng Tensor

@@ -1,0 +1,1 @@
+test/test_certify.ml: Alcotest Array Deept Helpers Interval Ir List Mat Nn Rng Tensor Vecops

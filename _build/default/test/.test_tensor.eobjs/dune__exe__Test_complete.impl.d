@@ -1,0 +1,1 @@
+test/test_complete.ml: Alcotest Array Complete Deept Helpers List Mat Nn Printf Rng Tensor Vecops Vision

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Array Float Helpers Ibp Imat Interval Ir Itv List Mat Nn Printf Rng Tensor

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Filename Format Helpers Ir List Mat Nn Out_channel Printf Result Rng String Sys Tensor

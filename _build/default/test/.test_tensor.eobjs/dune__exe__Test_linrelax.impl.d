@@ -1,0 +1,1 @@
+test/test_linrelax.ml: Alcotest Array Deept Float Helpers Ir Linrelax List Mat Nn Printf Rng Tensor Vecops

@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Deept Float Helpers Interval List Mat Nn Rng Tensor Vecops

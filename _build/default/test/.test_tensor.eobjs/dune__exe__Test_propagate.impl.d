@@ -1,0 +1,1 @@
+test/test_propagate.ml: Alcotest Array Deept Helpers Interval Ir List Mat Nn Printf Rng Tensor Vecops

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Helpers Mat QCheck Rng Tensor Vecops

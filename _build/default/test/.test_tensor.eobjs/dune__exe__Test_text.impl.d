@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Array Helpers List Mat Nn Printf Rng String Tensor Text Vecops

@@ -1,0 +1,1 @@
+test/test_transformers.ml: Alcotest Array Deept Float Helpers Interval List Mat Rng Tensor Vecops

@@ -1,0 +1,1 @@
+test/test_vision.ml: Alcotest Array Filename Float Helpers List Mat Nn Printf Rng Sys Tensor Vecops Vision

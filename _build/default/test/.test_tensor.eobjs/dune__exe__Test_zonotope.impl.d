@@ -1,0 +1,1 @@
+test/test_zonotope.ml: Alcotest Array Deept Float Helpers Interval List Mat Printf QCheck Rng Tensor Vecops

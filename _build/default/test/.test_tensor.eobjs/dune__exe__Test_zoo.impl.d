@@ -1,0 +1,1 @@
+test/test_zoo.ml: Alcotest Array Helpers List Nn Printf Text Zoo

@@ -1,0 +1,177 @@
+(* Certification front-end: margin semantics, regions, the radius search
+   and the synonym machinery. *)
+
+open Tensor
+module Z = Deept.Zonotope
+module Lp = Deept.Lp
+module C = Deept.Certify
+module R = Deept.Region
+
+let cfg = Deept.Config.fast
+
+(* margin on a hand-built output zonotope: the affine difference cancels
+   shared symbols, so the margin is strictly better than interval
+   subtraction when outputs are correlated. *)
+let test_margin_cancellation () =
+  (* y0 = 1 + e1, y1 = e1: difference is exactly 1. *)
+  let z =
+    Z.make ~p:Lp.L2
+      ~center:(Mat.of_rows [| [| 1.0; 0.0 |] |])
+      ~phi:(Mat.create 2 0)
+      ~eps:(Mat.of_rows [| [| 1.0 |]; [| 1.0 |] |])
+  in
+  Helpers.check_float "correlated margin exact" 1.0 (C.margin z ~true_class:0);
+  (* interval subtraction would have given 1 - 2 = -1 *)
+  let b = Z.bounds z in
+  Helpers.check_float "naive interval margin" (-1.0)
+    (Mat.get b.Interval.Imat.lo 0 0 -. Mat.get b.Interval.Imat.hi 0 1)
+
+let test_margin_multiclass () =
+  (* three classes; margin is the worst pairwise difference *)
+  let z =
+    Z.make ~p:Lp.Linf
+      ~center:(Mat.of_rows [| [| 3.0; 1.0; 2.5 |] |])
+      ~phi:(Mat.create 3 0)
+      ~eps:(Mat.create 3 0)
+  in
+  Helpers.check_float "multiclass margin" 0.5 (C.margin z ~true_class:0)
+
+let test_region_lp_ball_shapes () =
+  let x = Mat.make 3 4 1.0 in
+  List.iter
+    (fun p ->
+      let z = R.lp_ball ~p x ~word:1 ~radius:0.1 in
+      Helpers.check_true "center preserved" (Mat.equal z.Z.center x);
+      let symbol_count =
+        match p with Lp.Linf -> Z.num_eps z | _ -> Z.num_phi z
+      in
+      Helpers.check_true "one symbol per perturbed dim" (symbol_count = 4);
+      (* only the chosen word's row is perturbed *)
+      let b = Z.bounds z in
+      for i = 0 to 2 do
+        for j = 0 to 3 do
+          let w =
+            Mat.get b.Interval.Imat.hi i j -. Mat.get b.Interval.Imat.lo i j
+          in
+          if i = 1 then Helpers.check_float "perturbed width" 0.2 w
+          else Helpers.check_float "unperturbed width" 0.0 w
+        done
+      done)
+    [ Lp.L1; Lp.L2; Lp.Linf ]
+
+(* The l2 ball region is the exact ball: sampled memberships and the tight
+   bound via the dual norm. *)
+let test_region_l2_exact () =
+  let rng = Rng.create 3 in
+  let x = Mat.create 1 5 in
+  let z = R.lp_ball ~p:Lp.L2 x ~word:0 ~radius:2.0 in
+  for _ = 1 to 300 do
+    let s = Z.sample rng z in
+    Helpers.check_true "sample inside ball" (Vecops.l2 (Mat.row s 0) <= 2.0 +. 1e-9)
+  done
+
+let test_region_box_skips_degenerate () =
+  let lo = Mat.of_rows [| [| 0.0; 1.0 |] |] in
+  let hi = Mat.of_rows [| [| 0.0; 3.0 |] |] in
+  let z = R.box lo hi in
+  Helpers.check_true "one symbol only" (Z.num_eps z = 1);
+  let b = Z.bounds z in
+  Helpers.check_float "degenerate entry fixed" 0.0 (Mat.get b.Interval.Imat.hi 0 0);
+  Helpers.check_float "box hi" 3.0 (Mat.get b.Interval.Imat.hi 0 1);
+  Helpers.check_float "box lo" 1.0 (Mat.get b.Interval.Imat.lo 0 1)
+
+let test_region_errors () =
+  let x = Mat.make 2 3 0.0 in
+  Alcotest.check_raises "negative radius"
+    (Invalid_argument "Region.lp_ball: negative radius") (fun () ->
+      ignore (R.lp_ball ~p:Lp.L2 x ~word:0 ~radius:(-1.0)));
+  Alcotest.check_raises "word out of range"
+    (Invalid_argument "Region.lp_ball: word out of range") (fun () ->
+      ignore (R.lp_ball ~p:Lp.L2 x ~word:5 ~radius:0.1))
+
+let test_synonym_box_covers_all () =
+  let rng = Rng.create 5 in
+  let x = Mat.random_gaussian rng 3 4 1.0 in
+  let alt1 = Array.init 4 (fun j -> Mat.get x 1 j +. 0.3) in
+  let alt2 = Array.init 4 (fun j -> Mat.get x 1 j -. 0.2) in
+  let z = R.synonym_box x [ (1, [ alt1; alt2 ]) ] in
+  let b = Z.bounds z in
+  (* original and both alternatives inside *)
+  Helpers.check_true "original inside" (Interval.Imat.contains b x);
+  let with_row m pos (row : float array) =
+    Mat.mapi (fun i j v -> if i = pos then row.(j) else v) m
+  in
+  Helpers.check_true "alt1 inside" (Interval.Imat.contains b (with_row x 1 alt1));
+  Helpers.check_true "alt2 inside" (Interval.Imat.contains b (with_row x 1 alt2))
+
+let test_count_combinations () =
+  Helpers.check_true "empty" (C.count_combinations [] = 1);
+  Helpers.check_true "two words"
+    (C.count_combinations [ (0, [ [||]; [||] ]); (2, [ [||] ]) ] = 6)
+
+let test_enumeration_limit () =
+  let program = Helpers.tiny_program ~layers:1 61 in
+  let rng = Rng.create 6 in
+  let d = Ir.out_dim program 0 in
+  let x = Mat.random_gaussian rng 3 d 0.7 in
+  let pred = Nn.Forward.predict program x in
+  let alts = List.init 9 (fun _ -> Array.init d (fun j -> Mat.get x 0 j +. 0.001 *. float_of_int j)) in
+  let subs = [ (0, alts); (1, alts); (2, alts) ] in
+  (* 1000 combinations, limit at 50 *)
+  let _, checked = C.enumerate_synonyms ~limit:50 program x subs ~true_class:pred in
+  Helpers.check_true "limit respected" (checked <= 50)
+
+let test_enumeration_finds_attack () =
+  let program = Helpers.tiny_program ~layers:1 62 in
+  let rng = Rng.create 7 in
+  let d = Ir.out_dim program 0 in
+  let x = Mat.random_gaussian rng 3 d 0.7 in
+  let pred = Nn.Forward.predict program x in
+  (* a wild alternative far outside the data distribution should flip it *)
+  let wild = Array.make d 100.0 in
+  let ok, _ = C.enumerate_synonyms program x [ (1, [ wild ]) ] ~true_class:pred in
+  (* either it flips (expected) or the model is flat; check agreement with a
+     direct forward run *)
+  let flipped =
+    Nn.Forward.predict program
+      (Mat.mapi (fun i _ v -> if i = 1 then 100.0 else v) x)
+    <> pred
+  in
+  Helpers.check_true "enumeration agrees with forward" (ok = not flipped)
+
+let test_radius_search_monotone_grid () =
+  (* the result is always a certified radius: re-checking it must pass *)
+  let program = Helpers.tiny_program ~layers:1 63 in
+  let rng = Rng.create 8 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let pred = Nn.Forward.predict program x in
+  let r = C.certified_radius cfg program ~p:Lp.L2 x ~word:1 ~true_class:pred ~iters:6 () in
+  if r > 0.0 then
+    Helpers.check_true "returned radius certifies"
+      (C.certify cfg program (R.lp_ball ~p:Lp.L2 x ~word:1 ~radius:r) ~true_class:pred)
+
+let () =
+  Alcotest.run "certify"
+    [
+      ( "margin",
+        [
+          Alcotest.test_case "cancellation" `Quick test_margin_cancellation;
+          Alcotest.test_case "multiclass" `Quick test_margin_multiclass;
+        ] );
+      ( "regions",
+        [
+          Alcotest.test_case "lp ball shapes" `Quick test_region_lp_ball_shapes;
+          Alcotest.test_case "l2 exact" `Quick test_region_l2_exact;
+          Alcotest.test_case "box degenerate" `Quick test_region_box_skips_degenerate;
+          Alcotest.test_case "errors" `Quick test_region_errors;
+          Alcotest.test_case "synonym box" `Quick test_synonym_box_covers_all;
+        ] );
+      ( "enumeration",
+        [
+          Alcotest.test_case "combinations" `Quick test_count_combinations;
+          Alcotest.test_case "limit" `Quick test_enumeration_limit;
+          Alcotest.test_case "finds attack" `Quick test_enumeration_finds_attack;
+        ] );
+      ( "search",
+        [ Alcotest.test_case "result certifies" `Quick test_radius_search_monotone_grid ] );
+    ]

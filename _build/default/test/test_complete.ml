@@ -1,0 +1,93 @@
+(* Complete branch-and-bound verifier (the GeoCert stand-in). *)
+
+open Tensor
+module Lp = Deept.Lp
+
+let trained_mlp seed =
+  let rng = Rng.create seed in
+  let imgs = Vision.Images.generate rng 240 in
+  let data =
+    List.map (fun i -> (Vision.Images.features i, i.Vision.Images.label)) imgs
+  in
+  let mlp = Nn.Mlp.create rng ~dims:[ 4; 8; 8; 2 ] in
+  Nn.Mlp.train ~epochs:25 ~lr:5e-3 ~rng mlp data;
+  (Nn.Mlp.to_ir mlp, data)
+
+let test_zero_radius_robust () =
+  let prog, data = trained_mlp 20 in
+  let x, _ = List.hd data in
+  let pred = Nn.Forward.predict prog x in
+  let r =
+    Complete.Bab.verify prog ~p:Lp.L2 ~center:(Mat.row x 0) ~radius:1e-9
+      ~true_class:pred
+  in
+  Helpers.check_true "tiny radius robust" (r = Complete.Bab.Robust)
+
+let test_huge_radius_counterexample () =
+  let prog, data = trained_mlp 21 in
+  (* pick a correctly classified example *)
+  let x, label =
+    List.find (fun (x, l) -> Nn.Forward.predict prog x = l) data
+  in
+  match
+    Complete.Bab.verify prog ~p:Lp.Linf ~center:(Mat.row x 0) ~radius:5.0
+      ~true_class:label
+  with
+  | Complete.Bab.Counterexample cex ->
+      (* the counterexample is genuinely misclassified and inside the ball *)
+      Helpers.check_true "cex misclassified"
+        (Nn.Forward.predict prog (Mat.row_vector cex) <> label);
+      let delta = Array.mapi (fun i v -> v -. Mat.get x 0 i) cex in
+      Helpers.check_true "cex in ball" (Vecops.linf delta <= 5.0 +. 1e-9)
+  | Complete.Bab.Robust -> Alcotest.fail "radius 5 should not be robust"
+  | Complete.Bab.Unknown -> Alcotest.fail "search exhausted unexpectedly"
+
+let test_complete_beats_zonotope () =
+  let prog, data = trained_mlp 22 in
+  let x, label =
+    List.find (fun (x, l) -> Nn.Forward.predict prog x = l) data
+  in
+  let center = Mat.row x 0 in
+  let cfg = { Deept.Config.default with Deept.Config.reduction_k = 0 } in
+  let z_radius =
+    Deept.Certify.certified_radius cfg prog ~p:Lp.L2 x ~word:0 ~true_class:label
+      ~iters:10 ()
+  in
+  let c_radius =
+    Complete.Bab.certified_radius ~iters:10 prog ~p:Lp.L2 ~center
+      ~true_class:label ()
+  in
+  Helpers.check_true
+    (Printf.sprintf "complete radius %.4g >= zonotope radius %.4g" c_radius
+       z_radius)
+    (c_radius >= z_radius -. 1e-6);
+  Helpers.check_true "complete radius positive" (c_radius > 0.0)
+
+let test_monotone () =
+  let prog, data = trained_mlp 23 in
+  let x, label =
+    List.find (fun (x, l) -> Nn.Forward.predict prog x = l) data
+  in
+  let center = Mat.row x 0 in
+  let robust r =
+    Complete.Bab.verify prog ~p:Lp.L2 ~center ~radius:r ~true_class:label
+    = Complete.Bab.Robust
+  in
+  let results = List.map robust [ 1e-4; 1e-3; 1e-2; 1e-1; 0.5 ] in
+  let rec no_regain = function
+    | a :: (b :: _ as rest) -> ((not b) || a) && no_regain rest
+    | _ -> true
+  in
+  Helpers.check_true "robustness monotone in radius" (no_regain results)
+
+let () =
+  Alcotest.run "complete"
+    [
+      ( "bab",
+        [
+          Alcotest.test_case "zero radius" `Quick test_zero_radius_robust;
+          Alcotest.test_case "counterexample" `Quick test_huge_radius_counterexample;
+          Alcotest.test_case "beats zonotope" `Slow test_complete_beats_zonotope;
+          Alcotest.test_case "monotone" `Slow test_monotone;
+        ] );
+    ]

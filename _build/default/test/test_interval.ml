@@ -1,0 +1,165 @@
+(* Interval arithmetic and IBP: algebraic properties and inclusion of
+   concrete executions. *)
+
+open Tensor
+open Interval
+
+let itv = Alcotest.testable Itv.pp (fun a b -> a = b)
+
+let test_basic_ops () =
+  Alcotest.check itv "add" (Itv.make 3.0 7.0) (Itv.add (Itv.make 1.0 3.0) (Itv.make 2.0 4.0));
+  Alcotest.check itv "sub" (Itv.make (-3.0) 1.0)
+    (Itv.sub (Itv.make 1.0 3.0) (Itv.make 2.0 4.0));
+  Alcotest.check itv "mul mixed" (Itv.make (-8.0) 12.0)
+    (Itv.mul (Itv.make (-2.0) 3.0) (Itv.make 1.0 4.0));
+  Alcotest.check itv "neg" (Itv.make (-3.0) 2.0) (Itv.neg (Itv.make (-2.0) 3.0));
+  Alcotest.check itv "sq straddle" (Itv.make 0.0 9.0) (Itv.sq (Itv.make (-2.0) 3.0));
+  Alcotest.check itv "abs" (Itv.make 0.0 3.0) (Itv.abs (Itv.make (-2.0) 3.0))
+
+let test_div_recip () =
+  Alcotest.check itv "recip" (Itv.make 0.25 0.5) (Itv.recip (Itv.make 2.0 4.0));
+  Alcotest.check itv "div by negative" (Itv.make (-2.0) (-0.5))
+    (Itv.div (Itv.make 1.0 2.0) (Itv.make (-2.0) (-1.0)));
+  Alcotest.check_raises "div by zero-containing" (Invalid_argument "Itv.div: divisor contains zero")
+    (fun () -> ignore (Itv.div (Itv.make 1.0 2.0) (Itv.make (-1.0) 1.0)))
+
+(* Interval ops are inclusion monotone: f(x) in F([l,u]) for sampled x. *)
+let test_inclusion_sampled () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 500 do
+    let l = Rng.uniform rng (-3.0) 3.0 in
+    let u = l +. Rng.uniform rng 0.0 2.0 in
+    let i = Itv.make l u in
+    let x = Rng.uniform rng l u in
+    Helpers.check_true "tanh" (Itv.contains (Itv.tanh_ i) (tanh x));
+    Helpers.check_true "exp" (Itv.contains (Itv.exp_ i) (exp x));
+    Helpers.check_true "relu" (Itv.contains (Itv.relu i) (Float.max 0.0 x));
+    Helpers.check_true "sq" (Itv.contains (Itv.sq i) (x *. x));
+    Helpers.check_true "mul_unit" (Itv.contains (Itv.mul_unit i) (x *. 0.7));
+    Helpers.check_true "mul_pos_unit" (Itv.contains (Itv.mul_pos_unit i) (x *. 0.3))
+  done
+
+let test_imat_matmul_const () =
+  let rng = Rng.create 5 in
+  let c = Mat.random_gaussian rng 3 4 1.0 in
+  let x = Imat.of_ball_linf c 0.1 in
+  let w = Mat.random_gaussian rng 4 2 1.0 in
+  let out = Imat.matmul_const x w in
+  for _ = 1 to 200 do
+    let sample =
+      Mat.init 3 4 (fun i j -> Mat.get c i j +. Rng.uniform rng (-0.1) 0.1)
+    in
+    Helpers.check_true "matmul_const inclusion"
+      (Imat.contains out (Mat.matmul sample w))
+  done
+
+(* The interval attention transformer alone is inclusion-sound. *)
+let test_attention_inclusion () =
+  let rng = Rng.create 55 in
+  let d = 8 in
+  let att : Ir.attention =
+    {
+      heads = 2;
+      wq = Mat.random_gaussian rng d d 0.5;
+      bq = Array.init d (fun _ -> Rng.gaussian rng);
+      wk = Mat.random_gaussian rng d d 0.5;
+      bk = Array.init d (fun _ -> Rng.gaussian rng);
+      wv = Mat.random_gaussian rng d d 0.5;
+      bv = Array.init d (fun _ -> Rng.gaussian rng);
+      wo = Mat.random_gaussian rng d d 0.5;
+      bo = Array.init d (fun _ -> Rng.gaussian rng);
+    }
+  in
+  let c = Mat.random_gaussian rng 4 d 0.7 in
+  let region = Imat.of_ball_linf c 0.05 in
+  let out = Ibp.attention att region in
+  for _ = 1 to 200 do
+    let x = Mat.init 4 d (fun i j -> Mat.get c i j +. Rng.uniform rng (-0.05) 0.05) in
+    Helpers.check_true "attention inclusion"
+      (Imat.contains out (Nn.Forward.attention att x))
+  done
+
+let test_imat_ops () =
+  let a = Imat.make (Mat.of_rows [| [| 0.0 |] |]) (Mat.of_rows [| [| 1.0 |] |]) in
+  let b = Imat.make (Mat.of_rows [| [| 2.0 |] |]) (Mat.of_rows [| [| 3.0 |] |]) in
+  let s = Imat.add a b in
+  Helpers.check_float "add lo" 2.0 (Mat.get s.Imat.lo 0 0);
+  Helpers.check_float "add hi" 4.0 (Mat.get s.Imat.hi 0 0);
+  let d = Imat.sub a b in
+  Helpers.check_float "sub lo" (-3.0) (Mat.get d.Imat.lo 0 0);
+  Helpers.check_float "sub hi" (-1.0) (Mat.get d.Imat.hi 0 0);
+  let m = Imat.mul_row_const a [| -2.0 |] in
+  Helpers.check_float "mul_row_const lo" (-2.0) (Mat.get m.Imat.lo 0 0);
+  Helpers.check_float "max_width" 1.0 (Imat.max_width a);
+  Alcotest.check_raises "lo > hi rejected"
+    (Invalid_argument "Imat.make: lo > hi somewhere") (fun () ->
+      ignore (Imat.make (Mat.make 1 1 1.0) (Mat.make 1 1 0.0)))
+
+(* IBP contains the concrete execution of a full transformer. *)
+let test_ibp_sound () =
+  List.iter
+    (fun divide_std ->
+      let p = Helpers.tiny_program ~layers:2 ~divide_std 7 in
+      let rng = Rng.create 77 in
+      let c = Mat.random_gaussian rng 4 (Ir.out_dim p 0) 0.7 in
+      let region = Imat.of_ball_linf c 0.05 in
+      let out = Ibp.run p region in
+      for _ = 1 to 100 do
+        let x =
+          Mat.init (Mat.rows c) (Mat.cols c) (fun i j ->
+              Mat.get c i j +. Rng.uniform rng (-0.05) 0.05)
+        in
+        Helpers.check_true
+          (Printf.sprintf "ibp inclusion (divide_std=%b)" divide_std)
+          (Imat.contains out (Nn.Forward.run p x))
+      done)
+    [ false; true ]
+
+(* IBP certification at radius 0 equals concrete prediction correctness. *)
+let test_ibp_zero_radius () =
+  let p = Helpers.tiny_program ~layers:1 11 in
+  let rng = Rng.create 13 in
+  let c = Mat.random_gaussian rng 3 (Ir.out_dim p 0) 0.7 in
+  let pred = Nn.Forward.predict p c in
+  Helpers.check_true "zero radius certifies the prediction"
+    (Ibp.certify p (Imat.of_mat c) ~true_class:pred);
+  Helpers.check_true "zero radius refutes the other class"
+    (not (Ibp.certify p (Imat.of_mat c) ~true_class:(1 - pred)))
+
+(* IBP certification is monotone in the radius. *)
+let test_ibp_monotone () =
+  let p = Helpers.tiny_program ~layers:1 19 in
+  let rng = Rng.create 19 in
+  let c = Mat.random_gaussian rng 3 (Ir.out_dim p 0) 0.7 in
+  let pred = Nn.Forward.predict p c in
+  let certified r = Ibp.certify p (Imat.of_ball_linf c r) ~true_class:pred in
+  let radii = [ 1e-5; 1e-4; 1e-3; 1e-2; 1e-1 ] in
+  let results = List.map certified radii in
+  let rec no_regain = function
+    | a :: (b :: _ as rest) -> ((not b) || a) && no_regain rest
+    | _ -> true
+  in
+  Helpers.check_true "certification monotone" (no_regain results)
+
+let () =
+  Alcotest.run "interval"
+    [
+      ( "itv",
+        [
+          Alcotest.test_case "basic ops" `Quick test_basic_ops;
+          Alcotest.test_case "div/recip" `Quick test_div_recip;
+          Alcotest.test_case "inclusion sampled" `Quick test_inclusion_sampled;
+        ] );
+      ( "imat",
+        [
+          Alcotest.test_case "matmul_const" `Quick test_imat_matmul_const;
+          Alcotest.test_case "ops" `Quick test_imat_ops;
+          Alcotest.test_case "attention inclusion" `Quick test_attention_inclusion;
+        ] );
+      ( "ibp",
+        [
+          Alcotest.test_case "sound" `Quick test_ibp_sound;
+          Alcotest.test_case "zero radius" `Quick test_ibp_zero_radius;
+          Alcotest.test_case "monotone" `Quick test_ibp_monotone;
+        ] );
+    ]

@@ -1,0 +1,227 @@
+(* CROWN baseline: graph expansion agrees with the concrete interpreter,
+   bound propagation is sound in both modes, Backward is at least as tight
+   as BaF, and the verifier API behaves like the zonotope one. *)
+
+open Tensor
+module Lp = Deept.Lp
+
+let flat (m : Mat.t) = Array.copy m.Mat.data
+
+let test_eval_matches_forward () =
+  List.iter
+    (fun divide_std ->
+      let p = Helpers.tiny_program ~layers:2 ~divide_std 51 in
+      let g = Linrelax.Lgraph.of_ir p ~seq_len:3 in
+      let rng = Rng.create 3 in
+      for _ = 1 to 20 do
+        let x = Mat.random_gaussian rng 3 (Ir.out_dim p 0) 0.8 in
+        let vals = Linrelax.Lgraph.eval g (flat x) in
+        let expected = flat (Nn.Forward.run p x) in
+        let got = vals.(g.Linrelax.Lgraph.output) in
+        if not (Vecops.approx_equal ~tol:1e-9 expected got) then
+          Alcotest.failf "lgraph eval mismatch (divide_std=%b)" divide_std
+      done)
+    [ false; true ]
+
+let check_engine_sound ~name ~mode ?(samples = 60) p x region_scale =
+  let rng = Rng.create 7 in
+  let n = Mat.rows x in
+  let g = Linrelax.Lgraph.of_ir p ~seq_len:n in
+  let region = Linrelax.Verify.region_word_ball ~p:region_scale x ~word:1 ~radius:0.03 in
+  let st = Linrelax.Engine.analyze ~mode g region in
+  let lo, hi = Linrelax.Engine.output_bounds st in
+  for s = 1 to samples do
+    (* sample inside the word ball *)
+    let d = Mat.cols x in
+    let dirs = Deept.Lp.unit_ball_sample rng region_scale d in
+    let xs =
+      Mat.mapi
+        (fun i j v -> if i = 1 then v +. (0.03 *. dirs.(j)) else v)
+        x
+    in
+    let y = flat (Nn.Forward.run p xs) in
+    Array.iteri
+      (fun k yk ->
+        if yk < lo.(k) -. 1e-6 || yk > hi.(k) +. 1e-6 then
+          Alcotest.failf "%s: sample %d output %d: %.9g outside [%.9g, %.9g]" name
+            s k yk lo.(k) hi.(k))
+      y
+  done
+
+let test_backward_sound () =
+  let p = Helpers.tiny_program ~layers:1 52 in
+  let rng = Rng.create 9 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim p 0) 0.7 in
+  List.iter
+    (fun pn ->
+      check_engine_sound
+        ~name:("backward " ^ Lp.to_string pn)
+        ~mode:Linrelax.Engine.Backward p x pn)
+    [ Lp.L1; Lp.L2; Lp.Linf ]
+
+let test_baf_sound () =
+  let p = Helpers.tiny_program ~layers:2 53 in
+  let rng = Rng.create 10 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim p 0) 0.7 in
+  check_engine_sound ~name:"baf" ~mode:(Linrelax.Engine.Baf 25) p x Lp.L2
+
+let test_backward_sound_divide_std () =
+  let p = Helpers.tiny_program ~layers:1 ~divide_std:true 54 in
+  let rng = Rng.create 11 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim p 0) 0.7 in
+  check_engine_sound ~name:"backward std" ~mode:Linrelax.Engine.Backward p x Lp.L2
+
+let width (lo, hi) =
+  Array.fold_left ( +. ) 0.0 (Array.mapi (fun i h -> h -. lo.(i)) hi)
+
+let test_backward_tighter_than_baf () =
+  let p = Helpers.tiny_program ~layers:2 55 in
+  let rng = Rng.create 12 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim p 0) 0.7 in
+  let g = Linrelax.Lgraph.of_ir p ~seq_len:3 in
+  let region = Linrelax.Verify.region_word_ball ~p:Lp.Linf x ~word:0 ~radius:0.02 in
+  let bw = Linrelax.Engine.analyze ~mode:Linrelax.Engine.Backward g region in
+  let bf = Linrelax.Engine.analyze ~mode:(Linrelax.Engine.Baf 12) g region in
+  let wb = width (Linrelax.Engine.output_bounds bw) in
+  let wf = width (Linrelax.Engine.output_bounds bf) in
+  Helpers.check_true
+    (Printf.sprintf "backward width %.4g <= baf width %.4g" wb wf)
+    (wb <= wf +. 1e-9)
+
+let test_certify_zero_radius () =
+  let p = Helpers.tiny_program ~layers:1 56 in
+  let rng = Rng.create 13 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim p 0) 0.7 in
+  let pred = Nn.Forward.predict p x in
+  let g = Linrelax.Lgraph.of_ir p ~seq_len:3 in
+  let region = Linrelax.Verify.region_word_ball ~p:Lp.L2 x ~word:0 ~radius:0.0 in
+  List.iter
+    (fun v ->
+      Helpers.check_true "certifies prediction"
+        (Linrelax.Verify.certify ~verifier:v g region ~true_class:pred);
+      Helpers.check_true "refutes other"
+        (not (Linrelax.Verify.certify ~verifier:v g region ~true_class:(1 - pred))))
+    [ Linrelax.Verify.Backward; Linrelax.Verify.Baf ]
+
+let test_radius_positive_and_ordered () =
+  let p = Helpers.tiny_program ~layers:1 57 in
+  let rng = Rng.create 14 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim p 0) 0.7 in
+  let pred = Nn.Forward.predict p x in
+  let r_bw =
+    Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Backward ~iters:8 p
+      ~p:Lp.L2 x ~word:1 ~true_class:pred ()
+  in
+  let r_bf =
+    Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Baf ~iters:8 p
+      ~p:Lp.L2 x ~word:1 ~true_class:pred ()
+  in
+  Helpers.check_true (Printf.sprintf "backward radius %.4g > 0" r_bw) (r_bw > 0.0);
+  Helpers.check_true
+    (Printf.sprintf "backward %.4g >= baf %.4g (modulo search grid)" r_bw r_bf)
+    (r_bw >= 0.8 *. r_bf)
+
+(* The margin functional cancels common terms: certifying with the margin
+   must be at least as strong as comparing the two output bounds. *)
+let test_margin_relational () =
+  let p = Helpers.tiny_program ~layers:1 58 in
+  let rng = Rng.create 15 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim p 0) 0.7 in
+  let pred = Nn.Forward.predict p x in
+  let g = Linrelax.Lgraph.of_ir p ~seq_len:3 in
+  let region = Linrelax.Verify.region_word_ball ~p:Lp.Linf x ~word:1 ~radius:0.01 in
+  let st = Linrelax.Engine.analyze ~mode:Linrelax.Engine.Backward g region in
+  let lo, hi = Linrelax.Engine.output_bounds st in
+  let naive = lo.(pred) -. hi.(1 - pred) in
+  let relational =
+    Linrelax.Verify.margin ~verifier:Linrelax.Verify.Backward g region
+      ~true_class:pred
+  in
+  Helpers.check_true
+    (Printf.sprintf "relational margin %.4g >= interval margin %.4g" relational naive)
+    (relational >= naive -. 1e-9)
+
+(* Pointwise coverage of the scalar relaxations used by CROWN. *)
+let test_unary_lines_cover () =
+  let rng = Rng.create 21 in
+  let kinds =
+    [ (Linrelax.Lgraph.Relu, (fun x -> Float.max 0.0 x), -4.0, 4.0);
+      (Linrelax.Lgraph.Tanh, tanh, -3.0, 3.0);
+      (Linrelax.Lgraph.Exp, exp, -5.0, 4.0);
+      (Linrelax.Lgraph.Recip, (fun x -> 1.0 /. x), 0.1, 6.0);
+      (Linrelax.Lgraph.Sqrt, sqrt, 0.0, 5.0) ]
+  in
+  List.iter
+    (fun (kind, f, lo_min, hi_max) ->
+      for _ = 1 to 50 do
+        let l = Rng.uniform rng lo_min hi_max in
+        let u = l +. Rng.uniform rng 1e-3 (hi_max -. l +. 1e-3) in
+        let u = Float.min u hi_max in
+        if u > l then begin
+          let low, high = Linrelax.Relax.unary_lines kind ~l ~u in
+          for s = 0 to 50 do
+            let x = l +. (float_of_int s /. 50.0 *. (u -. l)) in
+            let y = f x in
+            let ylo = (low.Linrelax.Relax.slope *. x) +. low.Linrelax.Relax.icept in
+            let yhi = (high.Linrelax.Relax.slope *. x) +. high.Linrelax.Relax.icept in
+            if not (ylo <= y +. 1e-7 && y <= yhi +. 1e-7) then
+              Alcotest.failf "relaxation violated at %g on [%g,%g]: %g not in [%g,%g]"
+                x l u y ylo yhi
+          done
+        end
+      done)
+    kinds
+
+(* McCormick planes bound the product everywhere on the box. *)
+let test_product_planes_cover () =
+  let rng = Rng.create 22 in
+  for _ = 1 to 200 do
+    let lx = Rng.uniform rng (-3.0) 3.0 in
+    let ux = lx +. Rng.uniform rng 0.0 3.0 in
+    let ly = Rng.uniform rng (-3.0) 3.0 in
+    let uy = ly +. Rng.uniform rng 0.0 3.0 in
+    let pl, pu = Linrelax.Relax.product_planes ~lx ~ux ~ly ~uy in
+    for _ = 1 to 30 do
+      let x = Rng.uniform rng lx ux and y = Rng.uniform rng ly uy in
+      let p = x *. y in
+      let lo = (pl.Linrelax.Relax.cx *. x) +. (pl.Linrelax.Relax.cy *. y) +. pl.Linrelax.Relax.c in
+      let hi = (pu.Linrelax.Relax.cx *. x) +. (pu.Linrelax.Relax.cy *. y) +. pu.Linrelax.Relax.c in
+      Helpers.check_true "mccormick lower" (lo <= p +. 1e-9);
+      Helpers.check_true "mccormick upper" (p <= hi +. 1e-9)
+    done
+  done
+
+(* The expanded graph's memory estimate is monotone in depth. *)
+let test_memory_estimate_monotone () =
+  let bytes layers =
+    let p = Helpers.tiny_program ~layers 91 in
+    Linrelax.Lgraph.approx_bytes (Linrelax.Lgraph.of_ir p ~seq_len:4)
+  in
+  Helpers.check_true "deeper graph bigger" (bytes 3 > bytes 1)
+
+let () =
+  Alcotest.run "linrelax"
+    [
+      ( "lgraph",
+        [ Alcotest.test_case "eval = forward" `Quick test_eval_matches_forward ] );
+      ( "engine",
+        [
+          Alcotest.test_case "backward sound" `Slow test_backward_sound;
+          Alcotest.test_case "baf sound" `Quick test_baf_sound;
+          Alcotest.test_case "backward sound (std norm)" `Slow
+            test_backward_sound_divide_std;
+          Alcotest.test_case "backward tighter" `Quick test_backward_tighter_than_baf;
+        ] );
+      ( "relax",
+        [
+          Alcotest.test_case "unary lines cover" `Quick test_unary_lines_cover;
+          Alcotest.test_case "mccormick planes" `Quick test_product_planes_cover;
+          Alcotest.test_case "memory estimate" `Quick test_memory_estimate_monotone;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "zero radius" `Quick test_certify_zero_radius;
+          Alcotest.test_case "radius ordering" `Slow test_radius_positive_and_ordered;
+          Alcotest.test_case "relational margin" `Quick test_margin_relational;
+        ] );
+    ]

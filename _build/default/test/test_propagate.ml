@@ -1,0 +1,253 @@
+(* End-to-end zonotope propagation through full Transformer programs:
+   soundness on sampled inputs, precision vs IBP, certification sanity and
+   radius-search behaviour. *)
+
+open Tensor
+module Z = Deept.Zonotope
+module Lp = Deept.Lp
+module C = Deept.Certify
+
+let cfg = Deept.Config.default
+let cfg_precise = Deept.Config.precise
+
+let check_program_sound ?(samples = 60) ~name cfg p region =
+  let rng = Rng.create 97 in
+  let out = Deept.Propagate.run cfg p region in
+  Helpers.check_propagation_sound ~samples ~name rng region out (Nn.Forward.run p)
+
+let test_sound_fast () =
+  List.iter
+    (fun (p_norm, name) ->
+      let program = Helpers.tiny_program ~layers:2 21 in
+      let rng = Rng.create 5 in
+      let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+      let region = Deept.Region.lp_ball ~p:p_norm x ~word:1 ~radius:0.05 in
+      check_program_sound ~name cfg program region)
+    [ (Lp.L1, "fast l1"); (Lp.L2, "fast l2"); (Lp.Linf, "fast linf") ]
+
+let test_sound_precise () =
+  let program = Helpers.tiny_program ~layers:1 22 in
+  let rng = Rng.create 6 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let region = Deept.Region.lp_ball ~p:Lp.Linf x ~word:0 ~radius:0.05 in
+  check_program_sound ~name:"precise" cfg_precise program region
+
+let test_sound_with_reduction () =
+  let program = Helpers.tiny_program ~layers:3 23 in
+  let rng = Rng.create 7 in
+  let x = Mat.random_gaussian rng 4 (Ir.out_dim program 0) 0.7 in
+  let region = Deept.Region.lp_ball ~p:Lp.L2 x ~word:2 ~radius:0.05 in
+  check_program_sound ~name:"heavy reduction"
+    { cfg with Deept.Config.reduction_k = 8 }
+    program region
+
+let test_sound_divide_std () =
+  let program = Helpers.tiny_program ~layers:1 ~divide_std:true 24 in
+  let rng = Rng.create 8 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let region = Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius:0.02 in
+  check_program_sound ~name:"divide_std" cfg program region
+
+let test_sound_no_refinement () =
+  let program = Helpers.tiny_program ~layers:1 25 in
+  let rng = Rng.create 9 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let region = Deept.Region.lp_ball ~p:Lp.L1 x ~word:1 ~radius:0.05 in
+  check_program_sound ~name:"no refinement"
+    { cfg with Deept.Config.refine_softmax_sum = false }
+    program region
+
+let test_sound_direct_softmax () =
+  let program = Helpers.tiny_program ~layers:1 26 in
+  let rng = Rng.create 10 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let region = Deept.Region.lp_ball ~p:Lp.Linf x ~word:1 ~radius:0.03 in
+  check_program_sound ~name:"direct softmax"
+    { cfg with Deept.Config.softmax = Deept.Config.Direct }
+    program region
+
+let test_sound_synonym_box () =
+  let program = Helpers.tiny_program ~layers:2 27 in
+  let rng = Rng.create 11 in
+  let d = Ir.out_dim program 0 in
+  let x = Mat.random_gaussian rng 4 d 0.7 in
+  let alts pos =
+    List.init 2 (fun _ ->
+        Array.init d (fun j -> Mat.get x pos j +. Rng.uniform rng (-0.1) 0.1))
+  in
+  let region = Deept.Region.synonym_box x [ (0, alts 0); (2, alts 2) ] in
+  check_program_sound ~name:"synonym box" cfg program region
+
+(* Zonotope output is tighter than IBP on the same region. *)
+let test_tighter_than_ibp () =
+  let program = Helpers.tiny_program ~layers:1 28 in
+  let rng = Rng.create 12 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let radius = 0.01 in
+  let zregion = Deept.Region.lp_ball ~p:Lp.Linf x ~word:1 ~radius in
+  let zout = Z.bounds (Deept.Propagate.run cfg program zregion) in
+  let ilo = Mat.copy x and ihi = Mat.copy x in
+  let d = Mat.cols x in
+  for j = 0 to d - 1 do
+    Mat.set ilo 1 j (Mat.get x 1 j -. radius);
+    Mat.set ihi 1 j (Mat.get x 1 j +. radius)
+  done;
+  let iout = Interval.Ibp.run program (Interval.Imat.make ilo ihi) in
+  let zw = Mat.sum (Mat.sub zout.Interval.Imat.hi zout.Interval.Imat.lo) in
+  let iw = Mat.sum (Mat.sub iout.Interval.Imat.hi iout.Interval.Imat.lo) in
+  Helpers.check_true
+    (Printf.sprintf "zonotope width %.4g <= ibp width %.4g" zw iw)
+    (zw <= iw +. 1e-9)
+
+(* Certification behaviour. *)
+let test_certify_zero_radius () =
+  let program = Helpers.tiny_program ~layers:1 29 in
+  let rng = Rng.create 13 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let pred = Nn.Forward.predict program x in
+  let region = Deept.Region.lp_ball ~p:Lp.L2 x ~word:0 ~radius:0.0 in
+  Helpers.check_true "certifies prediction at radius 0"
+    (C.certify cfg program region ~true_class:pred);
+  Helpers.check_true "refutes the wrong class"
+    (not (C.certify cfg program region ~true_class:(1 - pred)))
+
+let test_certified_radius_positive () =
+  let program = Helpers.tiny_program ~layers:1 30 in
+  let rng = Rng.create 14 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let pred = Nn.Forward.predict program x in
+  let r =
+    C.certified_radius cfg program ~p:Lp.L2 x ~word:1 ~true_class:pred ~iters:8 ()
+  in
+  Helpers.check_true (Printf.sprintf "radius %.4g > 0" r) (r > 0.0);
+  (* The certified region at that radius indeed certifies. *)
+  Helpers.check_true "radius certifies"
+    (C.certify cfg program (Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius:r)
+       ~true_class:pred)
+
+let test_radius_ordering_l1_l2_linf () =
+  (* For the same network/input, certified radii must satisfy
+     r(l1) >= r(l2) >= r(linf), because the balls are nested the other way. *)
+  let program = Helpers.tiny_program ~layers:1 31 in
+  let rng = Rng.create 15 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let pred = Nn.Forward.predict program x in
+  let radius p =
+    C.certified_radius cfg program ~p x ~word:1 ~true_class:pred ~iters:10 ()
+  in
+  let r1 = radius Lp.L1 and r2 = radius Lp.L2 and ri = radius Lp.Linf in
+  Helpers.check_true
+    (Printf.sprintf "r1 %.4g >= r2 %.4g >= rinf %.4g" r1 r2 ri)
+    (r1 >= r2 -. 1e-9 && r2 >= ri -. 1e-9)
+
+let test_max_radius_bracketing () =
+  (* max_radius on a crisp threshold predicate converges to it. *)
+  let threshold = 0.37 in
+  let r = C.max_radius ~iters:20 (fun x -> x <= threshold) in
+  Helpers.check_float ~tol:1e-3 "binary search converges" threshold r
+
+let test_enumeration_agrees () =
+  let program = Helpers.tiny_program ~layers:1 33 in
+  let rng = Rng.create 16 in
+  let d = Ir.out_dim program 0 in
+  let x = Mat.random_gaussian rng 3 d 0.7 in
+  let pred = Nn.Forward.predict program x in
+  let alts pos =
+    List.init 2 (fun _ ->
+        Array.init d (fun j -> Mat.get x pos j +. Rng.uniform rng (-0.01) 0.01))
+  in
+  let subs = [ (0, alts 0); (1, alts 1); (2, alts 2) ] in
+  Helpers.check_true "combination count" (C.count_combinations subs = 27);
+  let ok, checked = C.enumerate_synonyms program x subs ~true_class:pred in
+  Helpers.check_true "enumeration covers all combos" (checked = 27);
+  (* Certification implies enumeration success (soundness direction). *)
+  if C.certify_synonyms cfg program x subs ~true_class:pred then
+    Helpers.check_true "certified => enumeration clean" ok
+
+let test_combined_variant_runs () =
+  let program = Helpers.tiny_program ~layers:2 34 in
+  let rng = Rng.create 18 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let region = Deept.Region.lp_ball ~p:Lp.Linf x ~word:1 ~radius:0.02 in
+  check_program_sound ~name:"combined" Deept.Config.combined program region
+
+(* Vision-mode program (patch linear + positional) propagates soundly. *)
+let test_vision_mode_sound () =
+  let rng = Rng.create 41 in
+  let cfg_m =
+    { Nn.Model.default_config with vocab_size = 1; max_len = 4; d_model = 8;
+      d_hidden = 8; heads = 2; layers = 1; patch_dim = Some 6 }
+  in
+  let m = Nn.Model.create rng cfg_m in
+  let program = Nn.Model.to_ir m in
+  let x = Mat.random_gaussian rng 4 6 0.5 in
+  let region = Deept.Region.lp_ball_all ~p:Lp.L2 x ~radius:0.05 in
+  check_program_sound ~name:"vision" cfg program region
+
+(* Reduction trades precision for memory: output widths with an
+   aggressive budget are never smaller than with no reduction. *)
+let test_reduction_only_loosens () =
+  let program = Helpers.tiny_program ~layers:2 35 in
+  let rng = Rng.create 19 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let region = Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius:0.02 in
+  let widths k =
+    let out =
+      Deept.Propagate.run { cfg with Deept.Config.reduction_k = k } program region
+    in
+    let b = Z.bounds out in
+    Mat.sum (Mat.sub b.Interval.Imat.hi b.Interval.Imat.lo)
+  in
+  let exact = widths 0 and reduced = widths 4 in
+  Helpers.check_true
+    (Printf.sprintf "reduced %.4g >= exact %.4g" reduced exact)
+    (reduced >= exact -. 1e-9)
+
+(* The margin at radius 0 equals the concrete logit difference. *)
+let test_zero_radius_margin_exact () =
+  let program = Helpers.tiny_program ~layers:2 36 in
+  let rng = Rng.create 20 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let logits = Nn.Forward.logits program x in
+  let pred = Vecops.argmax logits in
+  let m =
+    C.certify_margin cfg program
+      (Deept.Region.lp_ball ~p:Lp.L2 x ~word:0 ~radius:0.0)
+      ~true_class:pred
+  in
+  Helpers.check_float ~tol:1e-9 "margin = logit gap"
+    (logits.(pred) -. logits.(1 - pred))
+    m
+
+let () =
+  Alcotest.run "propagate"
+    [
+      ( "soundness",
+        [
+          Alcotest.test_case "fast all norms" `Slow test_sound_fast;
+          Alcotest.test_case "precise" `Slow test_sound_precise;
+          Alcotest.test_case "heavy reduction" `Slow test_sound_with_reduction;
+          Alcotest.test_case "divide std" `Slow test_sound_divide_std;
+          Alcotest.test_case "no refinement" `Quick test_sound_no_refinement;
+          Alcotest.test_case "direct softmax" `Quick test_sound_direct_softmax;
+          Alcotest.test_case "synonym box" `Quick test_sound_synonym_box;
+          Alcotest.test_case "combined variant" `Quick test_combined_variant_runs;
+          Alcotest.test_case "vision mode" `Quick test_vision_mode_sound;
+        ] );
+      ( "precision",
+        [ Alcotest.test_case "tighter than ibp" `Quick test_tighter_than_ibp ] );
+      ( "properties",
+        [
+          Alcotest.test_case "reduction only loosens" `Quick test_reduction_only_loosens;
+          Alcotest.test_case "zero-radius margin exact" `Quick
+            test_zero_radius_margin_exact;
+        ] );
+      ( "certification",
+        [
+          Alcotest.test_case "zero radius" `Quick test_certify_zero_radius;
+          Alcotest.test_case "positive radius" `Quick test_certified_radius_positive;
+          Alcotest.test_case "norm ordering" `Slow test_radius_ordering_l1_l2_linf;
+          Alcotest.test_case "binary search" `Quick test_max_radius_bracketing;
+          Alcotest.test_case "enumeration agrees" `Quick test_enumeration_agrees;
+        ] );
+    ]

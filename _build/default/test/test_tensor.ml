@@ -1,0 +1,211 @@
+(* Tensor substrate: matrices, vectors, RNG determinism. *)
+
+open Tensor
+
+let test_rng_determinism () =
+  let a = Rng.create 5 and b = Rng.create 5 in
+  for _ = 1 to 100 do
+    Helpers.check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let c = Rng.split a in
+  Helpers.check_true "split differs from parent" (Rng.float a <> Rng.float c)
+
+let test_rng_ranges () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    Helpers.check_true "float in [0,1)" (x >= 0.0 && x < 1.0);
+    let i = Rng.int r 7 in
+    Helpers.check_true "int in range" (i >= 0 && i < 7)
+  done
+
+let test_gaussian_moments () =
+  let r = Rng.create 11 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian r) in
+  let mean = Vecops.mean xs in
+  let var = Vecops.mean (Array.map (fun x -> (x -. mean) ** 2.0) xs) in
+  Helpers.check_float ~tol:0.05 "mean ~ 0" 0.0 mean;
+  Helpers.check_float ~tol:0.05 "var ~ 1" 1.0 var
+
+let test_matmul () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Mat.of_rows [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Mat.matmul a b in
+  Helpers.check_true "matmul values"
+    (Mat.equal c (Mat.of_rows [| [| 19.0; 22.0 |]; [| 43.0; 50.0 |] |]))
+
+let test_matmul_identity () =
+  let rng = Rng.create 3 in
+  let a = Mat.random_gaussian rng 4 4 1.0 in
+  Helpers.check_true "a * I = a" (Mat.equal ~tol:1e-12 (Mat.matmul a (Mat.identity 4)) a);
+  Helpers.check_true "I * a = a" (Mat.equal ~tol:1e-12 (Mat.matmul (Mat.identity 4) a) a)
+
+let test_gemm_transposes () =
+  let rng = Rng.create 4 in
+  let a = Mat.random_gaussian rng 3 5 1.0 in
+  let b = Mat.random_gaussian rng 3 4 1.0 in
+  let direct = Mat.matmul (Mat.transpose a) b in
+  Helpers.check_true "gemm ta" (Mat.equal ~tol:1e-12 (Mat.gemm ~ta:true a b) direct)
+
+let test_transpose_involution () =
+  let rng = Rng.create 6 in
+  let a = Mat.random_gaussian rng 3 7 1.0 in
+  Helpers.check_true "transpose twice" (Mat.equal (Mat.transpose (Mat.transpose a)) a)
+
+let test_hcat_vcat () =
+  let a = Mat.of_rows [| [| 1.0 |]; [| 2.0 |] |] in
+  let b = Mat.of_rows [| [| 3.0 |]; [| 4.0 |] |] in
+  Helpers.check_true "hcat"
+    (Mat.equal (Mat.hcat a b) (Mat.of_rows [| [| 1.0; 3.0 |]; [| 2.0; 4.0 |] |]));
+  Helpers.check_true "vcat"
+    (Mat.equal (Mat.vcat a b) (Mat.of_rows [| [| 1.0 |]; [| 2.0 |]; [| 3.0 |]; [| 4.0 |] |]))
+
+let test_sub_blocks () =
+  let m = Mat.init 4 5 (fun i j -> float_of_int ((i * 10) + j)) in
+  Helpers.check_float "sub_rows" 20.0 (Mat.get (Mat.sub_rows m 2 2) 0 0);
+  Helpers.check_float "sub_cols" 2.0 (Mat.get (Mat.sub_cols m 2 2) 0 0);
+  Helpers.check_float "select_cols" 4.0 (Mat.get (Mat.select_cols m [| 4; 0 |]) 0 0)
+
+let test_row_norms () =
+  let m = Mat.of_rows [| [| 3.0; -4.0 |]; [| 1.0; 1.0 |] |] in
+  let l1 = Mat.row_lp_norms m 1.0 in
+  let l2 = Mat.row_lp_norms m 2.0 in
+  let li = Mat.row_lp_norms m infinity in
+  Helpers.check_float "l1" 7.0 l1.(0);
+  Helpers.check_float "l2" 5.0 l2.(0);
+  Helpers.check_float "linf" 4.0 li.(0);
+  Helpers.check_float ~tol:1e-12 "l2 row1" (sqrt 2.0) l2.(1)
+
+let test_broadcast () =
+  let m = Mat.make 2 3 1.0 in
+  let v = [| 1.0; 2.0; 3.0 |] in
+  Helpers.check_float "add_row_broadcast" 4.0 (Mat.get (Mat.add_row_broadcast m v) 0 2);
+  Helpers.check_float "mul_row_broadcast" 3.0 (Mat.get (Mat.mul_row_broadcast m v) 1 2)
+
+let test_inplace_ops () =
+  let rng = Rng.create 21 in
+  let a = Mat.random_gaussian rng 3 4 1.0 in
+  let b = Mat.random_gaussian rng 3 4 1.0 in
+  let acc = Mat.copy a in
+  Mat.add_in_place acc b;
+  Helpers.check_true "add_in_place" (Mat.equal ~tol:1e-12 acc (Mat.add a b));
+  let acc2 = Mat.copy a in
+  Mat.axpy 2.5 b acc2;
+  Helpers.check_true "axpy" (Mat.equal ~tol:1e-12 acc2 (Mat.add a (Mat.scale 2.5 b)));
+  let acc3 = Mat.copy a in
+  Mat.scale_in_place (-3.0) acc3;
+  Helpers.check_true "scale_in_place" (Mat.equal ~tol:1e-12 acc3 (Mat.scale (-3.0) a));
+  let acc4 = Mat.copy a in
+  Mat.fill acc4 7.0;
+  Helpers.check_true "fill" (Mat.equal acc4 (Mat.make 3 4 7.0))
+
+let test_reductions () =
+  let m = Mat.of_rows [| [| 1.0; -2.0 |]; [| 3.0; 4.0 |] |] in
+  Helpers.check_float "sum" 6.0 (Mat.sum m);
+  Helpers.check_float ~tol:1e-12 "frobenius" (sqrt 30.0) (Mat.frobenius m);
+  Helpers.check_float "max_abs" 4.0 (Mat.max_abs m);
+  Helpers.check_true "row_sums" (Mat.row_sums m = [| -1.0; 7.0 |]);
+  Helpers.check_true "row_means" (Mat.row_means m = [| -0.5; 3.5 |]);
+  Helpers.check_true "col_sums" (Mat.col_sums m = [| 4.0; 2.0 |])
+
+let test_mat_vec_products () =
+  let m = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |]; [| 5.0; 6.0 |] |] in
+  Helpers.check_true "mat_vec" (Mat.mat_vec m [| 1.0; -1.0 |] = [| -1.0; -1.0; -1.0 |]);
+  Helpers.check_true "vec_mat" (Mat.vec_mat [| 1.0; 0.0; -1.0 |] m = [| -4.0; -4.0 |])
+
+let test_reshape_select () =
+  let m = Mat.init 2 6 (fun i j -> float_of_int ((i * 6) + j)) in
+  let r = Mat.reshape m ~rows:3 ~cols:4 in
+  Helpers.check_float "reshape flat order" 5.0 (Mat.get r 1 1);
+  Alcotest.check_raises "bad reshape" (Invalid_argument "Mat.reshape: size mismatch")
+    (fun () -> ignore (Mat.reshape m ~rows:5 ~cols:2))
+
+let test_vecops () =
+  let v = [| 1.0; -2.0; 3.0 |] in
+  Helpers.check_float "dot" 14.0 (Vecops.dot v v);
+  Helpers.check_float "l1" 6.0 (Vecops.l1 v);
+  Helpers.check_float ~tol:1e-12 "l2" (sqrt 14.0) (Vecops.l2 v);
+  Helpers.check_float "linf" 3.0 (Vecops.linf v);
+  Helpers.check_true "argmax" (Vecops.argmax v = 2);
+  let s = Vecops.softmax v in
+  Helpers.check_float ~tol:1e-12 "softmax sums to 1" 1.0 (Vecops.sum s);
+  Helpers.check_float ~tol:1e-9 "logsumexp"
+    (log (exp 1.0 +. exp (-2.0) +. exp 3.0))
+    (Vecops.logsumexp v)
+
+let test_softmax_stability () =
+  let s = Vecops.softmax [| 1000.0; 1001.0 |] in
+  Helpers.check_true "no nan" (Float.is_finite s.(0) && Float.is_finite s.(1));
+  Helpers.check_float ~tol:1e-9 "sums to 1" 1.0 (Vecops.sum s)
+
+let test_lp_norm_generic () =
+  let v = [| 1.0; 2.0; 2.0 |] in
+  Helpers.check_float ~tol:1e-9 "p=3" ((1.0 +. 8.0 +. 8.0) ** (1.0 /. 3.0))
+    (Vecops.lp v 3.0)
+
+let prop_matmul_assoc =
+  Helpers.qcheck_case ~count:50 "matmul associativity"
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, c) ->
+      let a = 1 + (a mod 4) and b = 1 + (b mod 4) and c = 1 + (c mod 4) in
+      let rng = Rng.create (a + (10 * b) + (100 * c)) in
+      let x = Mat.random_gaussian rng a b 1.0 in
+      let y = Mat.random_gaussian rng b c 1.0 in
+      let z = Mat.random_gaussian rng c a 1.0 in
+      Mat.equal ~tol:1e-9
+        (Mat.matmul (Mat.matmul x y) z)
+        (Mat.matmul x (Mat.matmul y z)))
+
+let prop_transpose_matmul =
+  Helpers.qcheck_case ~count:50 "(AB)^T = B^T A^T"
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let a = 1 + (a mod 5) and b = 1 + (b mod 5) in
+      let rng = Rng.create ((31 * a) + b) in
+      let x = Mat.random_gaussian rng a b 1.0 in
+      let y = Mat.random_gaussian rng b a 1.0 in
+      Mat.equal ~tol:1e-9
+        (Mat.transpose (Mat.matmul x y))
+        (Mat.gemm ~ta:true ~tb:true y x))
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_determinism;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "matmul" `Quick test_matmul;
+          Alcotest.test_case "identity" `Quick test_matmul_identity;
+          Alcotest.test_case "gemm transposes" `Quick test_gemm_transposes;
+          Alcotest.test_case "transpose involution" `Quick test_transpose_involution;
+          Alcotest.test_case "hcat/vcat" `Quick test_hcat_vcat;
+          Alcotest.test_case "sub blocks" `Quick test_sub_blocks;
+          Alcotest.test_case "row norms" `Quick test_row_norms;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          prop_matmul_assoc;
+          prop_transpose_matmul;
+        ] );
+      ( "mat-extra",
+        [
+          Alcotest.test_case "in-place ops" `Quick test_inplace_ops;
+          Alcotest.test_case "reductions" `Quick test_reductions;
+          Alcotest.test_case "mat-vec" `Quick test_mat_vec_products;
+          Alcotest.test_case "reshape" `Quick test_reshape_select;
+        ] );
+      ( "vecops",
+        [
+          Alcotest.test_case "basics" `Quick test_vecops;
+          Alcotest.test_case "softmax stability" `Quick test_softmax_stability;
+          Alcotest.test_case "generic lp" `Quick test_lp_norm_generic;
+        ] );
+    ]

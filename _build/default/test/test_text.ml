@@ -1,0 +1,155 @@
+(* Synthetic corpora and synonym dictionaries. *)
+
+open Tensor
+
+let corpus seed style = Text.Corpus.generate (Rng.create seed) style
+
+let test_deterministic () =
+  let a = corpus 5 Text.Corpus.Sst_like and b = corpus 5 Text.Corpus.Sst_like in
+  Helpers.check_true "same corpora" (a.Text.Corpus.train = b.Text.Corpus.train)
+
+let test_structure () =
+  List.iter
+    (fun style ->
+      let c = corpus 6 style in
+      List.iter
+        (fun (toks, label) ->
+          Helpers.check_true "starts with CLS" (toks.(0) = Text.Corpus.cls);
+          Helpers.check_true "label binary" (label = 0 || label = 1);
+          Helpers.check_true "within max_len"
+            (Array.length toks <= c.Text.Corpus.max_len);
+          Helpers.check_true "tokens in vocab"
+            (Array.for_all
+               (fun t -> t >= 0 && t < Array.length c.Text.Corpus.vocab)
+               toks))
+        (c.Text.Corpus.train @ c.Text.Corpus.test))
+    [ Text.Corpus.Sst_like; Text.Corpus.Yelp_like ]
+
+let test_balanced () =
+  let c = corpus 7 Text.Corpus.Sst_like in
+  let pos = List.length (List.filter (fun (_, l) -> l = 1) c.Text.Corpus.train) in
+  let total = List.length c.Text.Corpus.train in
+  let frac = float_of_int pos /. float_of_int total in
+  Helpers.check_true
+    (Printf.sprintf "balanced labels (%.2f)" frac)
+    (frac > 0.4 && frac < 0.6)
+
+(* The task must be learnable: the sentiment signal is present. *)
+let test_signal_present () =
+  let c = corpus 8 Text.Corpus.Sst_like in
+  let polarity tok =
+    if tok >= 2 && tok < 2 + c.Text.Corpus.n_positive then 1
+    else if
+      tok >= 2 + c.Text.Corpus.n_positive
+      && tok < 2 + c.Text.Corpus.n_positive + c.Text.Corpus.n_negative
+    then -1
+    else 0
+  in
+  let correct = ref 0 and total = ref 0 in
+  List.iter
+    (fun (toks, label) ->
+      let score = Array.fold_left (fun acc t -> acc + polarity t) 0 toks in
+      incr total;
+      if (score > 0 && label = 1) || (score < 0 && label = 0) then incr correct)
+    c.Text.Corpus.train;
+  let frac = float_of_int !correct /. float_of_int !total in
+  Helpers.check_true
+    (Printf.sprintf "word-count heuristic accuracy %.2f" frac)
+    (frac > 0.7)
+
+let test_sentence_rendering () =
+  let c = corpus 9 Text.Corpus.Sst_like in
+  let toks, _ = List.hd c.Text.Corpus.train in
+  let s = Text.Corpus.sentence c toks in
+  Helpers.check_true "rendering non-empty" (String.length s > 0)
+
+let test_synonym_offsets () =
+  let c = corpus 10 Text.Corpus.Sst_like in
+  let syn = Text.Synonyms.generate (Rng.create 11) c ~dim:8 in
+  let r = Text.Synonyms.radius syn in
+  let found = ref 0 in
+  for tok = 0 to Array.length c.Text.Corpus.vocab - 1 do
+    let offs = Text.Synonyms.offsets syn tok in
+    if offs <> [] then begin
+      incr found;
+      Helpers.check_true "only sentiment words have synonyms"
+        (Text.Corpus.is_sentiment_word c tok);
+      List.iter
+        (fun off ->
+          Helpers.check_true "offset within radius" (Vecops.linf off <= r))
+        offs
+    end
+  done;
+  Helpers.check_true "some words have synonyms" (!found > 0)
+
+let test_substitutions () =
+  let c = corpus 12 Text.Corpus.Sst_like in
+  let model =
+    Nn.Model.create (Rng.create 13)
+      { Nn.Model.default_config with vocab_size = Array.length c.Text.Corpus.vocab }
+  in
+  let d = (Nn.Model.config model).Nn.Model.d_model in
+  let syn = Text.Synonyms.generate (Rng.create 14) c ~dim:d in
+  (* find a sentence with at least one substitutable word *)
+  let toks, _ =
+    List.find
+      (fun (toks, _) ->
+        Array.exists (fun t -> Text.Synonyms.offsets syn t <> []) toks)
+      c.Text.Corpus.train
+  in
+  let subs = Text.Synonyms.substitutions syn model toks in
+  Helpers.check_true "has substitutions" (subs <> []);
+  let embedded = Nn.Model.embed_tokens model toks in
+  List.iter
+    (fun (pos, rows) ->
+      List.iter
+        (fun (row : float array) ->
+          Helpers.check_true "row dim" (Array.length row = d);
+          (* the alternative stays within the synonym radius of the slot *)
+          let diff =
+            Array.mapi (fun j v -> v -. Mat.get embedded pos j) row
+          in
+          Helpers.check_true "alternative near original"
+            (Vecops.linf diff <= Text.Synonyms.radius syn +. 1e-12))
+        rows)
+    subs;
+  (* combination count matches the substitution structure *)
+  let expected =
+    List.fold_left (fun acc (_, rows) -> acc * (1 + List.length rows)) 1 subs
+  in
+  Helpers.check_true "combination count"
+    (Text.Synonyms.count_combinations syn toks = expected)
+
+let test_tokenize () =
+  let c = corpus 15 Text.Corpus.Sst_like in
+  let toks = Text.Corpus.tokenize c "movie0 great0 zzz-unknown" in
+  Helpers.check_true "starts with CLS" (toks.(0) = Text.Corpus.cls);
+  Helpers.check_true "known word" (Text.Corpus.word c toks.(1) = "movie0");
+  Helpers.check_true "sentiment word" (Text.Corpus.is_sentiment_word c toks.(2));
+  Helpers.check_true "unknown -> UNK" (Text.Corpus.word c toks.(3) = "[UNK]");
+  (* roundtrip through rendering *)
+  let again = Text.Corpus.tokenize c (Text.Corpus.sentence c toks) in
+  Helpers.check_true "tokenize . sentence = id" (again = toks);
+  (* truncation *)
+  let long = String.concat " " (List.init 40 (fun _ -> "movie0")) in
+  Helpers.check_true "truncated to max_len"
+    (Array.length (Text.Corpus.tokenize c long) <= c.Text.Corpus.max_len)
+
+let () =
+  Alcotest.run "text"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "balanced" `Quick test_balanced;
+          Alcotest.test_case "signal present" `Quick test_signal_present;
+          Alcotest.test_case "rendering" `Quick test_sentence_rendering;
+          Alcotest.test_case "tokenize" `Quick test_tokenize;
+        ] );
+      ( "synonyms",
+        [
+          Alcotest.test_case "offsets" `Quick test_synonym_offsets;
+          Alcotest.test_case "substitutions" `Quick test_substitutions;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+(* Synthetic images, patch extraction, MLP substrate, model persistence. *)
+
+open Tensor
+
+let test_image_properties () =
+  let imgs = Vision.Images.generate (Rng.create 3) 40 in
+  Helpers.check_true "count" (List.length imgs = 40);
+  let ones = List.length (List.filter (fun i -> i.Vision.Images.label = 0) imgs) in
+  Helpers.check_true "balanced" (ones = 20);
+  List.iter
+    (fun (img : Vision.Images.image) ->
+      Helpers.check_true "pixel count" (Array.length img.pixels = 28 * 28);
+      Array.iter
+        (fun p -> Helpers.check_true "pixel range" (p >= 0.0 && p <= 1.0))
+        img.pixels;
+      Helpers.check_true "has ink" (Vecops.sum img.pixels > 5.0))
+    imgs
+
+let test_classes_differ () =
+  (* "7"s have much more ink in the top half than "1"s relative to total. *)
+  let imgs = Vision.Images.generate (Rng.create 4) 100 in
+  let top_frac (img : Vision.Images.image) =
+    let top = ref 0.0 and total = ref 0.0 in
+    Array.iteri
+      (fun i p ->
+        total := !total +. p;
+        if i / 28 < 10 then top := !top +. p)
+      img.pixels;
+    !top /. Float.max !total 1e-9
+  in
+  let avg label =
+    let xs = List.filter (fun i -> i.Vision.Images.label = label) imgs in
+    List.fold_left (fun a i -> a +. top_frac i) 0.0 xs /. float_of_int (List.length xs)
+  in
+  Helpers.check_true "7s are top-heavy" (avg 1 > avg 0 +. 0.05)
+
+let test_patches_roundtrip () =
+  let img = List.hd (Vision.Images.generate (Rng.create 5) 2) in
+  let p = Vision.Images.patches img in
+  Helpers.check_true "patch dims" (Mat.dims p = (16, 49));
+  (* pixel (r, c) appears at the right patch position *)
+  let r = 10 and c = 20 in
+  let pr = r / 7 and pc = c / 7 in
+  let k = ((r mod 7) * 7) + (c mod 7) in
+  Helpers.check_float "patch value" img.pixels.((r * 28) + c)
+    (Mat.get p ((pr * 4) + pc) k);
+  Helpers.check_float "flat sum = patch sum" (Mat.sum (Vision.Images.flat img))
+    (Mat.sum p)
+
+let test_features () =
+  let img = List.hd (Vision.Images.generate (Rng.create 6) 2) in
+  let f = Vision.Images.features img in
+  Helpers.check_true "feature dims" (Mat.dims f = (1, 4));
+  Helpers.check_true "features in [0,5]"
+    (Array.for_all (fun v -> v >= 0.0 && v <= 5.0) (Mat.row f 0))
+
+let test_mlp_learns_features () =
+  let rng = Rng.create 7 in
+  let imgs = Vision.Images.generate rng 300 in
+  let data =
+    List.map (fun i -> (Vision.Images.features i, i.Vision.Images.label)) imgs
+  in
+  let mlp = Nn.Mlp.create rng ~dims:[ 4; 10; 10; 2 ] in
+  Nn.Mlp.train ~epochs:30 ~lr:5e-3 ~rng mlp data;
+  let acc = Nn.Mlp.accuracy mlp data in
+  Helpers.check_true (Printf.sprintf "mlp accuracy %.2f" acc) (acc >= 0.95)
+
+let test_mlp_ir_matches () =
+  let rng = Rng.create 8 in
+  let mlp = Nn.Mlp.create rng ~dims:[ 4; 6; 2 ] in
+  let prog = Nn.Mlp.to_ir mlp in
+  let x = Mat.random_gaussian rng 1 4 1.0 in
+  let tp = Nn.Autodiff.create () in
+  let train_out = Nn.Autodiff.value (Nn.Mlp.forward tp mlp x) in
+  Helpers.check_true "forward = ir" (Mat.equal ~tol:1e-9 train_out (Nn.Forward.run prog x))
+
+let test_model_save_load () =
+  let m = Helpers.tiny_model ~layers:2 9 in
+  let path = Filename.temp_file "deept_nn" ".model" in
+  Nn.Model.save path m;
+  let m2 = Nn.Model.load path in
+  Sys.remove path;
+  let toks = [| 0; 3; 5 |] in
+  Helpers.check_true "identical embeddings"
+    (Mat.equal ~tol:0.0 (Nn.Model.embed_tokens m toks) (Nn.Model.embed_tokens m2 toks));
+  let x = Nn.Model.embed_tokens m toks in
+  Helpers.check_true "identical ir outputs"
+    (Mat.equal ~tol:0.0
+       (Nn.Forward.run (Nn.Model.to_ir m) x)
+       (Nn.Forward.run (Nn.Model.to_ir m2) x))
+
+let test_vit_builds () =
+  let rng = Rng.create 10 in
+  let cfg =
+    { Nn.Model.default_config with vocab_size = 1; max_len = 16; d_model = 16;
+      d_hidden = 16; heads = 2; layers = 1; patch_dim = Some 49 }
+  in
+  let vit = Nn.Model.create rng cfg in
+  let prog = Nn.Model.to_ir vit in
+  let img = List.hd (Vision.Images.generate rng 2) in
+  let out = Nn.Forward.run prog (Vision.Images.patches img) in
+  Helpers.check_true "vit output 1x2" (Mat.dims out = (1, 2))
+
+let () =
+  Alcotest.run "vision"
+    [
+      ( "images",
+        [
+          Alcotest.test_case "properties" `Quick test_image_properties;
+          Alcotest.test_case "classes differ" `Quick test_classes_differ;
+          Alcotest.test_case "patches" `Quick test_patches_roundtrip;
+          Alcotest.test_case "features" `Quick test_features;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "mlp learns" `Slow test_mlp_learns_features;
+          Alcotest.test_case "mlp ir" `Quick test_mlp_ir_matches;
+          Alcotest.test_case "model save/load" `Quick test_model_save_load;
+          Alcotest.test_case "vit builds" `Quick test_vit_builds;
+        ] );
+    ]

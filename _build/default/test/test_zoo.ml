@@ -1,0 +1,70 @@
+(* Experiment zoo: entry consistency, corpora determinism and shapes.
+   (Training itself is exercised by bin/train and the autodiff suite.) *)
+
+let test_entries_well_formed () =
+  Helpers.check_true "non-empty zoo" (List.length Zoo.all >= 15);
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let cfg = e.Zoo.cfg in
+      Helpers.check_true (e.Zoo.name ^ ": heads divide d_model")
+        (cfg.Nn.Model.d_model mod cfg.Nn.Model.heads = 0);
+      Helpers.check_true (e.Zoo.name ^ ": positive epochs") (e.Zoo.epochs > 0);
+      Helpers.check_true (e.Zoo.name ^ ": positive lr") (e.Zoo.lr > 0.0);
+      match e.Zoo.corpus with
+      | Zoo.Vision_task ->
+          Helpers.check_true (e.Zoo.name ^ ": vision has patches")
+            (cfg.Nn.Model.patch_dim <> None)
+      | k ->
+          let c = Zoo.corpus_of k in
+          Helpers.check_true (e.Zoo.name ^ ": vocab matches corpus")
+            (cfg.Nn.Model.vocab_size = Array.length c.Text.Corpus.vocab);
+          Helpers.check_true (e.Zoo.name ^ ": max_len matches corpus")
+            (cfg.Nn.Model.max_len = c.Text.Corpus.max_len))
+    Zoo.all
+
+let test_unique_names () =
+  let names = List.map (fun e -> e.Zoo.name) Zoo.all in
+  Helpers.check_true "unique names"
+    (List.length names = List.length (List.sort_uniq compare names))
+
+let test_expected_members () =
+  List.iter
+    (fun name ->
+      Helpers.check_true (name ^ " exists")
+        (match Zoo.entry name with _ -> true | exception Not_found -> false))
+    [ "sst_3"; "sst_6"; "sst_12"; "yelp_12"; "wide_12"; "small_3"; "std_6";
+      "robust_3"; "vit_1" ]
+
+let test_corpora_cached_and_deterministic () =
+  let a = Zoo.sst_corpus () and b = Zoo.sst_corpus () in
+  Helpers.check_true "cached (physical equality)" (a == b);
+  Helpers.check_true "expected sizes"
+    (List.length a.Text.Corpus.train = 1600 && List.length a.Text.Corpus.test = 200)
+
+let test_vision_data () =
+  let imgs = Zoo.vision_data () in
+  Helpers.check_true "600 images" (List.length imgs = 600)
+
+let test_depth_profile () =
+  List.iter
+    (fun m ->
+      let e = Zoo.entry (Printf.sprintf "sst_%d" m) in
+      Helpers.check_true "layers match name" (e.Zoo.cfg.Nn.Model.layers = m))
+    [ 3; 6; 12 ]
+
+let () =
+  Alcotest.run "zoo"
+    [
+      ( "entries",
+        [
+          Alcotest.test_case "well formed" `Quick test_entries_well_formed;
+          Alcotest.test_case "unique names" `Quick test_unique_names;
+          Alcotest.test_case "expected members" `Quick test_expected_members;
+          Alcotest.test_case "depth profile" `Quick test_depth_profile;
+        ] );
+      ( "data",
+        [
+          Alcotest.test_case "corpora" `Quick test_corpora_cached_and_deterministic;
+          Alcotest.test_case "vision" `Quick test_vision_data;
+        ] );
+    ]
