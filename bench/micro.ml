@@ -72,6 +72,30 @@ let test_reduction =
          let ctx, z = mk_zono ~vars:64 ~eps:512 in
          ignore (Deept.Reduction.decorrelate_min_k ctx z 128)))
 
+(* Per-op budget checkpoints (deadline + symbol cap + poison scan) run on
+   every propagation; these two measure their overhead against the same
+   end-to-end propagation with no budget configured. *)
+let propagate_setup =
+  lazy
+    (let model = Helpers_model.tiny () in
+     let program = Nn.Model.to_ir model in
+     let x = Nn.Model.embed_tokens model [| 0; 3; 5; 2 |] in
+     let region = Deept.Region.lp_ball ~p:Deept.Lp.L2 x ~word:1 ~radius:0.01 in
+     (program, region))
+
+let test_propagate_unbudgeted =
+  Test.make ~name:"propagate fast (1 layer, n=4)"
+    (Staged.stage (fun () ->
+         let program, region = Lazy.force propagate_setup in
+         ignore (Deept.Propagate.run Deept.Config.fast program region)))
+
+let test_propagate_budgeted =
+  let cfg = Deept.Config.with_budget ~deadline:60.0 ~max_eps:100_000 Deept.Config.fast in
+  Test.make ~name:"propagate fast + budget checks"
+    (Staged.stage (fun () ->
+         let program, region = Lazy.force propagate_setup in
+         ignore (Deept.Propagate.run cfg program region)))
+
 let crown_setup =
   lazy
     (let model = Helpers_model.tiny () in
@@ -113,6 +137,8 @@ let benchmarks =
       test_softmax false;
       test_softmax true;
       test_reduction;
+      test_propagate_unbudgeted;
+      test_propagate_budgeted;
       test_crown_backward;
       test_bab;
     ]

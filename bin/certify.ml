@@ -228,6 +228,175 @@ let t2_cmd =
     (Cmd.info "t2" ~doc:"Certify a synonym-substitution attack on a sentence.")
     Term.(const certify_t2 $ data_arg $ model_arg $ index_arg $ sentence_arg)
 
+(* --- batch ------------------------------------------------------------ *)
+
+(* Hardened batch certification: every sentence is isolated (one sentence
+   crashing, stalling or going numerically insane cannot take down the
+   run), budgets bound each propagation, and the degradation ladder turns
+   faults into typed verdicts or cheaper-config rescues. *)
+
+let fault_conv =
+  let parse s =
+    match String.rindex_opt s '@' with
+    | None -> Error (`Msg "fault spec must look like nan@OP (see --help)")
+    | Some at -> (
+        let action = String.sub s 0 at in
+        let op = String.sub s (at + 1) (String.length s - at - 1) in
+        match int_of_string_opt op with
+        | None -> Error (`Msg ("fault spec: bad op index " ^ op))
+        | Some op when op < 0 -> Error (`Msg "fault spec: op index must be >= 0")
+        | Some op -> (
+            match String.split_on_char ':' action with
+            | [ "nan" ] -> Ok (op, Deept.Config.Inject_nan)
+            | [ "inf" ] -> Ok (op, Deept.Config.Inject_inf)
+            | [ "unbounded" ] -> Ok (op, Deept.Config.Raise_unbounded)
+            | [ "stall"; secs ] -> (
+                match float_of_string_opt secs with
+                | Some s when s >= 0.0 -> Ok (op, Deept.Config.Stall s)
+                | _ -> Error (`Msg ("fault spec: bad stall duration " ^ secs)))
+            | _ ->
+                Error
+                  (`Msg
+                     ("unknown fault action " ^ action
+                    ^ " (use nan, inf, unbounded or stall:SECS)"))))
+  in
+  let print ppf (op, action) =
+    Format.fprintf ppf "%s@%d" (Deept.Config.fault_action_name action) op
+  in
+  Arg.conv (parse, print)
+
+let count_arg =
+  let doc = "Number of test sentences to certify." in
+  Arg.(value & opt int 4 & info [ "count"; "n" ] ~doc)
+
+let deadline_arg =
+  let doc = "Wall-clock deadline per propagation attempt, in seconds." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~doc)
+
+let budget_arg =
+  let doc = "Maximum live noise symbols per propagation attempt." in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~doc)
+
+let fault_arg =
+  let doc =
+    "Deterministic fault injection: nan@OP, inf@OP, unbounded@OP or \
+     stall:SECS@OP poisons (or stalls) the output of op OP in every \
+     sentence's propagation."
+  in
+  Arg.(value & opt (some fault_conv) None & info [ "fault" ] ~doc)
+
+let fault_rungs_arg =
+  let doc =
+    "How many ladder attempts the injected fault stays active for (0 or \
+     less: all of them)."
+  in
+  Arg.(value & opt int 1 & info [ "fault-rungs" ] ~doc)
+
+let batch data name count word p radius verifier deadline budget fault
+    fault_rungs =
+  setup data;
+  let entry, model = load name in
+  let c = Zoo.corpus_of entry.Zoo.corpus in
+  let program = Nn.Model.to_ir model in
+  let base =
+    match verifier with
+    | Deept_fast -> Deept.Config.fast
+    | Deept_precise -> Deept.Config.precise
+    | Crown_baf | Crown_backward ->
+        prerr_endline
+          "certify: batch supports only deept-fast and deept-precise (the \
+           degradation ladder is a DeepT engine feature)";
+        exit 1
+  in
+  let cfg =
+    let cfg = Deept.Config.with_budget ?deadline ?max_eps:budget base in
+    match fault with
+    | None -> cfg
+    | Some (op, action) ->
+        let persist = if fault_rungs <= 0 then max_int else fault_rungs in
+        { cfg with Deept.Config.fault = Some (Deept.Config.fault ~persist op action) }
+  in
+  let sentences =
+    List.filteri (fun i _ -> i < count) c.Text.Corpus.test
+  in
+  if List.length sentences < count then
+    Printf.printf "note: test set has only %d sentences\n" (List.length sentences);
+  let outcomes =
+    List.mapi
+      (fun i (toks, label) ->
+        let word = max 0 (min word (Array.length toks - 1)) in
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          (* isolation: a sentence that dies in any unforeseen way is
+             reported as a numerical fault, and the batch moves on *)
+          try
+            let x = Nn.Model.embed_tokens model toks in
+            let region = Deept.Region.lp_ball ~p x ~word ~radius in
+            Deept.Engine.certify cfg program region ~true_class:label
+          with exn ->
+            let a =
+              {
+                Deept.Engine.rung_name = "crash:" ^ Printexc.to_string exn;
+                verdict = Deept.Verdict.Unknown Deept.Verdict.Numerical_fault;
+              }
+            in
+            {
+              Deept.Engine.verdict = a.Deept.Engine.verdict;
+              rung_name = a.Deept.Engine.rung_name;
+              attempts = [ a ];
+            }
+        in
+        Format.printf "[%2d] %-40s %a  (%.2fs)@." i
+          (let s = Text.Corpus.sentence c toks in
+           if String.length s <= 40 then s else String.sub s 0 37 ^ "...")
+          Deept.Engine.pp_outcome outcome
+          (Unix.gettimeofday () -. t0);
+        outcome)
+      sentences
+  in
+  (* summary: verdicts by reason, then rescues by ladder rung *)
+  let tally f =
+    List.fold_left
+      (fun acc o ->
+        let k = f o in
+        let n = try List.assoc k acc with Not_found -> 0 in
+        (k, n + 1) :: List.remove_assoc k acc)
+      [] outcomes
+    |> List.sort compare
+  in
+  Printf.printf "\n== summary (%d sentences) ==\n" (List.length outcomes);
+  List.iter
+    (fun (v, n) -> Printf.printf "  %-28s %d\n" v n)
+    (tally (fun (o : Deept.Engine.outcome) -> Deept.Verdict.to_string o.Deept.Engine.verdict));
+  Printf.printf "by rung:\n";
+  List.iter
+    (fun (r, n) -> Printf.printf "  %-28s %d\n" r n)
+    (tally (fun (o : Deept.Engine.outcome) -> o.Deept.Engine.rung_name));
+  let faults =
+    List.length
+      (List.filter
+         (fun (o : Deept.Engine.outcome) ->
+           o.Deept.Engine.verdict
+           = Deept.Verdict.Unknown Deept.Verdict.Numerical_fault)
+         outcomes)
+  in
+  if faults > 0 then begin
+    Printf.printf "%d sentence(s) ended in a numerical fault\n" faults;
+    exit 2
+  end
+
+let batch_cmd =
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Certify a batch of test sentences under budgets with fault \
+          containment and the graceful-degradation ladder. Exits with \
+          status 2 if any sentence ends in a numerical fault.")
+    Term.(
+      const batch $ data_arg $ model_arg $ count_arg $ word_arg $ norm_arg
+      $ radius_arg $ verifier_arg $ deadline_arg $ budget_arg $ fault_arg
+      $ fault_rungs_arg)
+
 let () =
   let info = Cmd.info "certify" ~doc:"DeepT robustness certification CLI." in
-  exit (Cmd.eval (Cmd.group info [ show_cmd; t1_cmd; radius_cmd; t2_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ show_cmd; t1_cmd; radius_cmd; t2_cmd; batch_cmd ]))

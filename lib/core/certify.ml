@@ -22,24 +22,48 @@ let margin (out : Zonotope.t) ~true_class =
 
 let certify_margin cfg program region ~true_class =
   (* An Unbounded abstraction (overflowed exponential at an absurd radius)
-     simply cannot be certified. *)
+     or an aborted propagation (budget, poison) simply cannot be
+     certified. *)
   match Propagate.run cfg program region with
   | out ->
       let m = margin out ~true_class in
       if Float.is_nan m then neg_infinity else m
   | exception Zonotope.Unbounded -> neg_infinity
+  | exception Verdict.Abort _ -> neg_infinity
 
 let certify cfg program region ~true_class =
   certify_margin cfg program region ~true_class > 0.0
 
+let certify_v cfg program region ~true_class =
+  match Propagate.run cfg program region with
+  | out ->
+      let m = margin out ~true_class in
+      if Float.is_nan m then Verdict.Unknown Verdict.Numerical_fault
+      else if m = neg_infinity then Verdict.Unknown Verdict.Unbounded
+      else if m > 0.0 then Verdict.Certified
+      else Verdict.Unknown Verdict.Imprecise
+  | exception Zonotope.Unbounded -> Verdict.Unknown Verdict.Unbounded
+  | exception Verdict.Abort r -> Verdict.Unknown r
+
 let max_radius ?(lo = 0.0) ?(hi = 0.5) ?(iters = 10) certifies =
   if hi <= lo then invalid_arg "Certify.max_radius: hi <= lo";
+  if not (Float.is_finite hi && Float.is_finite lo) then
+    invalid_arg "Certify.max_radius: bracket must be finite";
+  (* A probe that faults — typed abort or collapsed abstraction — counts as
+     "bad": it may shrink the bracket but can never certify, so the search
+     always terminates and only ever returns a radius that certified. *)
+  let probe r =
+    match certifies r with
+    | ok -> ok
+    | exception Verdict.Abort _ -> false
+    | exception Zonotope.Unbounded -> false
+  in
   (* Establish a bracket [good, bad]. *)
   let good = ref lo and bad = ref infinity in
   let r = ref hi in
   (try
      for _ = 0 to 3 do
-       if certifies !r then begin
+       if probe !r then begin
          good := !r;
          r := !r *. 2.0
        end
@@ -53,7 +77,7 @@ let max_radius ?(lo = 0.0) ?(hi = 0.5) ?(iters = 10) certifies =
   else begin
     for _ = 1 to iters do
       let mid = 0.5 *. (!good +. !bad) in
-      if certifies mid then good := mid else bad := mid
+      if probe mid then good := mid else bad := mid
     done;
     !good
   end
@@ -62,6 +86,30 @@ let certified_radius cfg program ~p x ~word ~true_class ?hi ?(iters = 10) () =
   max_radius ?hi ~iters (fun radius ->
       radius > 0.0
       && certify cfg program (Region.lp_ball ~p x ~word ~radius) ~true_class)
+
+type radius_report = {
+  radius : float;
+  probes : int;
+  faulted_probes : (float * Verdict.unknown_reason) list;
+}
+
+let certified_radius_v cfg program ~p x ~word ~true_class ?hi ?(iters = 10) () =
+  let probes = ref 0 and faulted = ref [] in
+  let certifies radius =
+    incr probes;
+    radius > 0.0
+    &&
+    match
+      certify_v cfg program (Region.lp_ball ~p x ~word ~radius) ~true_class
+    with
+    | Verdict.Certified -> true
+    | Verdict.Falsified | Verdict.Unknown Verdict.Imprecise -> false
+    | Verdict.Unknown r ->
+        faulted := (radius, r) :: !faulted;
+        false
+  in
+  let radius = max_radius ?hi ~iters certifies in
+  { radius; probes = !probes; faulted_probes = List.rev !faulted }
 
 let certify_synonyms cfg program x subs ~true_class =
   certify cfg program (Region.synonym_box x subs) ~true_class

@@ -16,7 +16,18 @@ val certify :
 
 val certify_margin :
   Config.t -> Ir.program -> Zonotope.t -> true_class:int -> float
-(** Like {!certify} but returns the margin itself. *)
+(** Like {!certify} but returns the margin itself ([neg_infinity] when
+    the propagation aborted or collapsed). *)
+
+val certify_v :
+  Config.t -> Ir.program -> Zonotope.t -> true_class:int -> Verdict.t
+(** Typed variant of {!certify}: a clean propagation yields [Certified]
+    or [Unknown Imprecise]; an aborted one ({!Verdict.Abort} from the
+    budget checkpoints, fault injection, or a collapsed abstraction)
+    yields [Unknown] with the reason preserved. Never returns
+    [Certified] from a propagation that raised. [Falsified] is only
+    produced by {!Engine.certify}, which searches for concrete
+    counterexamples. *)
 
 val max_radius :
   ?lo:float -> ?hi:float -> ?iters:int ->
@@ -25,13 +36,34 @@ val max_radius :
     the monotone predicate [certifies]: starting from [hi] (default 0.5,
     doubled up to 3 times while certified), then [iters] (default 10)
     bisection steps between the bracketing values. Returns the largest
-    radius known to certify (0 if even tiny radii fail). *)
+    radius known to certify (0 if even tiny radii fail).
+
+    Robustness guarantees: the bracket must be finite
+    ([Invalid_argument] otherwise); a probe that raises
+    {!Verdict.Abort} or {!Zonotope.Unbounded} — a faulted propagation —
+    counts as "bad", so the search terminates and the returned radius
+    always comes from a probe that genuinely certified. *)
 
 val certified_radius :
   Config.t -> Ir.program -> p:Lp.t -> Tensor.Mat.t -> word:int ->
   true_class:int -> ?hi:float -> ?iters:int -> unit -> float
 (** The paper's main measurement: the largest ℓp radius around one
     word's embedding that certifies (binary search over {!certify}). *)
+
+type radius_report = {
+  radius : float;  (** largest radius that certified (0 if none) *)
+  probes : int;  (** total propagations run by the search *)
+  faulted_probes : (float * Verdict.unknown_reason) list;
+      (** probes that ended in a typed fault rather than a clean
+          not-certified, in probe order — nonempty means the radius may
+          be pessimistic (faulted probes count as "bad") *)
+}
+
+val certified_radius_v :
+  Config.t -> Ir.program -> p:Lp.t -> Tensor.Mat.t -> word:int ->
+  true_class:int -> ?hi:float -> ?iters:int -> unit -> radius_report
+(** Like {!certified_radius} but over {!certify_v}, reporting which
+    probes faulted instead of silently treating them as "not robust". *)
 
 val certify_synonyms :
   Config.t -> Ir.program -> Tensor.Mat.t -> (int * float array list) list ->

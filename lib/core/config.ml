@@ -2,12 +2,26 @@ type dot_variant = Fast | Precise | Combined
 type dual_order = Linf_first | Lp_first
 type softmax_form = Stable | Direct
 
+type fault_action =
+  | Inject_nan
+  | Inject_inf
+  | Stall of float
+  | Raise_unbounded
+
+type fault_spec = { fault_op : int; action : fault_action; persist : int }
+
+type budget = { time_limit_s : float option; max_eps : int option }
+
+let no_budget = { time_limit_s = None; max_eps = None }
+
 type t = {
   variant : dot_variant;
   order : dual_order;
   softmax : softmax_form;
   refine_softmax_sum : bool;
   reduction_k : int;
+  budget : budget;
+  fault : fault_spec option;
 }
 
 let default =
@@ -17,17 +31,45 @@ let default =
     softmax = Stable;
     refine_softmax_sum = true;
     reduction_k = 128;
+    budget = no_budget;
+    fault = None;
   }
 
 let fast = default
 let precise = { default with variant = Precise; reduction_k = 96 }
 let combined = { default with variant = Combined; reduction_k = 128 }
 
+let fault ?(persist = max_int) fault_op action =
+  if fault_op < 0 then invalid_arg "Config.fault: negative op index";
+  if persist < 1 then invalid_arg "Config.fault: persist < 1";
+  { fault_op; action; persist }
+
+let with_budget ?deadline ?max_eps cfg =
+  { cfg with budget = { time_limit_s = deadline; max_eps } }
+
 let variant_name = function Fast -> "fast" | Precise -> "precise" | Combined -> "combined"
 
+let fault_action_name = function
+  | Inject_nan -> "nan"
+  | Inject_inf -> "inf"
+  | Stall s -> Printf.sprintf "stall:%g" s
+  | Raise_unbounded -> "unbounded"
+
 let pp ppf c =
-  Format.fprintf ppf "deept(%s, %s, softmax=%s, refine=%b, k=%d)"
+  let b = Buffer.create 16 in
+  (match c.budget.time_limit_s with
+  | Some s -> Buffer.add_string b (Printf.sprintf ", deadline=%gs" s)
+  | None -> ());
+  (match c.budget.max_eps with
+  | Some n -> Buffer.add_string b (Printf.sprintf ", max_eps=%d" n)
+  | None -> ());
+  (match c.fault with
+  | Some f ->
+      Buffer.add_string b
+        (Printf.sprintf ", fault=%s@%d" (fault_action_name f.action) f.fault_op)
+  | None -> ());
+  Format.fprintf ppf "deept(%s, %s, softmax=%s, refine=%b, k=%d%s)"
     (variant_name c.variant)
     (match c.order with Linf_first -> "linf-first" | Lp_first -> "lp-first")
     (match c.softmax with Stable -> "stable" | Direct -> "direct")
-    c.refine_softmax_sum c.reduction_k
+    c.refine_softmax_sum c.reduction_k (Buffer.contents b)

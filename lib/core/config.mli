@@ -18,6 +18,43 @@ type softmax_form = Stable | Direct
     [Direct]: exp(νi) · recip(Σ exp(νj)) — what CROWN uses; exposed for
     the ablation. *)
 
+(** {1 Resilience: budgets and fault injection} *)
+
+type fault_action =
+  | Inject_nan  (** overwrite one entry of the op's output with NaN *)
+  | Inject_inf  (** overwrite one entry of the op's output with +∞ *)
+  | Stall of float  (** sleep this many (wall-clock) seconds after the op *)
+  | Raise_unbounded
+      (** raise {!Zonotope.Unbounded} at the op — simulates a collapsed
+          transformer (saturated exponential) *)
+
+type fault_spec = {
+  fault_op : int;  (** op index the fault fires after *)
+  action : fault_action;
+  persist : int;
+      (** how many ladder rungs the fault stays active for; {!Engine}
+          strips the fault from rung configs once this many attempts have
+          been made. [max_int] = the op is permanently broken. *)
+}
+(** Deterministic fault injection, threaded through {!Propagate.run} so
+    every rung of the degradation ladder and every [Unknown] reason can
+    be exercised in tests without relying on flaky timing or on finding a
+    model that organically overflows. *)
+
+type budget = {
+  time_limit_s : float option;
+      (** wall-clock deadline for one propagation, checked after every
+          op; exceeded → {!Verdict.Abort}[ Timeout] *)
+  max_eps : int option;
+      (** cap on live ε noise symbols; exceeded →
+          {!Verdict.Abort}[ Symbol_budget] *)
+}
+
+val no_budget : budget
+
+val fault : ?persist:int -> int -> fault_action -> fault_spec
+(** [fault ~persist op action] — [persist] defaults to [max_int]. *)
+
 type t = {
   variant : dot_variant;
   order : dual_order;
@@ -27,6 +64,8 @@ type t = {
   reduction_k : int;
       (** ℓ∞ noise symbols kept by DecorrelateMin_k at each layer input;
           0 disables reduction *)
+  budget : budget;  (** resource limits enforced per-op (default: none) *)
+  fault : fault_spec option;  (** deterministic fault injection hook *)
 }
 
 val default : t
@@ -41,4 +80,9 @@ val precise : t
 val combined : t
 (** Appendix A.6 variant. *)
 
+val with_budget : ?deadline:float -> ?max_eps:int -> t -> t
+(** Replaces the budget (omitted limits are cleared). *)
+
+val variant_name : dot_variant -> string
+val fault_action_name : fault_action -> string
 val pp : Format.formatter -> t -> unit

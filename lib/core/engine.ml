@@ -1,0 +1,155 @@
+open Tensor
+
+type rung = Abstract of { rname : string; cfg : Config.t } | Box
+
+type attempt = { rung_name : string; verdict : Verdict.t }
+
+type outcome = {
+  verdict : Verdict.t;
+  rung_name : string;
+  attempts : attempt list;
+}
+
+let rung_name = function Abstract { rname; _ } -> rname | Box -> "interval"
+
+let default_ladder (cfg : Config.t) =
+  let base = Abstract { rname = Config.variant_name cfg.Config.variant; cfg } in
+  let fast =
+    if cfg.Config.variant = Config.Fast then []
+    else
+      [ Abstract { rname = "fast"; cfg = { cfg with Config.variant = Config.Fast } } ]
+  in
+  let small_k =
+    if cfg.Config.reduction_k > 0 then max 8 (cfg.Config.reduction_k / 4) else 32
+  in
+  let reduced =
+    if cfg.Config.reduction_k = 0 || small_k < cfg.Config.reduction_k then
+      [
+        Abstract
+          {
+            rname = Printf.sprintf "fast-k%d" small_k;
+            cfg = { cfg with Config.variant = Config.Fast; reduction_k = small_k };
+          };
+      ]
+    else []
+  in
+  (base :: fast) @ reduced @ [ Box ]
+
+(* The fault stays active for [persist] ladder attempts, then the rung
+   configs run clean — this is what lets tests exercise "rung N faults,
+   rung N+1 rescues" deterministically. *)
+let fault_for attempt_idx = function
+  | Some (f : Config.fault_spec) when attempt_idx < f.Config.persist -> Some f
+  | _ -> None
+
+(* ---------------- concrete falsification ---------------- *)
+
+let falsify ~samples program (region : Zonotope.t) ~true_class =
+  let bad x =
+    match Nn.Forward.predict program x with
+    | c -> c <> true_class
+    | exception _ -> false
+  in
+  if bad region.Zonotope.center then true
+  else begin
+    let rng = Rng.create 0x7a11 in
+    let found = ref false in
+    (try
+       for _ = 1 to samples do
+         if (not !found) && bad (Zonotope.sample rng region) then found := true
+       done
+     with _ -> ());
+    !found
+  end
+
+(* ---------------- the interval box rung ---------------- *)
+
+(* Cheapest sound fallback: concretize the region to its interval hull and
+   run IBP. Honors the same budget/fault discipline as the zonotope rungs
+   so the whole ladder can be driven to any Unknown reason in tests. *)
+let run_box ~fault ~(budget : Config.budget) program region ~true_class =
+  let t0 = Unix.gettimeofday () in
+  (match fault with
+  | Some { Config.action = Config.Stall s; _ } -> if s > 0.0 then Unix.sleepf s
+  | _ -> ());
+  match fault with
+  | Some { Config.action = Config.Raise_unbounded; _ } ->
+      Verdict.Unknown Verdict.Unbounded
+  | _ -> (
+      match Zonotope.bounds region with
+      | exception Zonotope.Unbounded -> Verdict.Unknown Verdict.Numerical_fault
+      | b -> (
+          match Interval.Ibp.margin program b ~true_class with
+          | exception Zonotope.Unbounded -> Verdict.Unknown Verdict.Unbounded
+          | m ->
+              let m =
+                match fault with
+                | Some { Config.action = Config.Inject_nan; _ } -> Float.nan
+                | Some { Config.action = Config.Inject_inf; _ } -> neg_infinity
+                | _ -> m
+              in
+              let timed_out =
+                match budget.Config.time_limit_s with
+                | Some limit -> Unix.gettimeofday () -. t0 > limit
+                | None -> false
+              in
+              if timed_out then Verdict.Unknown Verdict.Timeout
+              else if Float.is_nan m then Verdict.Unknown Verdict.Numerical_fault
+              else if m = neg_infinity then Verdict.Unknown Verdict.Unbounded
+              else if m > 0.0 then Verdict.Certified
+              else Verdict.Unknown Verdict.Imprecise))
+
+(* ---------------- the ladder ---------------- *)
+
+let run_rung attempt_idx (base_cfg : Config.t) program region ~true_class = function
+  | Abstract { cfg; _ } ->
+      let cfg = { cfg with Config.fault = fault_for attempt_idx cfg.Config.fault } in
+      Certify.certify_v cfg program region ~true_class
+  | Box ->
+      run_box
+        ~fault:(fault_for attempt_idx base_cfg.Config.fault)
+        ~budget:base_cfg.Config.budget program region ~true_class
+
+let certify ?ladder ?(falsify_samples = 8) (cfg : Config.t) program region
+    ~true_class =
+  let rungs = match ladder with Some [] -> invalid_arg "Engine.certify: empty ladder" | Some r -> r | None -> default_ladder cfg in
+  if falsify_samples > 0 && falsify ~samples:falsify_samples program region ~true_class
+  then begin
+    let a = { rung_name = "concrete"; verdict = Verdict.Falsified } in
+    { verdict = Verdict.Falsified; rung_name = "concrete"; attempts = [ a ] }
+  end
+  else begin
+    let attempts = ref [] in
+    let rec go idx = function
+      | [] -> assert false
+      | rung :: rest ->
+          let v =
+            match run_rung idx cfg program region ~true_class rung with
+            | v -> v
+            | exception Verdict.Abort r -> Verdict.Unknown r
+            | exception Zonotope.Unbounded -> Verdict.Unknown Verdict.Unbounded
+          in
+          attempts := { rung_name = rung_name rung; verdict = v } :: !attempts;
+          let final () =
+            {
+              verdict = v;
+              rung_name = rung_name rung;
+              attempts = List.rev !attempts;
+            }
+          in
+          if Verdict.is_fault v && rest <> [] then go (idx + 1) rest else final ()
+    in
+    go 0 rungs
+  end
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%s@%s" (Verdict.to_string o.verdict) o.rung_name;
+  match o.attempts with
+  | [] | [ _ ] -> ()
+  | att ->
+      Format.fprintf ppf " (ladder:";
+      List.iter
+        (fun (a : attempt) ->
+          Format.fprintf ppf " %s=%s" a.rung_name (Verdict.to_string a.verdict))
+        att;
+      Format.fprintf ppf ")"

@@ -1,0 +1,61 @@
+(** Resilient certification engine: fault containment and the
+    graceful-degradation ladder.
+
+    The paper's headline trade-off (DeepT-Precise vs DeepT-Fast vs
+    Combined) is a precision/performance dial; this module manages that
+    dial at runtime. One query = one walk down a {e ladder} of
+    increasingly cheap configurations:
+
+    + the requested config (Precise / Combined / Fast);
+    + DeepT-Fast (if the requested config was more expensive);
+    + DeepT-Fast with a quartered noise-symbol budget [reduction_k];
+    + the interval (IBP) concretization of the region — the cheapest
+      sound verifier in the repository.
+
+    A rung that ends in a {e fault} — [Timeout], [Symbol_budget],
+    [Numerical_fault], [Unbounded] — hands the query to the next rung; a
+    rung that answers ([Certified], [Falsified]) or that cleanly fails on
+    precision ([Unknown Imprecise] — descending cannot help precision)
+    ends the walk. The outcome records every attempt, so a batch driver
+    can report which rung rescued each query.
+
+    Before any propagation the engine spends a few concrete forward
+    passes looking for a counterexample inside the region; finding one
+    short-circuits to [Falsified] (rung ["concrete"]).
+
+    Soundness invariant: the verdict always comes from the rung named in
+    the outcome, and a rung that raised a numerical fault can only
+    contribute an [Unknown] — never [Certified]. *)
+
+type rung =
+  | Abstract of { rname : string; cfg : Config.t }
+      (** one zonotope propagation under [cfg] *)
+  | Box  (** interval concretization + IBP (rung name ["interval"]) *)
+
+type attempt = { rung_name : string; verdict : Verdict.t }
+
+type outcome = {
+  verdict : Verdict.t;  (** final answer *)
+  rung_name : string;  (** rung that produced it *)
+  attempts : attempt list;  (** every rung tried, in order *)
+}
+
+val rung_name : rung -> string
+
+val default_ladder : Config.t -> rung list
+(** The ladder described above, derived from a starting config. The
+    budget and fault spec of the starting config are inherited by every
+    rung; {!Config.fault_spec.persist} bounds how many rungs the fault
+    stays active for. *)
+
+val certify :
+  ?ladder:rung list ->
+  ?falsify_samples:int ->
+  Config.t -> Ir.program -> Zonotope.t -> true_class:int -> outcome
+(** Walks the ladder (default {!default_ladder}). [falsify_samples]
+    (default 8, 0 disables) bounds the concrete counterexample search;
+    sampling is deterministic. @raise Invalid_argument on an empty
+    explicit ladder. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** ["certified@fast (ladder: precise=unknown(timeout) fast=certified)"] *)

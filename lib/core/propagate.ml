@@ -4,9 +4,35 @@ let use_precise (cfg : Config.t) ~layer ~total =
   | Config.Precise -> true
   | Config.Combined -> layer = total - 1
 
+(* Deterministic fault injection (Config.fault). Runs inside the per-op
+   Unbounded guard so Raise_unbounded exercises the same catch path a
+   genuinely collapsed transformer would take. *)
+let apply_fault (f : Config.fault_spec) (out : Zonotope.t) =
+  match f.Config.action with
+  | Config.Inject_nan -> out.Zonotope.center.Tensor.Mat.data.(0) <- Float.nan
+  | Config.Inject_inf -> out.Zonotope.center.Tensor.Mat.data.(0) <- infinity
+  | Config.Stall s -> if s > 0.0 then Unix.sleepf s
+  | Config.Raise_unbounded -> raise Zonotope.Unbounded
+
+(* NaN dominates Inf: a NaN means arithmetic already went through an
+   undefined form; an Inf (e.g. an overflowed dot-product remainder) is
+   still a sound, if vacuous, bound — but poisons everything downstream,
+   so both abort the run. *)
+let poison_scan (z : Zonotope.t) =
+  match
+    ( Tensor.Mat.finite_class z.Zonotope.center,
+      Tensor.Mat.finite_class z.Zonotope.phi,
+      Tensor.Mat.finite_class z.Zonotope.eps )
+  with
+  | `Nan, _, _ | _, `Nan, _ | _, _, `Nan -> `Nan
+  | `Inf, _, _ | _, `Inf, _ | _, _, `Inf -> `Inf
+  | `Finite, `Finite, `Finite -> `Finite
+
 let run_all (cfg : Config.t) (p : Ir.program) input =
   if input.Zonotope.vcols <> p.input_dim then
     invalid_arg "Propagate.run: input dim mismatch";
+  let t0 = Unix.gettimeofday () in
+  let budget = cfg.Config.budget in
   let ctx = Zonotope.ctx () in
   ignore (Zonotope.alloc_eps ctx (Zonotope.num_eps input));
   let total_layers = Ir.depth_of_kind p "self_attention" in
@@ -15,27 +41,35 @@ let run_all (cfg : Config.t) (p : Ir.program) input =
   Array.iteri
     (fun i (op : Ir.op) ->
       let out =
-        match op with
-        | Linear { src; w; b } -> Zonotope.linear_map vals.(src) w b
-        | Relu src -> Elementwise.relu ctx vals.(src)
-        | Tanh src -> Elementwise.tanh_ ctx vals.(src)
-        | Add (a, b) -> Zonotope.add vals.(a) vals.(b)
-        | Center_norm { src; gamma; beta; divide_std } ->
-            if divide_std then
-              Std_norm.apply ctx vals.(src) ~gamma ~beta
-            else Zonotope.center_rows vals.(src) ~gamma ~beta
-        | Self_attention { src; att } ->
-            (* Layer input: reduce noise symbols before the residual split
-               (Section 5.1), updating the stored value so the residual
-               Add sees the reduced zonotope too. *)
-            if cfg.Config.reduction_k > 0 then
-              vals.(src) <-
-                Reduction.decorrelate_min_k ctx vals.(src) cfg.Config.reduction_k;
-            let precise = use_precise cfg ~layer:!layer ~total:total_layers in
-            incr layer;
-            Attention_t.apply ~cfg ~precise ctx att vals.(src)
-        | Pool_first src -> Zonotope.pool_first vals.(src)
-        | Positional { src; pos } -> Zonotope.positional vals.(src) pos
+        try
+          let out =
+            match op with
+            | Linear { src; w; b } -> Zonotope.linear_map vals.(src) w b
+            | Relu src -> Elementwise.relu ctx vals.(src)
+            | Tanh src -> Elementwise.tanh_ ctx vals.(src)
+            | Add (a, b) -> Zonotope.add vals.(a) vals.(b)
+            | Center_norm { src; gamma; beta; divide_std } ->
+                if divide_std then
+                  Std_norm.apply ctx vals.(src) ~gamma ~beta
+                else Zonotope.center_rows vals.(src) ~gamma ~beta
+            | Self_attention { src; att } ->
+                (* Layer input: reduce noise symbols before the residual split
+                   (Section 5.1), updating the stored value so the residual
+                   Add sees the reduced zonotope too. *)
+                if cfg.Config.reduction_k > 0 then
+                  vals.(src) <-
+                    Reduction.decorrelate_min_k ctx vals.(src) cfg.Config.reduction_k;
+                let precise = use_precise cfg ~layer:!layer ~total:total_layers in
+                incr layer;
+                Attention_t.apply ~cfg ~precise ctx att vals.(src)
+            | Pool_first src -> Zonotope.pool_first vals.(src)
+            | Positional { src; pos } -> Zonotope.positional vals.(src) pos
+          in
+          (match cfg.Config.fault with
+          | Some f when f.Config.fault_op = i -> apply_fault f out
+          | _ -> ());
+          out
+        with Zonotope.Unbounded -> raise (Verdict.Abort Verdict.Unbounded)
       in
       (if Sys.getenv_opt "DEEPT_TRACE" <> None then begin
          let w =
@@ -53,6 +87,19 @@ let run_all (cfg : Config.t) (p : Ir.program) input =
             | Positional _ -> "positional")
            w (Zonotope.num_eps out)
        end);
+      (* Per-op checkpoints: abort with a typed exception instead of letting
+         poison or a blown budget propagate to the margin. *)
+      (match budget.Config.time_limit_s with
+      | Some limit when Unix.gettimeofday () -. t0 > limit ->
+          raise (Verdict.Abort Verdict.Timeout)
+      | _ -> ());
+      (match budget.Config.max_eps with
+      | Some cap when Zonotope.ctx_symbols ctx > cap ->
+          raise (Verdict.Abort Verdict.Symbol_budget)
+      | _ -> ());
+      (match poison_scan out with
+      | `Finite -> ()
+      | `Nan | `Inf -> raise (Verdict.Abort Verdict.Numerical_fault));
       vals.(i + 1) <- out)
     p.ops;
   vals

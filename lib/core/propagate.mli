@@ -10,7 +10,23 @@
     (Appendix A.6). *)
 
 val run : Config.t -> Ir.program -> Zonotope.t -> Zonotope.t
-(** Output zonotope of the program on the given input region. *)
+(** Output zonotope of the program on the given input region.
+
+    After every op the interpreter runs a checkpoint and aborts with a
+    typed {!Verdict.Abort} instead of propagating poison:
+    - [Timeout] when [cfg.budget.time_limit_s] wall-clock seconds have
+      elapsed since entry;
+    - [Symbol_budget] when the live ε-symbol count exceeds
+      [cfg.budget.max_eps];
+    - [Numerical_fault] when the output zonotope contains a NaN or an
+      infinity (e.g. an overflowed dot-product remainder);
+    - [Unbounded] when a transformer collapses mid-op
+      ({!Zonotope.Unbounded}).
+
+    [cfg.fault] injects a deterministic fault after the named op (see
+    {!Config.fault_spec}) — the test hook behind the degradation-ladder
+    suite. With the default config (no budget, no fault) only the
+    poison/collapse checkpoints are active. *)
 
 val run_all : Config.t -> Ir.program -> Zonotope.t -> Zonotope.t array
 (** All intermediate zonotopes (sharing one symbol context); index 0 is

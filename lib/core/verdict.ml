@@ -1,0 +1,30 @@
+type unknown_reason =
+  | Timeout
+  | Symbol_budget
+  | Numerical_fault
+  | Unbounded
+  | Imprecise
+
+type t = Certified | Falsified | Unknown of unknown_reason
+
+exception Abort of unknown_reason
+
+let reason_name = function
+  | Timeout -> "timeout"
+  | Symbol_budget -> "symbol-budget"
+  | Numerical_fault -> "numerical-fault"
+  | Unbounded -> "unbounded"
+  | Imprecise -> "imprecise"
+
+let to_string = function
+  | Certified -> "certified"
+  | Falsified -> "falsified"
+  | Unknown r -> "unknown(" ^ reason_name r ^ ")"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+let pp_reason ppf r = Format.pp_print_string ppf (reason_name r)
+let is_certified = function Certified -> true | _ -> false
+let is_fault = function
+  | Unknown (Timeout | Symbol_budget | Numerical_fault | Unbounded) -> true
+  | Certified | Falsified | Unknown Imprecise -> false
+let equal (a : t) (b : t) = a = b

@@ -170,18 +170,38 @@ let map_coeff_blocks vrows vcols_in vcols_out (w : Mat.t) (g : Mat.t) =
     done;
   out
 
+(* An infinite coefficient (overflowed dot-product remainder, Dot.mid_rad)
+   multiplied by a zero weight — or two infinite terms of opposite sign —
+   turns into NaN inside the matmul. Widening those NaNs back to +inf is
+   sound (the radius term becomes infinite, so the variable's bounds are
+   [-inf, +inf] ⊇ anything) and keeps the poison from spreading as NaN,
+   which float comparisons silently ignore. Only coefficient matrices may
+   be widened this way; an infinite *center* would shift the box, so NaN
+   centers are left for the bounds check / propagation checkpoint. *)
+let scrub_coeff_nan (m : Mat.t) =
+  Array.iteri
+    (fun i x -> if Float.is_nan x then m.Mat.data.(i) <- infinity)
+    m.Mat.data
+
 let linear_map z w b =
   if Mat.rows w <> z.vcols then invalid_arg "Zonotope.linear_map: shape mismatch";
   if Array.length b <> Mat.cols w then invalid_arg "Zonotope.linear_map: bias";
   let vcols = Mat.cols w in
-  {
-    vrows = z.vrows;
-    vcols;
-    p = z.p;
-    center = Mat.add_row_broadcast (Mat.matmul z.center w) b;
-    phi = map_coeff_blocks z.vrows z.vcols vcols w z.phi;
-    eps = map_coeff_blocks z.vrows z.vcols vcols w z.eps;
-  }
+  let out =
+    {
+      vrows = z.vrows;
+      vcols;
+      p = z.p;
+      center = Mat.add_row_broadcast (Mat.matmul z.center w) b;
+      phi = map_coeff_blocks z.vrows z.vcols vcols w z.phi;
+      eps = map_coeff_blocks z.vrows z.vcols vcols w z.eps;
+    }
+  in
+  if Mat.finite_class z.phi = `Inf || Mat.finite_class z.eps = `Inf then begin
+    scrub_coeff_nan out.phi;
+    scrub_coeff_nan out.eps
+  end;
+  out
 
 let add a b =
   if a.vrows <> b.vrows || a.vcols <> b.vcols then

@@ -116,16 +116,22 @@ let run_all (p : Ir.program) x =
 
 let run p x = (run_all p x).(Ir.output_id p)
 
-let certify p region ~true_class =
+let margin p region ~true_class =
   let out = run p region in
   let n, c = Imat.dims out in
-  if n <> 1 then invalid_arg "Ibp.certify: output is not a single row";
-  if true_class < 0 || true_class >= c then invalid_arg "Ibp.certify: bad class";
-  let ok = ref true in
+  if n <> 1 then invalid_arg "Ibp.margin: output is not a single row";
+  if true_class < 0 || true_class >= c then invalid_arg "Ibp.margin: bad class";
+  (* NaN-poisoned bounds must surface as a NaN margin, never as a
+     certification: min is computed with explicit NaN propagation because
+     float comparisons silently drop NaN. *)
+  let m = ref infinity in
   for j = 0 to c - 1 do
     if j <> true_class then begin
       let diff = Itv.sub (Imat.get out 0 true_class) (Imat.get out 0 j) in
-      if diff.Itv.lo <= 0.0 then ok := false
+      if Float.is_nan !m || Float.is_nan diff.Itv.lo then m := Float.nan
+      else if diff.Itv.lo < !m then m := diff.Itv.lo
     end
   done;
-  !ok
+  !m
+
+let certify p region ~true_class = margin p region ~true_class > 0.0

@@ -18,7 +18,12 @@ val run : Ir.program -> Imat.t -> Imat.t
 val run_all : Ir.program -> Imat.t -> Imat.t array
 (** All intermediate bounds; index 0 is the input. *)
 
+val margin : Ir.program -> Imat.t -> true_class:int -> float
+(** Lower bound of [min_{j ≠ t} (logit_t − logit_j)] on the region. NaN
+    bounds propagate to a NaN margin (which never certifies) — this is
+    the box rung of the resilient engine's degradation ladder, so it must
+    fail loudly rather than certify on poisoned arithmetic. *)
+
 val certify : Ir.program -> Imat.t -> true_class:int -> bool
-(** [certify p region ~true_class] holds when the lower bound of
-    [logit_true - logit_other] is positive for every other class, i.e.
+(** [certify p region ~true_class] holds when {!margin} is positive, i.e.
     IBP proves local robustness on the region. *)

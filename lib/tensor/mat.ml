@@ -217,6 +217,18 @@ let sum m = fold ( +. ) 0.0 m
 let frobenius m = sqrt (fold (fun acc x -> acc +. (x *. x)) 0.0 m)
 let max_abs m = fold (fun acc x -> Float.max acc (Float.abs x)) 0.0 m
 
+let finite_class m =
+  let n = Array.length m.data in
+  let has_inf = ref false and has_nan = ref false in
+  let i = ref 0 in
+  while (not !has_nan) && !i < n do
+    let x = Array.unsafe_get m.data !i in
+    if Float.is_nan x then has_nan := true
+    else if not (Float.is_finite x) then has_inf := true;
+    incr i
+  done;
+  if !has_nan then `Nan else if !has_inf then `Inf else `Finite
+
 let row_sums m =
   Array.init m.rows (fun i ->
       let base = i * m.cols in

@@ -141,6 +141,12 @@ val sum : t -> float
 val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
 val frobenius : t -> float
 val max_abs : t -> float
+
+val finite_class : t -> [ `Finite | `Inf | `Nan ]
+(** One-pass poison scan: [`Nan] if any entry is NaN, else [`Inf] if any
+    entry is infinite, else [`Finite]. NaN dominates Inf. Used by the
+    verifier's per-op checkpoints to detect numerical faults early. *)
+
 val row_sums : t -> float array
 val row_means : t -> float array
 val col_sums : t -> float array

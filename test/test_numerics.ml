@@ -141,6 +141,65 @@ let test_elementwise_zero_slope_kills_inf () =
         (not (bad out.Z.center || bad out.Z.phi || bad out.Z.eps))
   | exception Z.Unbounded -> ()
 
+(* Downstream of an overflowed dot remainder: the infinite fresh-symbol
+   radius must stay an honest [-inf, +inf] interval through later linear
+   ops — 0 * inf must not fabricate NaN — and the engine must route the
+   poisoned propagation to a typed Unknown Numerical_fault, never to
+   Certified. *)
+let test_dot_overflow_downstream () =
+  let ctx = Z.ctx () in
+  ignore (Z.alloc_eps ctx 2);
+  let mk () =
+    Z.make ~p:Lp.L2
+      ~center:(Mat.make 1 1 1.0)
+      ~phi:(Mat.create 1 0)
+      ~eps:(Mat.of_rows [| [| 1e200; 1e200 |] |])
+  in
+  let out = Deept.Dot.mul_zz ctx (mk ()) (mk ()) in
+  Helpers.check_true "remainder radius infinite"
+    (Array.exists (fun c -> c = infinity) out.Z.eps.Mat.data);
+  (* a weight matrix with zeros exercises the 0 * inf path *)
+  let w = Mat.of_rows [| [| 1.0; 0.0; -2.0 |] |] in
+  let y = Z.linear_map out w [| 0.0; 0.0; 0.0 |] in
+  let bad (m : Mat.t) = Array.exists Float.is_nan m.Mat.data in
+  Helpers.check_true "no NaN downstream of overflow"
+    (not (bad y.Z.center || bad y.Z.phi || bad y.Z.eps));
+  let b = Z.bounds y in
+  (* nonzero weight columns inherit the infinite radius honestly... *)
+  List.iter
+    (fun j ->
+      Helpers.check_true "downstream lower bound is -inf"
+        (Mat.get b.Interval.Imat.lo 0 j = neg_infinity);
+      Helpers.check_true "downstream upper bound is +inf"
+        (Mat.get b.Interval.Imat.hi 0 j = infinity))
+    [ 0; 2 ];
+  (* ...while the zero column is exactly zero for every input, and the
+     0 * inf product must not have turned it into NaN *)
+  Helpers.check_float "zero column stays a point (lo)" 0.0
+    (Mat.get b.Interval.Imat.lo 0 1);
+  Helpers.check_float "zero column stays a point (hi)" 0.0
+    (Mat.get b.Interval.Imat.hi 0 1)
+
+let test_dot_overflow_routed_to_verdict () =
+  (* An overflow-poisoned region fed to a linear program: the per-op
+     checkpoint catches the infinite coefficients and the verdict is the
+     typed Unknown, not a crash and certainly not Certified. *)
+  let region =
+    Z.make ~p:Lp.L2
+      ~center:(Mat.make 1 1 1.0)
+      ~phi:(Mat.create 1 0)
+      ~eps:(Mat.of_rows [| [| infinity |] |])
+  in
+  let program =
+    {
+      Ir.input_dim = 1;
+      Ir.ops = [| Ir.Linear { src = 0; w = Mat.make 1 2 1.0; b = [| 0.0; 0.0 |] } |];
+    }
+  in
+  let v = Deept.Certify.certify_v Deept.Config.fast program region ~true_class:0 in
+  Helpers.check_true "overflow routed to Unknown Numerical_fault"
+    (v = Deept.Verdict.Unknown Deept.Verdict.Numerical_fault)
+
 (* Saturated softmax: one position dominates by more than the float range
    can express; outputs must be the sharp one-hot-ish box, and sampled
    concrete softmax values must be covered. *)
@@ -224,6 +283,10 @@ let () =
       ( "saturation",
         [
           Alcotest.test_case "dot infinite remainder" `Quick test_dot_infinite_remainder;
+          Alcotest.test_case "dot overflow downstream" `Quick
+            test_dot_overflow_downstream;
+          Alcotest.test_case "dot overflow routed" `Quick
+            test_dot_overflow_routed_to_verdict;
           Alcotest.test_case "softmax saturated" `Quick test_softmax_saturated;
           Alcotest.test_case "deep propagation" `Quick test_deep_propagation_no_nan;
           Alcotest.test_case "refinement degenerate" `Quick
