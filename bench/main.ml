@@ -27,6 +27,7 @@ let targets : (string * (Common.scale -> unit)) list =
     ("table13", Tables.table13);
     ("table14", Tables.table14);
     ("figure4", Tables.figure4);
+    ("pool", Pool.run);
   ]
 
 let () =

@@ -230,10 +230,16 @@ let t2_cmd =
 
 (* --- batch ------------------------------------------------------------ *)
 
-(* Hardened batch certification: every sentence is isolated (one sentence
-   crashing, stalling or going numerically insane cannot take down the
-   run), budgets bound each propagation, and the degradation ladder turns
-   faults into typed verdicts or cheaper-config rescues. *)
+(* Hardened batch certification on the supervised worker pool: every
+   sentence runs as an independent job on a forked worker, so a sentence
+   that crashes, stalls or eats all memory cannot take down the run —
+   cooperative budgets and the degradation ladder turn in-propagation
+   faults into typed verdicts, while the supervisor's hard deadline
+   (SIGTERM, then SIGKILL after --grace) and memory guard contain
+   everything the worker cannot catch, reported as
+   unknown(worker-killed) / unknown(worker-crashed). Completed jobs are
+   appended to a crash-safe JSONL journal; --resume continues a killed
+   batch, certifying only the missing sentences. *)
 
 let fault_conv =
   let parse s =
@@ -292,8 +298,63 @@ let fault_rungs_arg =
   in
   Arg.(value & opt int 1 & info [ "fault-rungs" ] ~doc)
 
+let jobs_arg =
+  let doc = "Worker processes in the certification pool." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~doc)
+
+let journal_arg =
+  let doc =
+    "Append every completed sentence to this crash-safe JSONL journal \
+     (starts fresh; use --resume to continue one)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume a killed batch from its journal: already-journaled sentences \
+     are skipped, new verdicts are appended to the same file."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~doc)
+
+let max_retries_arg =
+  let doc = "Re-runs of a job whose worker crashed (deadline kills are not retried)." in
+  Arg.(value & opt int 1 & info [ "max-retries" ] ~doc)
+
+let grace_arg =
+  let doc = "Seconds between SIGTERM and SIGKILL when a worker overruns --hard-deadline." in
+  Arg.(value & opt float 1.0 & info [ "grace" ] ~doc)
+
+let hard_deadline_arg =
+  let doc =
+    "Per-sentence wall-clock deadline enforced by the supervisor from \
+     outside the worker (contrast --deadline, the cooperative per-attempt \
+     budget inside the propagation)."
+  in
+  Arg.(value & opt (some float) None & info [ "hard-deadline" ] ~doc)
+
+let mem_limit_arg =
+  let doc = "Per-worker major-heap cap in MB." in
+  Arg.(value & opt (some int) None & info [ "mem-limit" ] ~doc)
+
+let fault_sentence_arg =
+  let doc =
+    "Apply --fault only to this sentence index (default: every sentence) — \
+     e.g. a stall beyond --hard-deadline on one sentence drills the \
+     kill-containment path while the rest of the batch completes."
+  in
+  Arg.(value & opt (some int) None & info [ "fault-sentence" ] ~doc)
+
+let crash_sentence_arg =
+  let doc =
+    "Hard-crash drill: the worker process running this sentence exits \
+     uncleanly mid-job (simulating a segfault/OOM-class death), which must \
+     surface as unknown(worker-crashed) after --max-retries."
+  in
+  Arg.(value & opt (some int) None & info [ "crash-sentence" ] ~doc)
+
 let batch data name count word p radius verifier deadline budget fault
-    fault_rungs =
+    fault_rungs jobs journal_path resume_path max_retries grace hard_deadline
+    mem_limit fault_sentence crash_sentence =
   setup data;
   let entry, model = load name in
   let c = Zoo.corpus_of entry.Zoo.corpus in
@@ -317,69 +378,149 @@ let batch data name count word p radius verifier deadline budget fault
         { cfg with Deept.Config.fault = Some (Deept.Config.fault ~persist op action) }
   in
   let sentences =
-    List.filteri (fun i _ -> i < count) c.Text.Corpus.test
+    Array.of_list (List.filteri (fun i _ -> i < count) c.Text.Corpus.test)
   in
-  if List.length sentences < count then
-    Printf.printf "note: test set has only %d sentences\n" (List.length sentences);
-  let outcomes =
-    List.mapi
-      (fun i (toks, label) ->
-        let word = max 0 (min word (Array.length toks - 1)) in
-        let t0 = Unix.gettimeofday () in
-        let outcome =
-          (* isolation: a sentence that dies in any unforeseen way is
-             reported as a numerical fault, and the batch moves on *)
-          try
-            let x = Nn.Model.embed_tokens model toks in
-            let region = Deept.Region.lp_ball ~p x ~word ~radius in
-            Deept.Engine.certify cfg program region ~true_class:label
-          with exn ->
-            let a =
-              {
-                Deept.Engine.rung_name = "crash:" ^ Printexc.to_string exn;
-                verdict = Deept.Verdict.Unknown Deept.Verdict.Numerical_fault;
-              }
-            in
-            {
-              Deept.Engine.verdict = a.Deept.Engine.verdict;
-              rung_name = a.Deept.Engine.rung_name;
-              attempts = [ a ];
-            }
-        in
-        Format.printf "[%2d] %-40s %a  (%.2fs)@." i
-          (let s = Text.Corpus.sentence c toks in
-           if String.length s <= 40 then s else String.sub s 0 37 ^ "...")
-          Deept.Engine.pp_outcome outcome
-          (Unix.gettimeofday () -. t0);
-        outcome)
-      sentences
+  let total = Array.length sentences in
+  if total < count then
+    Printf.printf "note: test set has only %d sentences\n" total;
+  let journal =
+    match (resume_path, journal_path) with
+    | Some p, _ -> Some (Deept.Journal.resume p)
+    | None, Some p -> Some (Deept.Journal.create p)
+    | None, None -> None
   in
-  (* summary: verdicts by reason, then rescues by ladder rung *)
+  let journaled id =
+    match journal with Some j -> Deept.Journal.journaled j id | None -> false
+  in
+  let todo = ref [] in
+  Array.iteri
+    (fun i s -> if not (journaled i) then todo := (i, s) :: !todo)
+    sentences;
+  let todo = List.rev !todo in
+  if List.length todo < total then
+    Printf.printf "resume: %d sentence(s) already journaled, certifying %d\n%!"
+      (total - List.length todo)
+      (List.length todo);
+  let pool =
+    Deept.Config.pool ~workers:jobs ?hard_deadline_s:hard_deadline
+      ~grace_s:grace ?mem_limit_mb:mem_limit ~max_retries ()
+  in
+  (* The job body, run on a forked worker: in-propagation faults become
+     typed verdicts via the ladder; an unforeseen exception is contained
+     here so only genuine process deaths (kill, crash, OOM) burn retries
+     and surface as worker-* verdicts. *)
+  let worker i (toks, label) =
+    let word = max 0 (min word (Array.length toks - 1)) in
+    if crash_sentence = Some i then exit 86;
+    let cfg =
+      match fault_sentence with
+      | Some k when k <> i -> { cfg with Deept.Config.fault = None }
+      | _ -> cfg
+    in
+    try
+      let x = Nn.Model.embed_tokens model toks in
+      let region = Deept.Region.lp_ball ~p x ~word ~radius in
+      Deept.Engine.certify cfg program region ~true_class:label
+    with exn ->
+      let a =
+        {
+          Deept.Engine.rung_name = "crash:" ^ Printexc.to_string exn;
+          verdict = Deept.Verdict.Unknown Deept.Verdict.Numerical_fault;
+        }
+      in
+      {
+        Deept.Engine.verdict = a.Deept.Engine.verdict;
+        rung_name = a.Deept.Engine.rung_name;
+        attempts = [ a ];
+      }
+  in
+  let entry_of (r : Deept.Engine.outcome Deept.Supervisor.job_result) =
+    match r.Deept.Supervisor.outcome with
+    | Ok o ->
+        {
+          Deept.Journal.job = r.Deept.Supervisor.job;
+          verdict = o.Deept.Engine.verdict;
+          rung = o.Deept.Engine.rung_name;
+          attempts = List.length o.Deept.Engine.attempts;
+          retries = r.Deept.Supervisor.retries;
+          wall_s = r.Deept.Supervisor.wall_s;
+          detail = "";
+        }
+    | Error f ->
+        {
+          Deept.Journal.job = r.Deept.Supervisor.job;
+          verdict = Deept.Verdict.Unknown (Deept.Supervisor.failure_reason f);
+          rung = "worker";
+          attempts = 0;
+          retries = r.Deept.Supervisor.retries;
+          wall_s = r.Deept.Supervisor.wall_s;
+          detail = Deept.Supervisor.failure_detail f;
+        }
+  in
+  let fresh = ref [] in
+  ignore
+    (Deept.Supervisor.run ~pool
+       ~on_result:(fun r ->
+         let e = entry_of r in
+         fresh := e :: !fresh;
+         (match journal with Some j -> Deept.Journal.append j e | None -> ());
+         let i = e.Deept.Journal.job in
+         let toks, _ = sentences.(i) in
+         Printf.printf "[%2d] %-40s %s@%s%s  (%.2fs)\n%!" i
+           (let s = Text.Corpus.sentence c toks in
+            if String.length s <= 40 then s else String.sub s 0 37 ^ "...")
+           (Deept.Verdict.to_string e.Deept.Journal.verdict)
+           e.Deept.Journal.rung
+           (if e.Deept.Journal.detail = "" then ""
+            else " [" ^ e.Deept.Journal.detail ^ "]")
+           e.Deept.Journal.wall_s)
+       ~worker todo);
+  (* The full batch: journaled entries (resumed + fresh) or, without a
+     journal, just this run's results. *)
+  let rows =
+    match journal with
+    | Some j -> Deept.Journal.entries j
+    | None -> List.rev !fresh
+  in
+  (* summary: verdicts by reason, then rescues by ladder rung — rows
+     sorted by name so journal/summary diffs are stable across runs *)
   let tally f =
     List.fold_left
-      (fun acc o ->
-        let k = f o in
+      (fun acc e ->
+        let k = f e in
         let n = try List.assoc k acc with Not_found -> 0 in
         (k, n + 1) :: List.remove_assoc k acc)
-      [] outcomes
-    |> List.sort compare
+      [] rows
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  Printf.printf "\n== summary (%d sentences) ==\n" (List.length outcomes);
+  Printf.printf "\n== summary (%d sentences) ==\n" (List.length rows);
   List.iter
     (fun (v, n) -> Printf.printf "  %-28s %d\n" v n)
-    (tally (fun (o : Deept.Engine.outcome) -> Deept.Verdict.to_string o.Deept.Engine.verdict));
+    (tally (fun (e : Deept.Journal.entry) ->
+         Deept.Verdict.to_string e.Deept.Journal.verdict));
   Printf.printf "by rung:\n";
   List.iter
     (fun (r, n) -> Printf.printf "  %-28s %d\n" r n)
-    (tally (fun (o : Deept.Engine.outcome) -> o.Deept.Engine.rung_name));
-  let faults =
+    (tally (fun (e : Deept.Journal.entry) -> e.Deept.Journal.rung));
+  let count_verdicts pred =
     List.length
-      (List.filter
-         (fun (o : Deept.Engine.outcome) ->
-           o.Deept.Engine.verdict
-           = Deept.Verdict.Unknown Deept.Verdict.Numerical_fault)
-         outcomes)
+      (List.filter (fun (e : Deept.Journal.entry) -> pred e.Deept.Journal.verdict) rows)
   in
+  let dead =
+    count_verdicts (function
+      | Deept.Verdict.Unknown
+          (Deept.Verdict.Worker_killed | Deept.Verdict.Worker_crashed) ->
+          true
+      | _ -> false)
+  in
+  let faults =
+    count_verdicts (fun v ->
+        v = Deept.Verdict.Unknown Deept.Verdict.Numerical_fault)
+  in
+  if dead > 0 then begin
+    Printf.printf "%d sentence(s) lost their worker (killed or crashed)\n" dead;
+    exit 3
+  end;
   if faults > 0 then begin
     Printf.printf "%d sentence(s) ended in a numerical fault\n" faults;
     exit 2
@@ -389,13 +530,18 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:
-         "Certify a batch of test sentences under budgets with fault \
-          containment and the graceful-degradation ladder. Exits with \
-          status 2 if any sentence ends in a numerical fault.")
+         "Certify a batch of test sentences on a supervised pool of forked \
+          workers, with budgets, fault containment, the \
+          graceful-degradation ladder, hard per-sentence deadlines and a \
+          crash-safe resume journal. Exit status: 3 if any worker died \
+          (killed or crashed), else 2 if any sentence ended in a \
+          numerical fault, else 0.")
     Term.(
       const batch $ data_arg $ model_arg $ count_arg $ word_arg $ norm_arg
       $ radius_arg $ verifier_arg $ deadline_arg $ budget_arg $ fault_arg
-      $ fault_rungs_arg)
+      $ fault_rungs_arg $ jobs_arg $ journal_arg $ resume_arg
+      $ max_retries_arg $ grace_arg $ hard_deadline_arg $ mem_limit_arg
+      $ fault_sentence_arg $ crash_sentence_arg)
 
 let () =
   let info = Cmd.info "certify" ~doc:"DeepT robustness certification CLI." in

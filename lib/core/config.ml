@@ -14,6 +14,41 @@ type budget = { time_limit_s : float option; max_eps : int option }
 
 let no_budget = { time_limit_s = None; max_eps = None }
 
+type pool = {
+  workers : int;
+  hard_deadline_s : float option;
+  grace_s : float;
+  mem_limit_mb : int option;
+  max_retries : int;
+  backoff_s : float;
+}
+
+let default_pool =
+  {
+    workers = 1;
+    hard_deadline_s = None;
+    grace_s = 1.0;
+    mem_limit_mb = None;
+    max_retries = 1;
+    backoff_s = 0.05;
+  }
+
+let pool ?(workers = default_pool.workers) ?hard_deadline_s
+    ?(grace_s = default_pool.grace_s) ?mem_limit_mb
+    ?(max_retries = default_pool.max_retries)
+    ?(backoff_s = default_pool.backoff_s) () =
+  if workers < 1 then invalid_arg "Config.pool: workers < 1";
+  if grace_s < 0.0 then invalid_arg "Config.pool: negative grace";
+  if max_retries < 0 then invalid_arg "Config.pool: negative max_retries";
+  if backoff_s < 0.0 then invalid_arg "Config.pool: negative backoff";
+  (match hard_deadline_s with
+  | Some d when d <= 0.0 -> invalid_arg "Config.pool: non-positive deadline"
+  | _ -> ());
+  (match mem_limit_mb with
+  | Some m when m < 1 -> invalid_arg "Config.pool: mem limit < 1 MB"
+  | _ -> ());
+  { workers; hard_deadline_s; grace_s; mem_limit_mb; max_retries; backoff_s }
+
 type t = {
   variant : dot_variant;
   order : dual_order;

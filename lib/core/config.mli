@@ -55,6 +55,52 @@ val no_budget : budget
 val fault : ?persist:int -> int -> fault_action -> fault_spec
 (** [fault ~persist op action] — [persist] defaults to [max_int]. *)
 
+(** {1 Process isolation: worker-pool policy}
+
+    Policy knobs of the {!Supervisor} worker pool. Unlike {!budget},
+    which is enforced {e cooperatively} inside one propagation, these
+    limits are enforced from the outside on forked worker processes —
+    they hold even when a worker is wedged in a tight loop or dies. *)
+
+type pool = {
+  workers : int;  (** forked worker processes (≥ 1) *)
+  hard_deadline_s : float option;
+      (** per-job wall-clock deadline enforced by the supervisor: on
+          overrun the worker gets SIGTERM, then SIGKILL after [grace_s].
+          The job is reported as {!Verdict.Worker_killed}. *)
+  grace_s : float;  (** SIGTERM → SIGKILL escalation delay *)
+  mem_limit_mb : int option;
+      (** per-worker major-heap cap. The stdlib [Unix] module exposes no
+          [setrlimit], so the cap is enforced by a GC alarm in the worker
+          that exits with a dedicated code when the major heap exceeds
+          the limit; the supervisor reports the job as
+          {!Verdict.Worker_crashed} (reason "oom"). *)
+  max_retries : int;
+      (** how many times a job whose worker {e crashed} is re-queued
+          (deadline kills are deterministic overruns and are not
+          retried) *)
+  backoff_s : float;
+      (** base of the exponential retry backoff: retry [k] of a job is
+          delayed by [backoff_s * 2^k] *)
+}
+
+val default_pool : pool
+(** One worker, no hard deadline, 1 s grace, no memory cap, one retry,
+    50 ms backoff base. *)
+
+val pool :
+  ?workers:int ->
+  ?hard_deadline_s:float ->
+  ?grace_s:float ->
+  ?mem_limit_mb:int ->
+  ?max_retries:int ->
+  ?backoff_s:float ->
+  unit ->
+  pool
+(** Validating constructor over {!default_pool}.
+    @raise Invalid_argument on non-positive workers/deadline/memory or
+    negative grace/retries/backoff. *)
+
 type t = {
   variant : dot_variant;
   order : dual_order;

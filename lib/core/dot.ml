@@ -125,6 +125,10 @@ let matmul_zz ?(precise = false) ?(order = Config.Linf_first) ctx
   let eps_aff = Mat.create nv ee in
   let rad = Array.make nv 0.0 in
   for i = 0 to n - 1 do
+    (* The dot product dominates propagation cost; without an intra-op
+       poll a single large matmul could overrun the wall-clock budget
+       unboundedly between Propagate's per-op checkpoints. *)
+    Zonotope.check_deadline ctx;
     for j = 0 to m - 1 do
       let v = (i * m) + j in
       (* Exact affine part: c_a^T . (b coeff block) + c_b^T . (a coeff block) *)
@@ -182,6 +186,7 @@ let mul_zz ?(precise = false) ?(order = Config.Linf_first) ctx (a : Zonotope.t)
   let eps_aff = Mat.create nv ee in
   let rad = Array.make nv 0.0 in
   for v = 0 to nv - 1 do
+    if v land 63 = 0 then Zonotope.check_deadline ctx;
     let c1 = a.Zonotope.center.Mat.data.(v) and c2 = b.Zonotope.center.Mat.data.(v) in
     for t = 0 to ep - 1 do
       phi.Mat.data.((v * ep) + t) <-

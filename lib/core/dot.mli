@@ -51,7 +51,11 @@ val matmul_zz :
     [A·B] of two zonotopes sharing noise symbols ([a : n x k],
     [b : k x m]). Each output variable gets the exact affine part
     [c₁·c₂ + (c₁ᵀA₂ + c₂ᵀA₁)φ + (c₁ᵀB₂ + c₂ᵀB₁)ε] plus one fresh ε
-    symbol covering the quadratic remainder. *)
+    symbol covering the quadratic remainder.
+
+    Polls {!Zonotope.check_deadline} once per output row, so a deadline
+    armed on [ctx] preempts even a single huge dot product mid-op.
+    @raise Verdict.Abort [Timeout] when the armed deadline has passed. *)
 
 val mul_zz :
   ?precise:bool ->

@@ -1,0 +1,246 @@
+type entry = {
+  job : int;
+  verdict : Verdict.t;
+  rung : string;
+  attempts : int;
+  retries : int;
+  wall_s : float;
+  detail : string;
+}
+
+(* ---------------- flat JSON, hand-rolled ----------------
+
+   The toolchain ships no JSON library, and the journal only ever holds
+   one flat object of known fields per line, so a tiny strict
+   encoder/decoder keeps the dependency surface at zero. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json e =
+  Printf.sprintf
+    "{\"job\":%d,\"verdict\":\"%s\",\"rung\":\"%s\",\"attempts\":%d,\"retries\":%d,\"wall_s\":%.6f,\"detail\":\"%s\"}"
+    e.job
+    (escape (Verdict.to_string e.verdict))
+    (escape e.rung) e.attempts e.retries e.wall_s (escape e.detail)
+
+(* Values are strings or numbers; that is all the journal ever emits. *)
+type jvalue = Jstring of string | Jnumber of float
+
+exception Parse of string
+
+let parse_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at column %d" msg !pos)) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do advance () done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let hex = String.sub line (!pos + 1) 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some c when c < 0x80 -> Buffer.add_char b (Char.chr c)
+              | _ -> fail "unsupported \\u escape");
+              pos := !pos + 5;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstring (string_lit ())
+    | _ -> Jnumber (number ())
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  (if peek () = Some '}' then advance ()
+   else
+     let rec members () =
+       let k = string_lit () in
+       expect ':';
+       let v = value () in
+       if List.mem_assoc k !fields then fail ("duplicate field " ^ k);
+       fields := (k, v) :: !fields;
+       skip_ws ();
+       match peek () with
+       | Some ',' -> advance (); skip_ws (); members ()
+       | Some '}' -> advance ()
+       | _ -> fail "expected ',' or '}'"
+     in
+     members ());
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  !fields
+
+let of_json line =
+  match parse_line line with
+  | exception Parse msg -> Error msg
+  | fields -> (
+      let known =
+        [ "job"; "verdict"; "rung"; "attempts"; "retries"; "wall_s"; "detail" ]
+      in
+      match List.find_opt (fun (k, _) -> not (List.mem k known)) fields with
+      | Some (k, _) -> Error ("unknown field " ^ k)
+      | None -> (
+          let str k =
+            match List.assoc_opt k fields with
+            | Some (Jstring s) -> Ok s
+            | Some (Jnumber _) -> Error ("field " ^ k ^ " must be a string")
+            | None -> Error ("missing field " ^ k)
+          in
+          let num k =
+            match List.assoc_opt k fields with
+            | Some (Jnumber f) -> Ok f
+            | Some (Jstring _) -> Error ("field " ^ k ^ " must be a number")
+            | None -> Error ("missing field " ^ k)
+          in
+          let int k =
+            Result.bind (num k) (fun f ->
+                if Float.is_integer f then Ok (int_of_float f)
+                else Error ("field " ^ k ^ " must be an integer"))
+          in
+          let ( let* ) = Result.bind in
+          let* job = int "job" in
+          let* vs = str "verdict" in
+          let* rung = str "rung" in
+          let* attempts = int "attempts" in
+          let* retries = int "retries" in
+          let* wall_s = num "wall_s" in
+          let* detail = str "detail" in
+          match Verdict.of_string vs with
+          | None -> Error ("bad verdict " ^ vs)
+          | Some verdict ->
+              Ok { job; verdict; rung; attempts; retries; wall_s; detail }))
+
+(* ---------------- the journal file ---------------- *)
+
+type t = {
+  jpath : string;
+  mutable rev_entries : entry list;  (* newest first *)
+  mutable ids : (int, unit) Hashtbl.t;
+}
+
+let path j = j.jpath
+let entries j = List.rev j.rev_entries
+let journaled j id = Hashtbl.mem j.ids id
+
+let of_entries jpath es =
+  let ids = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace ids e.job ()) es;
+  { jpath; rev_entries = List.rev es; ids }
+
+let create jpath = of_entries jpath []
+
+let load jpath =
+  let ic = open_in jpath in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | "" -> go (lineno + 1) acc
+        | line -> (
+            match of_json line with
+            | Ok e -> go (lineno + 1) (e :: acc)
+            | Error msg ->
+                failwith
+                  (Printf.sprintf "Journal.load: %s:%d: %s" jpath lineno msg))
+      in
+      go 1 [])
+
+let resume jpath =
+  (* An interrupted append can leave a stale temp file; the journal
+     itself is always a complete snapshot thanks to the atomic rename. *)
+  (try Sys.remove (jpath ^ ".tmp") with Sys_error _ -> ());
+  let es = if Sys.file_exists jpath then load jpath else [] in
+  of_entries jpath es
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()  (* best effort, e.g. exotic fs *)
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let append j e =
+  if journaled j e.job then
+    invalid_arg
+      (Printf.sprintf "Journal.append: job %d already journaled" e.job);
+  j.rev_entries <- e :: j.rev_entries;
+  Hashtbl.replace j.ids e.job ();
+  let tmp = j.jpath ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     List.iter
+       (fun e ->
+         output_string oc (to_json e);
+         output_char oc '\n')
+       (entries j);
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with exn ->
+     close_out_noerr oc;
+     raise exn);
+  Unix.rename tmp j.jpath;
+  fsync_dir (Filename.dirname j.jpath)

@@ -1,0 +1,70 @@
+(** Crash-safe batch journal.
+
+    One line of JSON per completed job, so a batch run that is killed at
+    any instant — power loss, OOM killer, SIGKILL — can be resumed
+    without re-certifying finished sentences and without ever reading a
+    torn record. Durability comes from the classic write-to-temp +
+    atomic-rename discipline: every {!append} rewrites the full journal
+    to [path ^ ".tmp"], fsyncs it, renames it over [path] and fsyncs the
+    containing directory, so the on-disk journal is always a complete
+    prefix of the run. Batches are small (thousands of lines), so the
+    O(n²) total write cost is noise next to certification itself.
+
+    The journal format is a flat JSON object per line:
+
+    {v
+    {"job":3,"verdict":"unknown(timeout)","rung":"interval","attempts":4,
+     "retries":1,"wall_s":1.203017,"detail":""}
+    v}
+
+    Verdicts round-trip through {!Verdict.to_string} /
+    {!Verdict.of_string}; [detail] carries the supervisor's failure
+    reason (["signal 9"], ["oom"], …) for dead-worker entries. *)
+
+type entry = {
+  job : int;  (** batch-wide job id (e.g. test-set sentence index) *)
+  verdict : Verdict.t;
+  rung : string;  (** ladder rung that produced the verdict, or ["worker"] *)
+  attempts : int;  (** ladder rungs tried *)
+  retries : int;  (** supervisor-level re-runs after worker deaths *)
+  wall_s : float;  (** wall-clock seconds spent on the job *)
+  detail : string;  (** free-form failure detail, [""] when clean *)
+}
+
+val to_json : entry -> string
+(** One line, no trailing newline. *)
+
+val of_json : string -> (entry, string) result
+(** Strict inverse of {!to_json} (unknown fields rejected, all fields
+    required); the [Error] carries a parse diagnostic. *)
+
+type t
+(** An open journal: in-memory entries plus the backing file. *)
+
+val create : string -> t
+(** Start a fresh journal at this path (an existing file is replaced on
+    the first append). *)
+
+val resume : string -> t
+(** Load an existing journal (missing file = empty journal) and keep
+    appending to it. A stale [.tmp] from an interrupted append is
+    removed. @raise Failure on a malformed line — impossible for
+    journals written by this module, so corruption stays loud. *)
+
+val path : t -> string
+
+val entries : t -> entry list
+(** In append order, including entries loaded by {!resume}. *)
+
+val journaled : t -> int -> bool
+(** [journaled j id] — has job [id] already been recorded? Resume uses
+    this to skip finished work. *)
+
+val append : t -> entry -> unit
+(** Record one completed job, durably (see module doc). Appending a job
+    id that is already journaled raises [Invalid_argument] — the
+    supervisor must never double-report. *)
+
+val load : string -> entry list
+(** Read-only load. @raise Failure on malformed lines, [Sys_error] if
+    the file does not exist. *)

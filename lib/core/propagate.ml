@@ -34,6 +34,11 @@ let run_all (cfg : Config.t) (p : Ir.program) input =
   let t0 = Unix.gettimeofday () in
   let budget = cfg.Config.budget in
   let ctx = Zonotope.ctx () in
+  (* Arm the intra-op deadline: long transformers (the dot product) poll it
+     inside their hot loops, so one giant op cannot blow past the budget
+     that the per-op checkpoints below only enforce between ops. *)
+  Zonotope.set_deadline ctx
+    (Option.map (fun l -> t0 +. l) budget.Config.time_limit_s);
   ignore (Zonotope.alloc_eps ctx (Zonotope.num_eps input));
   let total_layers = Ir.depth_of_kind p "self_attention" in
   let layer = ref 0 in

@@ -1,0 +1,327 @@
+type failure = Killed of { signal : int } | Crashed of { reason : string }
+
+type 'b job_result = {
+  job : int;
+  outcome : ('b, failure) result;
+  wall_s : float;
+  retries : int;
+}
+
+let exit_uncaught = 70
+let exit_oom = 71
+
+let failure_reason = function
+  | Killed _ -> Verdict.Worker_killed
+  | Crashed _ -> Verdict.Worker_crashed
+
+let signal_name s =
+  if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else "signal " ^ string_of_int s
+
+let failure_detail = function
+  | Killed { signal } -> signal_name signal
+  | Crashed { reason } -> reason
+
+(* ---------------- the worker side ---------------- *)
+
+(* Portable stand-in for setrlimit (absent from the stdlib Unix module):
+   a GC alarm fires at the end of every major collection and exits with a
+   dedicated code once the major heap exceeds the cap. A worker that
+   allocates its way toward an OOM necessarily drives major collections,
+   so the guard fires well before the machine is in trouble. *)
+let install_mem_guard mb =
+  let cap_words = mb * 1024 * 1024 / (Sys.word_size / 8) in
+  ignore
+    (Gc.create_alarm (fun () ->
+         if (Gc.quick_stat ()).Gc.heap_words > cap_words then exit exit_oom))
+
+let worker_main ~mem_limit_mb ~job_r ~res_w (worker : int -> 'a -> 'b) =
+  Sys.set_signal Sys.sigpipe Sys.Signal_default;
+  (match mem_limit_mb with Some mb -> install_mem_guard mb | None -> ());
+  let jin = Unix.in_channel_of_descr job_r in
+  let rout = Unix.out_channel_of_descr res_w in
+  let rec loop () =
+    match (Marshal.from_channel jin : int * 'a) with
+    | exception End_of_file -> exit 0
+    | id, payload ->
+        let r = worker id payload in
+        Marshal.to_channel rout (id, r) [];
+        flush rout;
+        loop ()
+  in
+  try loop ()
+  with e ->
+    Printf.eprintf "supervisor worker %d: uncaught %s\n%!" (Unix.getpid ())
+      (Printexc.to_string e);
+    exit exit_uncaught
+
+(* ---------------- the supervisor side ---------------- *)
+
+type wstate = {
+  pid : int;
+  job_out : out_channel;
+  res_fd : Unix.file_descr;
+  res_in : in_channel;
+  job_w_fd : Unix.file_descr;
+  mutable busy : int option;  (* job id in flight *)
+  mutable started : float;  (* dispatch time of the in-flight job *)
+  mutable term_at : float option;  (* SIGTERM sent (hard-deadline overrun) *)
+  mutable sigkilled : bool;
+}
+
+type 'a jstate = {
+  id : int;
+  payload : 'a;
+  mutable retries : int;
+  mutable not_before : float;  (* backoff gate for re-dispatch *)
+  mutable first_dispatch : float option;
+}
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let classify w status =
+  match w.term_at with
+  | Some _ ->
+      let signal =
+        match status with Unix.WSIGNALED s -> s | _ -> Sys.sigterm
+      in
+      Killed { signal }
+  | None -> (
+      match status with
+      | Unix.WSIGNALED s -> Crashed { reason = signal_name s }
+      | Unix.WEXITED c when c = exit_oom -> Crashed { reason = "oom" }
+      | Unix.WEXITED c -> Crashed { reason = "exit " ^ string_of_int c }
+      | Unix.WSTOPPED s -> Crashed { reason = "stopped " ^ signal_name s })
+
+let run ?(pool = Config.default_pool) ?on_result ~worker jobs =
+  if pool.Config.workers < 1 then invalid_arg "Supervisor.run: workers < 1";
+  let ids = List.map fst jobs in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Supervisor.run: duplicate job ids";
+  if jobs = [] then []
+  else begin
+    let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+    Fun.protect
+      ~finally:(fun () -> Sys.set_signal Sys.sigpipe old_sigpipe)
+    @@ fun () ->
+    let total = List.length jobs in
+    let pending =
+      ref
+        (List.map
+           (fun (id, payload) ->
+             { id; payload; retries = 0; not_before = 0.0; first_dispatch = None })
+           jobs)
+    in
+    let results : (int, 'b job_result) Hashtbl.t = Hashtbl.create total in
+    let workers = ref [] in
+    (* Every parent-side fd, so each freshly forked child can close its
+       siblings' pipe ends: an orphaned worker must see EOF on its job
+       pipe the moment the supervisor dies, not when its siblings do. *)
+    let parent_fds () =
+      List.concat_map (fun w -> [ w.res_fd; w.job_w_fd ]) !workers
+    in
+    let spawn () =
+      let job_r, job_w = Unix.pipe () in
+      let res_r, res_w = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (parent_fds ());
+          Unix.close job_w;
+          Unix.close res_r;
+          worker_main ~mem_limit_mb:pool.Config.mem_limit_mb ~job_r ~res_w
+            worker
+      | pid ->
+          Unix.close job_r;
+          Unix.close res_w;
+          let w =
+            {
+              pid;
+              job_out = Unix.out_channel_of_descr job_w;
+              res_fd = res_r;
+              res_in = Unix.in_channel_of_descr res_r;
+              job_w_fd = job_w;
+              busy = None;
+              started = 0.0;
+              term_at = None;
+              sigkilled = false;
+            }
+          in
+          workers := w :: !workers;
+          w
+    in
+    let discard w =
+      workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
+      close_out_noerr w.job_out;
+      close_in_noerr w.res_in
+    in
+    let finalize (j : 'a jstate) outcome =
+      let wall_s =
+        match j.first_dispatch with
+        | Some t -> Unix.gettimeofday () -. t
+        | None -> 0.0
+      in
+      let r = { job = j.id; outcome; wall_s; retries = j.retries } in
+      Hashtbl.replace results j.id r;
+      match on_result with Some f -> f r | None -> ()
+    in
+    (* jobs currently on a worker; removed from [pending] while in flight *)
+    let inflight : (int, 'a jstate) Hashtbl.t = Hashtbl.create 8 in
+    let dispatch w (j : 'a jstate) =
+      let now = Unix.gettimeofday () in
+      if j.first_dispatch = None then j.first_dispatch <- Some now;
+      pending := List.filter (fun j' -> j'.id <> j.id) !pending;
+      Hashtbl.replace inflight j.id j;
+      match
+        Marshal.to_channel w.job_out (j.id, j.payload) [];
+        flush w.job_out
+      with
+      | () ->
+          w.busy <- Some j.id;
+          w.started <- now
+      | exception Sys_error _ ->
+          (* the worker died between jobs (external kill, idle OOM): the
+             job never ran there — reap, put it back, drop the corpse *)
+          ignore (waitpid_retry w.pid);
+          discard w;
+          Hashtbl.remove inflight j.id;
+          pending := j :: !pending
+    in
+    (* A worker died (EOF or garbage on its result pipe). Map the death
+       onto its in-flight job, if any, honoring the retry policy. *)
+    let handle_death w ~decode_error =
+      let status = waitpid_retry w.pid in
+      (match Option.bind w.busy (Hashtbl.find_opt inflight) with
+      | None -> ()
+      | Some j ->
+          Hashtbl.remove inflight j.id;
+          let failure =
+            match decode_error with
+            | Some msg -> Crashed { reason = "decode: " ^ msg }
+            | None -> classify w status
+          in
+          (match failure with
+          | Crashed _ when j.retries < pool.Config.max_retries ->
+              j.not_before <-
+                Unix.gettimeofday ()
+                +. (pool.Config.backoff_s *. (2.0 ** float_of_int j.retries));
+              j.retries <- j.retries + 1;
+              pending := j :: !pending
+          | _ -> finalize j (Error failure)));
+      discard w
+    in
+    let accept_result w (id, (res : 'b)) =
+      (match Hashtbl.find_opt inflight id with
+      | Some j ->
+          Hashtbl.remove inflight id;
+          finalize j (Ok res)
+      | None -> () (* result raced a kill decision; already reported *));
+      w.busy <- None
+    in
+    let enforce_deadlines now =
+      match pool.Config.hard_deadline_s with
+      | None -> ()
+      | Some limit ->
+          List.iter
+            (fun w ->
+              match (w.busy, w.term_at) with
+              | Some _, None when now -. w.started > limit ->
+                  w.term_at <- Some now;
+                  (try Unix.kill w.pid Sys.sigterm
+                   with Unix.Unix_error _ -> ())
+              | Some _, Some t
+                when (not w.sigkilled) && now -. t > pool.Config.grace_s ->
+                  w.sigkilled <- true;
+                  (try Unix.kill w.pid Sys.sigkill
+                   with Unix.Unix_error _ -> ())
+              | _ -> ())
+            !workers
+    in
+    (* earliest future event the loop must wake for *)
+    let next_timeout now =
+      let candidates = ref [] in
+      (match pool.Config.hard_deadline_s with
+      | Some limit ->
+          List.iter
+            (fun w ->
+              match (w.busy, w.term_at) with
+              | Some _, None ->
+                  candidates := (w.started +. limit -. now) :: !candidates
+              | Some _, Some t when not w.sigkilled ->
+                  candidates := (t +. pool.Config.grace_s -. now) :: !candidates
+              | _ -> ())
+            !workers
+      | None -> ());
+      List.iter
+        (fun j ->
+          if j.not_before > now then
+            candidates := (j.not_before -. now) :: !candidates)
+        !pending;
+      match !candidates with
+      | [] -> 0.5
+      | l -> Float.max 0.01 (List.fold_left Float.min 0.5 l)
+    in
+    let n_workers = min pool.Config.workers total in
+    (* keep up to [n_workers] live workers fed; fork replacements for the
+       dead as long as dispatchable work remains *)
+    let rec feed () =
+      let now = Unix.gettimeofday () in
+      match List.find_opt (fun j -> j.not_before <= now) !pending with
+      | None -> ()
+      | Some j -> (
+          match
+            List.find_opt (fun w -> w.busy = None && w.term_at = None) !workers
+          with
+          | Some w ->
+              dispatch w j;
+              feed ()
+          | None ->
+              if List.length !workers < n_workers then begin
+                ignore (spawn ());
+                feed ()
+              end)
+    in
+    for _ = 1 to n_workers do ignore (spawn ()) done;
+    while Hashtbl.length results < total do
+      let now = Unix.gettimeofday () in
+      feed ();
+      enforce_deadlines now;
+      let fds = List.map (fun w -> w.res_fd) !workers in
+      let readable, _, _ =
+        match Unix.select fds [] [] (next_timeout now) with
+        | r -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun w -> w.res_fd = fd) !workers with
+          | None -> ()
+          | Some w -> (
+              match (Marshal.from_channel w.res_in : int * 'b) with
+              | msg -> accept_result w msg
+              | exception End_of_file -> handle_death w ~decode_error:None
+              | exception Failure msg ->
+                  (try Unix.kill w.pid Sys.sigkill
+                   with Unix.Unix_error _ -> ());
+                  handle_death w ~decode_error:(Some msg)))
+        readable
+    done;
+    (* orderly shutdown: EOF on the job pipes, then reap *)
+    List.iter
+      (fun w ->
+        close_out_noerr w.job_out;
+        close_in_noerr w.res_in)
+      !workers;
+    List.iter (fun w -> ignore (waitpid_retry w.pid)) !workers;
+    workers := [];
+    List.sort (fun a b -> compare a.job b.job)
+      (Hashtbl.fold (fun _ r acc -> r :: acc) results [])
+  end

@@ -1,0 +1,90 @@
+(** Supervised worker pool: process isolation for batch certification.
+
+    PR 1's cooperative budgets cannot contain every failure: a checkpoint
+    between ops never fires inside a wedged C-speed loop, and nothing
+    cooperative survives a segfault, an OOM kill or a runaway allocation.
+    This module supplies the missing {e hard} containment layer — the
+    batch driver treats per-input queries as independent, restartable
+    units (the way Faith batches GPU queries and Shi et al. loop over
+    per-sentence certifications) and runs them on forked workers:
+
+    {v
+            supervisor (parent)
+            ├── worker 1   (fork; jobs in / results out over pipes)
+            ├── worker 2
+            ┆
+            └── worker N
+    v}
+
+    - jobs [(id, payload)] are shipped to workers with [Marshal] over a
+      pipe; results come back the same way, one in flight per worker;
+    - a per-job {e hard deadline} ({!Config.pool.hard_deadline_s}) is
+      enforced from outside: SIGTERM on overrun, SIGKILL after
+      {!Config.pool.grace_s} — a worker wedged in a non-allocating loop
+      still dies;
+    - worker memory is capped ({!Config.pool.mem_limit_mb}) by an
+      in-worker GC guard (the portable stand-in for [setrlimit], which
+      the stdlib [Unix] does not expose) that exits with a dedicated
+      code when the major heap exceeds the limit;
+    - any worker death — signal, nonzero exit, OOM, garbage on the
+      result pipe — is confined to the job it was running: the job is
+      reported as {!failure} (mapping to {!Verdict.Worker_killed} /
+      {!Verdict.Worker_crashed}) or retried, a fresh worker is forked,
+      and the rest of the batch proceeds;
+    - {e crashed} jobs are retried on a fresh worker with exponential
+      backoff up to {!Config.pool.max_retries}; deadline kills are
+      deterministic overruns and are not retried.
+
+    Payloads and results must be marshallable (no closures, no custom
+    blocks). Workers inherit the [worker] closure and all loaded state
+    (model weights, config) through [fork], so only small job descriptors
+    cross the pipe. *)
+
+type failure =
+  | Killed of { signal : int }
+      (** the supervisor terminated the worker for overrunning its hard
+          deadline ([signal] is the OCaml signal number that ended it:
+          [Sys.sigterm], or [Sys.sigkill] after escalation) *)
+  | Crashed of { reason : string }
+      (** the worker died without being asked to: [{"exit 70"}] (uncaught
+          exception), ["oom"] (memory guard), ["signal SIGSEGV"], or
+          ["decode: ..."] (garbled result pipe) *)
+
+type 'b job_result = {
+  job : int;
+  outcome : ('b, failure) result;
+  wall_s : float;
+      (** wall-clock from the job's first dispatch to its final verdict,
+          retries included *)
+  retries : int;  (** how many times the job was re-dispatched *)
+}
+
+val failure_reason : failure -> Verdict.unknown_reason
+(** [Killed _] → {!Verdict.Worker_killed}; [Crashed _] →
+    {!Verdict.Worker_crashed}. *)
+
+val failure_detail : failure -> string
+(** Human-readable detail, e.g. ["SIGKILL"], ["oom"], ["exit 70"] —
+    journaled in {!Journal.entry.detail}. *)
+
+val exit_uncaught : int
+(** Exit code of a worker whose job raised an uncaught exception. *)
+
+val exit_oom : int
+(** Exit code of a worker stopped by the memory guard. *)
+
+val run :
+  ?pool:Config.pool ->
+  ?on_result:('b job_result -> unit) ->
+  worker:(int -> 'a -> 'b) ->
+  (int * 'a) list ->
+  'b job_result list
+(** [run ~pool ~worker jobs] certifies every job to a final
+    [job_result], in job-id order. [on_result] fires once per job the
+    moment its result is final (out of order) — the batch driver appends
+    to the {!Journal} there, so a killed run loses at most the jobs
+    still in flight. Job ids must be distinct
+    (@raise Invalid_argument otherwise). The pool defaults to
+    {!Config.default_pool}. SIGPIPE is ignored for the duration of the
+    call (worker death must surface as a typed failure, not kill the
+    supervisor). *)

@@ -4,10 +4,23 @@ type unknown_reason =
   | Numerical_fault
   | Unbounded
   | Imprecise
+  | Worker_killed
+  | Worker_crashed
 
 type t = Certified | Falsified | Unknown of unknown_reason
 
 exception Abort of unknown_reason
+
+let all_reasons =
+  [
+    Timeout;
+    Symbol_budget;
+    Numerical_fault;
+    Unbounded;
+    Imprecise;
+    Worker_killed;
+    Worker_crashed;
+  ]
 
 let reason_name = function
   | Timeout -> "timeout"
@@ -15,16 +28,35 @@ let reason_name = function
   | Numerical_fault -> "numerical-fault"
   | Unbounded -> "unbounded"
   | Imprecise -> "imprecise"
+  | Worker_killed -> "worker-killed"
+  | Worker_crashed -> "worker-crashed"
 
 let to_string = function
   | Certified -> "certified"
   | Falsified -> "falsified"
   | Unknown r -> "unknown(" ^ reason_name r ^ ")"
 
+let reason_of_string s =
+  List.find_opt (fun r -> reason_name r = s) all_reasons
+
+let of_string = function
+  | "certified" -> Some Certified
+  | "falsified" -> Some Falsified
+  | s ->
+      let n = String.length s in
+      if n > 9 && String.sub s 0 8 = "unknown(" && s.[n - 1] = ')' then
+        Option.map
+          (fun r -> Unknown r)
+          (reason_of_string (String.sub s 8 (n - 9)))
+      else None
+
 let pp ppf v = Format.pp_print_string ppf (to_string v)
 let pp_reason ppf r = Format.pp_print_string ppf (reason_name r)
 let is_certified = function Certified -> true | _ -> false
 let is_fault = function
-  | Unknown (Timeout | Symbol_budget | Numerical_fault | Unbounded) -> true
+  | Unknown
+      ( Timeout | Symbol_budget | Numerical_fault | Unbounded | Worker_killed
+      | Worker_crashed ) ->
+      true
   | Certified | Falsified | Unknown Imprecise -> false
 let equal (a : t) (b : t) = a = b

@@ -29,6 +29,14 @@ type unknown_reason =
           the abstraction is too coarse at this radius. Descending the
           degradation ladder cannot help — cheaper configs are coarser —
           so {!Engine.certify} stops here. *)
+  | Worker_killed
+      (** a {!Supervisor} worker overran its hard deadline and was
+          terminated by the supervisor (SIGTERM, escalating to SIGKILL
+          after the grace period) *)
+  | Worker_crashed
+      (** a {!Supervisor} worker died without answering: nonzero exit,
+          unexpected signal (e.g. SIGSEGV), out-of-memory guard, or a
+          garbled result on the pipe *)
 
 type t = Certified | Falsified | Unknown of unknown_reason
 
@@ -38,8 +46,21 @@ exception Abort of unknown_reason
     [Unknown]; the legacy boolean front-ends map it to "not certified"
     (always sound). *)
 
+val all_reasons : unknown_reason list
+(** Every constructor, in declaration order — lets tests and the journal
+    round-trip stay exhaustive without a fragile hand-written list. *)
+
 val reason_name : unknown_reason -> string
 val to_string : t -> string
+
+val reason_of_string : string -> unknown_reason option
+(** Inverse of {!reason_name}. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string} — ["certified"], ["falsified"],
+    ["unknown(REASON)"]. Used by {!Journal} to round-trip verdicts
+    through the on-disk batch journal. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_reason : Format.formatter -> unknown_reason -> unit
 val is_certified : t -> bool

@@ -3,10 +3,16 @@ open Interval
 
 exception Unbounded
 
-type ctx = { mutable n_eps : int }
+type ctx = { mutable n_eps : int; mutable deadline : float option }
 
-let ctx () = { n_eps = 0 }
+let ctx () = { n_eps = 0; deadline = None }
 let ctx_symbols c = c.n_eps
+let set_deadline c d = c.deadline <- d
+
+let check_deadline c =
+  match c.deadline with
+  | Some t when Unix.gettimeofday () > t -> raise (Verdict.Abort Verdict.Timeout)
+  | _ -> ()
 
 let alloc_eps c n =
   if n < 0 then invalid_arg "Zonotope.alloc_eps";

@@ -40,6 +40,18 @@ val reset_symbols : ctx -> int -> unit
     used by noise-symbol reduction, which renumbers the symbol space.
     Only sound when a single zonotope is alive. *)
 
+val set_deadline : ctx -> float option -> unit
+(** [set_deadline ctx (Some t)] arms an absolute wall-clock deadline
+    (epoch seconds, as returned by [Unix.gettimeofday]) that long-running
+    transformers poll {e inside} their hot loops via {!check_deadline}.
+    {!Propagate.run} arms it from {!Config.budget.time_limit_s} so a
+    single giant dot product cannot overrun the budget between the
+    per-op checkpoints. [None] disarms. *)
+
+val check_deadline : ctx -> unit
+(** @raise Verdict.Abort [Timeout] if the armed deadline has passed.
+    No-op (one branch) when disarmed. *)
+
 type t = {
   vrows : int;
   vcols : int;

@@ -219,6 +219,49 @@ let test_zero_radius_margin_exact () =
     (logits.(pred) -. logits.(1 - pred))
     m
 
+(* --- intra-op deadline preemption (regression) ------------------------ *)
+
+(* Budget checkpoints in Propagate fire only between ops, so before the
+   intra-op poll was added a single large dot product could overrun the
+   deadline unboundedly. The dot transformer now polls
+   Zonotope.check_deadline in its outer row loop: an expired deadline must
+   abort inside the op with the typed timeout, not run to completion. *)
+let test_dot_preempted_mid_op () =
+  let rng = Rng.create 55 in
+  let mk () = Helpers.random_zonotope ~vrows:4 ~vcols:5 ~ep:3 ~ee:4 rng in
+  let a = mk () in
+  let b = Helpers.random_zonotope ~vrows:5 ~vcols:3 ~ep:3 ~ee:4 rng in
+  (* sanity: with no deadline armed the very same op completes *)
+  let ctx = Z.ctx () in
+  ignore (Z.alloc_eps ctx 4);
+  ignore (Deept.Dot.matmul_zz ctx a b);
+  let expired ctx = Z.set_deadline ctx (Some (Unix.gettimeofday () -. 1.0)) in
+  let ctx = Z.ctx () in
+  ignore (Z.alloc_eps ctx 4);
+  expired ctx;
+  Alcotest.check_raises "matmul preempted mid-op"
+    (Deept.Verdict.Abort Deept.Verdict.Timeout) (fun () ->
+      ignore (Deept.Dot.matmul_zz ctx a b));
+  let ctx = Z.ctx () in
+  ignore (Z.alloc_eps ctx 4);
+  expired ctx;
+  Alcotest.check_raises "elementwise mul preempted mid-op"
+    (Deept.Verdict.Abort Deept.Verdict.Timeout) (fun () ->
+      ignore (Deept.Dot.mul_zz ctx (mk ()) (mk ())))
+
+(* End-to-end: an already-expired budget surfaces as the typed timeout
+   verdict the moment the first dot product starts, via the same poll. *)
+let test_deadline_mid_op_typed_verdict () =
+  let program = Helpers.tiny_program ~layers:1 56 in
+  let rng = Rng.create 57 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let pred = Nn.Forward.predict program x in
+  let region = Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius:0.01 in
+  let cfg = Deept.Config.with_budget ~deadline:0.0 Deept.Config.fast in
+  Helpers.check_true "expired deadline -> Unknown Timeout"
+    (C.certify_v cfg program region ~true_class:pred
+    = Deept.Verdict.Unknown Deept.Verdict.Timeout)
+
 let () =
   Alcotest.run "propagate"
     [
@@ -249,5 +292,12 @@ let () =
           Alcotest.test_case "norm ordering" `Slow test_radius_ordering_l1_l2_linf;
           Alcotest.test_case "binary search" `Quick test_max_radius_bracketing;
           Alcotest.test_case "enumeration agrees" `Quick test_enumeration_agrees;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "dot preempted mid-op" `Quick
+            test_dot_preempted_mid_op;
+          Alcotest.test_case "typed mid-op timeout" `Quick
+            test_deadline_mid_op_typed_verdict;
         ] );
     ]
