@@ -1,0 +1,111 @@
+(* Kernel-benchmark regression gate.
+
+     dune exec bench/kernels.exe -- --json   # rotates the old json, writes new
+     dune exec bench/check_regress.exe       # compares the two
+
+   Loads BENCH_kernels.json and the rotated BENCH_kernels.prev.json and
+   exits non-zero when any shape's blocked or blocked+parallel kernel got
+   more than 25% slower than the previous run. With no previous snapshot
+   (first run, fresh checkout) there is nothing to compare and the gate
+   passes trivially. *)
+
+let tolerance = 0.25
+
+(* The benchmark writes one flat object per line; pull a field out of a
+   line without a general JSON parser (the repo intentionally has none). *)
+let find_sub line pat =
+  let ll = String.length line and pl = String.length pat in
+  let rec go i = if i + pl > ll then None
+    else if String.sub line i pl = pat then Some (i + pl)
+    else go (i + 1)
+  in
+  go 0
+
+let num_field line key =
+  match find_sub line (Printf.sprintf "\"%s\":" key) with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      let ll = String.length line in
+      while
+        !stop < ll
+        && (match line.[!stop] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub line start (!stop - start))
+
+let str_field line key =
+  match find_sub line (Printf.sprintf "\"%s\":\"" key) with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start '"' with
+      | None -> None
+      | Some stop -> Some (String.sub line start (stop - start)))
+
+(* name -> (blocked_ns, parallel_ns) *)
+let load path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match (str_field line "name", num_field line "blocked_ns",
+              num_field line "parallel_ns")
+       with
+       | Some name, Some b, Some p -> rows := (name, (b, p)) :: !rows
+       | _ -> () (* the enclosing "[" / "]" lines *)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let () =
+  let cur_path = ref "BENCH_kernels.json" in
+  Arg.parse
+    [ ("--current", Arg.Set_string cur_path, "PATH  current snapshot") ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "check_regress [--current PATH]";
+  let prev_path = Filename.remove_extension !cur_path ^ ".prev.json" in
+  if not (Sys.file_exists !cur_path) then begin
+    Printf.eprintf
+      "check_regress: %s not found — run `dune exec bench/kernels.exe -- --json` first\n"
+      !cur_path;
+    exit 1
+  end;
+  if not (Sys.file_exists prev_path) then begin
+    Printf.printf "check_regress: no previous snapshot (%s); nothing to compare\n"
+      prev_path;
+    exit 0
+  end;
+  let cur = load !cur_path and prev = load prev_path in
+  let failures = ref 0 in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, (pb, pp)) ->
+      match List.assoc_opt name cur with
+      | None -> Printf.printf "  %-26s dropped from current run\n" name
+      | Some (cb, cp) ->
+          incr compared;
+          let check what prev_ns cur_ns =
+            let ratio = cur_ns /. prev_ns in
+            let flag = ratio > 1.0 +. tolerance in
+            if flag then incr failures;
+            Printf.printf "  %-26s %-9s %10.0f -> %10.0f ns  (%+.1f%%)%s\n" name
+              what prev_ns cur_ns
+              ((ratio -. 1.0) *. 100.0)
+              (if flag then "  REGRESSION" else "")
+          in
+          check "blocked" pb cb;
+          check "block+par" pp cp)
+    prev;
+  if !compared = 0 then
+    Printf.printf "check_regress: no common shapes between snapshots\n"
+  else if !failures > 0 then begin
+    Printf.printf "%d kernel timing(s) regressed by more than %.0f%%\n" !failures
+      (tolerance *. 100.0);
+    exit 1
+  end
+  else Printf.printf "no kernel regressed by more than %.0f%%\n" (tolerance *. 100.0)

@@ -1,0 +1,180 @@
+(* Reproducible benchmark of the zonotope matmul kernels: the seed serial
+   kernel vs the register-blocked kernel vs blocked + domain-parallel.
+
+     dune exec bench/kernels.exe --             # table on stdout
+     dune exec bench/kernels.exe -- --json      # + writes BENCH_kernels.json
+     dune exec bench/kernels.exe -- --domains 8 # pool size for the parallel row
+
+   The shapes below were recorded from a real propagation
+   (`certify t1 --model sst_3`, seq len 9, d_model 24, 3 layers) by
+   tracing every Mat product:
+
+   - coefficient-block products w^T (24 x 24) x (24 x E) dominate the
+     run; the symbol count E grows from 24 (embedding phi block) through
+     ~344 and ~1344 (mid layers) to ~3800 (last layer, before
+     reduction);
+   - the softmax difference map is an 81 x 9 by 9 x E product
+     (map_rows_affine of the n^2-variable difference matrix);
+   - value centers are tiny 9 x 24 by 24 x 24 products, kept as a
+     below-threshold control (the parallel row must not regress them).
+
+   When a previous BENCH_kernels.json exists it is rotated to
+   BENCH_kernels.prev.json so `check_regress.exe` can compare runs. *)
+
+open Tensor
+
+type shape = {
+  label : string;
+  ta : bool;  (* the gemm ~ta:true coefficient-block orientation *)
+  m : int;    (* a is m x k (or k x m when ta), b is k x n *)
+  k : int;
+  n : int;
+}
+
+let shapes =
+  [
+    { label = "coeff_ta_24x24_e24"; ta = true; m = 24; k = 24; n = 24 };
+    { label = "coeff_ta_24x24_e344"; ta = true; m = 24; k = 24; n = 344 };
+    { label = "coeff_ta_24x24_e1344"; ta = true; m = 24; k = 24; n = 1344 };
+    { label = "coeff_ta_24x24_e3800"; ta = true; m = 24; k = 24; n = 3800 };
+    { label = "softmax_rows_81x9_e1344"; ta = false; m = 81; k = 9; n = 1344 };
+    { label = "center_9x24x24"; ta = false; m = 9; k = 24; n = 24 };
+  ]
+
+(* Shared CI machines throttle unpredictably, and a slow epoch that hits
+   one kernel's contiguous measurement window would make the speedup
+   ratios meaningless. So the kernels are timed {e interleaved}: each
+   round measures every kernel once (with repetitions calibrated to a
+   >= 20 ms window), and each kernel keeps its minimum across rounds —
+   if the machine is fast during any round, every kernel gets a fair
+   fast sample. *)
+let rounds = 7
+
+let calibrate f =
+  ignore (Sys.opaque_identity (f ()));
+  let rec go reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < 0.02 && reps < 1 lsl 20 then go (reps * 4) else reps
+  in
+  go 1
+
+(* [time_interleaved fs] returns the per-kernel best ns/call. *)
+let time_interleaved fs =
+  let fs = Array.of_list fs in
+  let reps = Array.map calibrate fs in
+  let best = Array.map (fun _ -> infinity) fs in
+  for _ = 1 to rounds do
+    Array.iteri
+      (fun i f ->
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps.(i) do
+          ignore (Sys.opaque_identity (f ()))
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < best.(i) then best.(i) <- dt)
+      fs
+  done;
+  Array.to_list (Array.mapi (fun i b -> b /. float_of_int reps.(i) *. 1e9) best)
+
+type row = {
+  shape : shape;
+  serial_ns : float;   (* the seed kernel: matmul_naive (+ transpose for ta) *)
+  blocked_ns : float;
+  parallel_ns : float;
+}
+
+let measure ~pool (s : shape) =
+  let rng = Rng.create 0x5eed in
+  let a =
+    if s.ta then Mat.random_uniform rng s.k s.m 1.0
+    else Mat.random_uniform rng s.m s.k 1.0
+  in
+  let b = Mat.random_uniform rng s.k s.n 1.0 in
+  let serial () =
+    if s.ta then Mat.matmul_naive (Mat.transpose a) b else Mat.matmul_naive a b
+  in
+  let blocked () = if s.ta then Mat.matmul_ta a b else Mat.matmul a b in
+  let parallel () =
+    if s.ta then Mat.matmul_ta ~pool a b else Mat.matmul ~pool a b
+  in
+  (* The three kernels must agree bit-for-bit before being timed. *)
+  let reference = serial () in
+  List.iter
+    (fun (name, f) ->
+      if not (Mat.equal reference (f ())) then (
+        Printf.eprintf "kernels: %s kernel diverges on %s\n%!" name s.label;
+        exit 4))
+    [ ("blocked", blocked); ("parallel", parallel) ];
+  match time_interleaved [ serial; blocked; parallel ] with
+  | [ serial_ns; blocked_ns; parallel_ns ] ->
+      { shape = s; serial_ns; blocked_ns; parallel_ns }
+  | _ -> assert false
+
+let geomean xs =
+  exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+let json_of_row r =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"ta\":%b,\"m\":%d,\"k\":%d,\"n\":%d,\"serial_ns\":%.1f,\"blocked_ns\":%.1f,\"parallel_ns\":%.1f}"
+    r.shape.label r.shape.ta r.shape.m r.shape.k r.shape.n r.serial_ns
+    r.blocked_ns r.parallel_ns
+
+let write_json path rows =
+  if Sys.file_exists path then begin
+    let prev = Filename.remove_extension path ^ ".prev.json" in
+    (try Sys.remove prev with Sys_error _ -> ());
+    Sys.rename path prev;
+    Printf.printf "rotated previous %s -> %s\n" path prev
+  end;
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i r ->
+      output_string oc (json_of_row r);
+      if i < List.length rows - 1 then output_string oc ",";
+      output_string oc "\n")
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let () =
+  let domains = ref 4 in
+  let json = ref false in
+  let out = ref "BENCH_kernels.json" in
+  Arg.parse
+    [
+      ("--domains", Arg.Set_int domains, "N  pool size for the parallel row (default 4)");
+      ("--json", Arg.Set json, "  write the results to --out as JSON");
+      ("--out", Arg.Set_string out, "PATH  JSON output path (default BENCH_kernels.json)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "kernels [--domains N] [--json] [--out PATH]";
+  (* A larger minor heap keeps the timings kernel-dominated: every call
+     allocates its output matrix, and with the default 256 KB minor heap
+     the measurement would mostly be minor collections (which, with idle
+     pool domains, also involve multi-domain barriers). *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 4 * 1024 * 1024 };
+  let pool = Dpool.create !domains in
+  Printf.printf "matmul kernels, %d-domain pool (%d recommended on this machine)\n\n"
+    !domains
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-26s %12s %12s %12s %9s %9s\n" "shape" "serial ns" "blocked ns"
+    "block+par ns" "x blocked" "x par";
+  let rows = List.map (measure ~pool) shapes in
+  List.iter
+    (fun r ->
+      Printf.printf "%-26s %12.0f %12.0f %12.0f %8.2fx %8.2fx\n" r.shape.label
+        r.serial_ns r.blocked_ns r.parallel_ns (r.serial_ns /. r.blocked_ns)
+        (r.serial_ns /. r.parallel_ns))
+    rows;
+  let sp_blocked = geomean (List.map (fun r -> r.serial_ns /. r.blocked_ns) rows) in
+  let sp_par = geomean (List.map (fun r -> r.serial_ns /. r.parallel_ns) rows) in
+  Printf.printf "\ngeomean speedup: blocked %.2fx, blocked+parallel %.2fx\n"
+    sp_blocked sp_par;
+  if !json then write_json !out rows;
+  Dpool.shutdown pool

@@ -75,6 +75,27 @@ let data_arg =
   let doc = "Model directory." in
   Arg.(value & opt string "data" & info [ "data" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "OCaml domains sharding the zonotope kernels inside each propagation. \
+     Deterministic: verdicts and radii are bit-identical to --domains 1. \
+     DeepT verifiers only (CROWN baselines ignore it)."
+  in
+  Arg.(value & opt int 1 & info [ "domains"; "d" ] ~doc)
+
+(* Domain parallelism composes multiplicatively with the forked worker
+   pool of `batch`: each of the [jobs] processes spawns its own
+   [domains]-sized pool. Warn when that oversubscribes the machine —
+   it only slows things down. *)
+let apply_domains ~jobs domains cfg =
+  let avail = Domain.recommended_domain_count () in
+  if jobs * domains > avail then
+    Printf.eprintf
+      "certify: warning: %d job(s) x %d domain(s) oversubscribes the %d \
+       recommended domain(s) on this machine\n%!"
+      jobs domains avail;
+  Deept.Config.with_domains domains cfg
+
 let setup data = Zoo.data_dir := data
 
 let load name =
@@ -111,7 +132,7 @@ let show_cmd =
 
 (* --- t1 -------------------------------------------------------------- *)
 
-let certify_t1 data name index sentence word p radius verifier =
+let certify_t1 data name index sentence word p radius verifier domains =
   setup data;
   let entry, model = load name in
   let c, (toks, label) = pick_input entry model index sentence in
@@ -130,11 +151,15 @@ let certify_t1 data name index sentence word p radius verifier =
     let ok =
       match verifier with
       | Deept_fast ->
-          Deept.Certify.certify Deept.Config.fast program
+          Deept.Certify.certify
+            (apply_domains ~jobs:1 domains Deept.Config.fast)
+            program
             (Deept.Region.lp_ball ~p x ~word ~radius)
             ~true_class:label
       | Deept_precise ->
-          Deept.Certify.certify Deept.Config.precise program
+          Deept.Certify.certify
+            (apply_domains ~jobs:1 domains Deept.Config.precise)
+            program
             (Deept.Region.lp_ball ~p x ~word ~radius)
             ~true_class:label
       | Crown_baf | Crown_backward ->
@@ -155,11 +180,11 @@ let t1_cmd =
     (Cmd.info "t1" ~doc:"Certify an lp-ball perturbation of one word.")
     Term.(
       const certify_t1 $ data_arg $ model_arg $ index_arg $ sentence_arg
-      $ word_arg $ norm_arg $ radius_arg $ verifier_arg)
+      $ word_arg $ norm_arg $ radius_arg $ verifier_arg $ domains_arg)
 
 (* --- radius ----------------------------------------------------------- *)
 
-let radius_search data name index sentence word p verifier =
+let radius_search data name index sentence word p verifier domains =
   setup data;
   let entry, model = load name in
   let c, (toks, label) = pick_input entry model index sentence in
@@ -172,11 +197,13 @@ let radius_search data name index sentence word p verifier =
     let r =
       match verifier with
       | Deept_fast ->
-          Deept.Certify.certified_radius Deept.Config.fast program ~p x ~word
-            ~true_class:label ()
+          Deept.Certify.certified_radius
+            (apply_domains ~jobs:1 domains Deept.Config.fast)
+            program ~p x ~word ~true_class:label ()
       | Deept_precise ->
-          Deept.Certify.certified_radius Deept.Config.precise program ~p x ~word
-            ~true_class:label ()
+          Deept.Certify.certified_radius
+            (apply_domains ~jobs:1 domains Deept.Config.precise)
+            program ~p x ~word ~true_class:label ()
       | Crown_baf ->
           Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Baf program
             ~p x ~word ~true_class:label ()
@@ -192,7 +219,7 @@ let radius_cmd =
     (Cmd.info "radius" ~doc:"Binary-search the maximal certified radius.")
     Term.(
       const radius_search $ data_arg $ model_arg $ index_arg $ sentence_arg
-      $ word_arg $ norm_arg $ verifier_arg)
+      $ word_arg $ norm_arg $ verifier_arg $ domains_arg)
 
 (* --- t2 --------------------------------------------------------------- *)
 
@@ -354,7 +381,7 @@ let crash_sentence_arg =
 
 let batch data name count word p radius verifier deadline budget fault
     fault_rungs jobs journal_path resume_path max_retries grace hard_deadline
-    mem_limit fault_sentence crash_sentence =
+    mem_limit fault_sentence crash_sentence domains =
   setup data;
   let entry, model = load name in
   let c = Zoo.corpus_of entry.Zoo.corpus in
@@ -370,7 +397,10 @@ let batch data name count word p radius verifier deadline budget fault
         exit 1
   in
   let cfg =
-    let cfg = Deept.Config.with_budget ?deadline ?max_eps:budget base in
+    let cfg =
+      apply_domains ~jobs domains
+        (Deept.Config.with_budget ?deadline ?max_eps:budget base)
+    in
     match fault with
     | None -> cfg
     | Some (op, action) ->
@@ -541,7 +571,7 @@ let batch_cmd =
       $ radius_arg $ verifier_arg $ deadline_arg $ budget_arg $ fault_arg
       $ fault_rungs_arg $ jobs_arg $ journal_arg $ resume_arg
       $ max_retries_arg $ grace_arg $ hard_deadline_arg $ mem_limit_arg
-      $ fault_sentence_arg $ crash_sentence_arg)
+      $ fault_sentence_arg $ crash_sentence_arg $ domains_arg)
 
 let () =
   let info = Cmd.info "certify" ~doc:"DeepT robustness certification CLI." in

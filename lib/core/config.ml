@@ -57,6 +57,7 @@ type t = {
   reduction_k : int;
   budget : budget;
   fault : fault_spec option;
+  domains : int;
 }
 
 let default =
@@ -68,6 +69,7 @@ let default =
     reduction_k = 128;
     budget = no_budget;
     fault = None;
+    domains = 1;
   }
 
 let fast = default
@@ -81,6 +83,10 @@ let fault ?(persist = max_int) fault_op action =
 
 let with_budget ?deadline ?max_eps cfg =
   { cfg with budget = { time_limit_s = deadline; max_eps } }
+
+let with_domains n cfg =
+  if n < 1 || n > 128 then invalid_arg "Config.with_domains: need 1 <= n <= 128";
+  { cfg with domains = n }
 
 let variant_name = function Fast -> "fast" | Precise -> "precise" | Combined -> "combined"
 
@@ -103,6 +109,8 @@ let pp ppf c =
       Buffer.add_string b
         (Printf.sprintf ", fault=%s@%d" (fault_action_name f.action) f.fault_op)
   | None -> ());
+  if c.domains > 1 then
+    Buffer.add_string b (Printf.sprintf ", domains=%d" c.domains);
   Format.fprintf ppf "deept(%s, %s, softmax=%s, refine=%b, k=%d%s)"
     (variant_name c.variant)
     (match c.order with Linf_first -> "linf-first" | Lp_first -> "lp-first")

@@ -112,6 +112,11 @@ type t = {
           0 disables reduction *)
   budget : budget;  (** resource limits enforced per-op (default: none) *)
   fault : fault_spec option;  (** deterministic fault injection hook *)
+  domains : int;
+      (** OCaml domains sharding the hot kernels {e inside} one
+          propagation (default 1 = serial). Results are bit-identical
+          for every value; see {!Tensor.Dpool}. Independent of
+          {!pool}.workers, which forks whole processes across inputs. *)
 }
 
 val default : t
@@ -128,6 +133,10 @@ val combined : t
 
 val with_budget : ?deadline:float -> ?max_eps:int -> t -> t
 (** Replaces the budget (omitted limits are cleared). *)
+
+val with_domains : int -> t -> t
+(** Sets {!t.domains}.
+    @raise Invalid_argument unless [1 <= n <= 128]. *)
 
 val variant_name : dot_variant -> string
 val fault_action_name : fault_action -> string

@@ -124,7 +124,13 @@ let matmul_zz ?(precise = false) ?(order = Config.Linf_first) ctx
   let phi = Mat.create nv ep in
   let eps_aff = Mat.create nv ee in
   let rad = Array.make nv 0.0 in
-  for i = 0 to n - 1 do
+  (* One chunk per output row: every output (i, j) is computed by exactly
+     one chunk with the same arithmetic, so sharding the rows over the
+     pool cannot change a bit of the result. The cooperative deadline is
+     polled once per chunk; an expired deadline raises inside the chunk
+     and the pool cancels the remaining ones via its atomic failure
+     flag. *)
+  let row i =
     (* The dot product dominates propagation cost; without an intra-op
        poll a single large matmul could overrun the wall-clock budget
        unboundedly between Propagate's per-op checkpoints. *)
@@ -150,7 +156,14 @@ let matmul_zz ?(precise = false) ?(order = Config.Linf_first) ctx
       center.Mat.data.(v) <- center.Mat.data.(v) +. mid;
       rad.(v) <- r
     done
-  done;
+  in
+  (match Zonotope.ctx_pool ctx with
+  | Some pool when Tensor.Dpool.size pool > 1 && n > 1 ->
+      Tensor.Dpool.run_chunks pool ~nchunks:n row
+  | _ ->
+      for i = 0 to n - 1 do
+        row i
+      done);
   (* One fresh symbol per output with a non-trivial remainder. *)
   let fresh = Array.make nv (-1) in
   let n_new = ref 0 in
@@ -185,8 +198,13 @@ let mul_zz ?(precise = false) ?(order = Config.Linf_first) ctx (a : Zonotope.t)
   let phi = Mat.create nv ep in
   let eps_aff = Mat.create nv ee in
   let rad = Array.make nv 0.0 in
-  for v = 0 to nv - 1 do
-    if v land 63 = 0 then Zonotope.check_deadline ctx;
+  (* Each variable [v] writes only its own slices of phi/eps/center/rad,
+     so sharding the variable range over the pool is bit-deterministic.
+     The deadline is polled once per 64-variable chunk, matching the
+     serial poll cadence. *)
+  let var_range ~start ~stop =
+    Zonotope.check_deadline ctx;
+    for v = start to stop - 1 do
     let c1 = a.Zonotope.center.Mat.data.(v) and c2 = b.Zonotope.center.Mat.data.(v) in
     for t = 0 to ep - 1 do
       phi.Mat.data.((v * ep) + t) <-
@@ -205,7 +223,12 @@ let mul_zz ?(precise = false) ?(order = Config.Linf_first) ctx (a : Zonotope.t)
     let mid, r = mid_rad itv in
     center.Mat.data.(v) <- center.Mat.data.(v) +. mid;
     rad.(v) <- r
-  done;
+    done
+  in
+  (match Zonotope.ctx_pool ctx with
+  | Some pool when Tensor.Dpool.size pool > 1 && nv > 64 ->
+      Tensor.Dpool.run_ranges pool ~n:nv ~chunk:64 var_range
+  | _ -> var_range ~start:0 ~stop:nv);
   let fresh = Array.make nv (-1) in
   let n_new = ref 0 in
   Array.iteri

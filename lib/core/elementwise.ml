@@ -123,8 +123,13 @@ let eval c ~l ~u x =
   Itv.make (mid -. c.beta) (mid +. c.beta)
 
 let apply ctx (z : Zonotope.t) rule =
+  (* Elementwise transformers run over every variable of wide coefficient
+     matrices; poll the cooperative deadline so a single huge layer cannot
+     overrun the budget between Propagate's per-op checkpoints. *)
+  Zonotope.check_deadline ctx;
+  let pool = Zonotope.ctx_pool ctx in
   let n = Zonotope.num_vars z in
-  let b = Zonotope.bounds z in
+  let b = Zonotope.bounds ?pool z in
   let cs =
     Array.init n (fun v ->
         let l = b.Imat.lo.Mat.data.(v) and u = b.Imat.hi.Mat.data.(v) in
@@ -155,18 +160,28 @@ let apply ctx (z : Zonotope.t) rule =
      them can be infinite (an overflowed dot-product remainder), and
      0 * inf would inject NaN instead of the intended constant form. *)
   let scaled lam x = if lam = 0.0 then 0.0 else lam *. x in
-  for v = 0 to n - 1 do
-    let c = cs.(v) in
-    center.Mat.data.(v) <- scaled c.lambda center.Mat.data.(v) +. c.mu;
-    for j = 0 to ep - 1 do
-      phi.Mat.data.((v * ep) + j) <- scaled c.lambda phi.Mat.data.((v * ep) + j)
-    done;
-    for j = 0 to old_w - 1 do
-      eps.Mat.data.((v * w) + j) <-
-        scaled c.lambda z.Zonotope.eps.Mat.data.((v * old_w) + j)
-    done;
-    if fresh.(v) >= 0 then eps.Mat.data.((v * w) + base + fresh.(v)) <- c.beta
-  done;
+  (* Each variable touches only its own coefficient rows, so the scaling
+     loop shards over the pool with bit-identical results; the deadline
+     is polled once per chunk. *)
+  let var_range ~start ~stop =
+    Zonotope.check_deadline ctx;
+    for v = start to stop - 1 do
+      let c = cs.(v) in
+      center.Mat.data.(v) <- scaled c.lambda center.Mat.data.(v) +. c.mu;
+      for j = 0 to ep - 1 do
+        phi.Mat.data.((v * ep) + j) <- scaled c.lambda phi.Mat.data.((v * ep) + j)
+      done;
+      for j = 0 to old_w - 1 do
+        eps.Mat.data.((v * w) + j) <-
+          scaled c.lambda z.Zonotope.eps.Mat.data.((v * old_w) + j)
+      done;
+      if fresh.(v) >= 0 then eps.Mat.data.((v * w) + base + fresh.(v)) <- c.beta
+    done
+  in
+  (match pool with
+  | Some p when Dpool.size p > 1 && n * (ep + w + 1) >= 32_768 ->
+      Dpool.run_ranges p ~n ~chunk:64 var_range
+  | _ -> var_range ~start:0 ~stop:n);
   Zonotope.make ~p:z.Zonotope.p ~center ~phi ~eps
 
 let relu ctx z = apply ctx z relu_coeffs

@@ -28,6 +28,27 @@ let poison_scan (z : Zonotope.t) =
   | `Inf, _, _ | _, `Inf, _ | _, _, `Inf -> `Inf
   | `Finite, `Finite, `Finite -> `Finite
 
+(* One lazily-created domain pool per (process, size). Spawned domains do
+   not survive a fork, and Supervisor workers fork after the parent may
+   already have certified something — so the cache is keyed by pid and a
+   forked child transparently builds its own pool on first use, leaving
+   the inherited (stale) entry unused. *)
+let pool_cache : (int * int, Tensor.Dpool.t) Hashtbl.t = Hashtbl.create 4
+let pool_mutex = Mutex.create ()
+
+let shared_pool n =
+  if n <= 1 then None
+  else
+    let key = (Unix.getpid (), n) in
+    Some
+      (Mutex.protect pool_mutex (fun () ->
+           match Hashtbl.find_opt pool_cache key with
+           | Some p -> p
+           | None ->
+               let p = Tensor.Dpool.create n in
+               Hashtbl.add pool_cache key p;
+               p))
+
 let run_all (cfg : Config.t) (p : Ir.program) input =
   if input.Zonotope.vcols <> p.input_dim then
     invalid_arg "Propagate.run: input dim mismatch";
@@ -39,6 +60,10 @@ let run_all (cfg : Config.t) (p : Ir.program) input =
      that the per-op checkpoints below only enforce between ops. *)
   Zonotope.set_deadline ctx
     (Option.map (fun l -> t0 +. l) budget.Config.time_limit_s);
+  (* Arm the domain pool the same way: transformers that can shard their
+     hot loops pick it up from the ctx, with bit-identical results. *)
+  let pool = shared_pool cfg.Config.domains in
+  Zonotope.set_pool ctx pool;
   ignore (Zonotope.alloc_eps ctx (Zonotope.num_eps input));
   let total_layers = Ir.depth_of_kind p "self_attention" in
   let layer = ref 0 in
@@ -49,7 +74,7 @@ let run_all (cfg : Config.t) (p : Ir.program) input =
         try
           let out =
             match op with
-            | Linear { src; w; b } -> Zonotope.linear_map vals.(src) w b
+            | Linear { src; w; b } -> Zonotope.linear_map ?pool vals.(src) w b
             | Relu src -> Elementwise.relu ctx vals.(src)
             | Tanh src -> Elementwise.tanh_ ctx vals.(src)
             | Add (a, b) -> Zonotope.add vals.(a) vals.(b)

@@ -12,6 +12,66 @@ let scores (z : Zonotope.t) =
   done;
   s
 
+(* [top_k_indices s k] selects the [k] indices of [s] with the highest
+   scores, ties broken towards the smaller index, and returns them sorted
+   ascending. Equivalent to sorting all [w] indices by
+   (score desc, index asc) and keeping the prefix — the top-k set under
+   that total order is unique, so this matches the full sort bit-for-bit —
+   but runs in O(w log k) with a k-element min-heap instead of O(w log w).
+   At a transformer layer input w is the accumulated symbol count
+   (thousands) while k is the retention budget (tens), so the partial
+   selection is what keeps [decorrelate_min_k] cheap. *)
+let top_k_indices (s : float array) k =
+  let w = Array.length s in
+  if k <= 0 then [||]
+  else if k >= w then Array.init w (fun j -> j)
+  else begin
+    (* Min-heap of the current keep set, rooted at its worst element:
+       [worse a b] is the strict order "a would be dropped before b". *)
+    let heap = Array.make k 0 in
+    let size = ref 0 in
+    let worse a b =
+      s.(a) < s.(b) || (s.(a) = s.(b) && a > b)
+    in
+    let swap i j =
+      let t = heap.(i) in
+      heap.(i) <- heap.(j);
+      heap.(j) <- t
+    in
+    let rec sift_up i =
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if worse heap.(i) heap.(parent) then begin
+          swap i parent;
+          sift_up parent
+        end
+      end
+    in
+    let rec sift_down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let m = ref i in
+      if l < !size && worse heap.(l) heap.(!m) then m := l;
+      if r < !size && worse heap.(r) heap.(!m) then m := r;
+      if !m <> i then begin
+        swap i !m;
+        sift_down !m
+      end
+    in
+    for j = 0 to w - 1 do
+      if !size < k then begin
+        heap.(!size) <- j;
+        incr size;
+        sift_up (!size - 1)
+      end
+      else if worse heap.(0) j then begin
+        heap.(0) <- j;
+        sift_down 0
+      end
+    done;
+    Array.sort compare heap;
+    heap
+  end
+
 let decorrelate_min_k ctx (z : Zonotope.t) k =
   if k < 0 then invalid_arg "Reduction.decorrelate_min_k: negative k";
   let w = Zonotope.num_eps z in
@@ -21,14 +81,7 @@ let decorrelate_min_k ctx (z : Zonotope.t) k =
   end
   else begin
     let s = scores z in
-    let order = Array.init w (fun j -> j) in
-    (* Highest score first; ties broken by index for determinism. *)
-    Array.sort
-      (fun a b ->
-        match compare s.(b) s.(a) with 0 -> compare a b | c -> c)
-      order;
-    let keep = Array.sub order 0 k in
-    Array.sort compare keep;
+    let keep = top_k_indices s k in
     let dropped = Array.make w true in
     Array.iter (fun j -> dropped.(j) <- false) keep;
     let nv = Zonotope.num_vars z in

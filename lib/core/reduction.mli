@@ -20,3 +20,10 @@ val decorrelate_min_k : Zonotope.ctx -> Zonotope.t -> int -> Zonotope.t
 
 val scores : Zonotope.t -> float array
 (** The heuristic importance score [m_j] of each ε symbol. *)
+
+val top_k_indices : float array -> int -> int array
+(** [top_k_indices s k] returns the indices of the [k] largest entries of
+    [s] (ties broken towards the smaller index), sorted ascending. Runs in
+    O(|s| log k) via partial heap selection; exposed so tests can check it
+    against the full-sort reference. [k <= 0] returns the empty array,
+    [k >= length s] every index. *)

@@ -8,6 +8,10 @@ let saturation_margin = 700.0
 
 (* sigma_i = 1 / sum_j exp(nu_j - nu_i) for one score row (1 x n value). *)
 let stable_row ctx row =
+  (* The n^2-variable difference matrix makes softmax one of the heaviest
+     transformers; poll the cooperative deadline once per score row. *)
+  Zonotope.check_deadline ctx;
+  let pool = Zonotope.ctx_pool ctx in
   let n = row.Zonotope.vcols in
   (* Difference matrix D(i,j) = nu_j - nu_i as a linear map of the n score
      variables viewed as an n x 1 value. *)
@@ -17,8 +21,10 @@ let stable_row ctx row =
         let i = v / n and j = v mod n in
         (if t = j then 1.0 else 0.0) -. if t = i then 1.0 else 0.0)
   in
-  let d = Zonotope.reshape_value (Zonotope.map_rows_affine col m) ~rows:n ~cols:n in
-  let db = Zonotope.bounds d in
+  let d =
+    Zonotope.reshape_value (Zonotope.map_rows_affine ?pool col m) ~rows:n ~cols:n
+  in
+  let db = Zonotope.bounds ?pool d in
   (* Saturated outputs are emitted directly as [0, exp(-l_max)] — exact up
      to float resolution and immune to exponential overflow (the attention
      of trained networks saturates routinely in deep layers). *)
@@ -63,6 +69,7 @@ let stable_row ctx row =
 (* sigma_i = exp(nu_i) * recip(sum_j exp(nu_j)) — the CROWN-style
    composition, for the ablation. *)
 let direct_row ctx row =
+  Zonotope.check_deadline ctx;
   let n = row.Zonotope.vcols in
   let e = Elementwise.exp_ ctx row in
   let s = Zonotope.linear_map e (Mat.make n 1 1.0) [| 0.0 |] in
@@ -83,6 +90,9 @@ let apply_row ~form ~refine ctx row =
   if refine then Refinement.softmax_sum out else out
 
 let apply ~form ~refine ctx z =
+  (* Rows must stay sequential: each one allocates fresh eps symbols from
+     the shared ctx, so their symbol ids depend on the order. Parallelism
+     lives inside a row (map_rows_affine / bounds over n^2 variables). *)
   let rows =
     List.init z.Zonotope.vrows (fun r ->
         apply_row ~form ~refine ctx (Zonotope.select_value_rows z r 1))

@@ -3,11 +3,17 @@ open Interval
 
 exception Unbounded
 
-type ctx = { mutable n_eps : int; mutable deadline : float option }
+type ctx = {
+  mutable n_eps : int;
+  mutable deadline : float option;
+  mutable pool : Dpool.t option;
+}
 
-let ctx () = { n_eps = 0; deadline = None }
+let ctx () = { n_eps = 0; deadline = None; pool = None }
 let ctx_symbols c = c.n_eps
 let set_deadline c d = c.deadline <- d
+let set_pool c p = c.pool <- p
+let ctx_pool c = c.pool
 
 let check_deadline c =
   match c.deadline with
@@ -103,16 +109,34 @@ let bounds_var z v =
   if Float.is_nan lo || Float.is_nan hi then raise Unbounded;
   Itv.make lo hi
 
-let bounds z =
+(* Parallelizing threshold, in coefficient reads; below it the pool
+   dispatch overhead dominates. *)
+let par_threshold = 32_768
+
+let bounds ?pool z =
   let lo = Mat.create z.vrows z.vcols and hi = Mat.create z.vrows z.vcols in
-  for v = 0 to num_vars z - 1 do
-    let c = z.center.Mat.data.(v) in
-    let a, b = radius_terms z v in
-    let l = c -. a -. b and h = c +. a +. b in
-    if Float.is_nan l || Float.is_nan h then raise Unbounded;
-    lo.Mat.data.(v) <- l;
-    hi.Mat.data.(v) <- h
-  done;
+  let nv = num_vars z in
+  let width = num_phi z + num_eps z + 1 in
+  let body start stop =
+    for v = start to stop - 1 do
+      let c = z.center.Mat.data.(v) in
+      let a, b = radius_terms z v in
+      let l = c -. a -. b and h = c +. a +. b in
+      if Float.is_nan l || Float.is_nan h then raise Unbounded;
+      lo.Mat.data.(v) <- l;
+      hi.Mat.data.(v) <- h
+    done
+  in
+  (match pool with
+  | Some p when Dpool.size p > 1 && nv * width >= par_threshold ->
+      (* Floor the chunk size at 2 chunks per domain: each claim is a
+         mutex round-trip, and a variable's bounds do not depend on how
+         the range is cut, so load-balance-aware chunks stay exact. *)
+      let balance = 2 * Dpool.size p in
+      Dpool.run_ranges p ~n:nv
+        ~chunk:(max ((nv + balance - 1) / balance) (par_threshold / (8 * width)))
+        (fun ~start ~stop -> body start stop)
+  | _ -> body 0 nv);
   Imat.make lo hi
 
 (* ---------------- sampling ---------------- *)
@@ -163,14 +187,17 @@ let align a b =
 
 (* ---------------- affine transformers ---------------- *)
 
-(* Apply [block -> w^T . block] to every per-value-row coefficient block. *)
-let map_coeff_blocks vrows vcols_in vcols_out (w : Mat.t) (g : Mat.t) =
+(* Apply [block -> w^T . block] to every per-value-row coefficient block.
+   [matmul_ta] fuses the transpose of [w] (no copy per value row) and
+   shards wide blocks — the dominant products of a certification, with
+   the ε width in the thousands by the last layer — over the pool. *)
+let map_coeff_blocks ?pool vrows vcols_in vcols_out (w : Mat.t) (g : Mat.t) =
   let e = Mat.cols g in
   let out = Mat.create (vrows * vcols_out) e in
   if e > 0 then
     for i = 0 to vrows - 1 do
       let block = Mat.sub_rows g (i * vcols_in) vcols_in in
-      let mapped = Mat.gemm ~ta:true w block in
+      let mapped = Mat.matmul_ta ?pool w block in
       Array.blit mapped.Mat.data 0 out.Mat.data (i * vcols_out * e)
         (vcols_out * e)
     done;
@@ -189,7 +216,7 @@ let scrub_coeff_nan (m : Mat.t) =
     (fun i x -> if Float.is_nan x then m.Mat.data.(i) <- infinity)
     m.Mat.data
 
-let linear_map z w b =
+let linear_map ?pool z w b =
   if Mat.rows w <> z.vcols then invalid_arg "Zonotope.linear_map: shape mismatch";
   if Array.length b <> Mat.cols w then invalid_arg "Zonotope.linear_map: bias";
   let vcols = Mat.cols w in
@@ -198,9 +225,9 @@ let linear_map z w b =
       vrows = z.vrows;
       vcols;
       p = z.p;
-      center = Mat.add_row_broadcast (Mat.matmul z.center w) b;
-      phi = map_coeff_blocks z.vrows z.vcols vcols w z.phi;
-      eps = map_coeff_blocks z.vrows z.vcols vcols w z.eps;
+      center = Mat.add_row_broadcast (Mat.matmul ?pool z.center w) b;
+      phi = map_coeff_blocks ?pool z.vrows z.vcols vcols w z.phi;
+      eps = map_coeff_blocks ?pool z.vrows z.vcols vcols w z.eps;
     }
   in
   if Mat.finite_class z.phi = `Inf || Mat.finite_class z.eps = `Inf then begin
@@ -375,30 +402,23 @@ let of_rows = function
   | [] -> invalid_arg "Zonotope.of_rows: empty"
   | z :: rest -> List.fold_left vcat_value z rest
 
-let map_rows_affine z m =
+let map_rows_affine ?pool z m =
   if Mat.cols m <> z.vrows then invalid_arg "Zonotope.map_rows_affine";
   (* y = m . x : output var (i, j) = sum_k m_ik x_kj. Coefficients combine
-     linearly with the same weights. *)
+     linearly with the same weights. Viewing the coefficient matrix of a
+     [vrows x vcols] value as a [vrows x (vcols * e)] matrix (same
+     row-major data) turns the combination into one matrix product, which
+     runs on the blocked (and, for the softmax's n^2-variable difference
+     matrices, pool-sharded) kernel. *)
   let vrows = Mat.rows m in
   let combine (g : Mat.t) =
     let e = Mat.cols g in
-    let out = Mat.create (vrows * z.vcols) e in
-    if e > 0 then
-      for i = 0 to vrows - 1 do
-        for k = 0 to z.vrows - 1 do
-          let w = Mat.get m i k in
-          if w <> 0.0 then
-            for j = 0 to z.vcols - 1 do
-              let orow = ((i * z.vcols) + j) * e in
-              let irow = ((k * z.vcols) + j) * e in
-              for t = 0 to e - 1 do
-                out.Mat.data.(orow + t) <-
-                  out.Mat.data.(orow + t) +. (w *. g.Mat.data.(irow + t))
-              done
-            done
-        done
-      done;
-    out
+    if e = 0 then Mat.create (vrows * z.vcols) 0
+    else begin
+      let wide = Mat.of_array ~rows:z.vrows ~cols:(z.vcols * e) g.Mat.data in
+      let mapped = Mat.matmul ?pool m wide in
+      Mat.of_array ~rows:(vrows * z.vcols) ~cols:e mapped.Mat.data
+    end
   in
   {
     z with

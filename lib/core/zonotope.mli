@@ -50,7 +50,18 @@ val set_deadline : ctx -> float option -> unit
 
 val check_deadline : ctx -> unit
 (** @raise Verdict.Abort [Timeout] if the armed deadline has passed.
-    No-op (one branch) when disarmed. *)
+    No-op (one branch) when disarmed. Safe to call from pool worker
+    domains: the deadline is read-only while transformers run. *)
+
+val set_pool : ctx -> Tensor.Dpool.t option -> unit
+(** [set_pool ctx (Some p)] makes the heavy transformers shard their
+    hot loops over the domain pool [p]. Chunk boundaries depend only on
+    problem sizes, so results are bit-identical to the serial run
+    (see {!Tensor.Dpool}). [None] (the default) keeps everything on the
+    calling domain. *)
+
+val ctx_pool : ctx -> Tensor.Dpool.t option
+(** The pool armed by {!set_pool}, if any. *)
 
 type t = {
   vrows : int;
@@ -75,8 +86,10 @@ val num_eps : t -> int
 
 (** {1 Concrete bounds (Theorem 1)} *)
 
-val bounds : t -> Interval.Imat.t
-(** Tight per-variable interval bounds: [c ± (‖α‖_q + ‖β‖₁)]. *)
+val bounds : ?pool:Tensor.Dpool.t -> t -> Interval.Imat.t
+(** Tight per-variable interval bounds: [c ± (‖α‖_q + ‖β‖₁)].
+    Shards the per-variable norm loop over [pool] when given and the
+    coefficient matrices are large enough. *)
 
 val bounds_var : t -> int -> Interval.Itv.t
 (** Bounds of one flat variable index. *)
@@ -97,7 +110,7 @@ val instantiate : t -> phi:float array -> eps:float array -> Tensor.Mat.t
 
 (** {1 Exact affine transformers (Theorem 2)} *)
 
-val linear_map : t -> Tensor.Mat.t -> float array -> t
+val linear_map : ?pool:Tensor.Dpool.t -> t -> Tensor.Mat.t -> float array -> t
 (** [linear_map x w b] abstracts the row-wise affine map [x·w + b]. *)
 
 val add : t -> t -> t
@@ -149,7 +162,7 @@ val vcat_value : t -> t -> t
 val of_rows : t list -> t
 (** Stacks single-row zonotopes (value shape [1 x d] each). *)
 
-val map_rows_affine : t -> Tensor.Mat.t -> t
+val map_rows_affine : ?pool:Tensor.Dpool.t -> t -> Tensor.Mat.t -> t
 (** [map_rows_affine z m] abstracts [m · x] for the constant matrix [m]
     applied from the left to the [vrows x vcols] value [x]. *)
 

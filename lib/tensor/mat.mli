@@ -117,11 +117,30 @@ val fill : t -> float -> unit
 
 (** {1 Linear algebra} *)
 
-val matmul : t -> t -> t
-(** [matmul a b] with a: m x k, b: k x n gives m x n. *)
+val matmul : ?pool:Dpool.t -> t -> t -> t
+(** [matmul a b] with a: m x k, b: k x n gives m x n. Runs the
+    register-blocked kernel, sharded over disjoint output-row chunks on
+    [pool] when given and the product is large enough; results are
+    bit-identical to {!matmul_naive} on finite data regardless of pool
+    size. [MAT_NAIVE=1] in the environment forces the naive kernel
+    (read once at startup). *)
 
-val gemm : ?ta:bool -> ?tb:bool -> t -> t -> t
-(** General matrix product with optional operand transposes. *)
+val matmul_naive : t -> t -> t
+(** The original i-k-j reference kernel, serial and unblocked. The seed
+    baseline of [bench/kernels.ml] and the oracle of the kernel
+    equivalence property tests. *)
+
+val matmul_ta : ?pool:Dpool.t -> t -> t -> t
+(** [matmul_ta a b] = [matmul (transpose a) b] without materializing the
+    transpose: a: k x m, b: k x n gives m x n. *)
+
+val matmul_tb : ?pool:Dpool.t -> t -> t -> t
+(** [matmul_tb a b] = [matmul a (transpose b)] without materializing the
+    transpose: a: m x k, b: n x k gives m x n. *)
+
+val gemm : ?pool:Dpool.t -> ?ta:bool -> ?tb:bool -> t -> t -> t
+(** General matrix product with optional operand transposes, fused into
+    the blocked kernels (no transpose copies except for [ta && tb]). *)
 
 val mat_vec : t -> float array -> float array
 (** Matrix-vector product. *)

@@ -1,0 +1,304 @@
+(* The parallel kernel layer: bit-identity of the blocked and
+   domain-parallel matmul kernels against the seed serial kernel, the
+   determinism contract of Dpool, pool-parallel abstract transformers vs
+   their serial runs, the partial top-k selection against the full-sort
+   reference, and cooperative deadline preemption inside the pooled
+   transformers. Also reachable as `dune build @kernels`. *)
+
+open Tensor
+module Z = Deept.Zonotope
+module Lp = Deept.Lp
+
+(* Bitwise equality: tolerance-free, distinguishes -0.0 from +0.0 and
+   treats NaN as equal to itself — exactly the "byte-identical results"
+   contract the pool promises. *)
+let bits_equal_mat msg (a : Mat.t) (b : Mat.t) =
+  Helpers.check_true (msg ^ ": dims") (Mat.dims a = Mat.dims b);
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.Mat.data.(i) then
+        Alcotest.failf "%s: element %d differs bitwise: %h vs %h" msg i x
+          b.Mat.data.(i))
+    a.Mat.data
+
+(* --- matmul kernels --------------------------------------------------- *)
+
+(* Naive, blocked and blocked+parallel must agree bit-for-bit on every
+   shape, including degenerate ones (empty, single row/col) and shapes
+   that are not multiples of the register tile or the column tile. *)
+let matmul_shapes =
+  [ (0, 3, 4); (3, 0, 4); (3, 4, 0); (1, 1, 1); (1, 7, 129); (5, 1, 1);
+    (2, 4, 8); (7, 13, 121); (24, 24, 344); (9, 17, 240); (33, 5, 2) ]
+
+let test_matmul_bit_identity () =
+  let pool = Dpool.create ~force:true 2 in
+  Fun.protect ~finally:(fun () -> Dpool.shutdown pool) @@ fun () ->
+  let rng = Rng.create 31 in
+  List.iter
+    (fun (m, k, n) ->
+      let a = Mat.random_gaussian rng m k 1.0 in
+      let b = Mat.random_gaussian rng k n 1.0 in
+      let label = Printf.sprintf "%dx%dx%d" m k n in
+      let reference = Mat.matmul_naive a b in
+      bits_equal_mat (label ^ " blocked") reference (Mat.matmul a b);
+      bits_equal_mat (label ^ " parallel") reference (Mat.matmul ~pool a b);
+      let at = Mat.transpose a and bt = Mat.transpose b in
+      bits_equal_mat (label ^ " ta") reference (Mat.matmul_ta at b);
+      bits_equal_mat (label ^ " ta par") reference (Mat.matmul_ta ~pool at b);
+      bits_equal_mat (label ^ " tb") reference (Mat.matmul_tb a bt);
+      bits_equal_mat (label ^ " tb par") reference (Mat.matmul_tb ~pool a bt);
+      bits_equal_mat (label ^ " gemm tt") reference
+        (Mat.gemm ~pool ~ta:true ~tb:true at bt))
+    matmul_shapes
+
+(* The naive kernel skips zero left-hand entries, so a zero weight
+   annihilates even an infinite coefficient (instead of producing
+   0 * inf = NaN). The blocked kernels must preserve that. *)
+let test_matmul_zero_times_inf () =
+  let pool = Dpool.create ~force:true 2 in
+  Fun.protect ~finally:(fun () -> Dpool.shutdown pool) @@ fun () ->
+  let a = Mat.of_rows [| [| 1.0; 0.0; -2.0 |] |] in
+  let b =
+    Mat.of_rows [| [| 1.0; 2.0 |]; [| infinity; neg_infinity |]; [| 3.0; 4.0 |] |]
+  in
+  let reference = Mat.matmul_naive a b in
+  Helpers.check_true "reference is finite"
+    (Array.for_all Float.is_finite reference.Mat.data);
+  bits_equal_mat "0*inf blocked" reference (Mat.matmul a b);
+  bits_equal_mat "0*inf parallel" reference (Mat.matmul ~pool a b);
+  bits_equal_mat "0*inf ta" reference (Mat.matmul_ta (Mat.transpose a) b)
+
+(* --- Dpool ------------------------------------------------------------ *)
+
+let test_dpool_covers_each_chunk_once () =
+  let pool = Dpool.create ~force:true 3 in
+  Fun.protect ~finally:(fun () -> Dpool.shutdown pool) @@ fun () ->
+  let n = 101 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Dpool.run_chunks pool ~nchunks:n (fun c -> Atomic.incr hits.(c));
+  Array.iteri
+    (fun c a ->
+      if Atomic.get a <> 1 then
+        Alcotest.failf "chunk %d ran %d times" c (Atomic.get a))
+    hits;
+  (* run_ranges covers [0, n) exactly once with ragged tail. *)
+  let n = 97 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Dpool.run_ranges pool ~n ~chunk:8 (fun ~start ~stop ->
+      for i = start to stop - 1 do
+        Atomic.incr hits.(i)
+      done);
+  Array.iteri
+    (fun i a ->
+      if Atomic.get a <> 1 then
+        Alcotest.failf "index %d covered %d times" i (Atomic.get a))
+    hits
+
+exception Boom
+
+let test_dpool_exception_propagates () =
+  let pool = Dpool.create ~force:true 2 in
+  Fun.protect ~finally:(fun () -> Dpool.shutdown pool) @@ fun () ->
+  Alcotest.check_raises "chunk exception reaches the caller" Boom (fun () ->
+      Dpool.run_chunks pool ~nchunks:64 (fun c ->
+          if c = 17 then raise Boom));
+  (* The pool must stay usable after a failed job. *)
+  let total = Atomic.make 0 in
+  Dpool.run_chunks pool ~nchunks:10 (fun _ -> Atomic.incr total);
+  Helpers.check_true "pool alive after failure" (Atomic.get total = 10)
+
+let test_dpool_nested_call_is_serial () =
+  let pool = Dpool.create ~force:true 2 in
+  Fun.protect ~finally:(fun () -> Dpool.shutdown pool) @@ fun () ->
+  let inner_ran = Atomic.make 0 in
+  Dpool.run_chunks pool ~nchunks:4 (fun _ ->
+      (* Re-entrant dispatch from inside a chunk must degrade to serial
+         execution instead of deadlocking on the pool's job slot. *)
+      Dpool.run_chunks pool ~nchunks:3 (fun _ -> Atomic.incr inner_ran));
+  Helpers.check_true "nested chunks all ran" (Atomic.get inner_ran = 12)
+
+(* --- pooled abstract transformers vs serial --------------------------- *)
+
+let zonotope_fields_equal msg (a : Z.t) (b : Z.t) =
+  bits_equal_mat (msg ^ ": center") a.Z.center b.Z.center;
+  bits_equal_mat (msg ^ ": phi") a.Z.phi b.Z.phi;
+  bits_equal_mat (msg ^ ": eps") a.Z.eps b.Z.eps
+
+(* Dot.matmul_zz under a 2-domain pool must equal the serial run down to
+   the bit, including the fresh-symbol allocation order in the ctx. *)
+let test_matmul_zz_pool_matches_serial () =
+  let pool = Dpool.create ~force:true 2 in
+  Fun.protect ~finally:(fun () -> Dpool.shutdown pool) @@ fun () ->
+  let mk rng =
+    ( Helpers.random_zonotope ~vrows:6 ~vcols:5 ~ep:3 ~ee:7 rng,
+      Helpers.random_zonotope ~vrows:5 ~vcols:4 ~ep:3 ~ee:7 rng )
+  in
+  let run pool_opt =
+    let rng = Rng.create 0xd07 in
+    let a, b = mk rng in
+    let ctx = Z.ctx () in
+    ignore (Z.alloc_eps ctx 7);
+    Z.set_pool ctx pool_opt;
+    let out = Deept.Dot.matmul_zz ctx a b in
+    (out, Z.ctx_symbols ctx)
+  in
+  let serial, serial_syms = run None in
+  let pooled, pooled_syms = run (Some pool) in
+  Helpers.check_true "same symbol count" (serial_syms = pooled_syms);
+  zonotope_fields_equal "matmul_zz" serial pooled;
+  let run_mul pool_opt =
+    let rng = Rng.create 0xe1e in
+    let x = Helpers.random_zonotope ~vrows:9 ~vcols:11 ~ep:3 ~ee:5 rng in
+    let y = Helpers.random_zonotope ~vrows:9 ~vcols:11 ~ep:3 ~ee:5 rng in
+    let ctx = Z.ctx () in
+    ignore (Z.alloc_eps ctx 5);
+    Z.set_pool ctx pool_opt;
+    Deept.Dot.mul_zz ctx x y
+  in
+  zonotope_fields_equal "mul_zz" (run_mul None) (run_mul (Some pool))
+
+(* End-to-end determinism: a full certification with domains=4 must give
+   the exact margin of the serial run (the CI determinism gate). *)
+let test_certify_domains_deterministic () =
+  let program = Helpers.tiny_program ~layers:2 41 in
+  let rng = Rng.create 43 in
+  let x = Mat.random_gaussian rng 3 (Ir.out_dim program 0) 0.7 in
+  let pred = Nn.Forward.predict program x in
+  let region = Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius:0.02 in
+  let margin cfg = Deept.Certify.certify_margin cfg program region ~true_class:pred in
+  let m1 = margin Deept.Config.fast in
+  let m4 = margin (Deept.Config.with_domains 4 Deept.Config.fast) in
+  if Int64.bits_of_float m1 <> Int64.bits_of_float m4 then
+    Alcotest.failf "domains=1 margin %h <> domains=4 margin %h" m1 m4;
+  let p1 = margin Deept.Config.precise in
+  let p4 = margin (Deept.Config.with_domains 4 Deept.Config.precise) in
+  if Int64.bits_of_float p1 <> Int64.bits_of_float p4 then
+    Alcotest.failf "precise: domains=1 %h <> domains=4 %h" p1 p4
+
+(* --- partial top-k selection ------------------------------------------ *)
+
+(* Reference: the full sort the heap selection replaced. *)
+let top_k_sorted s k =
+  let w = Array.length s in
+  let order = Array.init w (fun j -> j) in
+  Array.sort
+    (fun a b -> match compare s.(b) s.(a) with 0 -> compare a b | c -> c)
+    order;
+  let keep = Array.sub order 0 (min k w) in
+  Array.sort compare keep;
+  keep
+
+let test_top_k_matches_sort () =
+  let rng = Rng.create 77 in
+  for trial = 1 to 300 do
+    let w = 1 + Rng.int rng 60 in
+    let k = Rng.int rng (w + 3) in
+    (* Draw from a small discrete set so ties are common — tie-breaking
+       towards the smaller index is the part a heap gets wrong easily. *)
+    let s = Array.init w (fun _ -> float_of_int (Rng.int rng 5)) in
+    let expected = top_k_sorted s k in
+    let got = Deept.Reduction.top_k_indices s k in
+    if expected <> got then
+      Alcotest.failf "trial %d (w=%d k=%d): heap selection differs from sort"
+        trial w k
+  done;
+  Helpers.check_true "k=0 empty" (Deept.Reduction.top_k_indices [| 1.0 |] 0 = [||]);
+  Helpers.check_true "k>=w identity"
+    (Deept.Reduction.top_k_indices [| 3.0; 1.0 |] 5 = [| 0; 1 |])
+
+(* decorrelate_min_k is deterministic and built on the selection above, so
+   equality of the keep set implies equality of the reduction; still check
+   the reduced bounds enclose the exact ones (soundness of the fold). *)
+let test_decorrelate_bounds_unchanged () =
+  let rng = Rng.create 91 in
+  let z = Helpers.random_zonotope ~vrows:4 ~vcols:6 ~ep:3 ~ee:40 rng in
+  let s = Deept.Reduction.scores z in
+  Helpers.check_true "keep set matches sorted reference"
+    (top_k_sorted s 8 = Deept.Reduction.top_k_indices s 8);
+  let reduce () =
+    let ctx = Z.ctx () in
+    ignore (Z.alloc_eps ctx 40);
+    Deept.Reduction.decorrelate_min_k ctx z 8
+  in
+  let r1 = reduce () and r2 = reduce () in
+  zonotope_fields_equal "decorrelate deterministic" r1 r2;
+  let exact = Z.bounds z and reduced = Z.bounds r1 in
+  for v = 0 to Z.num_vars z - 1 do
+    Helpers.check_true "reduced lo <= exact lo"
+      (reduced.Interval.Imat.lo.Mat.data.(v)
+       <= exact.Interval.Imat.lo.Mat.data.(v) +. 1e-12);
+    Helpers.check_true "reduced hi >= exact hi"
+      (reduced.Interval.Imat.hi.Mat.data.(v)
+       >= exact.Interval.Imat.hi.Mat.data.(v) -. 1e-12)
+  done
+
+(* --- cooperative deadline polls in the pooled transformers ------------ *)
+
+let expired ctx = Z.set_deadline ctx (Some (Unix.gettimeofday () -. 1.0))
+
+let test_softmax_preempted () =
+  let rng = Rng.create 12 in
+  let z = Helpers.random_zonotope ~vrows:4 ~vcols:4 ~ep:2 ~ee:3 ~scale:0.1 rng in
+  (* sanity: same op completes with no deadline armed *)
+  let ctx = Z.ctx () in
+  ignore (Z.alloc_eps ctx 3);
+  ignore (Deept.Softmax_t.apply ~form:Deept.Config.Stable ~refine:false ctx z);
+  let ctx = Z.ctx () in
+  ignore (Z.alloc_eps ctx 3);
+  expired ctx;
+  Alcotest.check_raises "softmax preempted mid-op"
+    (Deept.Verdict.Abort Deept.Verdict.Timeout) (fun () ->
+      ignore (Deept.Softmax_t.apply ~form:Deept.Config.Stable ~refine:false ctx z))
+
+let test_elementwise_preempted () =
+  let rng = Rng.create 13 in
+  let z = Helpers.random_zonotope ~vrows:5 ~vcols:5 ~ep:2 ~ee:3 rng in
+  let ctx = Z.ctx () in
+  ignore (Z.alloc_eps ctx 3);
+  ignore (Deept.Elementwise.relu ctx z);
+  let ctx = Z.ctx () in
+  ignore (Z.alloc_eps ctx 3);
+  expired ctx;
+  Alcotest.check_raises "elementwise preempted mid-op"
+    (Deept.Verdict.Abort Deept.Verdict.Timeout) (fun () ->
+      ignore (Deept.Elementwise.relu ctx z))
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "matmul",
+        [
+          Alcotest.test_case "bit identity all kernels" `Quick
+            test_matmul_bit_identity;
+          Alcotest.test_case "zero annihilates inf" `Quick
+            test_matmul_zero_times_inf;
+        ] );
+      ( "dpool",
+        [
+          Alcotest.test_case "each chunk exactly once" `Quick
+            test_dpool_covers_each_chunk_once;
+          Alcotest.test_case "exception propagates" `Quick
+            test_dpool_exception_propagates;
+          Alcotest.test_case "nested call serial" `Quick
+            test_dpool_nested_call_is_serial;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "matmul_zz pool = serial" `Quick
+            test_matmul_zz_pool_matches_serial;
+          Alcotest.test_case "certify domains 1 = 4" `Slow
+            test_certify_domains_deterministic;
+        ] );
+      ( "top-k",
+        [
+          Alcotest.test_case "heap matches sort" `Quick test_top_k_matches_sort;
+          Alcotest.test_case "decorrelate bounds" `Quick
+            test_decorrelate_bounds_unchanged;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "softmax preempted" `Quick test_softmax_preempted;
+          Alcotest.test_case "elementwise preempted" `Quick
+            test_elementwise_preempted;
+        ] );
+    ]
