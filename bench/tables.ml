@@ -78,7 +78,7 @@ let table3 scale =
       let seq_len =
         List.fold_left (fun acc e -> max acc (Array.length e.toks)) 2 examples
       in
-      let bytes = Linrelax.Lgraph.approx_bytes (Linrelax.Verify.graph_of program ~seq_len) in
+      let bytes = Linrelax.Verify.approx_bytes (Linrelax.Verify.graph_of program ~seq_len) in
       let crown_fits = bytes <= crown_memory_budget in
       List.iter
         (fun (p, pname) ->

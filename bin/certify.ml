@@ -75,6 +75,16 @@ let data_arg =
   let doc = "Model directory." in
   Arg.(value & opt string "data" & info [ "data" ] ~doc)
 
+let profile_arg =
+  let doc =
+    "Collect a per-op cost profile: prints a table (calls, wall time, \
+     domain size, bound width per op, then per-kind totals) and writes \
+     PROFILE_<model>.json in the working directory. One collector absorbs \
+     every propagation of the run, so a radius search profiles the whole \
+     binary search."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let domains_arg =
   let doc =
     "OCaml domains sharding the zonotope kernels inside each propagation. \
@@ -97,6 +107,24 @@ let apply_domains ~jobs domains cfg =
   Deept.Config.with_domains domains cfg
 
 let setup data = Zoo.data_dir := data
+
+(* --profile wiring: [wrap] installs the collector's sink on a DeepT
+   config, [trace] is the same sink for the CROWN verifiers, [report]
+   prints the table and writes PROFILE_<model>.json. All three are
+   no-ops when the flag is off. *)
+let profiler ~model enabled =
+  if not enabled then ((fun cfg -> cfg), None, fun () -> ())
+  else begin
+    let prof = Deept.Profile.create () in
+    let sink = Deept.Profile.sink prof in
+    ( Deept.Config.with_trace (Some sink),
+      Some sink,
+      fun () ->
+        Format.printf "%a@." Deept.Profile.pp prof;
+        let path = "PROFILE_" ^ model ^ ".json" in
+        Deept.Profile.save_json ~model path prof;
+        Printf.printf "profile written to %s\n" path )
+  end
 
 let load name =
   let entry = Zoo.entry name in
@@ -132,12 +160,13 @@ let show_cmd =
 
 (* --- t1 -------------------------------------------------------------- *)
 
-let certify_t1 data name index sentence word p radius verifier domains =
+let certify_t1 data name index sentence word p radius verifier domains profile =
   setup data;
   let entry, model = load name in
   let c, (toks, label) = pick_input entry model index sentence in
   let program = Nn.Model.to_ir model in
   let x = Nn.Model.embed_tokens model toks in
+  let wrap, trace, report = profiler ~model:name profile in
   Printf.printf "sentence: %s\nlabel: %s, perturbing word %d (%s) with l%s radius %g\n"
     (Text.Corpus.sentence c toks)
     (if label = 1 then "positive" else "negative")
@@ -152,13 +181,13 @@ let certify_t1 data name index sentence word p radius verifier domains =
       match verifier with
       | Deept_fast ->
           Deept.Certify.certify
-            (apply_domains ~jobs:1 domains Deept.Config.fast)
+            (wrap (apply_domains ~jobs:1 domains Deept.Config.fast))
             program
             (Deept.Region.lp_ball ~p x ~word ~radius)
             ~true_class:label
       | Deept_precise ->
           Deept.Certify.certify
-            (apply_domains ~jobs:1 domains Deept.Config.precise)
+            (wrap (apply_domains ~jobs:1 domains Deept.Config.precise))
             program
             (Deept.Region.lp_ball ~p x ~word ~radius)
             ~true_class:label
@@ -168,11 +197,12 @@ let certify_t1 data name index sentence word p radius verifier domains =
             if verifier = Crown_baf then Linrelax.Verify.Baf
             else Linrelax.Verify.Backward
           in
-          Linrelax.Verify.certify ~verifier:v g
+          Linrelax.Verify.certify ~verifier:v ?trace g
             (Linrelax.Verify.region_word_ball ~p x ~word ~radius)
             ~true_class:label
     in
-    Printf.printf "%s\n" (if ok then "CERTIFIED" else "not certified")
+    Printf.printf "%s\n" (if ok then "CERTIFIED" else "not certified");
+    report ()
   end
 
 let t1_cmd =
@@ -180,16 +210,18 @@ let t1_cmd =
     (Cmd.info "t1" ~doc:"Certify an lp-ball perturbation of one word.")
     Term.(
       const certify_t1 $ data_arg $ model_arg $ index_arg $ sentence_arg
-      $ word_arg $ norm_arg $ radius_arg $ verifier_arg $ domains_arg)
+      $ word_arg $ norm_arg $ radius_arg $ verifier_arg $ domains_arg
+      $ profile_arg)
 
 (* --- radius ----------------------------------------------------------- *)
 
-let radius_search data name index sentence word p verifier domains =
+let radius_search data name index sentence word p verifier domains profile =
   setup data;
   let entry, model = load name in
   let c, (toks, label) = pick_input entry model index sentence in
   let program = Nn.Model.to_ir model in
   let x = Nn.Model.embed_tokens model toks in
+  let wrap, trace, report = profiler ~model:name profile in
   let pred = Nn.Forward.predict program x in
   Printf.printf "sentence: %s\n" (Text.Corpus.sentence c toks);
   if pred <> label then Printf.printf "misclassified even without perturbation\n"
@@ -198,20 +230,21 @@ let radius_search data name index sentence word p verifier domains =
       match verifier with
       | Deept_fast ->
           Deept.Certify.certified_radius
-            (apply_domains ~jobs:1 domains Deept.Config.fast)
+            (wrap (apply_domains ~jobs:1 domains Deept.Config.fast))
             program ~p x ~word ~true_class:label ()
       | Deept_precise ->
           Deept.Certify.certified_radius
-            (apply_domains ~jobs:1 domains Deept.Config.precise)
+            (wrap (apply_domains ~jobs:1 domains Deept.Config.precise))
             program ~p x ~word ~true_class:label ()
       | Crown_baf ->
-          Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Baf program
-            ~p x ~word ~true_class:label ()
+          Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Baf ?trace
+            program ~p x ~word ~true_class:label ()
       | Crown_backward ->
           Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Backward
-            program ~p x ~word ~true_class:label ()
+            ?trace program ~p x ~word ~true_class:label ()
     in
-    Printf.printf "certified radius: %.6g\n" r
+    Printf.printf "certified radius: %.6g\n" r;
+    report ()
   end
 
 let radius_cmd =
@@ -219,7 +252,7 @@ let radius_cmd =
     (Cmd.info "radius" ~doc:"Binary-search the maximal certified radius.")
     Term.(
       const radius_search $ data_arg $ model_arg $ index_arg $ sentence_arg
-      $ word_arg $ norm_arg $ verifier_arg $ domains_arg)
+      $ word_arg $ norm_arg $ verifier_arg $ domains_arg $ profile_arg)
 
 (* --- t2 --------------------------------------------------------------- *)
 

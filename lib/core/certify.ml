@@ -20,22 +20,22 @@ let margin (out : Zonotope.t) ~true_class =
   done;
   !best
 
-let certify_margin cfg program region ~true_class =
+let certify_margin ?prefix cfg program region ~true_class =
   (* An Unbounded abstraction (overflowed exponential at an absurd radius)
      or an aborted propagation (budget, poison) simply cannot be
      certified. *)
-  match Propagate.run cfg program region with
+  match Propagate.run ?prefix cfg program region with
   | out ->
       let m = margin out ~true_class in
       if Float.is_nan m then neg_infinity else m
   | exception Zonotope.Unbounded -> neg_infinity
   | exception Verdict.Abort _ -> neg_infinity
 
-let certify cfg program region ~true_class =
-  certify_margin cfg program region ~true_class > 0.0
+let certify ?prefix cfg program region ~true_class =
+  certify_margin ?prefix cfg program region ~true_class > 0.0
 
-let certify_v cfg program region ~true_class =
-  match Propagate.run cfg program region with
+let certify_v ?prefix cfg program region ~true_class =
+  match Propagate.run ?prefix cfg program region with
   | out ->
       let m = margin out ~true_class in
       if Float.is_nan m then Verdict.Unknown Verdict.Numerical_fault

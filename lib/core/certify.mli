@@ -11,15 +11,21 @@ val margin : Zonotope.t -> true_class:int -> float
     value shape [1 x C]. *)
 
 val certify :
+  ?prefix:Zonotope.t array * int ->
   Config.t -> Ir.program -> Zonotope.t -> true_class:int -> bool
-(** Propagates the region and checks the margin. *)
+(** Propagates the region and checks the margin. [prefix] forwards a
+    shared affine prefix to {!Propagate.run} (see
+    {!Propagate.run_prefix}); {!Engine} uses it to avoid re-propagating
+    the patch embedding on every ladder rung. *)
 
 val certify_margin :
+  ?prefix:Zonotope.t array * int ->
   Config.t -> Ir.program -> Zonotope.t -> true_class:int -> float
 (** Like {!certify} but returns the margin itself ([neg_infinity] when
     the propagation aborted or collapsed). *)
 
 val certify_v :
+  ?prefix:Zonotope.t array * int ->
   Config.t -> Ir.program -> Zonotope.t -> true_class:int -> Verdict.t
 (** Typed variant of {!certify}: a clean propagation yields [Certified]
     or [Unknown Imprecise]; an aborted one ({!Verdict.Abort} from the

@@ -58,6 +58,7 @@ type t = {
   budget : budget;
   fault : fault_spec option;
   domains : int;
+  trace : Interp.sink option;
 }
 
 let default =
@@ -70,6 +71,7 @@ let default =
     budget = no_budget;
     fault = None;
     domains = 1;
+    trace = None;
   }
 
 let fast = default
@@ -87,6 +89,8 @@ let with_budget ?deadline ?max_eps cfg =
 let with_domains n cfg =
   if n < 1 || n > 128 then invalid_arg "Config.with_domains: need 1 <= n <= 128";
   { cfg with domains = n }
+
+let with_trace sink cfg = { cfg with trace = sink }
 
 let variant_name = function Fast -> "fast" | Precise -> "precise" | Combined -> "combined"
 

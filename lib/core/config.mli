@@ -117,6 +117,13 @@ type t = {
           propagation (default 1 = serial). Results are bit-identical
           for every value; see {!Tensor.Dpool}. Independent of
           {!pool}.workers, which forks whole processes across inputs. *)
+  trace : Interp.sink option;
+      (** per-op trace sink fed by the interpreter's event stream
+          (default [None] = silent). {!Profile} collectors and the
+          [DEEPT_TRACE] stderr dump are both sinks; the env var is now
+          only a compatibility shim that installs a stderr sink when no
+          explicit one is set. A sink is a closure: leave it [None] in
+          configs that cross the {!Supervisor} Marshal boundary. *)
 }
 
 val default : t
@@ -137,6 +144,9 @@ val with_budget : ?deadline:float -> ?max_eps:int -> t -> t
 val with_domains : int -> t -> t
 (** Sets {!t.domains}.
     @raise Invalid_argument unless [1 <= n <= 128]. *)
+
+val with_trace : Interp.sink option -> t -> t
+(** Sets {!t.trace}. *)
 
 val variant_name : dot_variant -> string
 val fault_action_name : fault_action -> string

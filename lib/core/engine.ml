@@ -66,9 +66,27 @@ let falsify ~samples program (region : Zonotope.t) ~true_class =
 
 (* Cheapest sound fallback: concretize the region to its interval hull and
    run IBP. Honors the same budget/fault discipline as the zonotope rungs
-   so the whole ladder can be driven to any Unknown reason in tests. *)
+   so the whole ladder can be driven to any Unknown reason in tests.
+
+   The interval walk runs on the shared interpreter with the deadline
+   armed, so since PR 4 this rung is cooperatively preemptible: a slow
+   interval propagation aborts mid-walk with Verdict.Abort Timeout
+   (caught by the ladder and recorded against the "interval" rung)
+   instead of only being noticed after the fact. The post-hoc timeout
+   check is kept for overruns inside the final ops. The poison scan
+   stays off — interval bounds routinely pass through infinities (e.g.
+   saturated exponentials) and still concretize to a usable margin, and
+   poisoned results are already mapped to Unknown below. *)
 let run_box ~fault ~(budget : Config.budget) program region ~true_class =
   let t0 = Unix.gettimeofday () in
+  let checks =
+    {
+      Interp.no_checks with
+      Interp.deadline =
+        Option.map (fun l -> t0 +. l) budget.Config.time_limit_s;
+      abort = Propagate.abort_of;
+    }
+  in
   (match fault with
   | Some { Config.action = Config.Stall s; _ } -> if s > 0.0 then Unix.sleepf s
   | _ -> ());
@@ -79,7 +97,7 @@ let run_box ~fault ~(budget : Config.budget) program region ~true_class =
       match Zonotope.bounds region with
       | exception Zonotope.Unbounded -> Verdict.Unknown Verdict.Numerical_fault
       | b -> (
-          match Interval.Ibp.margin program b ~true_class with
+          match Interval.Ibp.margin ~checks program b ~true_class with
           | exception Zonotope.Unbounded -> Verdict.Unknown Verdict.Unbounded
           | m ->
               let m =
@@ -101,14 +119,34 @@ let run_box ~fault ~(budget : Config.budget) program region ~true_class =
 
 (* ---------------- the ladder ---------------- *)
 
-let run_rung attempt_idx (base_cfg : Config.t) program region ~true_class = function
+let run_rung attempt_idx (base_cfg : Config.t) ?prefix program region ~true_class
+    = function
   | Abstract { cfg; _ } ->
       let cfg = { cfg with Config.fault = fault_for attempt_idx cfg.Config.fault } in
-      Certify.certify_v cfg program region ~true_class
+      Certify.certify_v ?prefix cfg program region ~true_class
   | Box ->
       run_box
         ~fault:(fault_for attempt_idx base_cfg.Config.fault)
         ~budget:base_cfg.Config.budget program region ~true_class
+
+(* The leading affine ops (ViT patch embedding: Linear + Positional) are
+   deterministic, config-independent exact maps — propagate them once and
+   let every Abstract rung resume from the shared values instead of
+   re-propagating from the program input. Skipped when a fault is
+   injected (the fault must fire on each rung, at its op, under that
+   rung's config) and abandoned on any prefix failure, in which case the
+   rungs fall back to full runs and abort individually exactly as they
+   did before the hoist. *)
+let shared_prefix (cfg : Config.t) program region =
+  match cfg.Config.fault with
+  | Some _ -> None
+  | None -> (
+      match Propagate.affine_prefix_len program with
+      | 0 -> None
+      | len -> (
+          match Propagate.run_prefix cfg program region ~len with
+          | vals -> Some (vals, len)
+          | exception _ -> None))
 
 let certify ?ladder ?(falsify_samples = 8) (cfg : Config.t) program region
     ~true_class =
@@ -119,12 +157,13 @@ let certify ?ladder ?(falsify_samples = 8) (cfg : Config.t) program region
     { verdict = Verdict.Falsified; rung_name = "concrete"; attempts = [ a ] }
   end
   else begin
+    let prefix = shared_prefix cfg program region in
     let attempts = ref [] in
     let rec go idx = function
       | [] -> assert false
       | rung :: rest ->
           let v =
-            match run_rung idx cfg program region ~true_class rung with
+            match run_rung idx cfg ?prefix program region ~true_class rung with
             | v -> v
             | exception Verdict.Abort r -> Verdict.Unknown r
             | exception Zonotope.Unbounded -> Verdict.Unknown Verdict.Unbounded

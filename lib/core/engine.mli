@@ -54,8 +54,11 @@ val certify :
   Config.t -> Ir.program -> Zonotope.t -> true_class:int -> outcome
 (** Walks the ladder (default {!default_ladder}). [falsify_samples]
     (default 8, 0 disables) bounds the concrete counterexample search;
-    sampling is deterministic. @raise Invalid_argument on an empty
-    explicit ladder. *)
+    sampling is deterministic. The program's leading affine ops (the
+    ViT patch embedding) are propagated once and shared across the
+    zonotope rungs ({!Propagate.run_prefix}) — bit-identical to
+    per-rung full runs, and disabled automatically under fault
+    injection. @raise Invalid_argument on an empty explicit ladder. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** ["certified@fast (ladder: precise=unknown(timeout) fast=certified)"] *)

@@ -1,0 +1,128 @@
+(* Per-op profile collector over the interpreter's trace stream.
+
+   A collector is just an Interp.sink that aggregates events by op
+   index; install it with Config.with_trace (zonotope runs) or via
+   Interp.checks directly (any other domain). One collector can absorb
+   many runs — a certified-radius search feeds every probe's events into
+   the same rows, so `calls` counts propagations per op and `wall_s`
+   their summed wall time, while `size`/`width` keep the last observed
+   value (the ε-count / bound-width evolution of the final probe). *)
+
+type row = {
+  op_index : int;
+  kind : string;
+  mutable calls : int;
+  mutable wall_s : float;
+  mutable size : int;
+  mutable width : float;
+}
+
+type t = { mutable rows : row option array }
+
+let create () = { rows = Array.make 0 None }
+
+let ensure t i =
+  let n = Array.length t.rows in
+  if i >= n then begin
+    let grown = Array.make (max (i + 1) (max 8 (2 * n))) None in
+    Array.blit t.rows 0 grown 0 n;
+    t.rows <- grown
+  end
+
+let sink t (e : Interp.event) =
+  ensure t e.Interp.op_index;
+  let r =
+    match t.rows.(e.Interp.op_index) with
+    | Some r -> r
+    | None ->
+        let r =
+          {
+            op_index = e.Interp.op_index;
+            kind = e.Interp.kind;
+            calls = 0;
+            wall_s = 0.0;
+            size = 0;
+            width = 0.0;
+          }
+        in
+        t.rows.(e.Interp.op_index) <- Some r;
+        r
+  in
+  r.calls <- r.calls + 1;
+  r.wall_s <- r.wall_s +. e.Interp.wall_s;
+  r.size <- e.Interp.size;
+  r.width <- e.Interp.width
+
+let rows t = Array.to_list t.rows |> List.filter_map Fun.id
+
+(* kind -> (calls, wall_s), insertion-ordered by first appearance. *)
+let by_kind t =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt tbl r.kind with
+      | Some (c, w) -> Hashtbl.replace tbl r.kind (c + r.calls, w +. r.wall_s)
+      | None ->
+          order := r.kind :: !order;
+          Hashtbl.add tbl r.kind (r.calls, r.wall_s))
+    (rows t);
+  List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order
+
+let total_wall t = List.fold_left (fun acc r -> acc +. r.wall_s) 0.0 (rows t)
+
+let pp ppf t =
+  let rs = rows t in
+  Format.fprintf ppf "@[<v>  op  kind              calls   wall(s)     size     width";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@,%4d  %-16s %6d  %8.4f %8d  %8.4g" r.op_index r.kind
+        r.calls r.wall_s r.size r.width)
+    rs;
+  Format.fprintf ppf "@,      %-16s %6d  %8.4f" "(total)"
+    (List.fold_left (fun acc r -> acc + r.calls) 0 rs)
+    (total_wall t);
+  List.iter
+    (fun (k, (c, w)) ->
+      Format.fprintf ppf "@,      %-16s %6d  %8.4f" k c w)
+    (by_kind t);
+  Format.fprintf ppf "@]"
+
+(* Hand-rolled JSON, same house style as the bench snapshots (the repo
+   intentionally has no JSON dependency). Floats use %.6g; non-finite
+   widths (collapsed bounds) are emitted as null. *)
+let json_float b x =
+  if Float.is_finite x then Buffer.add_string b (Printf.sprintf "%.6g" x)
+  else Buffer.add_string b "null"
+
+let to_json ?model t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  (match model with
+  | Some m -> Buffer.add_string b (Printf.sprintf "  \"model\": %S,\n" m)
+  | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf "  \"total_wall_s\": %.6g,\n  \"ops\": [\n" (total_wall t));
+  let rs = rows t in
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"op\":%d,\"kind\":%S,\"calls\":%d,\"wall_s\":%.6g,\"size\":%d,\"width\":"
+           r.op_index r.kind r.calls r.wall_s r.size);
+      json_float b r.width;
+      Buffer.add_string b (if i = List.length rs - 1 then "}\n" else "},\n"))
+    rs;
+  Buffer.add_string b "  ],\n  \"kinds\": [\n";
+  let ks = by_kind t in
+  List.iteri
+    (fun i (k, (c, w)) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"kind\":%S,\"calls\":%d,\"wall_s\":%.6g}%s\n" k c w
+           (if i = List.length ks - 1 then "" else ",")))
+    ks;
+  Buffer.add_string b "  ]\n}\n";
+  Buffer.contents b
+
+let save_json ?model path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_json ?model t))

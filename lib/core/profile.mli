@@ -1,0 +1,45 @@
+(** Per-op profiling over the interpreter's trace stream.
+
+    A collector aggregates {!Interp.event}s by op index: call count,
+    summed wall-clock time, and the last observed domain size (live ε
+    symbols for the zonotope) and bound width. Because one collector can
+    absorb many propagations, feeding a whole certified-radius search
+    into it yields the per-op cost profile of the entire query —
+    [certify --profile] prints the table and writes
+    [PROFILE_<model>.json]. *)
+
+type row = {
+  op_index : int;
+  kind : string;  (** {!Ir.kind_name} *)
+  mutable calls : int;  (** trace events seen for this op *)
+  mutable wall_s : float;  (** summed transformer wall time *)
+  mutable size : int;  (** last observed domain size (ε count) *)
+  mutable width : float;  (** last observed bound width; nan = collapsed *)
+}
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Interp.sink
+(** The sink to install ([Config.with_trace (Some (Profile.sink p))] or
+    [Interp.checks.trace]). *)
+
+val rows : t -> row list
+(** Aggregated rows in op order (ops never traced are absent). *)
+
+val by_kind : t -> (string * (int * float)) list
+(** [(kind, (calls, wall_s))] totals, ordered by first appearance. *)
+
+val total_wall : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Per-op table followed by per-kind totals. *)
+
+val to_json : ?model:string -> t -> string
+(** JSON document (hand-rolled, dependency-free): [model],
+    [total_wall_s], per-op [ops] array, per-kind [kinds] array.
+    Non-finite widths serialize as [null]. *)
+
+val save_json : ?model:string -> string -> t -> unit
+(** [save_json ?model path t] writes {!to_json} to [path]. *)

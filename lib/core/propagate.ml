@@ -49,89 +49,155 @@ let shared_pool n =
                Hashtbl.add pool_cache key p;
                p))
 
-let run_all (cfg : Config.t) (p : Ir.program) input =
-  if input.Zonotope.vcols <> p.input_dim then
-    invalid_arg "Propagate.run: input dim mismatch";
-  let t0 = Unix.gettimeofday () in
+let abort_of : Interp.abort -> exn = function
+  | Interp.Timeout -> Verdict.Abort Verdict.Timeout
+  | Interp.Size_budget -> Verdict.Abort Verdict.Symbol_budget
+  | Interp.Poison _ -> Verdict.Abort Verdict.Numerical_fault
+
+(* The Multi-norm Zonotope DOMAIN instance (Section 5). The shared
+   interpreter owns the per-op loop and checkpoints; the transformer
+   dispatch below is all that is zonotope-specific. *)
+module Domain = struct
+  type state = {
+    cfg : Config.t;
+    ctx : Zonotope.ctx;
+    pool : Tensor.Dpool.t option;
+    total_layers : int;
+    mutable layer : int;
+  }
+
+  type value = Zonotope.t
+
+  let name = "zonotope"
+
+  let transfer st ~op_index:_ (op : Ir.op) ~get ~set =
+    let { cfg; ctx; pool; total_layers; _ } = st in
+    try
+      match op with
+      | Ir.Linear { src; w; b } -> Zonotope.linear_map ?pool (get src) w b
+      | Ir.Relu src -> Elementwise.relu ctx (get src)
+      | Ir.Tanh src -> Elementwise.tanh_ ctx (get src)
+      | Ir.Add (a, b) -> Zonotope.add (get a) (get b)
+      | Ir.Center_norm { src; gamma; beta; divide_std } ->
+          if divide_std then Std_norm.apply ctx (get src) ~gamma ~beta
+          else Zonotope.center_rows (get src) ~gamma ~beta
+      | Ir.Self_attention { src; att } ->
+          (* Layer input: reduce noise symbols before the residual split
+             (Section 5.1), updating the stored value so the residual
+             Add sees the reduced zonotope too. *)
+          if cfg.Config.reduction_k > 0 then
+            set src (Reduction.decorrelate_min_k ctx (get src) cfg.Config.reduction_k);
+          let precise = use_precise cfg ~layer:st.layer ~total:total_layers in
+          st.layer <- st.layer + 1;
+          Attention_t.apply ~cfg ~precise ctx att (get src)
+      | Ir.Pool_first src -> Zonotope.pool_first (get src)
+      | Ir.Positional { src; pos } -> Zonotope.positional (get src) pos
+    with Zonotope.Unbounded -> raise (Verdict.Abort Verdict.Unbounded)
+
+  let widen _ ~op_index:_ z = z
+  let is_poisoned = poison_scan
+  let size st _ = Zonotope.ctx_symbols st.ctx
+
+  let width _ z =
+    match Zonotope.bounds z with
+    | b ->
+        Tensor.Mat.max_abs (Tensor.Mat.sub b.Interval.Imat.hi b.Interval.Imat.lo)
+    | exception Zonotope.Unbounded -> nan
+end
+
+module I = Interp.Make (Domain)
+
+(* DEEPT_TRACE compatibility shim: the old env var becomes a stderr sink
+   on the interpreter's trace stream, installed only when the config has
+   no explicit sink. Output format is unchanged (incl. the historical
+   "pool" abbreviation). *)
+let stderr_sink (e : Interp.event) =
+  Printf.eprintf "op %-3d %-16s width %.4g eps=%d\n%!" e.Interp.op_index
+    (match e.Interp.kind with "pool_first" -> "pool" | k -> k)
+    e.Interp.width e.Interp.size
+
+let trace_of (cfg : Config.t) =
+  match cfg.Config.trace with
+  | Some _ as s -> s
+  | None -> if Sys.getenv_opt "DEEPT_TRACE" <> None then Some stderr_sink else None
+
+let checks_of ~t0 (cfg : Config.t) : Zonotope.t Interp.checks =
   let budget = cfg.Config.budget in
+  {
+    Interp.deadline = Option.map (fun l -> t0 +. l) budget.Config.time_limit_s;
+    max_size = budget.Config.max_eps;
+    poison = true;
+    fault =
+      Option.map
+        (fun f ->
+          ( f.Config.fault_op,
+            fun out ->
+              try apply_fault f out
+              with Zonotope.Unbounded -> raise (Verdict.Abort Verdict.Unbounded) ))
+        cfg.Config.fault;
+    trace = trace_of cfg;
+    abort = abort_of;
+  }
+
+let state_of ~t0 (cfg : Config.t) (p : Ir.program) input =
   let ctx = Zonotope.ctx () in
   (* Arm the intra-op deadline: long transformers (the dot product) poll it
      inside their hot loops, so one giant op cannot blow past the budget
-     that the per-op checkpoints below only enforce between ops. *)
+     that the per-op checkpoints only enforce between ops. *)
   Zonotope.set_deadline ctx
-    (Option.map (fun l -> t0 +. l) budget.Config.time_limit_s);
+    (Option.map (fun l -> t0 +. l) cfg.Config.budget.Config.time_limit_s);
   (* Arm the domain pool the same way: transformers that can shard their
      hot loops pick it up from the ctx, with bit-identical results. *)
   let pool = shared_pool cfg.Config.domains in
   Zonotope.set_pool ctx pool;
   ignore (Zonotope.alloc_eps ctx (Zonotope.num_eps input));
-  let total_layers = Ir.depth_of_kind p "self_attention" in
-  let layer = ref 0 in
+  {
+    Domain.cfg;
+    ctx;
+    pool;
+    total_layers = Ir.depth_of_kind p "self_attention";
+    layer = 0;
+  }
+
+let affine_prefix_len (p : Ir.program) =
+  let n = Array.length p.Ir.ops in
+  let rec go i =
+    if i >= n then i
+    else
+      match p.Ir.ops.(i) with
+      | Ir.Linear _ | Ir.Add _ | Ir.Positional _ | Ir.Pool_first _
+      | Ir.Center_norm { divide_std = false; _ } ->
+          go (i + 1)
+      | Ir.Center_norm _ | Ir.Relu _ | Ir.Tanh _ | Ir.Self_attention _ -> i
+  in
+  go 0
+
+let check_input (p : Ir.program) input =
+  if input.Zonotope.vcols <> p.Ir.input_dim then
+    invalid_arg "Propagate.run: input dim mismatch"
+
+let run_prefix (cfg : Config.t) (p : Ir.program) input ~len =
+  check_input p input;
+  if len < 0 || len > affine_prefix_len p then
+    invalid_arg "Propagate.run_prefix: not an affine prefix";
+  let t0 = Unix.gettimeofday () in
+  let st = state_of ~t0 cfg p input in
   let vals = Array.make (Ir.num_values p) input in
-  Array.iteri
-    (fun i (op : Ir.op) ->
-      let out =
-        try
-          let out =
-            match op with
-            | Linear { src; w; b } -> Zonotope.linear_map ?pool vals.(src) w b
-            | Relu src -> Elementwise.relu ctx vals.(src)
-            | Tanh src -> Elementwise.tanh_ ctx vals.(src)
-            | Add (a, b) -> Zonotope.add vals.(a) vals.(b)
-            | Center_norm { src; gamma; beta; divide_std } ->
-                if divide_std then
-                  Std_norm.apply ctx vals.(src) ~gamma ~beta
-                else Zonotope.center_rows vals.(src) ~gamma ~beta
-            | Self_attention { src; att } ->
-                (* Layer input: reduce noise symbols before the residual split
-                   (Section 5.1), updating the stored value so the residual
-                   Add sees the reduced zonotope too. *)
-                if cfg.Config.reduction_k > 0 then
-                  vals.(src) <-
-                    Reduction.decorrelate_min_k ctx vals.(src) cfg.Config.reduction_k;
-                let precise = use_precise cfg ~layer:!layer ~total:total_layers in
-                incr layer;
-                Attention_t.apply ~cfg ~precise ctx att vals.(src)
-            | Pool_first src -> Zonotope.pool_first vals.(src)
-            | Positional { src; pos } -> Zonotope.positional vals.(src) pos
-          in
-          (match cfg.Config.fault with
-          | Some f when f.Config.fault_op = i -> apply_fault f out
-          | _ -> ());
-          out
-        with Zonotope.Unbounded -> raise (Verdict.Abort Verdict.Unbounded)
-      in
-      (if Sys.getenv_opt "DEEPT_TRACE" <> None then begin
-         let w =
-           try
-             let b = Zonotope.bounds out in
-             Tensor.Mat.max_abs
-               (Tensor.Mat.sub b.Interval.Imat.hi b.Interval.Imat.lo)
-           with Zonotope.Unbounded -> nan
-         in
-         Printf.eprintf "op %-3d %-16s width %.4g eps=%d\n%!" i
-           (match op with
-            | Linear _ -> "linear" | Relu _ -> "relu" | Tanh _ -> "tanh"
-            | Add _ -> "add" | Center_norm _ -> "center_norm"
-            | Self_attention _ -> "self_attention" | Pool_first _ -> "pool"
-            | Positional _ -> "positional")
-           w (Zonotope.num_eps out)
-       end);
-      (* Per-op checkpoints: abort with a typed exception instead of letting
-         poison or a blown budget propagate to the margin. *)
-      (match budget.Config.time_limit_s with
-      | Some limit when Unix.gettimeofday () -. t0 > limit ->
-          raise (Verdict.Abort Verdict.Timeout)
-      | _ -> ());
-      (match budget.Config.max_eps with
-      | Some cap when Zonotope.ctx_symbols ctx > cap ->
-          raise (Verdict.Abort Verdict.Symbol_budget)
-      | _ -> ());
-      (match poison_scan out with
-      | `Finite -> ()
-      | `Nan | `Inf -> raise (Verdict.Abort Verdict.Numerical_fault));
-      vals.(i + 1) <- out)
-    p.ops;
+  I.run_values ~checks:(checks_of ~t0 cfg) ~stop:len st p vals;
   vals
 
-let run cfg p input = (run_all cfg p input).(Ir.output_id p)
+let run_all ?prefix (cfg : Config.t) (p : Ir.program) input =
+  check_input p input;
+  let t0 = Unix.gettimeofday () in
+  let st = state_of ~t0 cfg p input in
+  let checks = checks_of ~t0 cfg in
+  match prefix with
+  | None -> I.run_all ~checks st p input
+  | Some (pvals, start) ->
+      (* The reduction step mutates the layer-input slot in place, so a
+         rung must work on its own copy of the shared prefix values. *)
+      let vals = Array.copy pvals in
+      I.run_values ~checks ~start st p vals;
+      vals
+
+let run ?prefix cfg p input = (run_all ?prefix cfg p input).(Ir.output_id p)

@@ -1,15 +1,24 @@
 (** Multi-norm Zonotope interpreter over {!Ir.program}s — the verifier's
     engine (Section 5).
 
-    Walks the program, maintaining one zonotope per IR value. Following
-    the paper, {!Reduction.decorrelate_min_k} runs on the input of every
+    Since PR 4 this is a {!Interp.DOMAIN} instance over the shared
+    interpreter loop: the module supplies only the zonotope transformer
+    per op; the per-op checkpoints (deadline / ε budget / poison scan),
+    fault injection and the trace stream live in {!Interp} and are
+    identical across all domains. Following the paper,
+    {!Reduction.decorrelate_min_k} runs on the input of every
     Transformer layer, just before the residual split around the
     self-attention (the only point where a single zonotope is alive, so
     symbol renumbering is safe). With [Config.variant = Combined], the
     precise dot product is used in the last Transformer layer only
     (Appendix A.6). *)
 
-val run : Config.t -> Ir.program -> Zonotope.t -> Zonotope.t
+val run :
+  ?prefix:Zonotope.t array * int ->
+  Config.t ->
+  Ir.program ->
+  Zonotope.t ->
+  Zonotope.t
 (** Output zonotope of the program on the given input region.
 
     After every op the interpreter runs a checkpoint and aborts with a
@@ -26,14 +35,57 @@ val run : Config.t -> Ir.program -> Zonotope.t -> Zonotope.t
     [cfg.fault] injects a deterministic fault after the named op (see
     {!Config.fault_spec}) — the test hook behind the degradation-ladder
     suite. With the default config (no budget, no fault) only the
-    poison/collapse checkpoints are active. *)
+    poison/collapse checkpoints are active.
 
-val run_all : Config.t -> Ir.program -> Zonotope.t -> Zonotope.t array
+    [prefix] is [(vals, start)] from {!run_prefix}: propagation resumes
+    at op [start] on a copy of [vals], skipping the shared affine
+    prefix. The result is bit-identical to a full run because affine
+    ops neither allocate symbols nor depend on {!Config.t}. *)
+
+val run_all :
+  ?prefix:Zonotope.t array * int ->
+  Config.t ->
+  Ir.program ->
+  Zonotope.t ->
+  Zonotope.t array
 (** All intermediate zonotopes (sharing one symbol context); index 0 is
     the input. Intended for inspection and tests — note that, unlike
     {!run}, values from different stages may have different ε widths.
 
-    Setting the environment variable [DEEPT_TRACE] makes the interpreter
-    print one line per op (kind, bound width, ε count) to stderr — the
-    first tool to reach for when certification of a deep network fails
-    unexpectedly. *)
+    Per-op tracing goes through [cfg.trace] (see {!Config.t} and
+    {!Profile}). Setting the environment variable [DEEPT_TRACE] is a
+    compatibility shim that installs a stderr sink (one line per op:
+    kind, bound width, live ε symbols) when no explicit sink is set —
+    still the first tool to reach for when certification of a deep
+    network fails unexpectedly. *)
+
+val run_prefix :
+  Config.t -> Ir.program -> Zonotope.t -> len:int -> Zonotope.t array
+(** Propagates only ops [0 .. len - 1] and returns the value array (the
+    remaining slots hold the input). [len] must not exceed
+    {!affine_prefix_len}: affine ops are config-independent and
+    symbol-free, so the result can be shared across ladder rungs via
+    [?prefix].
+    @raise Invalid_argument if [len] exceeds the affine prefix. *)
+
+val affine_prefix_len : Ir.program -> int
+(** Length of the leading run of ops whose zonotope transformers are
+    exact affine maps independent of {!Config.t}: [Linear], [Add],
+    [Positional], [Pool_first] and mean-only [Center_norm]. For the ViT
+    models this covers the patch embedding; for text models it is 0
+    (they start with self-attention). *)
+
+(** {1 Internals shared with {!Engine}} *)
+
+val use_precise : Config.t -> layer:int -> total:int -> bool
+val apply_fault : Config.fault_spec -> Zonotope.t -> unit
+val poison_scan : Zonotope.t -> [ `Finite | `Nan | `Inf ]
+
+val shared_pool : int -> Tensor.Dpool.t option
+(** The per-(pid, size) cached domain pool backing [Config.domains]. *)
+
+val abort_of : Interp.abort -> exn
+(** Maps interpreter checkpoint aborts to {!Verdict.Abort} — [Timeout],
+    [Symbol_budget] and [Numerical_fault] respectively. Shared by every
+    certification front-end that arms {!Interp.checks} (interval rung,
+    linear-relaxation baseline). *)

@@ -86,38 +86,71 @@ let center_norm ~gamma ~beta ~divide_std (x : Imat.t) =
   done;
   out
 
-let run_all (p : Ir.program) x =
+(* The interval walk is an instance of the shared interpreter: the
+   DOMAIN below supplies only the per-op transfer; deadlines, size
+   budgets, the poison scan and tracing come from Interp's checkpoint
+   loop (run_box arms the deadline so the ladder's interval rung is
+   cooperatively preemptible — PR 1 could only notice a timeout after
+   the fact). *)
+module Domain = struct
+  type state = unit
+  type value = Imat.t
+
+  let name = "interval"
+
+  let transfer () ~op_index:_ (op : Ir.op) ~get ~set:_ =
+    match op with
+    | Linear { src; w; b } -> Imat.add_row_const (Imat.matmul_const (get src) w) b
+    | Relu src -> Imat.map Itv.relu (get src)
+    | Tanh src -> Imat.map Itv.tanh_ (get src)
+    | Add (a, b) -> Imat.add (get a) (get b)
+    | Center_norm { src; gamma; beta; divide_std } ->
+        center_norm ~gamma ~beta ~divide_std (get src)
+    | Self_attention { src; att } -> attention att (get src)
+    | Pool_first src ->
+        let v = get src in
+        Imat.make (Mat.sub_rows v.Imat.lo 0 1) (Mat.sub_rows v.Imat.hi 0 1)
+    | Positional { src; pos } ->
+        let v = get src in
+        let add_pos m = Mat.mapi (fun i j e -> e +. Mat.get pos i j) m in
+        Imat.make (add_pos v.Imat.lo) (add_pos v.Imat.hi)
+
+  let widen () ~op_index:_ v = v
+
+  let is_poisoned (v : Imat.t) =
+    match (Mat.finite_class v.Imat.lo, Mat.finite_class v.Imat.hi) with
+    | `Nan, _ | _, `Nan -> `Nan
+    | `Inf, _ | _, `Inf -> `Inf
+    | `Finite, `Finite -> `Finite
+
+  let size () (v : Imat.t) =
+    let n, c = Imat.dims v in
+    n * c
+
+  let width () (v : Imat.t) =
+    let n, c = Imat.dims v in
+    let w = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to c - 1 do
+        let iv = Imat.get v i j in
+        let d = iv.Itv.hi -. iv.Itv.lo in
+        if Float.is_nan d || d > !w then w := d
+      done
+    done;
+    !w
+end
+
+module I = Interp.Make (Domain)
+
+let run_all ?checks (p : Ir.program) x =
   let _, c = Imat.dims x in
   if c <> p.input_dim then invalid_arg "Ibp.run: input dim mismatch";
-  let vals = Array.make (Ir.num_values p) x in
-  Array.iteri
-    (fun i (op : Ir.op) ->
-      let out =
-        match op with
-        | Linear { src; w; b } ->
-            Imat.add_row_const (Imat.matmul_const vals.(src) w) b
-        | Relu src -> Imat.map Itv.relu vals.(src)
-        | Tanh src -> Imat.map Itv.tanh_ vals.(src)
-        | Add (a, b) -> Imat.add vals.(a) vals.(b)
-        | Center_norm { src; gamma; beta; divide_std } ->
-            center_norm ~gamma ~beta ~divide_std vals.(src)
-        | Self_attention { src; att } -> attention att vals.(src)
-        | Pool_first src ->
-            let v = vals.(src) in
-            Imat.make (Mat.sub_rows v.Imat.lo 0 1) (Mat.sub_rows v.Imat.hi 0 1)
-        | Positional { src; pos } ->
-            let v = vals.(src) in
-            let add_pos m = Mat.mapi (fun i j e -> e +. Mat.get pos i j) m in
-            Imat.make (add_pos v.Imat.lo) (add_pos v.Imat.hi)
-      in
-      vals.(i + 1) <- out)
-    p.ops;
-  vals
+  I.run_all ?checks () p x
 
-let run p x = (run_all p x).(Ir.output_id p)
+let run ?checks p x = (run_all ?checks p x).(Ir.output_id p)
 
-let margin p region ~true_class =
-  let out = run p region in
+let margin ?checks p region ~true_class =
+  let out = run ?checks p region in
   let n, c = Imat.dims out in
   if n <> 1 then invalid_arg "Ibp.margin: output is not a single row";
   if true_class < 0 || true_class >= c then invalid_arg "Ibp.margin: bad class";
@@ -134,4 +167,4 @@ let margin p region ~true_class =
   done;
   !m
 
-let certify p region ~true_class = margin p region ~true_class > 0.0
+let certify ?checks p region ~true_class = margin ?checks p region ~true_class > 0.0

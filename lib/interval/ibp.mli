@@ -12,18 +12,25 @@ val attention : Ir.attention -> Imat.t -> Imat.t
     numerically favourable softmax form 1 / Σ exp(νj − νi) with the exact
     zero for the j = i term. *)
 
-val run : Ir.program -> Imat.t -> Imat.t
-(** Propagates an interval input through the program. *)
+val run : ?checks:Imat.t Interp.checks -> Ir.program -> Imat.t -> Imat.t
+(** Propagates an interval input through the program. The walk runs on
+    the shared {!Interp} loop: pass [checks] to arm a deadline, a size
+    budget (total interval entries of an op output), the NaN/Inf poison
+    scan or a trace sink. The checkpoint aborts raise whatever
+    [checks.abort] returns — the resilient engine supplies
+    [Verdict.Abort], making interval runs cooperatively preemptible. *)
 
-val run_all : Ir.program -> Imat.t -> Imat.t array
+val run_all : ?checks:Imat.t Interp.checks -> Ir.program -> Imat.t -> Imat.t array
 (** All intermediate bounds; index 0 is the input. *)
 
-val margin : Ir.program -> Imat.t -> true_class:int -> float
+val margin :
+  ?checks:Imat.t Interp.checks -> Ir.program -> Imat.t -> true_class:int -> float
 (** Lower bound of [min_{j ≠ t} (logit_t − logit_j)] on the region. NaN
     bounds propagate to a NaN margin (which never certifies) — this is
     the box rung of the resilient engine's degradation ladder, so it must
     fail loudly rather than certify on poisoned arithmetic. *)
 
-val certify : Ir.program -> Imat.t -> true_class:int -> bool
+val certify :
+  ?checks:Imat.t Interp.checks -> Ir.program -> Imat.t -> true_class:int -> bool
 (** [certify p region ~true_class] holds when {!margin} is positive, i.e.
     IBP proves local robustness on the region. *)

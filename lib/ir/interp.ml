@@ -1,0 +1,133 @@
+(* Generic abstract interpreter over Ir programs. See interp.mli for the
+   contract. The checkpoint order after each op is load-bearing and must
+   not change — it pins the observational behavior the certification
+   tests rely on:
+
+     transfer (+ fault injection) -> widen -> trace -> deadline
+       -> size budget -> poison scan -> store
+
+   In particular the trace event fires before any abort so a run that
+   dies at op i still reports op i, and the poison scan runs last so a
+   deadline hit on an already-poisoned value reports Timeout, exactly as
+   the pre-functor Propagate loop did. *)
+
+type finiteness = [ `Finite | `Nan | `Inf ]
+
+type event = {
+  op_index : int;
+  kind : string;
+  wall_s : float;
+  size : int;
+  width : float;
+}
+
+type sink = event -> unit
+
+type abort =
+  | Timeout
+  | Size_budget
+  | Poison of [ `Nan | `Inf ]
+
+type 'v checks = {
+  deadline : float option;
+  max_size : int option;
+  poison : bool;
+  fault : (int * ('v -> unit)) option;
+  trace : sink option;
+  abort : abort -> exn;
+}
+
+let no_checks =
+  {
+    deadline = None;
+    max_size = None;
+    poison = false;
+    fault = None;
+    trace = None;
+    abort = (fun _ -> Failure "Interp: checkpoint tripped without an abort handler");
+  }
+
+module type DOMAIN = sig
+  type state
+  type value
+
+  val name : string
+
+  val transfer :
+    state ->
+    op_index:int ->
+    Ir.op ->
+    get:(Ir.value_id -> value) ->
+    set:(Ir.value_id -> value -> unit) ->
+    value
+
+  val widen : state -> op_index:int -> value -> value
+  val is_poisoned : value -> finiteness
+  val size : state -> value -> int
+  val width : state -> value -> float
+end
+
+module Make (D : DOMAIN) = struct
+  let step checks st (p : Ir.program) (vals : D.value array) i =
+    let op = p.Ir.ops.(i) in
+    (* Timing only matters when someone is listening. *)
+    let t_op = match checks.trace with
+      | Some _ -> Unix.gettimeofday ()
+      | None -> 0.0
+    in
+    let out =
+      D.transfer st ~op_index:i op
+        ~get:(fun v -> vals.(v))
+        ~set:(fun v x -> vals.(v) <- x)
+    in
+    (match checks.fault with
+    | Some (at, action) when at = i -> action out
+    | _ -> ());
+    let out = D.widen st ~op_index:i out in
+    (match checks.trace with
+    | Some sink ->
+        sink
+          {
+            op_index = i;
+            kind = Ir.kind_name op;
+            wall_s = Unix.gettimeofday () -. t_op;
+            size = D.size st out;
+            width = D.width st out;
+          }
+    | None -> ());
+    (match checks.deadline with
+    | Some dl when Unix.gettimeofday () > dl -> raise (checks.abort Timeout)
+    | _ -> ());
+    (match checks.max_size with
+    | Some cap when D.size st out > cap -> raise (checks.abort Size_budget)
+    | _ -> ());
+    (if checks.poison then
+       match D.is_poisoned out with
+       | `Finite -> ()
+       | (`Nan | `Inf) as bad -> raise (checks.abort (Poison bad)));
+    vals.(i + 1) <- out
+
+  let run_values ?(checks = no_checks) ?(start = 0) ?stop st (p : Ir.program)
+      (vals : D.value array) =
+    let n = Array.length p.Ir.ops in
+    let stop = match stop with Some s -> s | None -> n in
+    if Array.length vals <> Ir.num_values p then
+      invalid_arg
+        (Printf.sprintf "Interp(%s).run_values: %d values for %d-op program"
+           D.name (Array.length vals) n);
+    if start < 0 || stop > n || start > stop then
+      invalid_arg
+        (Printf.sprintf "Interp(%s).run_values: bad op range [%d, %d) of %d"
+           D.name start stop n);
+    for i = start to stop - 1 do
+      step checks st p vals i
+    done
+
+  let run_all ?checks st (p : Ir.program) (input : D.value) =
+    let vals = Array.make (Ir.num_values p) input in
+    run_values ?checks st p vals;
+    vals
+
+  let run ?checks st (p : Ir.program) (input : D.value) =
+    (run_all ?checks st p input).(Ir.output_id p)
+end

@@ -65,9 +65,69 @@ let out_dim p v =
   if v < 0 || v >= num_values p then invalid_arg "Ir.out_dim";
   (dims_of p).(v)
 
+let kind_name = function
+  | Linear _ -> "linear"
+  | Relu _ -> "relu"
+  | Tanh _ -> "tanh"
+  | Add _ -> "add"
+  | Center_norm _ -> "center_norm"
+  | Self_attention _ -> "self_attention"
+  | Pool_first _ -> "pool_first"
+  | Positional _ -> "positional"
+
+(* First non-finite entry of an array, with its class. *)
+let nonfinite_at (a : float array) =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then None
+    else
+      let x = Array.unsafe_get a i in
+      if Float.is_nan x then Some (i, "nan")
+      else if x = infinity || x = neg_infinity then Some (i, "inf")
+      else go (i + 1)
+  in
+  go 0
+
 let validate p =
   let ( let* ) r f = Result.bind r f in
   let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  (* Weight finiteness: a corrupt model file must fail here, at load
+     time, with the op path — not deep inside a propagation as a
+     confusing Numerical_fault. *)
+  let finite_vec i op what (v : float array) =
+    match nonfinite_at v with
+    | None -> Ok ()
+    | Some (k, cls) ->
+        fail "op %d (%s): weight %s has %s at index %d" i (kind_name op) what
+          cls k
+  in
+  let finite_mat i op what (m : Mat.t) =
+    match nonfinite_at m.Mat.data with
+    | None -> Ok ()
+    | Some (k, cls) ->
+        fail "op %d (%s): weight %s has %s at (%d, %d)" i (kind_name op) what
+          cls (k / Mat.cols m) (k mod Mat.cols m)
+  in
+  let finite_op i op =
+    match op with
+    | Relu _ | Tanh _ | Add _ | Pool_first _ -> Ok ()
+    | Linear { w; b; _ } ->
+        let* () = finite_mat i op "w" w in
+        finite_vec i op "b" b
+    | Positional { pos; _ } -> finite_mat i op "pos" pos
+    | Center_norm { gamma; beta; _ } ->
+        let* () = finite_vec i op "gamma" gamma in
+        finite_vec i op "beta" beta
+    | Self_attention { att; _ } ->
+        let* () = finite_mat i op "wq" att.wq in
+        let* () = finite_vec i op "bq" att.bq in
+        let* () = finite_mat i op "wk" att.wk in
+        let* () = finite_vec i op "bk" att.bk in
+        let* () = finite_mat i op "wv" att.wv in
+        let* () = finite_vec i op "bv" att.bv in
+        let* () = finite_mat i op "wo" att.wo in
+        finite_vec i op "bo" att.bo
+  in
   let check_src i src =
     if src < 0 || src > i then fail "op %d reads future or invalid value %d" i src
     else Ok ()
@@ -138,6 +198,7 @@ let validate p =
             then fail "op %d: attention bias length mismatch" i
             else Ok ()
       in
+      let* () = finite_op i op in
       go (i + 1)
   in
   go 0
@@ -165,16 +226,6 @@ let num_params p =
       | Center_norm { gamma; beta; _ } -> Array.length gamma + Array.length beta
       | Self_attention { att; _ } -> attention_params att)
     0 p.ops
-
-let kind_name = function
-  | Linear _ -> "linear"
-  | Relu _ -> "relu"
-  | Tanh _ -> "tanh"
-  | Add _ -> "add"
-  | Center_norm _ -> "center_norm"
-  | Self_attention _ -> "self_attention"
-  | Pool_first _ -> "pool_first"
-  | Positional _ -> "positional"
 
 let depth_of_kind p kind =
   Array.fold_left (fun acc op -> if kind_name op = kind then acc + 1 else acc) 0 p.ops

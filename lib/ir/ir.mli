@@ -74,13 +74,20 @@ val out_dim : program -> value_id -> int
 val validate : program -> (unit, string) result
 (** Checks SSA well-formedness: every source id precedes its use, all
     weight shapes agree with the inferred value shapes, attention head
-    counts divide projection widths. *)
+    counts divide projection widths. Also rejects NaN/Inf weight
+    entries with a precise op-path message ("op 3 (self_attention):
+    weight wq has nan at (0, 2)") so a corrupt model file fails at load
+    time instead of surfacing as a mid-propagation [Numerical_fault]. *)
 
 val validate_exn : program -> unit
 (** Like {!validate} but raises [Invalid_argument] with the message. *)
 
 val num_params : program -> int
 (** Total number of scalar parameters. *)
+
+val kind_name : op -> string
+(** Constructor name of an op ("linear", "self_attention", ...), the
+    key used by {!depth_of_kind} and by {!Interp} trace events. *)
 
 val depth_of_kind : program -> string -> int
 (** [depth_of_kind p kind] counts ops whose constructor name matches

@@ -336,32 +336,46 @@ and build_rel st (node : Lgraph.node) =
         terms;
       Some (Rbilin { a; b; la; lb; lc; ua; ub; uc })
 
-let analyze ~mode (g : Lgraph.t) region =
+let init ~mode (g : Lgraph.t) region =
   if Array.length region.center <> g.Lgraph.sizes.(0)
      || Array.length region.scale <> g.Lgraph.sizes.(0)
   then invalid_arg "Engine.analyze: region size mismatch";
   let n = Array.length g.Lgraph.nodes in
-  let st =
-    {
-      g;
-      mode;
-      region;
-      rels = Array.make n None;
-      itv_lo = Array.make n [||];
-      itv_hi = Array.make n [||];
-      best = Array.make n None;
-    }
-  in
-  Array.iteri
-    (fun id node ->
-      (* Relaxation first (it may query bounds of earlier nodes), then the
-         forward interval of this node. *)
-      st.rels.(id) <- build_rel st node;
-      let lo, hi = clean_bounds (forward_interval st node) in
-      st.itv_lo.(id) <- lo;
-      st.itv_hi.(id) <- hi)
-    g.Lgraph.nodes;
+  {
+    g;
+    mode;
+    region;
+    rels = Array.make n None;
+    itv_lo = Array.make n [||];
+    itv_hi = Array.make n [||];
+    best = Array.make n None;
+  }
+
+let analyze_node st id =
+  let node = st.g.Lgraph.nodes.(id) in
+  (* Relaxation first (it may query bounds of earlier nodes), then the
+     forward interval of this node. *)
+  st.rels.(id) <- build_rel st node;
+  let lo, hi = clean_bounds (forward_interval st node) in
+  st.itv_lo.(id) <- lo;
+  st.itv_hi.(id) <- hi
+
+let analyze ~mode (g : Lgraph.t) region =
+  let st = init ~mode g region in
+  Array.iteri (fun id _ -> analyze_node st id) g.Lgraph.nodes;
   st
+
+let node_size st id = st.g.Lgraph.sizes.(id)
+
+let interval_width st id =
+  let lo, hi = known_bounds st id in
+  let w = ref 0.0 in
+  Array.iteri
+    (fun i l ->
+      let d = hi.(i) -. l in
+      if Float.is_nan d || d > !w then w := d)
+    lo;
+  !w
 
 let output_bounds st = node_bounds st st.g.Lgraph.output
 

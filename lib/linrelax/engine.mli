@@ -34,7 +34,26 @@ type t
 (** Analysis state for one graph and region. *)
 
 val analyze : mode:mode -> Lgraph.t -> region -> t
-(** Runs the relaxation pass over the whole graph. *)
+(** Runs the relaxation pass over the whole graph: {!init} followed by
+    {!analyze_node} on every node in id order. *)
+
+val init : mode:mode -> Lgraph.t -> region -> t
+(** Fresh analysis state with no node analyzed yet.
+    @raise Invalid_argument on a region size mismatch. *)
+
+val analyze_node : t -> int -> unit
+(** Builds node [id]'s relaxation and forward-interval bounds. Nodes
+    must be analyzed in increasing id order (a relaxation may demand
+    bounds of any earlier node); {!Verify} drives this incrementally
+    from the shared {!Interp} loop so the CROWN pass gets the same
+    deadline/budget checkpoints as every other domain. *)
+
+val node_size : t -> int -> int
+(** Variable count of a node ([Lgraph.sizes]). *)
+
+val interval_width : t -> int -> float
+(** Largest bound width among a node's variables (best known bounds);
+    nan when a variable's bounds are NaN. Trace/profiling hook. *)
 
 val node_bounds : t -> int -> float array * float array
 (** Concrete (lower, upper) bounds of a node's variables, computed per

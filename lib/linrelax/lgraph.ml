@@ -168,7 +168,9 @@ let std_norm b ~n ~src ~d gamma beta =
   let gc = Array.init (n * d) (fun v -> beta.(v mod d)) in
   push b (Linear { src = scaled; m = gm; c = gc }) (n * d)
 
-let of_ir (p : Ir.program) ~seq_len =
+type compiled = { graph : t; op_ranges : (int * int) array }
+
+let compile (p : Ir.program) ~seq_len =
   let n = seq_len in
   let b = new_builder () in
   let input = push b Input (n * p.input_dim) in
@@ -177,10 +179,15 @@ let of_ir (p : Ir.program) ~seq_len =
   let ids = Array.make (Ir.num_values p) 0 in
   let rows = Array.make (Ir.num_values p) n in
   rows.(0) <- n;
+  (* Node pushes for one Ir op are contiguous, so a [lo, hi) id range per
+     op is enough to drive the relaxation pass from the shared
+     interpreter (Verify's DOMAIN instance). *)
+  let op_ranges = Array.make (Array.length p.ops) (0, 0) in
   let dims v = Ir.out_dim p v in
   Array.iteri
     (fun i (op : Ir.op) ->
       let out = i + 1 in
+      let node_lo = b.count in
       (match op with
       | Linear { src; w; b = bias } ->
           let m, c = rowwise_linear ~n:rows.(src) ~din:(dims src) w bias in
@@ -223,13 +230,18 @@ let of_ir (p : Ir.program) ~seq_len =
           let c = Array.init size (fun v -> Mat.get pos (v / d) (v mod d)) in
           rows.(out) <- rows.(src);
           ids.(out) <- push b (Linear { src = ids.(src); m; c }) size);
-      ())
+      op_ranges.(i) <- (node_lo, b.count))
     p.ops;
-  {
-    nodes = Array.of_list (List.rev b.rev_nodes);
-    sizes = Array.of_list (List.rev b.rev_sizes);
-    output = ids.(Ir.output_id p);
-  }
+  let graph =
+    {
+      nodes = Array.of_list (List.rev b.rev_nodes);
+      sizes = Array.of_list (List.rev b.rev_sizes);
+      output = ids.(Ir.output_id p);
+    }
+  in
+  { graph; op_ranges }
+
+let of_ir (p : Ir.program) ~seq_len = (compile p ~seq_len).graph
 
 let eval g input =
   let vals = Array.make (Array.length g.nodes) [||] in

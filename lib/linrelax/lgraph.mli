@@ -32,10 +32,22 @@ type t = {
 
 val node_srcs : node -> int list
 
-val of_ir : Ir.program -> seq_len:int -> t
+type compiled = {
+  graph : t;
+  op_ranges : (int * int) array;
+      (** per-{!Ir.op} contiguous node-id range [lo, hi): the nodes the
+          op at that index expanded into. Drives the relaxation pass
+          from the shared {!Interp} loop (see {!Verify}). *)
+}
+
+val compile : Ir.program -> seq_len:int -> compiled
 (** Expands a program for a fixed sequence length (linear-bound matrices
     need static shapes, so CROWN runs per sentence length — as does the
-    original implementation, which builds per-input computation graphs). *)
+    original implementation, which builds per-input computation graphs),
+    recording which node-id range each Ir op expanded into. *)
+
+val of_ir : Ir.program -> seq_len:int -> t
+(** [compile] without the op ranges. *)
 
 val eval : t -> float array -> float array array
 (** Concrete reference evaluation of every node on a flat input (testing:

@@ -8,9 +8,25 @@ type verifier = Backward | Baf
 (** [Baf] stops backsubstitution after roughly one Transformer layer's
     worth of relaxations (configurable via [baf_steps]). *)
 
-val graph_of : Ir.program -> seq_len:int -> Lgraph.t
-(** Expansion cache helper (building the scalar graph is the expensive
-    setup step; reuse it across the radius search). *)
+type compiled = {
+  program : Ir.program;
+  seq_len : int;
+  lg : Lgraph.compiled;
+}
+(** A program expanded for one sequence length, with the per-Ir-op node
+    ranges that let the relaxation pass run on the shared {!Interp}
+    loop. Building it is the expensive setup step — reuse one value
+    across a radius search. *)
+
+val compile : Ir.program -> seq_len:int -> compiled
+
+val graph_of : Ir.program -> seq_len:int -> compiled
+(** Alias of {!compile} (historical name). *)
+
+val approx_bytes : compiled -> int
+(** {!Lgraph.approx_bytes} of the underlying graph. *)
+
+val pp_stats : Format.formatter -> compiled -> unit
 
 val region_word_ball :
   p:Deept.Lp.t -> Tensor.Mat.t -> word:int -> radius:float -> Engine.region
@@ -26,20 +42,37 @@ val region_synonym_box :
 (** Threat model T2, mirroring {!Deept.Region.synonym_box}. *)
 
 val margin :
-  verifier:verifier -> ?baf_steps:int -> Lgraph.t -> Engine.region ->
+  verifier:verifier -> ?baf_steps:int -> ?budget:Deept.Config.budget ->
+  ?trace:Interp.sink -> compiled -> Engine.region ->
   true_class:int -> float
 (** Lower bound of [min_{j≠t} (y_t − y_j)] (the functional is
-    backsubstituted as a whole, so common terms cancel). *)
+    backsubstituted as a whole, so common terms cancel).
+
+    The relaxation pass runs per Ir op on the shared {!Interp} loop;
+    [budget] arms its checkpoints with the same typed aborts as the
+    zonotope engine — [Verdict.Abort Timeout] past the wall-clock
+    deadline, [Verdict.Abort Symbol_budget] once the cumulative count of
+    relaxation scalars exceeds [max_eps] (the linrelax equivalent of the
+    live ε-symbol count). The deadline covers the relaxation pass (the
+    dominant cost including the lazily-forced node bounds), not the
+    final margin backsubstitution. [trace] streams per-op events
+    ({!Profile} works unchanged). *)
 
 val certify :
-  verifier:verifier -> ?baf_steps:int -> Lgraph.t -> Engine.region ->
+  verifier:verifier -> ?baf_steps:int -> ?budget:Deept.Config.budget ->
+  ?trace:Interp.sink -> compiled -> Engine.region ->
   true_class:int -> bool
 
 val certified_radius :
-  verifier:verifier -> ?baf_steps:int -> ?hi:float -> ?iters:int ->
+  verifier:verifier -> ?baf_steps:int -> ?budget:Deept.Config.budget ->
+  ?trace:Interp.sink -> ?hi:float -> ?iters:int ->
   Ir.program -> p:Deept.Lp.t -> Tensor.Mat.t -> word:int -> true_class:int ->
   unit -> float
 (** Binary search for the largest certified ℓp radius around one word,
-    mirroring {!Deept.Certify.certified_radius}. *)
+    mirroring {!Deept.Certify.certified_radius}. A probe aborted by
+    [budget] counts as not-certified ({!Deept.Certify.max_radius}'s
+    fault handling), so the search still terminates. [trace] is
+    installed on every probe, so one {!Profile} collector absorbs the
+    whole search. *)
 
 val default_baf_steps : int

@@ -50,28 +50,42 @@ let positional pos x =
     invalid_arg "Forward: sequence longer than positional table";
   Mat.mapi (fun i j v -> v +. Mat.get pos i j) x
 
-let run_all (p : Ir.program) x =
-  if Mat.cols x <> p.input_dim then invalid_arg "Forward.run: input dim mismatch";
-  let vals = Array.make (Ir.num_values p) x in
-  Array.iteri
-    (fun i (op : Ir.op) ->
-      let out =
-        match op with
-        | Linear { src; w; b } -> Mat.add_row_broadcast (Mat.matmul vals.(src) w) b
-        | Relu src -> Mat.map (fun v -> if v > 0.0 then v else 0.0) vals.(src)
-        | Tanh src -> Mat.map tanh vals.(src)
-        | Add (a, b) -> Mat.add vals.(a) vals.(b)
-        | Center_norm { src; gamma; beta; divide_std } ->
-            center_norm ~gamma ~beta ~divide_std vals.(src)
-        | Self_attention { src; att } -> attention att vals.(src)
-        | Pool_first src -> Mat.sub_rows vals.(src) 0 1
-        | Positional { src; pos } -> positional pos vals.(src)
-      in
-      vals.(i + 1) <- out)
-    p.ops;
-  vals
+(* Concrete execution is the trivial instance of the shared interpreter:
+   abstract value = float matrix. Checks default off, but a caller can
+   still install a trace sink (per-op wall time) or the poison scan. *)
+module Domain = struct
+  type state = unit
+  type value = Mat.t
 
-let run p x = (run_all p x).(Ir.output_id p)
+  let name = "concrete"
+
+  let transfer () ~op_index:_ (op : Ir.op) ~get ~set:_ =
+    match op with
+    | Linear { src; w; b } -> Mat.add_row_broadcast (Mat.matmul (get src) w) b
+    | Relu src -> Mat.map (fun v -> if v > 0.0 then v else 0.0) (get src)
+    | Tanh src -> Mat.map tanh (get src)
+    | Add (a, b) -> Mat.add (get a) (get b)
+    | Center_norm { src; gamma; beta; divide_std } ->
+        center_norm ~gamma ~beta ~divide_std (get src)
+    | Self_attention { src; att } -> attention att (get src)
+    | Pool_first src -> Mat.sub_rows (get src) 0 1
+    | Positional { src; pos } -> positional pos (get src)
+
+  let widen () ~op_index:_ v = v
+  let is_poisoned = Mat.finite_class
+  let size () m = Mat.rows m * Mat.cols m
+
+  (* A concrete value is a point: its bound width is zero. *)
+  let width () _ = 0.0
+end
+
+module I = Interp.Make (Domain)
+
+let run_all ?checks (p : Ir.program) x =
+  if Mat.cols x <> p.input_dim then invalid_arg "Forward.run: input dim mismatch";
+  I.run_all ?checks () p x
+
+let run ?checks p x = (run_all ?checks p x).(Ir.output_id p)
 
 let logits p x =
   let out = run p x in

@@ -7,11 +7,13 @@
 val attention : Ir.attention -> Tensor.Mat.t -> Tensor.Mat.t
 (** Multi-head self-attention on an [n x d] input (Eq. 1 of the paper). *)
 
-val run : Ir.program -> Tensor.Mat.t -> Tensor.Mat.t
+val run : ?checks:Tensor.Mat.t Interp.checks -> Ir.program -> Tensor.Mat.t -> Tensor.Mat.t
 (** [run p x] evaluates the program on input [x] ([n x input_dim]) and
-    returns the output value. *)
+    returns the output value. Runs on the shared {!Interp} loop;
+    [checks] (default: none) can install a trace sink or poison scan. *)
 
-val run_all : Ir.program -> Tensor.Mat.t -> Tensor.Mat.t array
+val run_all :
+  ?checks:Tensor.Mat.t Interp.checks -> Ir.program -> Tensor.Mat.t -> Tensor.Mat.t array
 (** Like {!run} but returns every intermediate value ([length] =
     [Ir.num_values p]); index 0 is the input. *)
 

@@ -93,14 +93,14 @@ let test_certify_zero_radius () =
   let rng = Rng.create 13 in
   let x = Mat.random_gaussian rng 3 (Ir.out_dim p 0) 0.7 in
   let pred = Nn.Forward.predict p x in
-  let g = Linrelax.Lgraph.of_ir p ~seq_len:3 in
+  let c = Linrelax.Verify.compile p ~seq_len:3 in
   let region = Linrelax.Verify.region_word_ball ~p:Lp.L2 x ~word:0 ~radius:0.0 in
   List.iter
     (fun v ->
       Helpers.check_true "certifies prediction"
-        (Linrelax.Verify.certify ~verifier:v g region ~true_class:pred);
+        (Linrelax.Verify.certify ~verifier:v c region ~true_class:pred);
       Helpers.check_true "refutes other"
-        (not (Linrelax.Verify.certify ~verifier:v g region ~true_class:(1 - pred))))
+        (not (Linrelax.Verify.certify ~verifier:v c region ~true_class:(1 - pred))))
     [ Linrelax.Verify.Backward; Linrelax.Verify.Baf ]
 
 let test_radius_positive_and_ordered () =
@@ -134,8 +134,9 @@ let test_margin_relational () =
   let lo, hi = Linrelax.Engine.output_bounds st in
   let naive = lo.(pred) -. hi.(1 - pred) in
   let relational =
-    Linrelax.Verify.margin ~verifier:Linrelax.Verify.Backward g region
-      ~true_class:pred
+    Linrelax.Verify.margin ~verifier:Linrelax.Verify.Backward
+      (Linrelax.Verify.compile p ~seq_len:3)
+      region ~true_class:pred
   in
   Helpers.check_true
     (Printf.sprintf "relational margin %.4g >= interval margin %.4g" relational naive)

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Hermetic kernel-benchmark regression gate for `dune build @ci`.
+#
+#   regress_gate.sh KERNELS_EXE CHECK_REGRESS_EXE BASELINE_JSON
+#
+# The committed BENCH_kernels.json is copied into a scratch directory as
+# the "previous" snapshot, kernels.exe re-measures on this machine
+# (rotating the copy to BENCH_kernels.prev.json), and check_regress.exe
+# fails the build if any kernel got more than 25% slower than the
+# committed baseline. Nothing outside the scratch directory is touched,
+# so the gate cannot dirty the repository's own snapshot rotation.
+set -eu
+
+kernels=$(realpath "$1")
+check=$(realpath "$2")
+baseline=$(realpath "$3")
+
+tmp=$(mktemp -d regress_gate.XXXXXX)
+trap 'rm -rf "$tmp"' EXIT
+
+cp "$baseline" "$tmp/BENCH_kernels.json"
+(cd "$tmp" && "$kernels" --json --out BENCH_kernels.json)
+"$check" --current "$tmp/BENCH_kernels.json"
