@@ -1,15 +1,26 @@
-(* Kernel-benchmark regression gate.
+(* Benchmark regression gate.
 
      dune exec bench/kernels.exe -- --json   # rotates the old json, writes new
      dune exec bench/check_regress.exe       # compares the two
 
-   Loads BENCH_kernels.json and the rotated BENCH_kernels.prev.json and
-   exits non-zero when any shape's blocked or blocked+parallel kernel got
-   more than 25% slower than the previous run. With no previous snapshot
-   (first run, fresh checkout) there is nothing to compare and the gate
-   passes trivially. *)
+   Loads a benchmark snapshot (BENCH_kernels.json or BENCH_radius.json)
+   and its rotated *.prev.json and exits non-zero when any row's timing
+   metric got more than 25% slower than the previous run. The metrics
+   compared are whichever of the known timing keys each row carries
+   (blocked_ns / parallel_ns for the kernel bench, wall_s for the radius
+   bench), so one gate binary covers every snapshot format. With no
+   previous snapshot (first run, fresh checkout) there is nothing to
+   compare and the gate passes trivially. *)
 
-let tolerance = 0.25
+(* Default for the kernel bench, whose single-process timings are
+   stable. Gates over fork-based benchmarks (the radius search) pass a
+   wider --tolerance: on a machine with fewer cores than probes the
+   forked workers time-share, and their wall-clock swings far more
+   between runs than any in-process kernel. *)
+let tolerance = ref 0.25
+
+(* Timing fields compared when present; lower is better for all. *)
+let metrics = [ "blocked_ns"; "parallel_ns"; "wall_s" ]
 
 (* The benchmark writes one flat object per line; pull a field out of a
    line without a general JSON parser (the repo intentionally has none). *)
@@ -45,18 +56,23 @@ let str_field line key =
       | None -> None
       | Some stop -> Some (String.sub line start (stop - start)))
 
-(* name -> (blocked_ns, parallel_ns) *)
+(* name -> (metric, value) list, for the known metrics the row carries *)
 let load path =
   let ic = open_in path in
   let rows = ref [] in
   (try
      while true do
        let line = input_line ic in
-       match (str_field line "name", num_field line "blocked_ns",
-              num_field line "parallel_ns")
-       with
-       | Some name, Some b, Some p -> rows := (name, (b, p)) :: !rows
-       | _ -> () (* the enclosing "[" / "]" lines *)
+       match str_field line "name" with
+       | None -> () (* the enclosing "[" / "]" lines *)
+       | Some name ->
+           let vals =
+             List.filter_map
+               (fun m ->
+                 Option.map (fun v -> (m, v)) (num_field line m))
+               metrics
+           in
+           if vals <> [] then rows := (name, vals) :: !rows
      done
    with End_of_file -> ());
   close_in ic;
@@ -65,9 +81,14 @@ let load path =
 let () =
   let cur_path = ref "BENCH_kernels.json" in
   Arg.parse
-    [ ("--current", Arg.Set_string cur_path, "PATH  current snapshot") ]
+    [
+      ("--current", Arg.Set_string cur_path, "PATH  current snapshot");
+      ( "--tolerance",
+        Arg.Set_float tolerance,
+        "FRAC  allowed slowdown fraction (default 0.25)" );
+    ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "check_regress [--current PATH]";
+    "check_regress [--current PATH] [--tolerance FRAC]";
   let prev_path = Filename.remove_extension !cur_path ^ ".prev.json" in
   if not (Sys.file_exists !cur_path) then begin
     Printf.eprintf
@@ -84,28 +105,32 @@ let () =
   let failures = ref 0 in
   let compared = ref 0 in
   List.iter
-    (fun (name, (pb, pp)) ->
+    (fun (name, pvals) ->
       match List.assoc_opt name cur with
       | None -> Printf.printf "  %-26s dropped from current run\n" name
-      | Some (cb, cp) ->
-          incr compared;
-          let check what prev_ns cur_ns =
-            let ratio = cur_ns /. prev_ns in
-            let flag = ratio > 1.0 +. tolerance in
-            if flag then incr failures;
-            Printf.printf "  %-26s %-9s %10.0f -> %10.0f ns  (%+.1f%%)%s\n" name
-              what prev_ns cur_ns
-              ((ratio -. 1.0) *. 100.0)
-              (if flag then "  REGRESSION" else "")
-          in
-          check "blocked" pb cb;
-          check "block+par" pp cp)
+      | Some cvals ->
+          List.iter
+            (fun (metric, pv) ->
+              match List.assoc_opt metric cvals with
+              | None ->
+                  Printf.printf "  %-26s %-11s dropped from current run\n" name
+                    metric
+              | Some cv ->
+                  incr compared;
+                  let ratio = cv /. pv in
+                  let flag = ratio > 1.0 +. !tolerance in
+                  if flag then incr failures;
+                  Printf.printf "  %-26s %-11s %12g -> %12g  (%+.1f%%)%s\n"
+                    name metric pv cv
+                    ((ratio -. 1.0) *. 100.0)
+                    (if flag then "  REGRESSION" else ""))
+            pvals)
     prev;
   if !compared = 0 then
-    Printf.printf "check_regress: no common shapes between snapshots\n"
+    Printf.printf "check_regress: no common rows between snapshots\n"
   else if !failures > 0 then begin
-    Printf.printf "%d kernel timing(s) regressed by more than %.0f%%\n" !failures
-      (tolerance *. 100.0);
+    Printf.printf "%d timing(s) regressed by more than %.0f%%\n" !failures
+      (!tolerance *. 100.0);
     exit 1
   end
-  else Printf.printf "no kernel regressed by more than %.0f%%\n" (tolerance *. 100.0)
+  else Printf.printf "no timing regressed by more than %.0f%%\n" (!tolerance *. 100.0)

@@ -94,17 +94,30 @@ let domains_arg =
   Arg.(value & opt int 1 & info [ "domains"; "d" ] ~doc)
 
 (* Domain parallelism composes multiplicatively with the forked worker
-   pool of `batch`: each of the [jobs] processes spawns its own
-   [domains]-sized pool. Warn when that oversubscribes the machine —
-   it only slows things down. *)
-let apply_domains ~jobs domains cfg =
+   pool of `batch` and with the forked probe processes of the radius
+   search: each of the [jobs] processes runs [probes] concurrent probes,
+   and every probe spawns its own [domains]-sized pool. Warn when that
+   oversubscribes the machine — it only slows things down. *)
+let apply_domains ~jobs ?(probes = 1) domains cfg =
   let avail = Domain.recommended_domain_count () in
-  if jobs * domains > avail then
+  if jobs * probes * domains > avail then
     Printf.eprintf
-      "certify: warning: %d job(s) x %d domain(s) oversubscribes the %d \
-       recommended domain(s) on this machine\n%!"
-      jobs domains avail;
+      "certify: warning: %d job(s) x %d probe(s) x %d domain(s) \
+       oversubscribes the %d recommended domain(s) on this machine\n%!"
+      jobs probes domains avail;
   Deept.Config.with_domains domains cfg
+
+let probes_arg =
+  let doc =
+    "Concurrent radius-search probes per refinement round. 1 (the \
+     default) is the sequential bisection, bit-identical to prior \
+     releases; N > 1 forks N probe processes per round and splits the \
+     bracket N+1 ways, reaching bisection precision in exponentially \
+     fewer rounds. Radii from N > 1 may differ from the sequential ones \
+     only by probing different grids — every reported radius still comes \
+     from a propagation that certified."
+  in
+  Arg.(value & opt int 1 & info [ "probes" ] ~doc)
 
 let setup data = Zoo.data_dir := data
 
@@ -215,7 +228,8 @@ let t1_cmd =
 
 (* --- radius ----------------------------------------------------------- *)
 
-let radius_search data name index sentence word p verifier domains profile =
+let radius_search data name index sentence word p verifier domains probes
+    profile =
   setup data;
   let entry, model = load name in
   let c, (toks, label) = pick_input entry model index sentence in
@@ -226,33 +240,60 @@ let radius_search data name index sentence word p verifier domains profile =
   Printf.printf "sentence: %s\n" (Text.Corpus.sentence c toks);
   if pred <> label then Printf.printf "misclassified even without perturbation\n"
   else begin
-    let r =
+    let search = Deept.Config.search ~probes () in
+    let deept_cfg base =
+      Deept.Config.with_search search
+        (wrap (apply_domains ~jobs:1 ~probes domains base))
+    in
+    (* Multi-probe searches go through the reporting API so the probe
+       budget and final bracket can be shown; the headline line is the
+       same either way. *)
+    let deept base =
+      if probes <= 1 then
+        ( Deept.Certify.certified_radius (deept_cfg base) program ~p x ~word
+            ~true_class:label (),
+          None )
+      else
+        let r =
+          Deept.Certify.certified_radius_v (deept_cfg base) program ~p x ~word
+            ~true_class:label ()
+        in
+        (r.Deept.Certify.radius, Some r)
+    in
+    let r, rep =
       match verifier with
-      | Deept_fast ->
-          Deept.Certify.certified_radius
-            (wrap (apply_domains ~jobs:1 domains Deept.Config.fast))
-            program ~p x ~word ~true_class:label ()
-      | Deept_precise ->
-          Deept.Certify.certified_radius
-            (wrap (apply_domains ~jobs:1 domains Deept.Config.precise))
-            program ~p x ~word ~true_class:label ()
+      | Deept_fast -> deept Deept.Config.fast
+      | Deept_precise -> deept Deept.Config.precise
       | Crown_baf ->
-          Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Baf ?trace
-            program ~p x ~word ~true_class:label ()
+          ( Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Baf
+              ?trace ~search program ~p x ~word ~true_class:label (),
+            None )
       | Crown_backward ->
-          Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Backward
-            ?trace program ~p x ~word ~true_class:label ()
+          ( Linrelax.Verify.certified_radius ~verifier:Linrelax.Verify.Backward
+              ?trace ~search program ~p x ~word ~true_class:label (),
+            None )
     in
     Printf.printf "certified radius: %.6g\n" r;
+    (match rep with
+    | Some rep ->
+        let good, bad = rep.Deept.Certify.bracket in
+        Printf.printf
+          "search: %d probes/round, %d bracket + %d refine probes in %d \
+           round(s), final bracket [%.6g, %s)\n"
+          probes rep.Deept.Certify.bracket_probes
+          rep.Deept.Certify.bisect_probes rep.Deept.Certify.rounds good
+          (if bad = infinity then "inf" else Printf.sprintf "%.6g" bad)
+    | None -> ());
     report ()
   end
 
 let radius_cmd =
   Cmd.v
-    (Cmd.info "radius" ~doc:"Binary-search the maximal certified radius.")
+    (Cmd.info "radius" ~doc:"Bracket-search the maximal certified radius.")
     Term.(
       const radius_search $ data_arg $ model_arg $ index_arg $ sentence_arg
-      $ word_arg $ norm_arg $ verifier_arg $ domains_arg $ profile_arg)
+      $ word_arg $ norm_arg $ verifier_arg $ domains_arg $ probes_arg
+      $ profile_arg)
 
 (* --- t2 --------------------------------------------------------------- *)
 
@@ -414,7 +455,7 @@ let crash_sentence_arg =
 
 let batch data name count word p radius verifier deadline budget fault
     fault_rungs jobs journal_path resume_path max_retries grace hard_deadline
-    mem_limit fault_sentence crash_sentence domains =
+    mem_limit fault_sentence crash_sentence domains probes =
   setup data;
   let entry, model = load name in
   let c = Zoo.corpus_of entry.Zoo.corpus in
@@ -431,8 +472,10 @@ let batch data name count word p radius verifier deadline budget fault
   in
   let cfg =
     let cfg =
-      apply_domains ~jobs domains
-        (Deept.Config.with_budget ?deadline ?max_eps:budget base)
+      Deept.Config.with_search
+        (Deept.Config.search ~probes ())
+        (apply_domains ~jobs ~probes domains
+           (Deept.Config.with_budget ?deadline ?max_eps:budget base))
     in
     match fault with
     | None -> cfg
@@ -604,7 +647,7 @@ let batch_cmd =
       $ radius_arg $ verifier_arg $ deadline_arg $ budget_arg $ fault_arg
       $ fault_rungs_arg $ jobs_arg $ journal_arg $ resume_arg
       $ max_retries_arg $ grace_arg $ hard_deadline_arg $ mem_limit_arg
-      $ fault_sentence_arg $ crash_sentence_arg $ domains_arg)
+      $ fault_sentence_arg $ crash_sentence_arg $ domains_arg $ probes_arg)
 
 let () =
   let info = Cmd.info "certify" ~doc:"DeepT robustness certification CLI." in

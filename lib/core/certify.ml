@@ -45,71 +45,133 @@ let certify_v ?prefix cfg program region ~true_class =
   | exception Zonotope.Unbounded -> Verdict.Unknown Verdict.Unbounded
   | exception Verdict.Abort r -> Verdict.Unknown r
 
-let max_radius ?(lo = 0.0) ?(hi = 0.5) ?(iters = 10) certifies =
+(* ---------------- radius search ---------------- *)
+
+let executor_of (s : Config.search) =
+  if s.Config.probes <= 1 then Psearch.Sequential else Psearch.Grid s.Config.probes
+
+let runner_of (s : Config.search) =
+  match s.Config.probe_backend with
+  | Config.Serial_probes -> Psearch.serial_runner
+  | Config.Fork_probes -> Psearch.fork_runner
+  | Config.Domain_probes -> (
+      match Propagate.shared_pool s.Config.probes with
+      | Some dp -> Psearch.dpool_runner dp
+      | None -> Psearch.serial_runner)
+
+(* Validation kept here (with the historical messages) rather than in
+   Psearch so hardening tests keep pinning the same errors. *)
+let run_search ?(lo = 0.0) ?(hi = 0.5) ~iters ~(search : Config.search) probe =
   if hi <= lo then invalid_arg "Certify.max_radius: hi <= lo";
   if not (Float.is_finite hi && Float.is_finite lo) then
     invalid_arg "Certify.max_radius: bracket must be finite";
+  Psearch.search ~lo ~hi ~iters ?rounds:search.Config.rounds
+    ~exec:(executor_of search) ~runner:(runner_of search) probe
+
+let max_radius ?lo ?hi ?(iters = 10) ?(search = Config.default_search) certifies
+    =
   (* A probe that faults — typed abort or collapsed abstraction — counts as
      "bad": it may shrink the bracket but can never certify, so the search
      always terminates and only ever returns a radius that certified. *)
-  let probe r =
-    match certifies r with
-    | ok -> ok
-    | exception Verdict.Abort _ -> false
-    | exception Zonotope.Unbounded -> false
-  in
-  (* Establish a bracket [good, bad]. *)
-  let good = ref lo and bad = ref infinity in
-  let r = ref hi in
-  (try
-     for _ = 0 to 3 do
-       if probe !r then begin
-         good := !r;
-         r := !r *. 2.0
-       end
-       else begin
-         bad := !r;
-         raise Exit
-       end
-     done
-   with Exit -> ());
-  if !bad = infinity then !good
-  else begin
-    for _ = 1 to iters do
-      let mid = 0.5 *. (!good +. !bad) in
-      if probe mid then good := mid else bad := mid
-    done;
-    !good
-  end
+  (run_search ?lo ?hi ~iters ~search (Psearch.probe_of certifies)).Psearch.radius
+
+(* Probe amortization: the leading affine prefix (ViT patch embedding) is
+   an exact linear map, so a unit-radius input region propagated once
+   yields, for every probe radius r, the prefix output by rescaling the
+   generator coefficient matrices by r — the center is radius-independent
+   and stays physically shared (Zonotope.scale_coeffs). Engaged only for
+   multi-probe searches: float rescaling is within tolerance of, but not
+   bit-identical to, re-propagation, and the probes = 1 radii are pinned
+   bit-for-bit in the test suite. Disabled under fault injection (the
+   fault must fire inside every probe, and Inject_nan/Inject_inf mutate
+   the op output in place — unsafe on a shared center) and by the
+   DEEPT_NO_PREFIX_SHARE escape hatch. *)
+let search_prefix (cfg : Config.t) program ~p x ~word =
+  let s = cfg.Config.search in
+  if
+    s.Config.probes <= 1
+    || (not s.Config.share_prefix)
+    || Sys.getenv_opt "DEEPT_NO_PREFIX_SHARE" <> None
+    || cfg.Config.fault <> None
+  then None
+  else
+    match Propagate.affine_prefix_len program with
+    | 0 -> None
+    | len -> (
+        match
+          Propagate.run_prefix cfg program
+            (Region.lp_ball ~p x ~word ~radius:1.0)
+            ~len
+        with
+        | vals -> Some (vals, len)
+        | exception _ -> None)
+
+(* Rescale a shared prefix value array to probe radius [r]. Slots beyond
+   the prefix all alias the input zonotope, so scaled values are memoized
+   by physical equality to keep the aliasing (and the work) O(prefix). *)
+let scale_vals r vals =
+  let memo = ref [] in
+  Array.map
+    (fun z ->
+      match List.assq_opt z !memo with
+      | Some z' -> z'
+      | None ->
+          let z' = Zonotope.scale_coeffs r z in
+          memo := (z, z') :: !memo;
+          z')
+    vals
 
 let certified_radius cfg program ~p x ~word ~true_class ?hi ?(iters = 10) () =
-  max_radius ?hi ~iters (fun radius ->
-      radius > 0.0
-      && certify cfg program (Region.lp_ball ~p x ~word ~radius) ~true_class)
+  let search = cfg.Config.search in
+  let shared = search_prefix cfg program ~p x ~word in
+  let certifies radius =
+    radius > 0.0
+    &&
+    let prefix =
+      Option.map (fun (vals, len) -> (scale_vals radius vals, len)) shared
+    in
+    certify ?prefix cfg program (Region.lp_ball ~p x ~word ~radius) ~true_class
+  in
+  max_radius ?hi ~iters ~search certifies
 
 type radius_report = {
   radius : float;
-  probes : int;
+  bracket : float * float;
+  bracket_probes : int;
+  bisect_probes : int;
+  rounds : int;
   faulted_probes : (float * Verdict.unknown_reason) list;
 }
 
-let certified_radius_v cfg program ~p x ~word ~true_class ?hi ?(iters = 10) () =
-  let probes = ref 0 and faulted = ref [] in
-  let certifies radius =
-    incr probes;
-    radius > 0.0
-    &&
-    match
-      certify_v cfg program (Region.lp_ball ~p x ~word ~radius) ~true_class
-    with
-    | Verdict.Certified -> true
-    | Verdict.Falsified | Verdict.Unknown Verdict.Imprecise -> false
-    | Verdict.Unknown r ->
-        faulted := (radius, r) :: !faulted;
-        false
+let certified_radius_v cfg program ~p x ~word ~true_class ?hi ?(iters = 10) ()
+    =
+  let search = cfg.Config.search in
+  let shared = search_prefix cfg program ~p x ~word in
+  let probe radius =
+    if radius <= 0.0 then Psearch.Bad
+    else begin
+      let prefix =
+        Option.map (fun (vals, len) -> (scale_vals radius vals, len)) shared
+      in
+      match
+        certify_v ?prefix cfg program
+          (Region.lp_ball ~p x ~word ~radius)
+          ~true_class
+      with
+      | Verdict.Certified -> Psearch.Good
+      | Verdict.Falsified | Verdict.Unknown Verdict.Imprecise -> Psearch.Bad
+      | Verdict.Unknown r -> Psearch.Faulted r
+    end
   in
-  let radius = max_radius ?hi ~iters certifies in
-  { radius; probes = !probes; faulted_probes = List.rev !faulted }
+  let r = run_search ?hi ~iters ~search probe in
+  {
+    radius = r.Psearch.radius;
+    bracket = (r.Psearch.good, r.Psearch.bad);
+    bracket_probes = r.Psearch.stats.Psearch.bracket_probes;
+    bisect_probes = r.Psearch.stats.Psearch.bisect_probes;
+    rounds = r.Psearch.stats.Psearch.rounds;
+    faulted_probes = r.Psearch.stats.Psearch.faulted;
+  }
 
 let certify_synonyms cfg program x subs ~true_class =
   certify cfg program (Region.synonym_box x subs) ~true_class

@@ -36,13 +36,19 @@ val certify_v :
     counterexamples. *)
 
 val max_radius :
-  ?lo:float -> ?hi:float -> ?iters:int ->
+  ?lo:float -> ?hi:float -> ?iters:int -> ?search:Config.search ->
   (float -> bool) -> float
-(** [max_radius certifies] binary-searches the largest radius accepted by
-    the monotone predicate [certifies]: starting from [hi] (default 0.5,
-    doubled up to 3 times while certified), then [iters] (default 10)
-    bisection steps between the bracketing values. Returns the largest
-    radius known to certify (0 if even tiny radii fail).
+(** [max_radius certifies] searches the largest radius accepted by the
+    monotone predicate [certifies] via {!Psearch}: starting from [hi]
+    (default 0.5, doubled up to 3 times while certified), then [iters]
+    (default 10) bisection steps between the bracketing values. Returns
+    the largest radius known to certify (0 if even tiny radii fail).
+
+    [search] (default {!Config.default_search}) selects the executor:
+    [probes = 1] is the sequential bisection above, bit-identical to the
+    pre-{!Psearch} implementation; [probes = n > 1] evaluates [n]
+    deterministic radii per round concurrently on the configured
+    backend, converging by [1/(n+1)] per round instead of [1/2].
 
     Robustness guarantees: the bracket must be finite
     ([Invalid_argument] otherwise); a probe that raises
@@ -54,22 +60,46 @@ val certified_radius :
   Config.t -> Ir.program -> p:Lp.t -> Tensor.Mat.t -> word:int ->
   true_class:int -> ?hi:float -> ?iters:int -> unit -> float
 (** The paper's main measurement: the largest ℓp radius around one
-    word's embedding that certifies (binary search over {!certify}). *)
+    word's embedding that certifies (bracket search over {!certify},
+    driven by [cfg.search]). For multi-probe searches on models with an
+    affine prefix, the prefix is propagated once at unit radius and
+    rescaled per probe ({!Zonotope.scale_coeffs}) unless
+    [cfg.search.share_prefix] is off, the [DEEPT_NO_PREFIX_SHARE]
+    environment variable is set, or a fault is injected. *)
 
 type radius_report = {
   radius : float;  (** largest radius that certified (0 if none) *)
-  probes : int;  (** total propagations run by the search *)
+  bracket : float * float;
+      (** final [(good, bad)] bracket; [bad = infinity] when even the
+          growth cap certified *)
+  bracket_probes : int;
+      (** propagations spent establishing the initial bracket
+          (sequential: the up-to-4 doubling probes; grid: wave-0 plus
+          growth waves) *)
+  bisect_probes : int;  (** propagations spent refining the bracket *)
+  rounds : int;
+      (** concurrent refinement rounds (0 for the sequential executor,
+          whose probes are all counted individually) *)
   faulted_probes : (float * Verdict.unknown_reason) list;
       (** probes that ended in a typed fault rather than a clean
-          not-certified, in probe order — nonempty means the radius may
+          not-certified, in launch order — nonempty means the radius may
           be pessimistic (faulted probes count as "bad") *)
 }
 
 val certified_radius_v :
   Config.t -> Ir.program -> p:Lp.t -> Tensor.Mat.t -> word:int ->
   true_class:int -> ?hi:float -> ?iters:int -> unit -> radius_report
-(** Like {!certified_radius} but over {!certify_v}, reporting which
-    probes faulted instead of silently treating them as "not robust". *)
+(** Like {!certified_radius} but over {!certify_v}, reporting the final
+    bracket, the probe budget split by phase, and which probes faulted
+    instead of silently treating them as "not robust". *)
+
+val search_prefix :
+  Config.t -> Ir.program -> p:Lp.t -> Tensor.Mat.t -> word:int ->
+  (Zonotope.t array * int) option
+(** The shared unit-radius prefix used by the radius searches: [Some]
+    only when [cfg.search] asks for a multi-probe search with prefix
+    sharing, no fault is injected, the escape hatch is unset and the
+    program has a nonempty affine prefix. Exposed for tests. *)
 
 val certify_synonyms :
   Config.t -> Ir.program -> Tensor.Mat.t -> (int * float array list) list ->

@@ -49,6 +49,28 @@ let pool ?(workers = default_pool.workers) ?hard_deadline_s
   | _ -> ());
   { workers; hard_deadline_s; grace_s; mem_limit_mb; max_retries; backoff_s }
 
+type probe_backend = Fork_probes | Domain_probes | Serial_probes
+
+type search = {
+  probes : int;
+  rounds : int option;
+  share_prefix : bool;
+  probe_backend : probe_backend;
+}
+
+let default_search =
+  { probes = 1; rounds = None; share_prefix = true; probe_backend = Fork_probes }
+
+let search ?(probes = default_search.probes) ?rounds
+    ?(share_prefix = default_search.share_prefix)
+    ?(probe_backend = default_search.probe_backend) () =
+  if probes < 1 || probes > 64 then
+    invalid_arg "Config.search: need 1 <= probes <= 64";
+  (match rounds with
+  | Some r when r < 1 -> invalid_arg "Config.search: rounds < 1"
+  | _ -> ());
+  { probes; rounds; share_prefix; probe_backend }
+
 type t = {
   variant : dot_variant;
   order : dual_order;
@@ -59,6 +81,7 @@ type t = {
   fault : fault_spec option;
   domains : int;
   trace : Interp.sink option;
+  search : search;
 }
 
 let default =
@@ -72,6 +95,7 @@ let default =
     fault = None;
     domains = 1;
     trace = None;
+    search = default_search;
   }
 
 let fast = default
@@ -91,6 +115,12 @@ let with_domains n cfg =
   { cfg with domains = n }
 
 let with_trace sink cfg = { cfg with trace = sink }
+let with_search s cfg = { cfg with search = s }
+
+let probe_backend_name = function
+  | Fork_probes -> "fork"
+  | Domain_probes -> "domain"
+  | Serial_probes -> "serial"
 
 let variant_name = function Fast -> "fast" | Precise -> "precise" | Combined -> "combined"
 
@@ -115,6 +145,11 @@ let pp ppf c =
   | None -> ());
   if c.domains > 1 then
     Buffer.add_string b (Printf.sprintf ", domains=%d" c.domains);
+  if c.search.probes > 1 then
+    Buffer.add_string b
+      (Printf.sprintf ", probes=%d(%s%s)" c.search.probes
+         (probe_backend_name c.search.probe_backend)
+         (if c.search.share_prefix then "" else ", no-share"));
   Format.fprintf ppf "deept(%s, %s, softmax=%s, refine=%b, k=%d%s)"
     (variant_name c.variant)
     (match c.order with Linf_first -> "linf-first" | Lp_first -> "lp-first")

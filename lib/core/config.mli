@@ -101,6 +101,57 @@ val pool :
     @raise Invalid_argument on non-positive workers/deadline/memory or
     negative grace/retries/backoff. *)
 
+(** {1 Radius search: speculative parallel probes}
+
+    Policy for {!Certify.max_radius}'s bracket search. With [probes = 1]
+    the search is the classic sequential bisection (bit-identical to
+    every committed pin). With [probes = n > 1] each round splits the
+    current bracket into [n+1] deterministic subintervals and evaluates
+    the [n] interior radii concurrently — see {!Psearch}. *)
+
+type probe_backend =
+  | Fork_probes
+      (** one forked process per interior radius, reusing the
+          {!Supervisor} marshalling plumbing (default; robust to probe
+          crashes, no shared state) *)
+  | Domain_probes
+      (** one thread per probe over the shared {!Tensor.Dpool} — for
+          [--jobs 1] runs where forking is undesirable *)
+  | Serial_probes
+      (** evaluate the grid left-to-right in-process — deterministic
+          reference backend, used by tests and as the fallback *)
+
+type search = {
+  probes : int;
+      (** concurrent interior probes per round (≥ 1); 1 = sequential
+          bisection, bit-identical to the pre-search-engine code *)
+  rounds : int option;
+      (** grid rounds after bracketing; [None] picks the smallest count
+          whose final width is at most sequential bisection's *)
+  share_prefix : bool;
+      (** amortize the affine prefix across probes: propagate it once at
+          unit radius and rescale generator coefficients by [r] per
+          probe ({!Zonotope.scale_coeffs}). Not bit-identical to
+          re-propagation (float rescaling), so tests gate it with a
+          tolerance; the [DEEPT_NO_PREFIX_SHARE] env var is the runtime
+          escape hatch. Auto-disabled under fault injection. *)
+  probe_backend : probe_backend;
+}
+
+val default_search : search
+(** [probes = 1], automatic rounds, prefix sharing on, fork backend. *)
+
+val search :
+  ?probes:int ->
+  ?rounds:int ->
+  ?share_prefix:bool ->
+  ?probe_backend:probe_backend ->
+  unit ->
+  search
+(** Validating constructor over {!default_search}.
+    @raise Invalid_argument unless [1 <= probes <= 64] and
+    [rounds >= 1] when given. *)
+
 type t = {
   variant : dot_variant;
   order : dual_order;
@@ -124,6 +175,9 @@ type t = {
           only a compatibility shim that installs a stderr sink when no
           explicit one is set. A sink is a closure: leave it [None] in
           configs that cross the {!Supervisor} Marshal boundary. *)
+  search : search;
+      (** radius-search policy (default {!default_search} = sequential
+          bisection). Plain data, safe across the Marshal boundary. *)
 }
 
 val default : t
@@ -148,6 +202,10 @@ val with_domains : int -> t -> t
 val with_trace : Interp.sink option -> t -> t
 (** Sets {!t.trace}. *)
 
+val with_search : search -> t -> t
+(** Sets {!t.search}. *)
+
 val variant_name : dot_variant -> string
+val probe_backend_name : probe_backend -> string
 val fault_action_name : fault_action -> string
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,247 @@
+(* Speculative parallel bracket search over a monotone radius predicate.
+
+   The sequential executor replicates Certify.max_radius probe-for-probe
+   (same float arithmetic, same early exits). The grid executor evaluates
+   n deterministic radii per round concurrently and folds the outcomes in
+   RADIUS ORDER: the new bracket is the largest contiguous all-Good
+   prefix, so the result depends only on the probed radii and the
+   predicate — never on which probe finished first. With n = 1 the grid
+   degenerates to bisection bit-for-bit (the midpoint is special-cased to
+   the sequential 0.5 *. (g +. b) formula). *)
+
+type outcome = Good | Bad | Faulted of Verdict.unknown_reason
+
+type probe = float -> outcome
+
+type runner = probe -> float array -> outcome array
+
+type executor = Sequential | Grid of int
+
+type stats = {
+  bracket_probes : int;
+  bisect_probes : int;
+  rounds : int;
+  faulted : (float * Verdict.unknown_reason) list;
+}
+
+type result = { radius : float; good : float; bad : float; stats : stats }
+
+let probe_of certifies r =
+  match certifies r with
+  | true -> Good
+  | false -> Bad
+  | exception Verdict.Abort reason -> Faulted reason
+  | exception Zonotope.Unbounded -> Faulted Verdict.Unbounded
+
+(* ---------------- runners ---------------- *)
+
+let serial_runner probe radii = Array.map probe radii
+
+(* One forked process per radius over the Supervisor plumbing. Probes are
+   deterministic, so a crashed worker is not retried — the crash is
+   reported as a Faulted outcome (counted "bad" by the fold) instead of
+   being re-run to crash again. Outcomes are plain data (no closures), so
+   they cross the Marshal boundary unchanged. *)
+let fork_runner probe radii =
+  let n = Array.length radii in
+  if n = 0 then [||]
+  else if Tensor.Dpool.domains_active () then
+    (* The OCaml 5 runtime forbids Unix.fork while worker domains are
+       live (e.g. a --domains pool built for a shared prefix): degrade
+       to in-process probes rather than crash. *)
+    serial_runner probe radii
+  else begin
+    (* Forked children inherit buffered stdio; flush now or every worker
+       re-emits the parent's pending output on exit. *)
+    flush stdout;
+    flush stderr;
+    let jobs = List.init n (fun i -> (i, radii.(i))) in
+    let pool = Config.pool ~workers:n ~max_retries:0 () in
+    let results = Supervisor.run ~pool ~worker:(fun _ r -> probe r) jobs in
+    let out = Array.make n Bad in
+    List.iter
+      (fun (r : _ Supervisor.job_result) ->
+        out.(r.Supervisor.job) <-
+          (match r.Supervisor.outcome with
+          | Ok o -> o
+          | Error f -> Faulted (Supervisor.failure_reason f)))
+      results;
+    out
+  end
+
+(* Thread-per-probe over a shared domain pool — for --jobs 1 runs where
+   forking whole processes is undesirable. Each chunk is one probe;
+   outcomes land in caller-indexed slots, so completion order is
+   irrelevant even before the fold. *)
+let dpool_runner dp probe radii =
+  let n = Array.length radii in
+  let out = Array.make n Bad in
+  Tensor.Dpool.run_chunks dp ~nchunks:n (fun i -> out.(i) <- probe radii.(i));
+  out
+
+(* ---------------- the search ---------------- *)
+
+(* Sequential: Certify.max_radius's exact probe sequence, with
+   accounting. Up to 4 bracket-growth probes (hi, 2hi, 4hi, 8hi; early
+   exit on the first failure), then [iters] bisections of the bracket. *)
+let sequential ~lo ~hi ~iters probe =
+  let bracket_probes = ref 0 and bisect_probes = ref 0 in
+  let faulted = ref [] in
+  let eval r =
+    match probe r with
+    | Good -> true
+    | Bad -> false
+    | Faulted reason ->
+        faulted := (r, reason) :: !faulted;
+        false
+  in
+  let good = ref lo and bad = ref infinity in
+  let r = ref hi in
+  (try
+     for _ = 0 to 3 do
+       incr bracket_probes;
+       if eval !r then begin
+         good := !r;
+         r := !r *. 2.0
+       end
+       else begin
+         bad := !r;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !bad <> infinity then
+    for _ = 1 to iters do
+      incr bisect_probes;
+      let mid = 0.5 *. (!good +. !bad) in
+      if eval mid then good := mid else bad := mid
+    done;
+  {
+    radius = !good;
+    good = !good;
+    bad = !bad;
+    stats =
+      {
+        bracket_probes = !bracket_probes;
+        bisect_probes = !bisect_probes;
+        rounds = 0;
+        faulted = List.rev !faulted;
+      };
+  }
+
+(* Fold one wave of outcomes in radius order (points ascending): the new
+   [good] is the last point of the leading all-Good prefix, the new [bad]
+   the first non-Good point. Every outcome after the first non-Good is
+   ignored for the bracket (it was speculative work), but its faults are
+   still recorded. *)
+let fold_wave ~good ~bad ~faulted points outcomes =
+  let n = Array.length points in
+  let first_bad = ref n in
+  for i = 0 to n - 1 do
+    (match outcomes.(i) with
+    | Good -> ()
+    | Bad -> if !first_bad = n then first_bad := i
+    | Faulted reason ->
+        if !first_bad = n then first_bad := i;
+        faulted := (points.(i), reason) :: !faulted)
+  done;
+  let good = if !first_bad > 0 then points.(!first_bad - 1) else good in
+  let bad = if !first_bad < n then points.(!first_bad) else bad in
+  (good, bad)
+
+(* Smallest round count whose final bracket width is at most sequential
+   bisection's. Sequential: width W / 2^iters. Grid: each round divides
+   the width by n+1, and when the bracket came from wave-0's interior
+   points it already starts n-times narrower than sequential's [lo, hi],
+   which is worth crediting: n * (n+1)^R >= 2^iters. *)
+let default_rounds ~n ~iters ~wave0_credit =
+  if iters <= 0 then 0
+  else begin
+    let target = 2.0 ** float_of_int iters in
+    let target = if wave0_credit then target /. float_of_int n else target in
+    let base = float_of_int (n + 1) in
+    let r = ref 0 and w = ref 1.0 in
+    while !w < target do
+      incr r;
+      w := !w *. base
+    done;
+    !r
+  end
+
+let grid ~n ~lo ~hi ~iters ~rounds ~runner probe =
+  let bracket_probes = ref 0 and bisect_probes = ref 0 in
+  let faulted = ref [] in
+  let run points =
+    let outcomes = runner probe points in
+    if Array.length outcomes <> Array.length points then
+      invalid_arg "Psearch: runner returned wrong arity";
+    outcomes
+  in
+  (* Wave 0: speculative split of [lo, hi] into n subintervals; the top
+     point is exactly [hi] so n = 1 probes the sequential start. *)
+  let span = hi -. lo in
+  let points =
+    Array.init n (fun i ->
+        let k = i + 1 in
+        if k = n then hi else lo +. (span *. float_of_int k /. float_of_int n))
+  in
+  bracket_probes := !bracket_probes + n;
+  let good, bad = fold_wave ~good:lo ~bad:infinity ~faulted points (run points) in
+  let wave0_credit = bad <> infinity && n > 1 in
+  (* Growth waves: the predicate held everywhere up to [hi]; double past
+     it like the sequential search (which stops at 8 * hi). *)
+  let good = ref good and bad = ref bad in
+  while !bad = infinity && !good < hi *. 8.0 do
+    let top = !good in
+    let points = Array.init n (fun i -> top *. (2.0 ** float_of_int (i + 1))) in
+    bracket_probes := !bracket_probes + n;
+    let g, b = fold_wave ~good:!good ~bad:!bad ~faulted points (run points) in
+    good := g;
+    bad := b
+  done;
+  let rounds_done = ref 0 in
+  if !bad <> infinity then begin
+    let nrounds =
+      match rounds with
+      | Some r -> r
+      | None -> default_rounds ~n ~iters ~wave0_credit
+    in
+    for _ = 1 to nrounds do
+      let g = !good and b = !bad in
+      let points =
+        if n = 1 then [| 0.5 *. (g +. b) |]
+        else
+          Array.init n (fun i ->
+              g +. ((b -. g) *. float_of_int (i + 1) /. float_of_int (n + 1)))
+      in
+      bisect_probes := !bisect_probes + n;
+      let g, b = fold_wave ~good:g ~bad:b ~faulted points (run points) in
+      good := g;
+      bad := b;
+      incr rounds_done
+    done
+  end;
+  {
+    radius = !good;
+    good = !good;
+    bad = !bad;
+    stats =
+      {
+        bracket_probes = !bracket_probes;
+        bisect_probes = !bisect_probes;
+        rounds = !rounds_done;
+        faulted = List.rev !faulted;
+      };
+  }
+
+let search ?(lo = 0.0) ?(hi = 0.5) ?(iters = 10) ?rounds ?(exec = Sequential)
+    ?(runner = serial_runner) probe =
+  if hi <= lo then invalid_arg "Psearch.search: hi <= lo";
+  if not (Float.is_finite hi && Float.is_finite lo) then
+    invalid_arg "Psearch.search: bracket must be finite";
+  if iters < 0 then invalid_arg "Psearch.search: negative iters";
+  match exec with
+  | Sequential -> sequential ~lo ~hi ~iters probe
+  | Grid n ->
+      if n < 1 then invalid_arg "Psearch.search: Grid needs n >= 1";
+      grid ~n ~lo ~hi ~iters ~rounds ~runner probe

@@ -1,0 +1,102 @@
+(** Speculative parallel bracket search over a monotone radius predicate
+    — the engine behind {!Certify.max_radius} (DESIGN.md §9).
+
+    The radius search is a bracket refinement: maintain [good] (largest
+    radius known to certify) and [bad] (smallest known to fail) and
+    shrink [bad - good]. Sequential bisection probes one radius per
+    step; the {!Grid} executor probes [n] deterministic radii per round
+    {e concurrently} and folds the outcomes {b in radius order} — the
+    new bracket is the last point of the leading all-Good prefix and the
+    first non-Good point — so the result depends only on the probed
+    radii and the predicate, never on which probe finished first.
+    Convergence per round goes from [1/2] to [1/(n+1)].
+
+    Determinism contract: for a fixed (deterministic) probe, the
+    sequence of probed radii and the returned bracket are identical
+    across runners and across runs; [Grid 1] is bit-for-bit the
+    sequential bisection. *)
+
+type outcome =
+  | Good  (** the radius certified *)
+  | Bad  (** clean not-certified *)
+  | Faulted of Verdict.unknown_reason
+      (** the probe aborted (budget, collapse, dead worker); treated as
+          [Bad] for the bracket — a fault can never certify — but
+          reported so callers can flag the radius as pessimistic *)
+
+type probe = float -> outcome
+
+type runner = probe -> float array -> outcome array
+(** Evaluates one wave of radii, returning outcomes in {e input} order
+    (index [i] answers [radii.(i)]); how the wave is scheduled is the
+    runner's business. A runner must return the same arity it was
+    given. *)
+
+type executor =
+  | Sequential
+      (** probe-for-probe identical to the pre-engine
+          [Certify.max_radius]: up to 4 bracket-growth probes, then
+          [iters] bisections. Never calls the runner. *)
+  | Grid of int
+      (** [Grid n]: each round splits the bracket into [n + 1]
+          subintervals and evaluates the [n] interior radii as one
+          runner wave. [Grid 1] degenerates to bisection (the midpoint
+          is the sequential [0.5 *. (good +. bad)] exactly). *)
+
+type stats = {
+  bracket_probes : int;  (** probes spent establishing [good, bad) *)
+  bisect_probes : int;  (** probes spent refining the bracket *)
+  rounds : int;  (** refinement rounds (0 for [Sequential]) *)
+  faulted : (float * Verdict.unknown_reason) list;
+      (** faulted probes in launch order; nonempty means [radius] may be
+          pessimistic *)
+}
+
+type result = {
+  radius : float;  (** largest radius that certified ([lo] if none) *)
+  good : float;
+  bad : float;  (** [infinity] when even the growth cap certified *)
+  stats : stats;
+}
+
+val probe_of : (float -> bool) -> probe
+(** Wraps a boolean predicate, mapping {!Verdict.Abort} and
+    {!Zonotope.Unbounded} to [Faulted]. *)
+
+val serial_runner : runner
+(** Left-to-right in-process evaluation — the deterministic reference
+    backend and the [Sequential] executor's implicit behavior. *)
+
+val fork_runner : runner
+(** One forked probe process per radius over the {!Supervisor}
+    marshalling plumbing ([max_retries = 0]: probes are deterministic,
+    so a crashed worker is reported as [Faulted], not re-run). The probe
+    closure is inherited by [fork], not marshalled. Degrades to
+    {!serial_runner} while any {!Tensor.Dpool} has live worker domains
+    (the runtime forbids forking then). *)
+
+val dpool_runner : Tensor.Dpool.t -> runner
+(** Thread-per-probe over a shared domain pool — for single-process
+    runs. Nested pool use inside a probe degrades to serial (the pool's
+    reentrancy guard), so prefer {!fork_runner} when probes themselves
+    shard over domains. *)
+
+val search :
+  ?lo:float ->
+  ?hi:float ->
+  ?iters:int ->
+  ?rounds:int ->
+  ?exec:executor ->
+  ?runner:runner ->
+  probe ->
+  result
+(** [search probe] brackets and refines the largest radius accepted by
+    the monotone predicate. Defaults: [lo = 0], [hi = 0.5],
+    [iters = 10], [exec = Sequential], [runner = serial_runner].
+
+    [iters] is the sequential bisection count; grid executors derive
+    their round count from it (smallest count whose final width is at
+    most sequential bisection's) unless [rounds] overrides it.
+
+    @raise Invalid_argument on an empty or non-finite initial bracket,
+    negative [iters], or [Grid n] with [n < 1]. *)

@@ -1,15 +1,33 @@
 open Tensor
 
-let scores (z : Zonotope.t) =
+(* Same threshold as the Zonotope kernels: below ~32k coefficient reads
+   the pool dispatch overhead dominates the O(nv·w) scan. *)
+let par_threshold = 32_768
+
+(* Shard over symbol {e columns}: each column's score accumulates in the
+   same v-ascending order as the serial scan, and distinct chunks write
+   distinct [s.(j)] slots — bit-identical for every pool size. (Sharding
+   over variables would need per-chunk partial sums whose final
+   combination reassociates the float additions.) *)
+let scores ?pool (z : Zonotope.t) =
   let nv = Zonotope.num_vars z and w = Zonotope.num_eps z in
   let s = Array.make w 0.0 in
   let data = z.Zonotope.eps.Mat.data in
-  for v = 0 to nv - 1 do
-    let base = v * w in
-    for j = 0 to w - 1 do
-      s.(j) <- s.(j) +. Float.abs (Array.unsafe_get data (base + j))
+  let body start stop =
+    for v = 0 to nv - 1 do
+      let base = v * w in
+      for j = start to stop - 1 do
+        s.(j) <- s.(j) +. Float.abs (Array.unsafe_get data (base + j))
+      done
     done
-  done;
+  in
+  (match pool with
+  | Some p when Dpool.size p > 1 && nv * w >= par_threshold ->
+      let balance = 2 * Dpool.size p in
+      Dpool.run_ranges p ~n:w
+        ~chunk:(max ((w + balance - 1) / balance) 1)
+        (fun ~start ~stop -> body start stop)
+  | _ -> body 0 w);
   s
 
 (* [top_k_indices s k] selects the [k] indices of [s] with the highest
@@ -80,22 +98,35 @@ let decorrelate_min_k ctx (z : Zonotope.t) k =
     z
   end
   else begin
-    let s = scores z in
+    let pool = Zonotope.ctx_pool ctx in
+    let s = scores ?pool z in
     let keep = top_k_indices s k in
     let dropped = Array.make w true in
     Array.iter (fun j -> dropped.(j) <- false) keep;
     let nv = Zonotope.num_vars z in
-    (* Per-variable folded mass of the dropped symbols. *)
+    (* Per-variable folded mass of the dropped symbols. Sharded over
+       variables: each v folds in the serial j-ascending order and chunks
+       write disjoint [fold.(v)] slots, so the result is bit-identical
+       for every pool size. *)
     let fold = Array.make nv 0.0 in
     let data = z.Zonotope.eps.Mat.data in
-    for v = 0 to nv - 1 do
-      let base = v * w in
-      let acc = ref 0.0 in
-      for j = 0 to w - 1 do
-        if dropped.(j) then acc := !acc +. Float.abs data.(base + j)
-      done;
-      fold.(v) <- !acc
-    done;
+    let fold_body start stop =
+      for v = start to stop - 1 do
+        let base = v * w in
+        let acc = ref 0.0 in
+        for j = 0 to w - 1 do
+          if dropped.(j) then acc := !acc +. Float.abs data.(base + j)
+        done;
+        fold.(v) <- !acc
+      done
+    in
+    (match pool with
+    | Some p when Dpool.size p > 1 && nv * w >= par_threshold ->
+        let balance = 2 * Dpool.size p in
+        Dpool.run_ranges p ~n:nv
+          ~chunk:(max ((nv + balance - 1) / balance) 1)
+          (fun ~start ~stop -> fold_body start stop)
+    | _ -> fold_body 0 nv);
     let fresh = Array.make nv (-1) in
     let n_new = ref 0 in
     Array.iteri

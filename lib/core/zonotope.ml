@@ -258,6 +258,16 @@ let scale s z =
     eps = Mat.scale s z.eps;
   }
 
+(* Rescale only the generator coefficients, sharing the center. This is
+   the radius-search amortization primitive: a unit-radius ℓp ball around
+   [x] propagated through an affine prefix has coefficient matrices that
+   are exactly linear in the radius, while the center is radius-
+   independent — so one unit-radius propagation serves every probe.
+   Sharing the center (no copy) is safe because the only center-mutating
+   path, fault injection, disables prefix sharing (see
+   Certify.search_prefix). *)
+let scale_coeffs s z = { z with phi = Mat.scale s z.phi; eps = Mat.scale s z.eps }
+
 let neg z = scale (-1.0) z
 
 let center_rows z ~gamma ~beta =
@@ -438,13 +448,17 @@ let phi_block z start n = Mat.sub_rows z.phi start n
 let eps_block z start n = Mat.sub_rows z.eps start n
 
 let contains_sample ?(tol = 1e-7) z m =
-  if Mat.dims m <> (z.vrows, z.vcols) then false
-  else begin
-    let ok = ref true in
-    for v = 0 to num_vars z - 1 do
-      let itv = bounds_var z v in
-      let x = m.Mat.data.(v) in
-      if x < itv.Itv.lo -. tol || x > itv.Itv.hi +. tol then ok := false
-    done;
-    !ok
-  end
+  Mat.dims m = (z.vrows, z.vcols)
+  &&
+  (* Short-circuit on the first violated variable: each check costs a
+     full dual-norm scan of the variable's coefficient rows, so finishing
+     the loop after [ok] is already false is pure waste. *)
+  let nv = num_vars z in
+  let rec ok v =
+    v >= nv
+    ||
+    let itv = bounds_var z v in
+    let x = m.Mat.data.(v) in
+    x >= itv.Itv.lo -. tol && x <= itv.Itv.hi +. tol && ok (v + 1)
+  in
+  ok 0

@@ -31,6 +31,12 @@ val size : t -> int
 val shutdown : t -> unit
 (** Terminates and joins the worker domains. The pool must be idle. *)
 
+val domains_active : unit -> bool
+(** Whether any pool in the process currently has live worker domains.
+    The OCaml 5 runtime forbids [Unix.fork] while other domains run, so
+    fork-based schedulers consult this to degrade to in-process
+    execution instead of crashing. *)
+
 val run_chunks : t -> nchunks:int -> (int -> unit) -> unit
 (** [run_chunks p ~nchunks f] runs [f c] for every [c] in [0, nchunks),
     each exactly once, distributed over the pool. Serial (in chunk

@@ -1,0 +1,437 @@
+(* Speculative parallel radius search (Psearch) and its satellites: the
+   grid executor's bit-identity with sequential bisection, runner
+   agreement (serial / fork / domain-pool), probe accounting, fault
+   containment, affine-prefix amortization, the early-exit
+   contains_sample and the pooled noise-symbol reduction. *)
+
+open Tensor
+module P = Deept.Psearch
+module Z = Deept.Zonotope
+module Lp = Deept.Lp
+module C = Deept.Certify
+
+let same_float msg a b =
+  if Int64.bits_of_float a <> Int64.bits_of_float b then
+    Alcotest.failf "%s: %.17g <> %.17g (bitwise)" msg a b
+
+let check_bits msg (a : float array) (b : float array) =
+  if Array.length a <> Array.length b then
+    Alcotest.failf "%s: length %d <> %d" msg (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+        Alcotest.failf "%s: index %d: %.17g <> %.17g" msg i x b.(i))
+    a
+
+(* The canonical monotone predicate: certified iff r <= t. *)
+let threshold t r = if r <= t then P.Good else P.Bad
+
+(* Thresholds covering every bracket shape: immediate failure, failure
+   inside [lo, hi], growth by 1..3 doublings, and never-failing. *)
+let thresholds = [ 0.0; 0.137; 0.25; 0.3; 0.41; 0.4999; 0.7; 1.3; 2.9; 5.0 ]
+
+(* --- grid n = 1 degenerates to sequential bisection, probe-for-probe - *)
+
+let test_grid1_bit_identical () =
+  List.iter
+    (fun t ->
+      let seq_probes = ref [] and grid_probes = ref [] in
+      let probe trace r =
+        trace := r :: !trace;
+        threshold t r
+      in
+      let seq = P.search ~iters:10 ~exec:P.Sequential (probe seq_probes) in
+      let grid = P.search ~iters:10 ~exec:(P.Grid 1) (probe grid_probes) in
+      check_bits
+        (Printf.sprintf "t=%g probed radii" t)
+        (Array.of_list (List.rev !seq_probes))
+        (Array.of_list (List.rev !grid_probes));
+      same_float (Printf.sprintf "t=%g radius" t) seq.P.radius grid.P.radius;
+      same_float (Printf.sprintf "t=%g good" t) seq.P.good grid.P.good;
+      same_float (Printf.sprintf "t=%g bad" t) seq.P.bad grid.P.bad)
+    thresholds
+
+(* --- probe accounting: bracket vs refinement split, round counts ----- *)
+
+let test_probe_accounting () =
+  (* hi = 0.5 fails immediately: 1 bracket probe, iters bisections *)
+  let seq = P.search ~iters:10 ~exec:P.Sequential (threshold 0.3) in
+  Helpers.check_true "seq bracket probes"
+    (seq.P.stats.P.bracket_probes = 1);
+  Helpers.check_true "seq bisect probes" (seq.P.stats.P.bisect_probes = 10);
+  Helpers.check_true "seq rounds" (seq.P.stats.P.rounds = 0);
+  Helpers.check_true "seq no faults" (seq.P.stats.P.faulted = []);
+  (* grid 4, wave-0 brackets [0.25, 0.375): rounds from the width target
+     2^10 with the n-times-narrower wave-0 credit: 4 * 5^4 >= 1024 *)
+  let g4 = P.search ~iters:10 ~exec:(P.Grid 4) (threshold 0.3) in
+  Helpers.check_true "grid4 bracket probes"
+    (g4.P.stats.P.bracket_probes = 4);
+  Helpers.check_true "grid4 rounds" (g4.P.stats.P.rounds = 4);
+  Helpers.check_true "grid4 bisect probes" (g4.P.stats.P.bisect_probes = 16);
+  (* grid 1 has no wave-0 credit: one bisection per round, iters rounds *)
+  let g1 = P.search ~iters:10 ~exec:(P.Grid 1) (threshold 0.3) in
+  Helpers.check_true "grid1 rounds" (g1.P.stats.P.rounds = 10);
+  Helpers.check_true "grid1 bisect probes" (g1.P.stats.P.bisect_probes = 10);
+  (* all-Good predicate: growth stops once [good] reaches 8 * hi, but a
+     wide wave may speculate past the sequential cap (n = 4 doubles four
+     times in one wave); grid 1 stops exactly where sequential does *)
+  let unb = P.search ~iters:10 ~exec:(P.Grid 4) (fun _ -> P.Good) in
+  Helpers.check_true "unbounded bad" (unb.P.bad = infinity);
+  same_float "grid4 unbounded radius" 8.0 unb.P.radius;
+  Helpers.check_true "unbounded rounds" (unb.P.stats.P.rounds = 0);
+  let unb1 = P.search ~iters:10 ~exec:(P.Grid 1) (fun _ -> P.Good) in
+  same_float "grid1 unbounded radius = 8 * hi" 4.0 unb1.P.radius
+
+(* --- the grid bracket is always correct and at most sequential's ----- *)
+
+let test_grid_bracket_dominates () =
+  List.iter
+    (fun t ->
+      let seq = P.search ~iters:10 ~exec:P.Sequential (threshold t) in
+      let g = P.search ~iters:10 ~exec:(P.Grid 4) (threshold t) in
+      Helpers.check_true
+        (Printf.sprintf "t=%g grid radius certifies" t)
+        (g.P.radius <= t || (g.P.radius = 0.0 && t < g.P.bad));
+      if g.P.bad <> infinity then begin
+        Helpers.check_true
+          (Printf.sprintf "t=%g bracket holds t" t)
+          (g.P.good <= t && t < g.P.bad);
+        Helpers.check_true
+          (Printf.sprintf "t=%g grid width <= sequential" t)
+          (g.P.bad -. g.P.good <= seq.P.bad -. seq.P.good +. 1e-15)
+      end)
+    thresholds
+
+(* --- faulted probes count "bad" and are reported ---------------------- *)
+
+let test_faulted_probes () =
+  (* probes above 0.2 abort: the bracket converges below the fault zone
+     and the radius still comes from a probe that genuinely certified *)
+  let flaky r =
+    if r > 0.2 then raise (Deept.Verdict.Abort Deept.Verdict.Timeout)
+    else r <= 0.4
+  in
+  List.iter
+    (fun exec ->
+      let res = P.search ~iters:10 ~exec (P.probe_of flaky) in
+      Helpers.check_true "faults reported" (res.P.stats.P.faulted <> []);
+      Helpers.check_true "radius below fault zone" (res.P.radius <= 0.2);
+      Helpers.check_true "radius certified" (res.P.radius <= 0.4);
+      List.iter
+        (fun (r, reason) ->
+          Helpers.check_true "faulted radius in fault zone" (r > 0.2);
+          Helpers.check_true "reason preserved"
+            (Deept.Verdict.equal
+               (Deept.Verdict.Unknown reason)
+               (Deept.Verdict.Unknown Deept.Verdict.Timeout)))
+        res.P.stats.P.faulted)
+    [ P.Sequential; P.Grid 1; P.Grid 4 ];
+  (* every probe faults: the search terminates at lo with nothing certified *)
+  let all_fault _ = raise (Deept.Verdict.Abort Deept.Verdict.Timeout) in
+  let res = P.search ~iters:10 ~exec:(P.Grid 3) (P.probe_of all_fault) in
+  same_float "all faults -> lo" 0.0 res.P.radius;
+  Helpers.check_true "all faults recorded" (res.P.stats.P.faulted <> [])
+
+(* --- runners agree bit-for-bit ----------------------------------------
+
+   Ordering matters: the fork tests run before anything spawns worker
+   domains (the runtime forbids fork afterwards, and fork_runner would
+   silently degrade to serial — these tests must exercise real forks).
+   The dpool comparison runs later; serial is the common reference. *)
+
+let compare_runner name runner t =
+  let reference = P.search ~iters:8 ~exec:(P.Grid 3) (threshold t) in
+  let res = P.search ~iters:8 ~exec:(P.Grid 3) ~runner (threshold t) in
+  same_float (Printf.sprintf "t=%g %s radius" t name) reference.P.radius
+    res.P.radius;
+  same_float (Printf.sprintf "t=%g %s bad" t name) reference.P.bad res.P.bad;
+  Helpers.check_true
+    (Printf.sprintf "t=%g %s probe counts" t name)
+    (res.P.stats.P.bisect_probes = reference.P.stats.P.bisect_probes)
+
+let test_fork_runner_agrees () =
+  Helpers.check_true "no domains yet" (not (Dpool.domains_active ()));
+  List.iter (compare_runner "fork" P.fork_runner) [ 0.3; 0.7 ]
+
+let test_dpool_runner_agrees () =
+  let dp = Dpool.create ~force:true 4 in
+  List.iter (compare_runner "dpool" (P.dpool_runner dp)) [ 0.3; 0.7 ];
+  (* with live domains, fork_runner degrades to serial instead of the
+     runtime's "fork while domains run" crash *)
+  Helpers.check_true "domains live" (Dpool.domains_active ());
+  compare_runner "fork-degraded" P.fork_runner 0.3;
+  Dpool.shutdown dp
+
+(* a probe process that dies is a Faulted outcome, not a crash of the
+   search: the fold treats it as "bad" and the bracket stays correct *)
+let test_fork_crash_contained () =
+  let crashing r = if r > 0.25 then Unix._exit 9 else r <= 0.4 in
+  let res =
+    P.search ~iters:6 ~exec:(P.Grid 2) ~runner:P.fork_runner
+      (P.probe_of crashing)
+  in
+  Helpers.check_true "crashes reported as faults" (res.P.stats.P.faulted <> []);
+  Helpers.check_true "radius below crash zone" (res.P.radius <= 0.25)
+
+(* --- affine-prefix amortization --------------------------------------- *)
+
+let tiny_vit seed =
+  let rng = Rng.create seed in
+  Nn.Model.create rng
+    {
+      Nn.Model.default_config with
+      vocab_size = 16;
+      max_len = 6;
+      d_model = 8;
+      d_hidden = 8;
+      heads = 2;
+      layers = 1;
+      patch_dim = Some 5;
+    }
+
+let multi_probe ?(share_prefix = true) ?(probes = 2) () =
+  Deept.Config.with_search
+    (Deept.Config.search ~probes ~share_prefix
+       ~probe_backend:Deept.Config.Serial_probes ())
+    Deept.Config.fast
+
+(* Rescaling the unit-radius prefix by r matches re-propagating at r:
+   centers bit-equal (radius-independent through affine ops), generator
+   coefficients within 1e-9 (float distributivity only). *)
+let test_prefix_rescale_close () =
+  let program = Nn.Model.to_ir (tiny_vit 70) in
+  let rng = Rng.create 71 in
+  let x = Mat.random_gaussian rng 4 5 0.5 in
+  let cfg = multi_probe () in
+  match C.search_prefix cfg program ~p:Lp.L2 x ~word:1 with
+  | None -> Alcotest.fail "expected a shared prefix on the vit model"
+  | Some (vals, len) ->
+      List.iter
+        (fun r ->
+          let scaled = Array.map (Z.scale_coeffs r) vals in
+          let region = Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius:r in
+          let direct = Deept.Propagate.run cfg program region in
+          let shared =
+            Deept.Propagate.run ~prefix:(scaled, len) cfg program region
+          in
+          check_bits "rescaled center bit-equal" direct.Z.center.Mat.data
+            shared.Z.center.Mat.data;
+          let close name (a : Mat.t) (b : Mat.t) =
+            check_bits (name ^ " dims")
+              [| float_of_int (Mat.rows a); float_of_int (Mat.cols a) |]
+              [| float_of_int (Mat.rows b); float_of_int (Mat.cols b) |];
+            Array.iteri
+              (fun i v ->
+                if Float.abs (v -. b.Mat.data.(i)) > 1e-9 then
+                  Alcotest.failf "%s: index %d: %.17g vs %.17g" name i v
+                    b.Mat.data.(i))
+              a.Mat.data
+          in
+          close "phi" direct.Z.phi shared.Z.phi;
+          close "eps" direct.Z.eps shared.Z.eps)
+        [ 0.0371; 0.25; 1.7 ]
+
+(* end to end: the multi-probe radius with sharing on agrees with sharing
+   off, and the result still certifies from scratch *)
+let test_prefix_share_end_to_end () =
+  let program = Nn.Model.to_ir (tiny_vit 70) in
+  let rng = Rng.create 71 in
+  let x = Mat.random_gaussian rng 4 5 0.5 in
+  let true_class = Nn.Forward.predict program x in
+  let radius cfg =
+    C.certified_radius cfg program ~p:Lp.L2 x ~word:1 ~true_class ()
+  in
+  let r_on = radius (multi_probe ()) in
+  let r_off = radius (multi_probe ~share_prefix:false ()) in
+  Helpers.check_float ~tol:1e-6 "shared = unshared radius" r_off r_on;
+  if r_on > 0.0 then
+    Helpers.check_true "shared radius certifies from scratch"
+      (C.certify Deept.Config.fast program
+         (Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius:r_on)
+         ~true_class)
+
+let test_prefix_gating () =
+  let vit = Nn.Model.to_ir (tiny_vit 70) in
+  let text = Helpers.tiny_program ~layers:1 72 in
+  let rng = Rng.create 73 in
+  let xv = Mat.random_gaussian rng 4 5 0.5 in
+  let xt = Mat.random_gaussian rng 3 (Ir.out_dim text 0) 0.7 in
+  let some cfg = C.search_prefix cfg vit ~p:Lp.L2 xv ~word:1 <> None in
+  Helpers.check_true "multi-probe vit shares" (some (multi_probe ()));
+  Helpers.check_true "probes = 1 never shares"
+    (not (some (multi_probe ~probes:1 ())));
+  Helpers.check_true "share_prefix = false honored"
+    (not (some (multi_probe ~share_prefix:false ())));
+  let faulted =
+    { (multi_probe ()) with
+      Deept.Config.fault = Some (Deept.Config.fault 0 Deept.Config.Inject_nan)
+    }
+  in
+  Helpers.check_true "fault injection disables sharing" (not (some faulted));
+  Helpers.check_true "text model has no prefix"
+    (C.search_prefix (multi_probe ()) text ~p:Lp.L2 xt ~word:1 = None)
+
+(* under an injected fault every probe aborts: the reported radius is 0
+   and the faults surface in the report instead of crashing the search *)
+let test_fault_injection_radius () =
+  let program = Nn.Model.to_ir (tiny_vit 70) in
+  let rng = Rng.create 71 in
+  let x = Mat.random_gaussian rng 4 5 0.5 in
+  let true_class = Nn.Forward.predict program x in
+  let cfg =
+    { (multi_probe ()) with
+      Deept.Config.fault = Some (Deept.Config.fault 0 Deept.Config.Inject_nan)
+    }
+  in
+  let rep =
+    C.certified_radius_v cfg program ~p:Lp.L2 x ~word:1 ~true_class ()
+  in
+  same_float "all probes fault -> 0" 0.0 rep.C.radius;
+  Helpers.check_true "faults reported" (rep.C.faulted_probes <> [])
+
+(* --- committed small_3 pins (skips when the model is absent) ---------- *)
+
+let test_small3_pins () =
+  if not (Sys.file_exists "../data/small_3.model") then ()
+  else begin
+    Zoo.data_dir := "../data";
+    let entry = Zoo.entry "small_3" in
+    let model = Zoo.load_or_train ~log:(fun _ -> ()) "small_3" in
+    let c = Zoo.corpus_of entry.Zoo.corpus in
+    let program = Nn.Model.to_ir model in
+    let toks, label = List.nth c.Text.Corpus.test 0 in
+    let x = Nn.Model.embed_tokens model toks in
+    let certifies r =
+      r > 0.0
+      && C.certify Deept.Config.fast program
+           (Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius:r)
+           ~true_class:label
+    in
+    (* the default (probes = 1) search still reproduces the seed pin *)
+    Helpers.check_float ~tol:0.0 "sequential pin" 0.181640625
+      (C.certified_radius Deept.Config.fast program ~p:Lp.L2 x ~word:1
+         ~true_class:label ());
+    (* Grid 1 probes the same radii, so the same pin, bit-for-bit *)
+    let g1 = P.search ~iters:10 ~exec:(P.Grid 1) (P.probe_of certifies) in
+    Helpers.check_float ~tol:0.0 "grid-1 pin" 0.181640625 g1.P.radius;
+    (* a real multi-probe search: certifies, bracket at most sequential's *)
+    let rep =
+      C.certified_radius_v (multi_probe ()) program ~p:Lp.L2 x ~word:1
+        ~true_class:label ()
+    in
+    let good, bad = rep.C.bracket in
+    Helpers.check_true "grid radius certifies" (certifies rep.C.radius);
+    Helpers.check_true "grid bracket at most sequential's"
+      (bad -. good <= 0.5 /. 1024.0 +. 1e-15)
+  end
+
+(* --- satellite: contains_sample early exit = full scan ---------------- *)
+
+let contains_reference ?(tol = 1e-7) (z : Z.t) (m : Mat.t) =
+  Mat.dims m = (z.Z.vrows, z.Z.vcols)
+  && begin
+       let ok = ref true in
+       for v = 0 to Z.num_vars z - 1 do
+         let itv = Z.bounds_var z v in
+         let x = m.Mat.data.(v) in
+         if x < itv.Interval.Itv.lo -. tol || x > itv.Interval.Itv.hi +. tol
+         then ok := false
+       done;
+       !ok
+     end
+
+let test_contains_sample_equiv () =
+  let rng = Rng.create 80 in
+  for trial = 1 to 40 do
+    let z = Helpers.random_zonotope ~vrows:3 ~vcols:4 ~ep:2 ~ee:3 rng in
+    (* genuine samples, near-boundary perturbations and far outliers *)
+    let s = Z.sample rng z in
+    let candidates =
+      [
+        s;
+        Mat.mapi (fun _ _ v -> v +. Rng.uniform rng (-0.5) 0.5) s;
+        Mat.mapi (fun _ _ v -> v +. 100.0) s;
+        Mat.create 1 1;
+      ]
+    in
+    List.iter
+      (fun m ->
+        if Z.contains_sample z m <> contains_reference z m then
+          Alcotest.failf "trial %d: early-exit disagrees with full scan"
+            trial)
+      candidates;
+    Helpers.check_true "sample contained" (Z.contains_sample z s)
+  done
+
+(* --- satellite: pooled reduction is bit-identical to serial ----------- *)
+
+let test_pooled_reduction_bits () =
+  let rng = Rng.create 95 in
+  (* nv * w = 1024 * 40 >= the 32k parallel threshold, so the pool engages *)
+  let z = Helpers.random_zonotope ~vrows:32 ~vcols:32 ~ep:2 ~ee:40 rng in
+  let pool = Dpool.create ~force:true 4 in
+  Helpers.check_true "forced pool is parallel" (Dpool.size pool > 1);
+  check_bits "pooled scores" (Deept.Reduction.scores z)
+    (Deept.Reduction.scores ~pool z);
+  let reduce pool =
+    let ctx = Z.ctx () in
+    Z.set_pool ctx pool;
+    ignore (Z.alloc_eps ctx (Z.num_eps z));
+    Deept.Reduction.decorrelate_min_k ctx z 8
+  in
+  let serial = reduce None and pooled = reduce (Some pool) in
+  check_bits "reduced center" serial.Z.center.Mat.data pooled.Z.center.Mat.data;
+  check_bits "reduced phi" serial.Z.phi.Mat.data pooled.Z.phi.Mat.data;
+  check_bits "reduced eps" serial.Z.eps.Mat.data pooled.Z.eps.Mat.data;
+  Dpool.shutdown pool
+
+(* --- escape hatch; runs last, the env var stays set for the process --- *)
+
+let test_env_escape_hatch () =
+  let vit = Nn.Model.to_ir (tiny_vit 70) in
+  let rng = Rng.create 73 in
+  let x = Mat.random_gaussian rng 4 5 0.5 in
+  Unix.putenv "DEEPT_NO_PREFIX_SHARE" "1";
+  Helpers.check_true "DEEPT_NO_PREFIX_SHARE disables sharing"
+    (C.search_prefix (multi_probe ()) vit ~p:Lp.L2 x ~word:1 = None)
+
+let () =
+  Alcotest.run "psearch"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "grid 1 = sequential" `Quick
+            test_grid1_bit_identical;
+          Alcotest.test_case "probe accounting" `Quick test_probe_accounting;
+          Alcotest.test_case "grid bracket dominates" `Quick
+            test_grid_bracket_dominates;
+          Alcotest.test_case "faulted probes" `Quick test_faulted_probes;
+        ] );
+      ( "runners",
+        [
+          Alcotest.test_case "fork agrees with serial" `Quick
+            test_fork_runner_agrees;
+          Alcotest.test_case "fork crash contained" `Quick
+            test_fork_crash_contained;
+          Alcotest.test_case "dpool agrees with serial" `Quick
+            test_dpool_runner_agrees;
+        ] );
+      ( "amortization",
+        [
+          Alcotest.test_case "rescale close" `Quick test_prefix_rescale_close;
+          Alcotest.test_case "end to end" `Quick test_prefix_share_end_to_end;
+          Alcotest.test_case "gating" `Quick test_prefix_gating;
+          Alcotest.test_case "fault injection" `Quick
+            test_fault_injection_radius;
+        ] );
+      ("pins", [ Alcotest.test_case "small_3" `Quick test_small3_pins ]);
+      ( "satellites",
+        [
+          Alcotest.test_case "contains_sample early exit" `Quick
+            test_contains_sample_equiv;
+          Alcotest.test_case "pooled reduction bits" `Quick
+            test_pooled_reduction_bits;
+        ] );
+      ( "escape hatch",
+        [ Alcotest.test_case "env var" `Quick test_env_escape_hatch ] );
+    ]
