@@ -19,8 +19,17 @@
    between runs than any in-process kernel. *)
 let tolerance = ref 0.25
 
-(* Timing fields compared when present; lower is better for all. *)
-let metrics = [ "blocked_ns"; "parallel_ns"; "wall_s" ]
+(* Timing fields compared when present; lower is better for all,
+   compared as a ratio against the previous run. *)
+let metrics = [ "blocked_ns"; "parallel_ns"; "wall_s"; "p95_ms" ]
+
+(* Rate fields in [0, 1] (the service bench's shed and cache-hit
+   rates): a ratio is meaningless when the previous value is 0, so
+   these are compared by absolute difference instead — either
+   direction, since a shed rate that collapses to 0 means the overload
+   phase stopped overloading (a broken benchmark, not an improvement). *)
+let abs_metrics = [ "shed_rate"; "hit_rate" ]
+let abs_tolerance = ref 0.1
 
 (* The benchmark writes one flat object per line; pull a field out of a
    line without a general JSON parser (the repo intentionally has none). *)
@@ -56,7 +65,10 @@ let str_field line key =
       | None -> None
       | Some stop -> Some (String.sub line start (stop - start)))
 
-(* name -> (metric, value) list, for the known metrics the row carries *)
+type kind = Relative | Absolute
+
+(* name -> (metric, kind, value) list, for the known metrics the row
+   carries *)
 let load path =
   let ic = open_in path in
   let rows = ref [] in
@@ -66,12 +78,13 @@ let load path =
        match str_field line "name" with
        | None -> () (* the enclosing "[" / "]" lines *)
        | Some name ->
-           let vals =
+           let pick kind names =
              List.filter_map
                (fun m ->
-                 Option.map (fun v -> (m, v)) (num_field line m))
-               metrics
+                 Option.map (fun v -> (m, kind, v)) (num_field line m))
+               names
            in
+           let vals = pick Relative metrics @ pick Absolute abs_metrics in
            if vals <> [] then rows := (name, vals) :: !rows
      done
    with End_of_file -> ());
@@ -86,6 +99,9 @@ let () =
       ( "--tolerance",
         Arg.Set_float tolerance,
         "FRAC  allowed slowdown fraction (default 0.25)" );
+      ( "--abs-tolerance",
+        Arg.Set_float abs_tolerance,
+        "DELTA  allowed absolute drift of rate metrics (default 0.1)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "check_regress [--current PATH] [--tolerance FRAC]";
@@ -110,20 +126,32 @@ let () =
       | None -> Printf.printf "  %-26s dropped from current run\n" name
       | Some cvals ->
           List.iter
-            (fun (metric, pv) ->
-              match List.assoc_opt metric cvals with
+            (fun (metric, kind, pv) ->
+              match
+                List.find_opt (fun (m, _, _) -> m = metric) cvals
+              with
               | None ->
                   Printf.printf "  %-26s %-11s dropped from current run\n" name
                     metric
-              | Some cv ->
+              | Some (_, _, cv) -> (
                   incr compared;
-                  let ratio = cv /. pv in
-                  let flag = ratio > 1.0 +. !tolerance in
-                  if flag then incr failures;
-                  Printf.printf "  %-26s %-11s %12g -> %12g  (%+.1f%%)%s\n"
-                    name metric pv cv
-                    ((ratio -. 1.0) *. 100.0)
-                    (if flag then "  REGRESSION" else ""))
+                  match kind with
+                  | Relative ->
+                      let ratio = cv /. pv in
+                      let flag = ratio > 1.0 +. !tolerance in
+                      if flag then incr failures;
+                      Printf.printf "  %-26s %-11s %12g -> %12g  (%+.1f%%)%s\n"
+                        name metric pv cv
+                        ((ratio -. 1.0) *. 100.0)
+                        (if flag then "  REGRESSION" else "")
+                  | Absolute ->
+                      let drift = Float.abs (cv -. pv) in
+                      let flag = drift > !abs_tolerance in
+                      if flag then incr failures;
+                      Printf.printf
+                        "  %-26s %-11s %12g -> %12g  (drift %.3f)%s\n" name
+                        metric pv cv drift
+                        (if flag then "  REGRESSION" else "")))
             pvals)
     prev;
   if !compared = 0 then

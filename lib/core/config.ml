@@ -21,6 +21,7 @@ type pool = {
   mem_limit_mb : int option;
   max_retries : int;
   backoff_s : float;
+  max_backoff_s : float;
 }
 
 let default_pool =
@@ -31,23 +32,35 @@ let default_pool =
     mem_limit_mb = None;
     max_retries = 1;
     backoff_s = 0.05;
+    max_backoff_s = 5.0;
   }
 
 let pool ?(workers = default_pool.workers) ?hard_deadline_s
     ?(grace_s = default_pool.grace_s) ?mem_limit_mb
     ?(max_retries = default_pool.max_retries)
-    ?(backoff_s = default_pool.backoff_s) () =
+    ?(backoff_s = default_pool.backoff_s)
+    ?(max_backoff_s = default_pool.max_backoff_s) () =
   if workers < 1 then invalid_arg "Config.pool: workers < 1";
   if grace_s < 0.0 then invalid_arg "Config.pool: negative grace";
   if max_retries < 0 then invalid_arg "Config.pool: negative max_retries";
   if backoff_s < 0.0 then invalid_arg "Config.pool: negative backoff";
+  if max_backoff_s < backoff_s then
+    invalid_arg "Config.pool: max_backoff below backoff";
   (match hard_deadline_s with
   | Some d when d <= 0.0 -> invalid_arg "Config.pool: non-positive deadline"
   | _ -> ());
   (match mem_limit_mb with
   | Some m when m < 1 -> invalid_arg "Config.pool: mem limit < 1 MB"
   | _ -> ());
-  { workers; hard_deadline_s; grace_s; mem_limit_mb; max_retries; backoff_s }
+  {
+    workers;
+    hard_deadline_s;
+    grace_s;
+    mem_limit_mb;
+    max_retries;
+    backoff_s;
+    max_backoff_s;
+  }
 
 type probe_backend = Fork_probes | Domain_probes | Serial_probes
 

@@ -81,12 +81,18 @@ type pool = {
           retried) *)
   backoff_s : float;
       (** base of the exponential retry backoff: retry [k] of a job is
-          delayed by [backoff_s * 2^k] *)
+          nominally delayed by [backoff_s * 2^k], jittered (see
+          {!Supervisor.backoff_delay}) so simultaneous worker deaths do
+          not restart in lockstep *)
+  max_backoff_s : float;
+      (** hard ceiling on any single backoff delay, jitter included —
+          keeps the exponential from growing past usefulness in
+          long-lived pools (the daemon's worker-respawn loop) *)
 }
 
 val default_pool : pool
 (** One worker, no hard deadline, 1 s grace, no memory cap, one retry,
-    50 ms backoff base. *)
+    50 ms backoff base capped at 5 s. *)
 
 val pool :
   ?workers:int ->
@@ -95,11 +101,12 @@ val pool :
   ?mem_limit_mb:int ->
   ?max_retries:int ->
   ?backoff_s:float ->
+  ?max_backoff_s:float ->
   unit ->
   pool
 (** Validating constructor over {!default_pool}.
-    @raise Invalid_argument on non-positive workers/deadline/memory or
-    negative grace/retries/backoff. *)
+    @raise Invalid_argument on non-positive workers/deadline/memory,
+    negative grace/retries/backoff, or [max_backoff_s < backoff_s]. *)
 
 (** {1 Radius search: speculative parallel probes}
 

@@ -8,211 +8,132 @@ type entry = {
   detail : string;
 }
 
-(* ---------------- flat JSON, hand-rolled ----------------
-
-   The toolchain ships no JSON library, and the journal only ever holds
-   one flat object of known fields per line, so a tiny strict
-   encoder/decoder keeps the dependency surface at zero. *)
-
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let to_json e =
   Printf.sprintf
     "{\"job\":%d,\"verdict\":\"%s\",\"rung\":\"%s\",\"attempts\":%d,\"retries\":%d,\"wall_s\":%.6f,\"detail\":\"%s\"}"
     e.job
-    (escape (Verdict.to_string e.verdict))
-    (escape e.rung) e.attempts e.retries e.wall_s (escape e.detail)
-
-(* Values are strings or numbers; that is all the journal ever emits. *)
-type jvalue = Jstring of string | Jnumber of float
-
-exception Parse of string
-
-let parse_line line =
-  let n = String.length line in
-  let pos = ref 0 in
-  let fail msg = raise (Parse (Printf.sprintf "%s at column %d" msg !pos)) in
-  let peek () = if !pos < n then Some line.[!pos] else None in
-  let advance () = incr pos in
-  let skip_ws () =
-    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do advance () done
-  in
-  let expect c =
-    skip_ws ();
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let string_lit () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
-          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
-          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
-          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
-          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
-          | Some 'u' ->
-              if !pos + 4 >= n then fail "truncated \\u escape";
-              let hex = String.sub line (!pos + 1) 4 in
-              (match int_of_string_opt ("0x" ^ hex) with
-              | Some c when c < 0x80 -> Buffer.add_char b (Char.chr c)
-              | _ -> fail "unsupported \\u escape");
-              pos := !pos + 5;
-              go ()
-          | _ -> fail "bad escape")
-      | Some c -> Buffer.add_char b c; advance (); go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let number () =
-    let start = !pos in
-    while
-      !pos < n
-      &&
-      match line.[!pos] with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    do
-      advance ()
-    done;
-    if !pos = start then fail "expected number";
-    match float_of_string_opt (String.sub line start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Jstring (string_lit ())
-    | _ -> Jnumber (number ())
-  in
-  expect '{';
-  let fields = ref [] in
-  skip_ws ();
-  (if peek () = Some '}' then advance ()
-   else
-     let rec members () =
-       let k = string_lit () in
-       expect ':';
-       let v = value () in
-       if List.mem_assoc k !fields then fail ("duplicate field " ^ k);
-       fields := (k, v) :: !fields;
-       skip_ws ();
-       match peek () with
-       | Some ',' -> advance (); skip_ws (); members ()
-       | Some '}' -> advance ()
-       | _ -> fail "expected ',' or '}'"
-     in
-     members ());
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  !fields
+    (Jsonl.escape (Verdict.to_string e.verdict))
+    (Jsonl.escape e.rung) e.attempts e.retries e.wall_s (Jsonl.escape e.detail)
 
 let of_json line =
-  match parse_line line with
-  | exception Parse msg -> Error msg
-  | fields -> (
-      let known =
-        [ "job"; "verdict"; "rung"; "attempts"; "retries"; "wall_s"; "detail" ]
-      in
-      match List.find_opt (fun (k, _) -> not (List.mem k known)) fields with
-      | Some (k, _) -> Error ("unknown field " ^ k)
-      | None -> (
-          let str k =
-            match List.assoc_opt k fields with
-            | Some (Jstring s) -> Ok s
-            | Some (Jnumber _) -> Error ("field " ^ k ^ " must be a string")
-            | None -> Error ("missing field " ^ k)
-          in
-          let num k =
-            match List.assoc_opt k fields with
-            | Some (Jnumber f) -> Ok f
-            | Some (Jstring _) -> Error ("field " ^ k ^ " must be a number")
-            | None -> Error ("missing field " ^ k)
-          in
-          let int k =
-            Result.bind (num k) (fun f ->
-                if Float.is_integer f then Ok (int_of_float f)
-                else Error ("field " ^ k ^ " must be an integer"))
-          in
-          let ( let* ) = Result.bind in
-          let* job = int "job" in
-          let* vs = str "verdict" in
-          let* rung = str "rung" in
-          let* attempts = int "attempts" in
-          let* retries = int "retries" in
-          let* wall_s = num "wall_s" in
-          let* detail = str "detail" in
-          match Verdict.of_string vs with
-          | None -> Error ("bad verdict " ^ vs)
-          | Some verdict ->
-              Ok { job; verdict; rung; attempts; retries; wall_s; detail }))
+  let ( let* ) = Result.bind in
+  let* fields = Jsonl.parse line in
+  let* () =
+    Jsonl.known fields
+      [ "job"; "verdict"; "rung"; "attempts"; "retries"; "wall_s"; "detail" ]
+  in
+  let* job = Jsonl.int fields "job" in
+  let* vs = Jsonl.str fields "verdict" in
+  let* rung = Jsonl.str fields "rung" in
+  let* attempts = Jsonl.int fields "attempts" in
+  let* retries = Jsonl.int fields "retries" in
+  let* wall_s = Jsonl.num fields "wall_s" in
+  let* detail = Jsonl.str fields "detail" in
+  let* verdict = Verdict.of_string_res vs in
+  Ok { job; verdict; rung; attempts; retries; wall_s; detail }
 
-(* ---------------- the journal file ---------------- *)
+(* ---------------- the journal file ----------------
+
+   True append-only JSONL: every {!append} writes one line and fsyncs
+   it, so the cost of journaling a job is O(1), not O(jobs) — the
+   daemon journals every accepted job of an unbounded run through this
+   path. The price of in-place appends is that a crash (power loss,
+   SIGKILL) can tear the final line mid-write; recovery therefore
+   treats exactly one trailing unparseable line as the expected crash
+   artifact — skipped with a warning, truncated away on {!resume} so
+   subsequent appends extend a well-formed file. Corruption anywhere
+   else stays loud. *)
 
 type t = {
   jpath : string;
   mutable rev_entries : entry list;  (* newest first *)
   mutable ids : (int, unit) Hashtbl.t;
+  mutable chan : out_channel option;  (* open lazily on first append *)
+  mutable truncate_on_open : bool;  (* [create]: replace an old file *)
 }
 
 let path j = j.jpath
 let entries j = List.rev j.rev_entries
 let journaled j id = Hashtbl.mem j.ids id
 
-let of_entries jpath es =
+let of_entries jpath ~truncate_on_open es =
   let ids = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.replace ids e.job ()) es;
-  { jpath; rev_entries = List.rev es; ids }
+  { jpath; rev_entries = List.rev es; ids; chan = None; truncate_on_open }
 
-let create jpath = of_entries jpath []
+let create jpath = of_entries jpath ~truncate_on_open:true []
+
+(* Read the file, tolerating a torn final line. Returns the entries of
+   every well-formed line and, when the tail is torn, the byte offset
+   where the damage starts plus a diagnostic. *)
+let load_tail jpath =
+  let content =
+    let ic = open_in_bin jpath in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let len = String.length content in
+  let rec go start lineno acc =
+    if start >= len then (List.rev acc, None)
+    else
+      let stop =
+        match String.index_from_opt content start '\n' with
+        | Some i -> i
+        | None -> len
+      in
+      let line = String.sub content start (stop - start) in
+      let next = stop + 1 in
+      if line = "" then go next (lineno + 1) acc
+      else
+        match of_json line with
+        | Ok e -> go next (lineno + 1) (e :: acc)
+        | Error msg ->
+            (* Only the final line of the file may fail — that is the
+               signature of an append torn by a crash. *)
+            let rest_blank =
+              let rec blank i =
+                i >= len || ((content.[i] = '\n' || content.[i] = ' ') && blank (i + 1))
+              in
+              blank next
+            in
+            if rest_blank then
+              ( List.rev acc,
+                Some
+                  ( start,
+                    Printf.sprintf "%s:%d: torn final line (%s)" jpath lineno
+                      msg ) )
+            else
+              failwith (Printf.sprintf "Journal.load: %s:%d: %s" jpath lineno msg)
+  in
+  go 0 1 []
 
 let load jpath =
-  let ic = open_in jpath in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let rec go lineno acc =
-        match input_line ic with
-        | exception End_of_file -> List.rev acc
-        | "" -> go (lineno + 1) acc
-        | line -> (
-            match of_json line with
-            | Ok e -> go (lineno + 1) (e :: acc)
-            | Error msg ->
-                failwith
-                  (Printf.sprintf "Journal.load: %s:%d: %s" jpath lineno msg))
-      in
-      go 1 [])
+  let es, torn = load_tail jpath in
+  (match torn with
+  | Some (_, msg) ->
+      Printf.eprintf "journal: warning: skipping %s\n%!" msg
+  | None -> ());
+  es
 
 let resume jpath =
-  (* An interrupted append can leave a stale temp file; the journal
-     itself is always a complete snapshot thanks to the atomic rename. *)
+  (* Journals written before the append-only rewrite could leave a stale
+     temp file from their tmp+rename discipline; still clean it up. *)
   (try Sys.remove (jpath ^ ".tmp") with Sys_error _ -> ());
-  let es = if Sys.file_exists jpath then load jpath else [] in
-  of_entries jpath es
+  if not (Sys.file_exists jpath) then of_entries jpath ~truncate_on_open:false []
+  else begin
+    let es, torn = load_tail jpath in
+    (match torn with
+    | Some (offset, msg) ->
+        Printf.eprintf "journal: warning: dropping %s\n%!" msg;
+        (* Cut the torn bytes so future appends extend a clean file. *)
+        let fd = Unix.openfile jpath [ Unix.O_WRONLY ] 0o644 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> Unix.ftruncate fd offset)
+    | None -> ());
+    of_entries jpath ~truncate_on_open:false es
+  end
 
 let fsync_dir dir =
   match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
@@ -222,25 +143,31 @@ let fsync_dir dir =
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
+let channel j =
+  match j.chan with
+  | Some oc -> oc
+  | None ->
+      let flags =
+        if j.truncate_on_open then
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+        else [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+      in
+      let fd = Unix.openfile j.jpath flags 0o644 in
+      let oc = Unix.out_channel_of_descr fd in
+      j.chan <- Some oc;
+      j.truncate_on_open <- false;
+      (* make the file's directory entry durable once *)
+      fsync_dir (Filename.dirname j.jpath);
+      oc
+
 let append j e =
   if journaled j e.job then
     invalid_arg
       (Printf.sprintf "Journal.append: job %d already journaled" e.job);
   j.rev_entries <- e :: j.rev_entries;
   Hashtbl.replace j.ids e.job ();
-  let tmp = j.jpath ^ ".tmp" in
-  let oc = open_out tmp in
-  (try
-     List.iter
-       (fun e ->
-         output_string oc (to_json e);
-         output_char oc '\n')
-       (entries j);
-     flush oc;
-     Unix.fsync (Unix.descr_of_out_channel oc);
-     close_out oc
-   with exn ->
-     close_out_noerr oc;
-     raise exn);
-  Unix.rename tmp j.jpath;
-  fsync_dir (Filename.dirname j.jpath)
+  let oc = channel j in
+  output_string oc (to_json e);
+  output_char oc '\n';
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)

@@ -1,14 +1,16 @@
-(** Crash-safe batch journal.
+(** Crash-safe job journal.
 
-    One line of JSON per completed job, so a batch run that is killed at
-    any instant — power loss, OOM killer, SIGKILL — can be resumed
-    without re-certifying finished sentences and without ever reading a
-    torn record. Durability comes from the classic write-to-temp +
-    atomic-rename discipline: every {!append} rewrites the full journal
-    to [path ^ ".tmp"], fsyncs it, renames it over [path] and fsyncs the
-    containing directory, so the on-disk journal is always a complete
-    prefix of the run. Batches are small (thousands of lines), so the
-    O(n²) total write cost is noise next to certification itself.
+    One line of JSON per completed job, so a batch run — or the
+    long-lived certification daemon — that is killed at any instant
+    (power loss, OOM killer, SIGKILL) can be resumed without
+    re-certifying finished work. Durability is append-only: every
+    {!append} writes one line, flushes and fsyncs, so journaling a job
+    costs O(1) no matter how long the daemon has been up. A kill can
+    therefore tear the {e final} line mid-write; {!resume} and {!load}
+    recognise exactly that artifact — a single unparseable trailing
+    line — skip it with a warning, and {!resume} truncates it away so
+    later appends extend a well-formed file. A malformed line anywhere
+    {e else} still fails loudly: that is corruption, not a crash.
 
     The journal format is a flat JSON object per line:
 
@@ -47,9 +49,12 @@ val create : string -> t
 
 val resume : string -> t
 (** Load an existing journal (missing file = empty journal) and keep
-    appending to it. A stale [.tmp] from an interrupted append is
-    removed. @raise Failure on a malformed line — impossible for
-    journals written by this module, so corruption stays loud. *)
+    appending to it. A torn final line — the artifact of an append
+    interrupted by a crash — is dropped with a warning and truncated
+    from the file; a stale [.tmp] left by the pre-append-only format is
+    removed. @raise Failure on a malformed line that is {e not} the
+    final one — impossible for journals written by this module, so
+    corruption stays loud. *)
 
 val path : t -> string
 
@@ -66,5 +71,6 @@ val append : t -> entry -> unit
     supervisor must never double-report. *)
 
 val load : string -> entry list
-(** Read-only load. @raise Failure on malformed lines, [Sys_error] if
-    the file does not exist. *)
+(** Read-only load; a torn final line is skipped with a warning (the
+    file is left untouched). @raise Failure on other malformed lines,
+    [Sys_error] if the file does not exist. *)

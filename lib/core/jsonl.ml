@@ -1,0 +1,157 @@
+(* Flat JSON lines, hand-rolled.
+
+   The toolchain ships no JSON library, and every line format in the
+   repository — the batch journal, the daemon's wire protocol and intake
+   file, the benchmark snapshots — is one flat object of known fields per
+   line, so a tiny strict codec keeps the dependency surface at zero.
+   Originally private to Journal; extracted when the service protocol
+   needed the same discipline. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Values are strings or numbers; that is all the line formats emit. *)
+type value = Str of string | Num of float
+
+exception Parse of string
+
+let parse_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at column %d" msg !pos)) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do advance () done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let hex = String.sub line (!pos + 1) 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some c when c < 0x80 -> Buffer.add_char b (Char.chr c)
+              | _ -> fail "unsupported \\u escape");
+              pos := !pos + 5;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (string_lit ())
+    | _ -> Num (number ())
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  (if peek () = Some '}' then advance ()
+   else
+     let rec members () =
+       let k = string_lit () in
+       expect ':';
+       let v = value () in
+       if List.mem_assoc k !fields then fail ("duplicate field " ^ k);
+       fields := (k, v) :: !fields;
+       skip_ws ();
+       match peek () with
+       | Some ',' -> advance (); skip_ws (); members ()
+       | Some '}' -> advance ()
+       | _ -> fail "expected ',' or '}'"
+     in
+     members ());
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  !fields
+
+let parse line =
+  match parse_line line with
+  | exception Parse msg -> Error msg
+  | fields -> Ok fields
+
+let known fields names =
+  match List.find_opt (fun (k, _) -> not (List.mem k names)) fields with
+  | Some (k, _) -> Error ("unknown field " ^ k)
+  | None -> Ok ()
+
+(* ---------------- typed field accessors ---------------- *)
+
+let str fields k =
+  match List.assoc_opt k fields with
+  | Some (Str s) -> Ok s
+  | Some (Num _) -> Error ("field " ^ k ^ " must be a string")
+  | None -> Error ("missing field " ^ k)
+
+let num fields k =
+  match List.assoc_opt k fields with
+  | Some (Num f) -> Ok f
+  | Some (Str _) -> Error ("field " ^ k ^ " must be a number")
+  | None -> Error ("missing field " ^ k)
+
+let int fields k =
+  Result.bind (num fields k) (fun f ->
+      if Float.is_integer f then Ok (int_of_float f)
+      else Error ("field " ^ k ^ " must be an integer"))
+
+let some r = Result.map Option.some r
+
+let str_opt fields k =
+  if List.mem_assoc k fields then some (str fields k) else Ok None
+
+let num_opt fields k =
+  if List.mem_assoc k fields then some (num fields k) else Ok None
+
+let int_opt fields k =
+  if List.mem_assoc k fields then some (int fields k) else Ok None

@@ -1,0 +1,38 @@
+(** Flat JSON-lines codec shared by every line format in the repository.
+
+    One object of string/number fields per line — the {!Journal}, the
+    service wire protocol ({!Service.Protocol} in [lib/service]) and the
+    daemon's intake file all speak this shape, and the toolchain ships no
+    JSON library, so one small strict parser serves them all. Not a
+    general JSON parser: no nesting, no arrays, no booleans or nulls —
+    by design, so torn or corrupt lines fail loudly and early.
+
+    Writers keep formatting their own lines with [Printf] (each format
+    pins its own float precision); {!escape} is the shared string
+    escaper, {!parse} the shared strict reader. *)
+
+val escape : string -> string
+(** JSON string-literal escaping (quotes, backslash, control chars). *)
+
+type value = Str of string | Num of float
+
+val parse : string -> ((string * value) list, string) result
+(** Strict parse of one [{"k":v,...}] line: duplicate fields, trailing
+    garbage, nesting and non-string/number values are all errors. Fields
+    come back in reverse source order; use the accessors below. *)
+
+val known : (string * value) list -> string list -> (unit, string) result
+(** [known fields names] rejects any field outside [names] — line
+    formats are closed, so an unknown field means version skew or
+    corruption. *)
+
+(** Typed accessors; [Error] carries a ["missing field k" / "field k
+    must be a ..."] diagnostic. The [_opt] variants return [Ok None]
+    when the field is absent but still type-check it when present. *)
+
+val str : (string * value) list -> string -> (string, string) result
+val num : (string * value) list -> string -> (float, string) result
+val int : (string * value) list -> string -> (int, string) result
+val str_opt : (string * value) list -> string -> (string option, string) result
+val num_opt : (string * value) list -> string -> (float option, string) result
+val int_opt : (string * value) list -> string -> (int option, string) result

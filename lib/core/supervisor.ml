@@ -26,6 +26,21 @@ let failure_detail = function
   | Killed { signal } -> signal_name signal
   | Crashed { reason } -> reason
 
+(* Jittered, capped exponential backoff. Deterministic backoff restarts
+   every victim of a simultaneous kill (an OOM sweep, a model that
+   crashes every worker at once) in lockstep, synchronizing the next
+   crash wave; the jitter spreads retry [k] uniformly over
+   [cap/2, cap] with cap = min(backoff_s * 2^k, max_backoff_s). *)
+let jitter_rng = lazy (Random.State.make_self_init ())
+
+let backoff_delay pool ~retries =
+  let cap =
+    Float.min
+      (pool.Config.backoff_s *. (2.0 ** float_of_int retries))
+      pool.Config.max_backoff_s
+  in
+  cap *. (0.5 +. (0.5 *. Random.State.float (Lazy.force jitter_rng) 1.0))
+
 (* ---------------- the worker side ---------------- *)
 
 (* Portable stand-in for setrlimit (absent from the stdlib Unix module):
@@ -59,6 +74,8 @@ let worker_main ~mem_limit_mb ~job_r ~res_w (worker : int -> 'a -> 'b) =
       (Printexc.to_string e);
     exit exit_uncaught
 
+let worker_loop = worker_main
+
 (* ---------------- the supervisor side ---------------- *)
 
 type wstate = {
@@ -86,19 +103,18 @@ let rec waitpid_retry pid =
   | _, status -> status
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
 
-let classify w status =
-  match w.term_at with
-  | Some _ ->
-      let signal =
-        match status with Unix.WSIGNALED s -> s | _ -> Sys.sigterm
-      in
-      Killed { signal }
-  | None -> (
-      match status with
-      | Unix.WSIGNALED s -> Crashed { reason = signal_name s }
-      | Unix.WEXITED c when c = exit_oom -> Crashed { reason = "oom" }
-      | Unix.WEXITED c -> Crashed { reason = "exit " ^ string_of_int c }
-      | Unix.WSTOPPED s -> Crashed { reason = "stopped " ^ signal_name s })
+let classify_status ~term_sent status =
+  if term_sent then
+    let signal = match status with Unix.WSIGNALED s -> s | _ -> Sys.sigterm in
+    Killed { signal }
+  else
+    match status with
+    | Unix.WSIGNALED s -> Crashed { reason = signal_name s }
+    | Unix.WEXITED c when c = exit_oom -> Crashed { reason = "oom" }
+    | Unix.WEXITED c -> Crashed { reason = "exit " ^ string_of_int c }
+    | Unix.WSTOPPED s -> Crashed { reason = "stopped " ^ signal_name s }
+
+let classify w status = classify_status ~term_sent:(w.term_at <> None) status
 
 let run ?(pool = Config.default_pool) ?on_result ~worker jobs =
   if pool.Config.workers < 1 then invalid_arg "Supervisor.run: workers < 1";
@@ -211,8 +227,7 @@ let run ?(pool = Config.default_pool) ?on_result ~worker jobs =
           (match failure with
           | Crashed _ when j.retries < pool.Config.max_retries ->
               j.not_before <-
-                Unix.gettimeofday ()
-                +. (pool.Config.backoff_s *. (2.0 ** float_of_int j.retries));
+                Unix.gettimeofday () +. backoff_delay pool ~retries:j.retries;
               j.retries <- j.retries + 1;
               pending := j :: !pending
           | _ -> finalize j (Error failure)));

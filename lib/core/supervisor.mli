@@ -73,6 +73,36 @@ val exit_uncaught : int
 val exit_oom : int
 (** Exit code of a worker stopped by the memory guard. *)
 
+val backoff_delay : Config.pool -> retries:int -> float
+(** Delay before re-dispatching after the [retries]-th crash: uniformly
+    jittered over [cap/2, cap] with
+    [cap = min (backoff_s * 2^retries) max_backoff_s]. Jitter prevents
+    workers felled by one event (an OOM sweep, a poisonous model) from
+    restarting — and crashing — in lockstep; the cap keeps long-lived
+    pools (the certification daemon) from backing off into uselessness.
+    Shared by this pool's retry gate and the daemon's respawn loop. *)
+
+val classify_status : term_sent:bool -> Unix.process_status -> failure
+(** Maps a reaped worker status to a {!failure}: with [term_sent] (the
+    supervisor had already escalated a deadline overrun) any death is
+    {!Killed}; otherwise signals, the OOM guard's exit code and other
+    nonzero exits are {!Crashed} with the standard reason strings.
+    Exposed so the daemon's persistent pool reports deaths identically
+    to batch runs. *)
+
+val worker_loop :
+  mem_limit_mb:int option ->
+  job_r:Unix.file_descr ->
+  res_w:Unix.file_descr ->
+  (int -> 'a -> 'b) ->
+  unit
+(** The worker side of the pool protocol, for processes forked outside
+    {!run} (the daemon pre-forks warm workers and keeps them across
+    jobs): installs the memory guard, then loops reading [(id, payload)]
+    jobs off [job_r] with [Marshal] and writing [(id, result)] to
+    [res_w] until EOF ([exit 0]). An uncaught exception exits with
+    {!exit_uncaught}; the guard exits with {!exit_oom}. Never returns. *)
+
 val run :
   ?pool:Config.pool ->
   ?on_result:('b job_result -> unit) ->

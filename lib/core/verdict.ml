@@ -6,6 +6,8 @@ type unknown_reason =
   | Imprecise
   | Worker_killed
   | Worker_crashed
+  | Overloaded
+  | Quarantined
 
 type t = Certified | Falsified | Unknown of unknown_reason
 
@@ -20,6 +22,8 @@ let all_reasons =
     Imprecise;
     Worker_killed;
     Worker_crashed;
+    Overloaded;
+    Quarantined;
   ]
 
 let reason_name = function
@@ -30,6 +34,8 @@ let reason_name = function
   | Imprecise -> "imprecise"
   | Worker_killed -> "worker-killed"
   | Worker_crashed -> "worker-crashed"
+  | Overloaded -> "overloaded"
+  | Quarantined -> "quarantined"
 
 let to_string = function
   | Certified -> "certified"
@@ -39,16 +45,29 @@ let to_string = function
 let reason_of_string s =
   List.find_opt (fun r -> reason_name r = s) all_reasons
 
-let of_string = function
-  | "certified" -> Some Certified
-  | "falsified" -> Some Falsified
+let of_string_res = function
+  | "certified" -> Ok Certified
+  | "falsified" -> Ok Falsified
   | s ->
       let n = String.length s in
-      if n > 9 && String.sub s 0 8 = "unknown(" && s.[n - 1] = ')' then
-        Option.map
-          (fun r -> Unknown r)
-          (reason_of_string (String.sub s 8 (n - 9)))
-      else None
+      if n > 9 && String.sub s 0 8 = "unknown(" && s.[n - 1] = ')' then begin
+        let reason = String.sub s 8 (n - 9) in
+        match reason_of_string reason with
+        | Some r -> Ok (Unknown r)
+        | None ->
+            Error
+              (Printf.sprintf
+                 "unknown verdict reason %S (expected one of: %s)" reason
+                 (String.concat ", " (List.map reason_name all_reasons)))
+      end
+      else
+        Error
+          (Printf.sprintf
+             "bad verdict %S (expected \"certified\", \"falsified\" or \
+              \"unknown(REASON)\")"
+             s)
+
+let of_string s = Result.to_option (of_string_res s)
 
 let pp ppf v = Format.pp_print_string ppf (to_string v)
 let pp_reason ppf r = Format.pp_print_string ppf (reason_name r)
@@ -56,7 +75,7 @@ let is_certified = function Certified -> true | _ -> false
 let is_fault = function
   | Unknown
       ( Timeout | Symbol_budget | Numerical_fault | Unbounded | Worker_killed
-      | Worker_crashed ) ->
+      | Worker_crashed | Overloaded | Quarantined ) ->
       true
   | Certified | Falsified | Unknown Imprecise -> false
 let equal (a : t) (b : t) = a = b

@@ -37,6 +37,14 @@ type unknown_reason =
       (** a {!Supervisor} worker died without answering: nonzero exit,
           unexpected signal (e.g. SIGSEGV), out-of-memory guard, or a
           garbled result on the pipe *)
+  | Overloaded
+      (** the certification daemon shed the job at admission: its bounded
+          queue was past the high-water mark. The response carries a
+          retry-after hint; the query was never attempted. *)
+  | Quarantined
+      (** the daemon's circuit breaker has the target model quarantined
+          after consecutive worker deaths on it; the query was rejected
+          at admission until the breaker half-opens. *)
 
 type t = Certified | Falsified | Unknown of unknown_reason
 
@@ -60,6 +68,13 @@ val of_string : string -> t option
 (** Inverse of {!to_string} — ["certified"], ["falsified"],
     ["unknown(REASON)"]. Used by {!Journal} to round-trip verdicts
     through the on-disk batch journal. *)
+
+val of_string_res : string -> (t, string) result
+(** Like {!of_string} but a rejection explains itself: an unknown reason
+    lists every valid reason name, a malformed verdict shows the
+    expected shapes. The journal and the service protocol use this so a
+    corrupt or version-skewed line fails with an actionable message
+    instead of a bare [None]. *)
 
 val pp : Format.formatter -> t -> unit
 val pp_reason : Format.formatter -> unknown_reason -> unit

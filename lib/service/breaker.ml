@@ -1,0 +1,70 @@
+(* Per-model circuit breaker over worker deaths.
+
+   A model whose certification reliably kills workers (pathological
+   weights, an OOM-scale query) must not grind the pool through an
+   endless crash-restart loop; after [threshold] consecutive deaths the
+   breaker opens and the daemon answers Quarantined until the cooloff
+   elapses, then lets exactly one probe job through (half-open). The
+   clock is injected so tests drive the schedule deterministically. *)
+
+type state = Closed | Open of float | Half_open
+
+type t = {
+  threshold : int;
+  cooloff_s : float;
+  now : unit -> float;
+  mutable state : state;
+  mutable consecutive : int;
+  mutable probing : bool; (* Half_open: one probe already in flight *)
+  mutable trips : int;
+}
+
+let create ?(threshold = 3) ?(cooloff_s = 5.0) ~now () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
+  if cooloff_s <= 0.0 then invalid_arg "Breaker.create: cooloff_s <= 0";
+  { threshold; cooloff_s; now; state = Closed; consecutive = 0; probing = false; trips = 0 }
+
+let admit t =
+  match t.state with
+  | Closed -> `Ok
+  | Open until ->
+      let now = t.now () in
+      if now >= until then begin
+        t.state <- Half_open;
+        t.probing <- true;
+        `Ok
+      end
+      else `Reject (until -. now)
+  | Half_open ->
+      if t.probing then `Reject t.cooloff_s
+      else begin
+        t.probing <- true;
+        `Ok
+      end
+
+let success t =
+  t.state <- Closed;
+  t.consecutive <- 0;
+  t.probing <- false
+
+let failure t =
+  t.consecutive <- t.consecutive + 1;
+  match t.state with
+  | Half_open ->
+      (* The probe died: straight back to Open for another cooloff. *)
+      t.state <- Open (t.now () +. t.cooloff_s);
+      t.probing <- false;
+      t.trips <- t.trips + 1
+  | Closed when t.consecutive >= t.threshold ->
+      t.state <- Open (t.now () +. t.cooloff_s);
+      t.trips <- t.trips + 1
+  | Closed | Open _ -> ()
+
+let state t = t.state
+let trips t = t.trips
+
+let state_name t =
+  match t.state with
+  | Closed -> "closed"
+  | Open until -> Printf.sprintf "open(%.1fs)" (Float.max 0.0 (until -. t.now ()))
+  | Half_open -> "half-open"

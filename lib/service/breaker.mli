@@ -1,0 +1,39 @@
+(** Per-model circuit breaker over consecutive worker deaths.
+
+    Fault containment for the daemon's third failure class: a {e model}
+    (not a job) that reliably kills workers. [threshold] consecutive
+    crashes open the breaker; while open, jobs for the model are
+    answered [Quarantined] with the remaining cooloff. After the cooloff
+    one probe job is admitted (half-open): success closes the breaker,
+    another death re-opens it for a fresh cooloff. The clock is
+    injected, so tests walk the open → half-open → closed schedule with
+    a fake clock instead of sleeping. *)
+
+type state = Closed | Open of float  (** absolute reopen time *) | Half_open
+
+type t
+
+val create : ?threshold:int -> ?cooloff_s:float -> now:(unit -> float) -> unit -> t
+(** Defaults: [threshold 3], [cooloff_s 5.0].
+    @raise Invalid_argument on a non-positive threshold or cooloff. *)
+
+val admit : t -> [ `Ok | `Reject of float ]
+(** [`Reject remaining_s] while open (or while a half-open probe is
+    already in flight); [`Ok] otherwise. Crossing the cooloff boundary
+    transitions Open → Half_open and admits the probe. *)
+
+val success : t -> unit
+(** A job for this model completed without killing its worker. *)
+
+val failure : t -> unit
+(** A worker died running this model ({!Supervisor.Crashed} — deadline
+    kills are the job's fault, not the model's, and must not be fed
+    here). *)
+
+val state : t -> state
+
+val trips : t -> int
+(** Times the breaker has opened. *)
+
+val state_name : t -> string
+(** ["closed"], ["open(3.2s)"] or ["half-open"]. *)

@@ -1,0 +1,57 @@
+module Jsonl = Deept.Jsonl
+module Verdict = Deept.Verdict
+module Config = Deept.Config
+module Journal = Deept.Journal
+
+type result_entry = { verdict : Verdict.t; rung : string; attempts : int }
+
+type t = {
+  tbl : (string, result_entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+(* The key pins everything the verdict depends on: the model *weights*
+   (digest, not name — retraining must invalidate), the exact input,
+   the perturbation and the verifier policy. One line, journal-safe
+   (the key rides in Journal.entry.detail as "key=..."). *)
+let key ~digest (c : Protocol.certify) =
+  let input =
+    match c.input with
+    | Protocol.Index i -> Printf.sprintf "i%d" i
+    | Protocol.Sentence s -> "s" ^ Jsonl.escape s
+  in
+  Printf.sprintf "%s|%s|w%d|L%s|r%.17g|%s|d%s" digest input c.word
+    (Protocol.norm_name c.p) c.radius
+    (Config.variant_name c.verifier)
+    (match c.deadline_s with None -> "-" | Some d -> Printf.sprintf "%.17g" d)
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some _ as r ->
+      t.hits <- t.hits + 1;
+      r
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let store t k e =
+  (* Fault verdicts (timeouts, dead workers, quarantine) describe the
+     run, not the query — never cache them. *)
+  if not (Verdict.is_fault e.verdict) then Hashtbl.replace t.tbl k e
+
+let absorb t entries =
+  List.iter
+    (fun (e : Journal.entry) ->
+      let d = e.detail in
+      if String.length d > 4 && String.sub d 0 4 = "key=" then
+        store t
+          (String.sub d 4 (String.length d - 4))
+          { verdict = e.verdict; rung = e.rung; attempts = e.attempts })
+    entries
+
+let size t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses

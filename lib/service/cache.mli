@@ -1,0 +1,42 @@
+(** Result cache keyed by everything a verdict depends on.
+
+    A daemon fronting a model zoo sees repeats — the same (model, input,
+    radius, verifier) query from different clients, or the same batch
+    replayed after a crash. The cache short-circuits those to the stored
+    verdict. Keys embed the model {e digest} (weights hash, so a
+    retrained model never serves stale verdicts), the exact input, the
+    perturbation (norm, radius at full [%.17g] precision) and the
+    verifier policy including the effective deadline. Only non-fault
+    verdicts are stored — a timeout or dead worker describes that run,
+    not the query.
+
+    Durability rides on the {!Deept.Journal}: the daemon writes each
+    completed job with [detail = "key=<cache key>"], and {!absorb}
+    rebuilds the cache from journal entries on [--resume] — no second
+    persistence format. *)
+
+type result_entry = {
+  verdict : Deept.Verdict.t;
+  rung : string;
+  attempts : int;
+}
+
+type t
+
+val create : unit -> t
+
+val key : digest:string -> Protocol.certify -> string
+(** Canonical single-line key (safe inside a journal [detail] field). *)
+
+val find : t -> string -> result_entry option
+(** Counted as a hit or miss. *)
+
+val store : t -> string -> result_entry -> unit
+(** No-op for fault verdicts ({!Deept.Verdict.is_fault}). *)
+
+val absorb : t -> Deept.Journal.entry list -> unit
+(** Rebuild from journal entries whose [detail] is ["key=..."]. *)
+
+val size : t -> int
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,42 @@
+(* Blocking line-oriented client for the certifyd socket. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let connect_retry ?(timeout_s = 10.0) path =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    match connect path with
+    | conn -> conn
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.05;
+        go ()
+  in
+  go ()
+
+let send t req =
+  output_string t.oc (Protocol.request_to_json req);
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv t =
+  match input_line t.ic with
+  | line -> (
+      match Protocol.response_of_json line with
+      | Ok r -> Some r
+      | Error e -> failwith ("certifyd protocol: " ^ e ^ ": " ^ line))
+  | exception End_of_file -> None
+
+let request t req =
+  send t req;
+  recv t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,27 @@
+(** Blocking certifyd client: one connection, line-in/line-out.
+
+    The tests, the benchmark harness and [certifyd request] all speak to
+    the daemon through this. Responses to pipelined certify requests
+    come back in completion order — correlate with
+    {!Protocol.certify.tag}. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's Unix-domain socket.
+    @raise Unix.Unix_error if nothing is listening. *)
+
+val connect_retry : ?timeout_s:float -> string -> t
+(** Retry until the socket accepts (default 10 s) — for racing a daemon
+    that is still loading models. Raises like {!connect} on timeout. *)
+
+val send : t -> Protocol.request -> unit
+
+val recv : t -> Protocol.response option
+(** Next response line; [None] on EOF (daemon closed the connection).
+    @raise Failure on a line that does not parse. *)
+
+val request : t -> Protocol.request -> Protocol.response option
+(** {!send} then {!recv}. *)
+
+val close : t -> unit

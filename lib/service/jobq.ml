@@ -1,0 +1,73 @@
+(* Bounded admission queue with an EWMA service-time estimate.
+
+   The daemon's load-shedding pivot: [admit] refuses work past the cap
+   (the caller answers Overloaded with [retry_after] as the hint), while
+   [requeue] — crash retries and --resume replays, work the daemon has
+   already promised durably — bypasses the cap and goes to the front. *)
+
+type 'a t = {
+  cap : int;
+  q : 'a Queue.t;
+  mutable front : 'a list; (* requeued jobs, ahead of [q] *)
+  mutable ewma_s : float;
+  mutable accepted : int;
+  mutable shed : int;
+}
+
+let ewma_alpha = 0.2
+let create ~cap = { cap; q = Queue.create (); front = []; ewma_s = 0.0; accepted = 0; shed = 0 }
+let depth t = List.length t.front + Queue.length t.q
+
+let admit t x =
+  if depth t >= t.cap then begin
+    t.shed <- t.shed + 1;
+    false
+  end
+  else begin
+    Queue.add x t.q;
+    t.accepted <- t.accepted + 1;
+    true
+  end
+
+let requeue t x = t.front <- x :: t.front
+
+let pop t ~ready =
+  (* First ready job in queue order; the scan preserves the relative
+     order of the not-yet-ready remainder. *)
+  let rec split_front acc = function
+    | [] -> None
+    | x :: rest when ready x ->
+        t.front <- List.rev_append acc rest;
+        Some x
+    | x :: rest -> split_front (x :: acc) rest
+  in
+  match split_front [] t.front with
+  | Some _ as r -> r
+  | None ->
+      let n = Queue.length t.q in
+      let found = ref None in
+      for _ = 1 to n do
+        let x = Queue.pop t.q in
+        if !found = None && ready x then found := Some x
+        else Queue.add x t.q
+      done;
+      !found
+
+let note_service t wall_s =
+  t.ewma_s <-
+    (if t.ewma_s = 0.0 then wall_s
+     else (ewma_alpha *. wall_s) +. ((1.0 -. ewma_alpha) *. t.ewma_s))
+
+let retry_after t ~workers =
+  let per = if t.ewma_s > 0.0 then t.ewma_s else 0.1 in
+  Float.max 0.05 (float_of_int (depth t + 1) *. per /. float_of_int (max 1 workers))
+
+let full t = depth t >= t.cap
+
+let iter t f =
+  List.iter f t.front;
+  Queue.iter f t.q
+
+let accepted t = t.accepted
+let shed t = t.shed
+let ewma_s t = t.ewma_s

@@ -1,0 +1,43 @@
+(** Bounded FIFO admission queue — the daemon's backpressure pivot.
+
+    Unbounded queues turn overload into unbounded memory growth and
+    minutes-deep latency; this queue instead {e sheds}: {!admit} refuses
+    work once [cap] jobs are waiting, and the caller answers the client
+    with [Overloaded] plus a {!retry_after} hint derived from an EWMA of
+    recent service times. Work the daemon has already durably promised —
+    crash retries, [--resume] replays — re-enters through {!requeue},
+    which bypasses the cap (shedding promised work would break the
+    exactly-once drill). *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+val depth : 'a t -> int
+
+val admit : 'a t -> 'a -> bool
+(** [false] = shed (counted); the job was not enqueued. *)
+
+val requeue : 'a t -> 'a -> unit
+(** Front-push, cap-exempt: retries and resume replays. *)
+
+val pop : 'a t -> ready:('a -> bool) -> 'a option
+(** First job (queue order) satisfying [ready] — jobs still in backoff
+    stay put, order preserved. *)
+
+val note_service : 'a t -> float -> unit
+(** Feed one completed job's wall time into the EWMA (α = 0.2). *)
+
+val retry_after : 'a t -> workers:int -> float
+(** Load-shedding hint: expected queue drain time
+    [(depth+1) · ewma / workers], floored at 50 ms. *)
+
+val full : 'a t -> bool
+(** [depth >= cap] — the next {!admit} would shed. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Every waiting job (front first) — for backoff timers and client
+    cleanup; do not mutate the queue inside. *)
+
+val accepted : 'a t -> int
+val shed : 'a t -> int
+val ewma_s : 'a t -> float

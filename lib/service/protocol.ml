@@ -1,0 +1,313 @@
+module Jsonl = Deept.Jsonl
+module Verdict = Deept.Verdict
+module Config = Deept.Config
+module Lp = Deept.Lp
+
+type input = Index of int | Sentence of string
+
+type certify = {
+  model : string;
+  input : input;
+  word : int;
+  p : Lp.t;
+  radius : float;
+  verifier : Config.dot_variant;
+  deadline_s : float option;
+  tag : int option;
+  drill_crash : bool;
+  drill_stall_s : float option;
+}
+
+type request = Certify of certify | Stats | Shutdown
+
+type result_r = {
+  id : int;
+  tag : int option;
+  verdict : Verdict.t;
+  rung : string;
+  attempts : int;
+  retries : int;
+  wall_s : float;
+  cached : bool;
+}
+
+type stats_r = {
+  uptime_s : float;
+  workers : int;
+  queue_depth : int;
+  inflight : int;
+  jobs_done : int;
+  shed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_size : int;
+  worker_deaths : int;
+  draining : bool;
+  breakers : string;
+}
+
+type response =
+  | Result of result_r
+  | Overloaded of { tag : int option; retry_after_s : float }
+  | Quarantined of { tag : int option; model : string; retry_after_s : float }
+  | Stats_r of stats_r
+  | Error of string
+  | Ok_ack
+
+(* ---------------- encoding ----------------
+
+   One flat JSON object per line, both directions. Optional fields are
+   omitted, not null; floats that must round-trip exactly (radius) use
+   %.17g, human-facing ones (latencies) %.6g. *)
+
+let norm_name p =
+  match p with Lp.L1 -> "1" | Lp.L2 -> "2" | Lp.Linf -> "inf"
+
+let norm_of_name = function
+  | "1" -> Ok Lp.L1
+  | "2" -> Ok Lp.L2
+  | "inf" -> Ok Lp.Linf
+  | s -> Error ("unknown norm " ^ s ^ " (use 1, 2 or inf)")
+
+let verifier_of_name = function
+  | "fast" -> Ok Config.Fast
+  | "precise" -> Ok Config.Precise
+  | "combined" -> Ok Config.Combined
+  | s -> Error ("unknown verifier " ^ s ^ " (use fast, precise or combined)")
+
+let buf_field b first k v =
+  if not !first then Buffer.add_char b ',';
+  first := false;
+  Buffer.add_string b (Printf.sprintf "\"%s\":%s" k v)
+
+let quoted s = "\"" ^ Jsonl.escape s ^ "\""
+
+let certify_fields ?id (c : certify) =
+  let b = Buffer.create 128 in
+  let first = ref true in
+  let fld = buf_field b first in
+  Buffer.add_char b '{';
+  fld "op" (quoted "certify");
+  (match id with Some i -> fld "id" (string_of_int i) | None -> ());
+  fld "model" (quoted c.model);
+  (match c.input with
+  | Index i -> fld "index" (string_of_int i)
+  | Sentence s -> fld "sentence" (quoted s));
+  fld "word" (string_of_int c.word);
+  fld "norm" (quoted (norm_name c.p));
+  fld "radius" (Printf.sprintf "%.17g" c.radius);
+  fld "verifier" (quoted (Config.variant_name c.verifier));
+  (match c.deadline_s with
+  | Some d -> fld "deadline_s" (Printf.sprintf "%.17g" d)
+  | None -> ());
+  (match c.tag with Some t -> fld "tag" (string_of_int t) | None -> ());
+  if c.drill_crash then fld "crash" "1";
+  (match c.drill_stall_s with
+  | Some s -> fld "stall_s" (Printf.sprintf "%.17g" s)
+  | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let request_to_json = function
+  | Certify c -> certify_fields c
+  | Stats -> "{\"op\":\"stats\"}"
+  | Shutdown -> "{\"op\":\"shutdown\"}"
+
+let certify_known =
+  [
+    "op"; "id"; "model"; "index"; "sentence"; "word"; "norm"; "radius";
+    "verifier"; "deadline_s"; "tag"; "crash"; "stall_s";
+  ]
+
+let ( let* ) = Result.bind
+
+let certify_of_fields ~allow_id fields =
+  let* () =
+    Jsonl.known fields
+      (if allow_id then certify_known
+       else List.filter (fun k -> k <> "id") certify_known)
+  in
+  let* model = Jsonl.str fields "model" in
+  let* index = Jsonl.int_opt fields "index" in
+  let* sentence = Jsonl.str_opt fields "sentence" in
+  let* input =
+    match (index, sentence) with
+    | Some i, None -> Ok (Index i)
+    | None, Some s -> Ok (Sentence s)
+    | None, None -> Ok (Index 0)
+    | Some _, Some _ -> Error "give either index or sentence, not both"
+  in
+  let* word =
+    Result.map (Option.value ~default:1) (Jsonl.int_opt fields "word")
+  in
+  let* norm =
+    Result.map (Option.value ~default:"2") (Jsonl.str_opt fields "norm")
+  in
+  let* p = norm_of_name norm in
+  let* radius = Jsonl.num fields "radius" in
+  let* () =
+    if Float.is_finite radius && radius >= 0.0 then Ok ()
+    else Error "radius must be finite and >= 0"
+  in
+  let* vname =
+    Result.map (Option.value ~default:"fast") (Jsonl.str_opt fields "verifier")
+  in
+  let* verifier = verifier_of_name vname in
+  let* deadline_s = Jsonl.num_opt fields "deadline_s" in
+  let* tag = Jsonl.int_opt fields "tag" in
+  let* crash = Jsonl.int_opt fields "crash" in
+  let* drill_stall_s = Jsonl.num_opt fields "stall_s" in
+  Ok
+    {
+      model;
+      input;
+      word;
+      p;
+      radius;
+      verifier;
+      deadline_s;
+      tag;
+      drill_crash = crash = Some 1;
+      drill_stall_s;
+    }
+
+let request_of_json line =
+  let* fields = Jsonl.parse line in
+  let* op = Jsonl.str fields "op" in
+  match op with
+  | "certify" -> Result.map (fun c -> Certify c) (certify_of_fields ~allow_id:false fields)
+  | "stats" ->
+      let* () = Jsonl.known fields [ "op" ] in
+      Ok Stats
+  | "shutdown" ->
+      let* () = Jsonl.known fields [ "op" ] in
+      Ok Shutdown
+  | op -> Error ("unknown request op " ^ op ^ " (use certify, stats or shutdown)")
+
+(* The daemon's intake file reuses the certify encoding plus the
+   daemon-assigned job id, so --resume can replay exactly the accepted
+   requests. *)
+let intake_to_json ~id c = certify_fields ~id c
+
+let intake_of_json line =
+  let* fields = Jsonl.parse line in
+  let* op = Jsonl.str fields "op" in
+  let* () = if op = "certify" then Ok () else Error ("bad intake op " ^ op) in
+  let* id = Jsonl.int fields "id" in
+  let* c = certify_of_fields ~allow_id:true fields in
+  Ok (id, c)
+
+(* ---------------- responses ---------------- *)
+
+let opt_tag_field tag =
+  match tag with Some t -> Printf.sprintf ",\"tag\":%d" t | None -> ""
+
+let response_to_json = function
+  | Result r ->
+      Printf.sprintf
+        "{\"op\":\"result\",\"id\":%d%s,\"verdict\":%s,\"rung\":%s,\"attempts\":%d,\"retries\":%d,\"wall_s\":%.6f,\"cached\":%d}"
+        r.id (opt_tag_field r.tag)
+        (quoted (Verdict.to_string r.verdict))
+        (quoted r.rung) r.attempts r.retries r.wall_s
+        (if r.cached then 1 else 0)
+  | Overloaded { tag; retry_after_s } ->
+      Printf.sprintf "{\"op\":\"overloaded\"%s,\"retry_after_s\":%.6f}"
+        (opt_tag_field tag) retry_after_s
+  | Quarantined { tag; model; retry_after_s } ->
+      Printf.sprintf
+        "{\"op\":\"quarantined\"%s,\"model\":%s,\"retry_after_s\":%.6f}"
+        (opt_tag_field tag) (quoted model) retry_after_s
+  | Stats_r s ->
+      Printf.sprintf
+        "{\"op\":\"stats\",\"uptime_s\":%.6f,\"workers\":%d,\"queue_depth\":%d,\"inflight\":%d,\"jobs_done\":%d,\"shed\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"cache_size\":%d,\"worker_deaths\":%d,\"draining\":%d,\"breakers\":%s}"
+        s.uptime_s s.workers s.queue_depth s.inflight s.jobs_done s.shed
+        s.cache_hits s.cache_misses s.cache_size s.worker_deaths
+        (if s.draining then 1 else 0)
+        (quoted s.breakers)
+  | Error msg -> Printf.sprintf "{\"op\":\"error\",\"msg\":%s}" (quoted msg)
+  | Ok_ack -> "{\"op\":\"ok\"}"
+
+let response_of_json line =
+  let* fields = Jsonl.parse line in
+  let* op = Jsonl.str fields "op" in
+  match op with
+  | "result" ->
+      let* id = Jsonl.int fields "id" in
+      let* tag = Jsonl.int_opt fields "tag" in
+      let* vs = Jsonl.str fields "verdict" in
+      let* verdict = Verdict.of_string_res vs in
+      let* rung = Jsonl.str fields "rung" in
+      let* attempts = Jsonl.int fields "attempts" in
+      let* retries = Jsonl.int fields "retries" in
+      let* wall_s = Jsonl.num fields "wall_s" in
+      let* cached = Jsonl.int fields "cached" in
+      Ok
+        (Result
+           {
+             id;
+             tag;
+             verdict;
+             rung;
+             attempts;
+             retries;
+             wall_s;
+             cached = cached = 1;
+           })
+  | "overloaded" ->
+      let* tag = Jsonl.int_opt fields "tag" in
+      let* retry_after_s = Jsonl.num fields "retry_after_s" in
+      Ok (Overloaded { tag; retry_after_s })
+  | "quarantined" ->
+      let* tag = Jsonl.int_opt fields "tag" in
+      let* model = Jsonl.str fields "model" in
+      let* retry_after_s = Jsonl.num fields "retry_after_s" in
+      Ok (Quarantined { tag; model; retry_after_s })
+  | "stats" ->
+      let* uptime_s = Jsonl.num fields "uptime_s" in
+      let* workers = Jsonl.int fields "workers" in
+      let* queue_depth = Jsonl.int fields "queue_depth" in
+      let* inflight = Jsonl.int fields "inflight" in
+      let* jobs_done = Jsonl.int fields "jobs_done" in
+      let* shed = Jsonl.int fields "shed" in
+      let* cache_hits = Jsonl.int fields "cache_hits" in
+      let* cache_misses = Jsonl.int fields "cache_misses" in
+      let* cache_size = Jsonl.int fields "cache_size" in
+      let* worker_deaths = Jsonl.int fields "worker_deaths" in
+      let* draining = Jsonl.int fields "draining" in
+      let* breakers = Jsonl.str fields "breakers" in
+      Ok
+        (Stats_r
+           {
+             uptime_s;
+             workers;
+             queue_depth;
+             inflight;
+             jobs_done;
+             shed;
+             cache_hits;
+             cache_misses;
+             cache_size;
+             worker_deaths;
+             draining = draining = 1;
+             breakers;
+           })
+  | "error" ->
+      let* msg = Jsonl.str fields "msg" in
+      Ok (Error msg)
+  | "ok" -> Ok Ok_ack
+  | op -> Stdlib.Error ("unknown response op " ^ op)
+
+let certify ?(word = 1) ?(p = Lp.L2) ?(verifier = Config.Fast) ?deadline_s ?tag
+    ?(drill_crash = false) ?drill_stall_s ~model ~radius input =
+  {
+    model;
+    input;
+    word;
+    p;
+    radius;
+    verifier;
+    deadline_s;
+    tag;
+    drill_crash;
+    drill_stall_s;
+  }

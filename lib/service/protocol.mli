@@ -1,0 +1,96 @@
+(** certifyd wire protocol: one flat JSON object per line, both ways.
+
+    The daemon listens on a Unix-domain socket; clients write one
+    request per line and read one response per line. The codec is the
+    shared strict {!Deept.Jsonl} reader (no nesting, closed field sets),
+    so a torn or skewed line is an [Error] response, never a crash. The
+    same certify encoding, extended with the daemon-assigned job id,
+    serves as the daemon's durable {e intake} record — what [--resume]
+    replays. *)
+
+type input =
+  | Index of int  (** test-set sentence index of the model's corpus *)
+  | Sentence of string  (** raw space-separated tokens *)
+
+type certify = {
+  model : string;  (** zoo entry name, e.g. ["sst_3"] *)
+  input : input;
+  word : int;  (** word position under attack (clamped to length) *)
+  p : Deept.Lp.t;
+  radius : float;
+  verifier : Deept.Config.dot_variant;
+  deadline_s : float option;
+      (** per-job cooperative deadline; [None] inherits the daemon's *)
+  tag : int option;  (** opaque client correlation id, echoed back *)
+  drill_crash : bool;  (** fault drill: worker exits hard mid-job *)
+  drill_stall_s : float option;  (** fault drill: worker sleeps first *)
+}
+
+type request = Certify of certify | Stats | Shutdown
+
+type result_r = {
+  id : int;  (** daemon-assigned job id (journal key) *)
+  tag : int option;
+  verdict : Deept.Verdict.t;
+  rung : string;
+  attempts : int;
+  retries : int;
+  wall_s : float;
+  cached : bool;  (** served from the result cache, not recomputed *)
+}
+
+type stats_r = {
+  uptime_s : float;
+  workers : int;
+  queue_depth : int;
+  inflight : int;
+  jobs_done : int;
+  shed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_size : int;
+  worker_deaths : int;
+  draining : bool;
+  breakers : string;  (** per-model breaker states, ["name=closed ..."] *)
+}
+
+type response =
+  | Result of result_r
+  | Overloaded of { tag : int option; retry_after_s : float }
+      (** admission control shed the job; retry after the hint *)
+  | Quarantined of { tag : int option; model : string; retry_after_s : float }
+      (** the model's circuit breaker is open *)
+  | Stats_r of stats_r
+  | Error of string  (** malformed request; the connection stays up *)
+  | Ok_ack  (** shutdown acknowledged *)
+
+val certify :
+  ?word:int ->
+  ?p:Deept.Lp.t ->
+  ?verifier:Deept.Config.dot_variant ->
+  ?deadline_s:float ->
+  ?tag:int ->
+  ?drill_crash:bool ->
+  ?drill_stall_s:float ->
+  model:string ->
+  radius:float ->
+  input ->
+  certify
+(** Convenience constructor with the protocol defaults ([word 1],
+    [L2], [fast]). *)
+
+val request_to_json : request -> string
+val request_of_json : string -> (request, string) result
+
+val response_to_json : response -> string
+val response_of_json : string -> (response, string) result
+
+val intake_to_json : id:int -> certify -> string
+(** The certify wire encoding plus the daemon's job id — one line of
+    the intake file, written before a job is enqueued. *)
+
+val intake_of_json : string -> (int * certify, string) result
+
+val norm_name : Deept.Lp.t -> string
+val norm_of_name : string -> (Deept.Lp.t, string) result
+val verifier_of_name : string -> (Deept.Config.dot_variant, string) result

@@ -1,0 +1,902 @@
+(* The certifyd server: a single-threaded select loop over one listening
+   Unix-domain socket, N nonblocking clients, and a pool of pre-forked
+   warm workers speaking the Supervisor pipe protocol.
+
+   The loop owns every decision — admission, dispatch, deadlines,
+   respawn, drain — so there is no locking and every state transition is
+   serialized with the journal writes that make it durable. Workers are
+   forked after the model zoo is loaded, sharing weights and lowered
+   programs read-only through copy-on-write. *)
+
+module Config = Deept.Config
+module Verdict = Deept.Verdict
+module Journal = Deept.Journal
+module Supervisor = Deept.Supervisor
+module Engine = Deept.Engine
+module Region = Deept.Region
+
+type opts = {
+  socket : string;
+  models : string list;
+  pool : Config.pool;
+  deadline_s : float option;
+  queue_cap : int;
+  breaker_threshold : int;
+  breaker_cooloff_s : float;
+  write_timeout_s : float;
+  journal : string option;
+  resume : bool;
+  log : string -> unit;
+}
+
+let opts ?(pool = Config.default_pool) ?deadline_s ?(queue_cap = 64)
+    ?(breaker_threshold = 3) ?(breaker_cooloff_s = 5.0)
+    ?(write_timeout_s = 10.0) ?journal ?(resume = false)
+    ?(log = fun _ -> ()) ~socket models =
+  if queue_cap < 1 then invalid_arg "Server.opts: queue_cap < 1";
+  if write_timeout_s <= 0.0 then invalid_arg "Server.opts: write_timeout_s <= 0";
+  if resume && journal = None then
+    invalid_arg "Server.opts: resume requires a journal";
+  {
+    socket;
+    models;
+    pool;
+    deadline_s;
+    queue_cap;
+    breaker_threshold;
+    breaker_cooloff_s;
+    write_timeout_s;
+    journal;
+    resume;
+    log;
+  }
+
+let intake_path journal_path = journal_path ^ ".intake"
+
+(* ---------------- the worker side ---------------- *)
+
+(* What crosses the result pipe: the outcome distilled to marshal-plain
+   data (Verdict.t and strings only — no closures, no custom blocks). *)
+type wres = { w_verdict : Verdict.t; w_rung : string; w_attempts : int }
+
+let crash_result exn =
+  {
+    w_verdict = Verdict.Unknown Verdict.Numerical_fault;
+    w_rung = "crash:" ^ Printexc.to_string exn;
+    w_attempts = 1;
+  }
+
+(* One job, run inside a pre-forked worker. The fault drills exercise
+   exactly the containment paths the daemon promises: [drill_crash] is a
+   segfault-class death, [drill_stall_s] an overrun of the hard
+   deadline. Everything catchable becomes a typed verdict; only genuine
+   process deaths reach the supervisor side. *)
+let run_job warm deadline_default _id (c : Protocol.certify) =
+  if c.drill_crash then exit 86;
+  (match c.drill_stall_s with Some s -> Unix.sleepf s | None -> ());
+  match Warm.find warm c.Protocol.model with
+  | None ->
+      {
+        w_verdict = Verdict.Unknown Verdict.Numerical_fault;
+        w_rung = "crash:model not loaded";
+        w_attempts = 0;
+      }
+  | Some w -> (
+      try
+        let toks, label =
+          match c.Protocol.input with
+          | Protocol.Index i -> List.nth w.Warm.corpus.Text.Corpus.test i
+          | Protocol.Sentence s ->
+              let toks = Text.Corpus.tokenize w.Warm.corpus s in
+              ( toks,
+                Nn.Forward.predict w.Warm.program
+                  (Nn.Model.embed_tokens w.Warm.model toks) )
+        in
+        let x = Nn.Model.embed_tokens w.Warm.model toks in
+        let pred = Nn.Forward.predict w.Warm.program x in
+        if pred <> label then
+          { w_verdict = Verdict.Falsified; w_rung = "concrete"; w_attempts = 1 }
+        else begin
+          let word = max 0 (min c.Protocol.word (Array.length toks - 1)) in
+          let base =
+            match c.Protocol.verifier with
+            | Config.Fast -> Config.fast
+            | Config.Precise -> Config.precise
+            | Config.Combined -> Config.combined
+          in
+          let deadline =
+            match c.Protocol.deadline_s with
+            | Some _ as d -> d
+            | None -> deadline_default
+          in
+          let cfg = Config.with_budget ?deadline base in
+          let region =
+            Region.lp_ball ~p:c.Protocol.p x ~word ~radius:c.Protocol.radius
+          in
+          let o = Engine.certify cfg w.Warm.program region ~true_class:label in
+          {
+            w_verdict = o.Engine.verdict;
+            w_rung = o.Engine.rung_name;
+            w_attempts = List.length o.Engine.attempts;
+          }
+        end
+      with exn -> crash_result exn)
+
+(* ---------------- daemon-side state ---------------- *)
+
+type job = {
+  id : int;
+  c : Protocol.certify;
+  key : string;
+  mutable client : int option;  (* None: resumed job, result journal-only *)
+  mutable retries : int;
+  mutable not_before : float;
+  mutable first_dispatch : float option;
+}
+
+type wstate = {
+  pid : int;
+  job_out : out_channel;
+  res_fd : Unix.file_descr;
+  res_in : in_channel;
+  job_w_fd : Unix.file_descr;
+  mutable busy : int option;
+  mutable started : float;
+  mutable term_at : float option;
+  mutable sigkilled : bool;
+}
+
+type cstate = {
+  cid : int;
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string;
+  mutable last_write : float;  (* last byte accepted by the socket *)
+}
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+(* Intake-file reader with the same torn-tail tolerance as the journal:
+   the final line of an fsynced append-only file can be torn by a kill;
+   anything else malformed is corruption and stays loud. *)
+let load_intake ~log path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let buf = really_input_string ic n in
+    close_in ic;
+    let rec split acc off =
+      if off >= n then List.rev acc
+      else
+        let e = try String.index_from buf off '\n' with Not_found -> n in
+        split ((String.sub buf off (e - off), off) :: acc) (e + 1)
+    in
+    let rec parse acc = function
+      | [] -> List.rev acc
+      | (line, off) :: rest -> (
+          if String.trim line = "" then parse acc rest
+          else
+            match Protocol.intake_of_json line with
+            | Ok e -> parse (e :: acc) rest
+            | Error msg ->
+                if List.for_all (fun (l, _) -> String.trim l = "") rest then begin
+                  log
+                    (Printf.sprintf
+                       "intake: dropping torn final line at byte %d (%s)" off
+                       msg);
+                  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+                  Unix.ftruncate fd off;
+                  Unix.close fd;
+                  List.rev acc
+                end
+                else
+                  failwith
+                    (Printf.sprintf "certifyd: intake %s: malformed line: %s"
+                       path msg))
+    in
+    parse [] (split [] 0)
+  end
+
+let run o =
+  let log = o.log in
+  let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let drain_requested = ref false in
+  let install s = Sys.set_signal s (Sys.Signal_handle (fun _ -> drain_requested := true)) in
+  install Sys.sigterm;
+  install Sys.sigint;
+
+  (* Warm the model cache before binding the socket, so a connect that
+     succeeds is a connect to a daemon that can actually serve. *)
+  let warm = Warm.load ~log o.models in
+
+  let journal =
+    match o.journal with
+    | None -> None
+    | Some p -> Some (if o.resume then Journal.resume p else Journal.create p)
+  in
+  let journaled id =
+    match journal with Some j -> Journal.journaled j id | None -> false
+  in
+  let journal_append e =
+    match journal with Some j -> Journal.append j e | None -> ()
+  in
+  (* A stale intake from a previous fresh run must not leak into a later
+     --resume: truncate it eagerly on fresh starts. *)
+  (match o.journal with
+  | Some p when not o.resume && Sys.file_exists (intake_path p) ->
+      let fd = Unix.openfile (intake_path p) [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+      Unix.close fd
+  | _ -> ());
+  let intake_chan = ref None in
+  let intake_append id c =
+    match o.journal with
+    | None -> ()
+    | Some p ->
+        let ch =
+          match !intake_chan with
+          | Some ch -> ch
+          | None ->
+              let fd =
+                Unix.openfile (intake_path p)
+                  [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+                  0o644
+              in
+              let ch = Unix.out_channel_of_descr fd in
+              intake_chan := Some ch;
+              ch
+        in
+        output_string ch (Protocol.intake_to_json ~id c);
+        output_char ch '\n';
+        flush ch;
+        Unix.fsync (Unix.descr_of_out_channel ch)
+  in
+
+  let cache = Cache.create () in
+  (match journal with
+  | Some j -> Cache.absorb cache (Journal.entries j)
+  | None -> ());
+
+  let next_id = ref 1 in
+  let bump_id id = if id >= !next_id then next_id := id + 1 in
+  (match journal with
+  | Some j -> List.iter (fun e -> bump_id e.Journal.job) (Journal.entries j)
+  | None -> ());
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+
+  let q : job Jobq.t = Jobq.create ~cap:o.queue_cap in
+  let inflight : (int, job) Hashtbl.t = Hashtbl.create 16 in
+  let workers = ref [] in
+  let clients = ref [] in
+  let breakers : (string, Breaker.t) Hashtbl.t = Hashtbl.create 4 in
+  let breaker_for model =
+    match Hashtbl.find_opt breakers model with
+    | Some b -> b
+    | None ->
+        let b =
+          Breaker.create ~threshold:o.breaker_threshold
+            ~cooloff_s:o.breaker_cooloff_s ~now:Unix.gettimeofday ()
+        in
+        Hashtbl.add breakers model b;
+        b
+  in
+  let draining = ref false in
+  let start_time = Unix.gettimeofday () in
+  let jobs_done = ref 0 in
+  let worker_deaths = ref 0 in
+  let consec_deaths = ref 0 in
+  let respawn_at = ref 0.0 in
+
+  (* --resume: replay every intaken job the journal does not know about,
+     oldest first, bypassing the admission cap — these jobs were already
+     promised durably. *)
+  (match (o.resume, o.journal) with
+  | true, Some p ->
+      let entries = load_intake ~log (intake_path p) in
+      List.iter (fun (id, _) -> bump_id id) entries;
+      let missing = List.filter (fun (id, _) -> not (journaled id)) entries in
+      let missing =
+        List.sort (fun (a, _) (b, _) -> compare b a) missing (* desc: requeue front-pushes *)
+      in
+      List.iter
+        (fun (id, (c : Protocol.certify)) ->
+          match Warm.find warm c.Protocol.model with
+          | None ->
+              log
+                (Printf.sprintf
+                   "resume: job %d wants model %s, which is not loaded" id
+                   c.Protocol.model);
+              journal_append
+                {
+                  Journal.job = id;
+                  verdict = Verdict.Unknown Verdict.Numerical_fault;
+                  rung = "resume";
+                  attempts = 0;
+                  retries = 0;
+                  wall_s = 0.0;
+                  detail = "model not loaded";
+                }
+          | Some w ->
+              Jobq.requeue q
+                {
+                  id;
+                  c;
+                  key = Cache.key ~digest:w.Warm.digest c;
+                  client = None;
+                  retries = 0;
+                  not_before = 0.0;
+                  first_dispatch = None;
+                })
+        missing;
+      if Jobq.depth q > 0 then
+        log (Printf.sprintf "resume: re-enqueued %d in-flight job(s)" (Jobq.depth q))
+  | _ -> ());
+
+  (* ---------------- socket ---------------- *)
+  if Sys.file_exists o.socket then Sys.remove o.socket;
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX o.socket);
+  Unix.listen lfd 64;
+  Unix.set_nonblock lfd;
+  log (Printf.sprintf "listening on %s (%d model(s), %d worker(s))" o.socket
+         (List.length (Warm.names warm)) o.pool.Config.workers);
+
+  (* ---------------- workers ---------------- *)
+  let parent_fds () =
+    (lfd :: List.map (fun c -> c.fd) !clients)
+    @ List.concat_map (fun w -> [ w.res_fd; w.job_w_fd ]) !workers
+    @ (match !intake_chan with
+      | Some ch -> [ Unix.descr_of_out_channel ch ]
+      | None -> [])
+  in
+  let spawn () =
+    let job_r, job_w = Unix.pipe () in
+    let res_r, res_w = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+        List.iter
+          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (parent_fds ());
+        Unix.close job_w;
+        Unix.close res_r;
+        Supervisor.worker_loop ~mem_limit_mb:o.pool.Config.mem_limit_mb ~job_r
+          ~res_w
+          (run_job warm o.deadline_s);
+        exit 0
+    | pid ->
+        Unix.close job_r;
+        Unix.close res_w;
+        let w =
+          {
+            pid;
+            job_out = Unix.out_channel_of_descr job_w;
+            res_fd = res_r;
+            res_in = Unix.in_channel_of_descr res_r;
+            job_w_fd = job_w;
+            busy = None;
+            started = 0.0;
+            term_at = None;
+            sigkilled = false;
+          }
+        in
+        workers := w :: !workers;
+        w
+  in
+  let discard w =
+    workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
+    close_out_noerr w.job_out;
+    close_in_noerr w.res_in
+  in
+
+  (* ---------------- clients ---------------- *)
+  let next_cid = ref 1 in
+  let drop_client cl =
+    clients := List.filter (fun c -> c.cid <> cl.cid) !clients;
+    (try Unix.close cl.fd with Unix.Unix_error _ -> ());
+    (* orphan the client's jobs: they keep running, results go to the
+       journal only *)
+    let orphan (j : job) = if j.client = Some cl.cid then j.client <- None in
+    Hashtbl.iter (fun _ j -> orphan j) inflight;
+    Jobq.iter q orphan
+  in
+  let send_line cl line =
+    if cl.out = "" then cl.last_write <- Unix.gettimeofday ();
+    cl.out <- cl.out ^ line ^ "\n"
+  in
+  let send cl resp = send_line cl (Protocol.response_to_json resp) in
+  let respond (j : job) resp =
+    match j.client with
+    | None -> ()
+    | Some cid -> (
+        match List.find_opt (fun c -> c.cid = cid) !clients with
+        | Some cl -> send cl resp
+        | None -> ())
+  in
+
+  (* ---------------- completion ---------------- *)
+  let finalize_ok (j : job) (r : wres) =
+    let now = Unix.gettimeofday () in
+    let wall =
+      match j.first_dispatch with Some t -> now -. t | None -> 0.0
+    in
+    Jobq.note_service q wall;
+    Cache.store cache j.key
+      { Cache.verdict = r.w_verdict; rung = r.w_rung; attempts = r.w_attempts };
+    journal_append
+      {
+        Journal.job = j.id;
+        verdict = r.w_verdict;
+        rung = r.w_rung;
+        attempts = r.w_attempts;
+        retries = j.retries;
+        wall_s = wall;
+        detail = "key=" ^ j.key;
+      };
+    respond j
+      (Protocol.Result
+         {
+           Protocol.id = j.id;
+           tag = j.c.Protocol.tag;
+           verdict = r.w_verdict;
+           rung = r.w_rung;
+           attempts = r.w_attempts;
+           retries = j.retries;
+           wall_s = wall;
+           cached = false;
+         });
+    incr jobs_done
+  in
+  let finalize_failure (j : job) failure =
+    let now = Unix.gettimeofday () in
+    let wall =
+      match j.first_dispatch with Some t -> now -. t | None -> 0.0
+    in
+    let verdict = Verdict.Unknown (Supervisor.failure_reason failure) in
+    journal_append
+      {
+        Journal.job = j.id;
+        verdict;
+        rung = "worker";
+        attempts = 0;
+        retries = j.retries;
+        wall_s = wall;
+        detail = Supervisor.failure_detail failure;
+      };
+    respond j
+      (Protocol.Result
+         {
+           Protocol.id = j.id;
+           tag = j.c.Protocol.tag;
+           verdict;
+           rung = "worker";
+           attempts = 0;
+           retries = j.retries;
+           wall_s = wall;
+           cached = false;
+         });
+    incr jobs_done
+  in
+
+  let accept_result w ((id, r) : int * wres) =
+    w.busy <- None;
+    consec_deaths := 0;
+    match Hashtbl.find_opt inflight id with
+    | None -> () (* result raced a kill decision; already reported *)
+    | Some j ->
+        Hashtbl.remove inflight id;
+        Breaker.success (breaker_for j.c.Protocol.model);
+        finalize_ok j r
+  in
+  let note_death () =
+    incr worker_deaths;
+    incr consec_deaths;
+    respawn_at :=
+      Unix.gettimeofday ()
+      +. Supervisor.backoff_delay o.pool ~retries:(!consec_deaths - 1)
+  in
+  let handle_death w ~decode_error =
+    let status = waitpid_retry w.pid in
+    note_death ();
+    (match Option.bind w.busy (Hashtbl.find_opt inflight) with
+    | None -> ()
+    | Some j -> (
+        Hashtbl.remove inflight j.id;
+        let failure =
+          match decode_error with
+          | Some msg -> Supervisor.Crashed { reason = "decode: " ^ msg }
+          | None ->
+              Supervisor.classify_status ~term_sent:(w.term_at <> None) status
+        in
+        match failure with
+        | Supervisor.Crashed _ ->
+            (* a crash indicts the model; a deadline kill indicts the job *)
+            Breaker.failure (breaker_for j.c.Protocol.model);
+            if j.retries < o.pool.Config.max_retries then begin
+              j.not_before <-
+                Unix.gettimeofday ()
+                +. Supervisor.backoff_delay o.pool ~retries:j.retries;
+              j.retries <- j.retries + 1;
+              Jobq.requeue q j
+            end
+            else finalize_failure j failure
+        | Supervisor.Killed _ -> finalize_failure j failure));
+    discard w
+  in
+
+  (* ---------------- dispatch ---------------- *)
+  let dispatch w (j : job) =
+    let now = Unix.gettimeofday () in
+    if j.first_dispatch = None then j.first_dispatch <- Some now;
+    Hashtbl.replace inflight j.id j;
+    match
+      Marshal.to_channel w.job_out (j.id, j.c) [];
+      flush w.job_out
+    with
+    | () ->
+        w.busy <- Some j.id;
+        w.started <- now
+    | exception Sys_error _ ->
+        (* worker died idle: the job never ran there *)
+        ignore (waitpid_retry w.pid);
+        note_death ();
+        discard w;
+        Hashtbl.remove inflight j.id;
+        Jobq.requeue q j
+  in
+  let rec feed now =
+    match
+      List.find_opt (fun w -> w.busy = None && w.term_at = None) !workers
+    with
+    | None -> ()
+    | Some w -> (
+        match Jobq.pop q ~ready:(fun (j : job) -> j.not_before <= now) with
+        | None -> ()
+        | Some j ->
+            dispatch w j;
+            feed now)
+  in
+  let enforce_deadlines now =
+    match o.pool.Config.hard_deadline_s with
+    | None -> ()
+    | Some limit ->
+        List.iter
+          (fun w ->
+            match (w.busy, w.term_at) with
+            | Some _, None when now -. w.started > limit ->
+                w.term_at <- Some now;
+                (try Unix.kill w.pid Sys.sigterm with Unix.Unix_error _ -> ())
+            | Some _, Some t
+              when (not w.sigkilled) && now -. t > o.pool.Config.grace_s ->
+                w.sigkilled <- true;
+                (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
+            | _ -> ())
+          !workers
+  in
+
+  (* ---------------- admission ---------------- *)
+  let make_stats () =
+    let b = Buffer.create 32 in
+    Hashtbl.iter
+      (fun m br ->
+        if Buffer.length b > 0 then Buffer.add_char b ' ';
+        Buffer.add_string b (m ^ "=" ^ Breaker.state_name br))
+      breakers;
+    {
+      Protocol.uptime_s = Unix.gettimeofday () -. start_time;
+      workers = List.length !workers;
+      queue_depth = Jobq.depth q;
+      inflight = Hashtbl.length inflight;
+      jobs_done = !jobs_done;
+      shed = Jobq.shed q;
+      cache_hits = Cache.hits cache;
+      cache_misses = Cache.misses cache;
+      cache_size = Cache.size cache;
+      worker_deaths = !worker_deaths;
+      draining = !draining;
+      breakers = Buffer.contents b;
+    }
+  in
+  let admit cl (c : Protocol.certify) =
+    match Warm.find warm c.Protocol.model with
+    | None ->
+        send cl
+          (Protocol.Error
+             (Printf.sprintf "unknown model %s (loaded: %s)" c.Protocol.model
+                (String.concat ", " (Warm.names warm))))
+    | Some w -> (
+        let invalid =
+          match c.Protocol.input with
+          | Protocol.Index i when i < 0 || i >= w.Warm.test_len ->
+              Some
+                (Printf.sprintf "index %d out of range (test set has %d)" i
+                   w.Warm.test_len)
+          | Protocol.Sentence s
+            when Array.length (Text.Corpus.tokenize w.Warm.corpus s) < 2 ->
+              Some "sentence is empty after tokenization"
+          | _ -> None
+        in
+        match invalid with
+        | Some msg -> send cl (Protocol.Error msg)
+        | None -> (
+            let key = Cache.key ~digest:w.Warm.digest c in
+            match Cache.find cache key with
+            | Some e ->
+                (* Hits bypass shedding and the breaker: no worker runs,
+                   and the journal still records the request so resumed
+                   summaries count every served job. *)
+                let id = fresh_id () in
+                journal_append
+                  {
+                    Journal.job = id;
+                    verdict = e.Cache.verdict;
+                    rung = e.Cache.rung;
+                    attempts = e.Cache.attempts;
+                    retries = 0;
+                    wall_s = 0.0;
+                    detail = "key=" ^ key;
+                  };
+                send cl
+                  (Protocol.Result
+                     {
+                       Protocol.id;
+                       tag = c.Protocol.tag;
+                       verdict = e.Cache.verdict;
+                       rung = e.Cache.rung;
+                       attempts = e.Cache.attempts;
+                       retries = 0;
+                       wall_s = 0.0;
+                       cached = true;
+                     })
+            | None ->
+                if !draining then
+                  send cl
+                    (Protocol.Overloaded
+                       { tag = c.Protocol.tag; retry_after_s = 1.0 })
+                else if Jobq.full q then begin
+                  (* a full admit both counts the shed and refuses *)
+                  let j =
+                    {
+                      id = 0;
+                      c;
+                      key;
+                      client = None;
+                      retries = 0;
+                      not_before = 0.0;
+                      first_dispatch = None;
+                    }
+                  in
+                  ignore (Jobq.admit q j);
+                  send cl
+                    (Protocol.Overloaded
+                       {
+                         tag = c.Protocol.tag;
+                         retry_after_s =
+                           Jobq.retry_after q
+                             ~workers:(max 1 (List.length !workers));
+                       })
+                end
+                else
+                  match Breaker.admit (breaker_for c.Protocol.model) with
+                  | `Reject remaining ->
+                      send cl
+                        (Protocol.Quarantined
+                           {
+                             tag = c.Protocol.tag;
+                             model = c.Protocol.model;
+                             retry_after_s = remaining;
+                           })
+                  | `Ok ->
+                      let id = fresh_id () in
+                      let j =
+                        {
+                          id;
+                          c;
+                          key;
+                          client = Some cl.cid;
+                          retries = 0;
+                          not_before = 0.0;
+                          first_dispatch = None;
+                        }
+                      in
+                      ignore (Jobq.admit q j);
+                      (* durable before dispatchable: a daemon killed
+                         from here on re-runs this job on --resume *)
+                      intake_append id c))
+  in
+  let process_line cl line =
+    if String.trim line <> "" then
+      match Protocol.request_of_json line with
+      | Error e -> send cl (Protocol.Error e)
+      | Ok Protocol.Stats -> send cl (Protocol.Stats_r (make_stats ()))
+      | Ok Protocol.Shutdown ->
+          draining := true;
+          send cl Protocol.Ok_ack
+      | Ok (Protocol.Certify c) -> admit cl c
+  in
+  let process_inbuf cl =
+    let s = Buffer.contents cl.inbuf in
+    let rec go start =
+      match String.index_from_opt s start '\n' with
+      | None ->
+          Buffer.clear cl.inbuf;
+          Buffer.add_substring cl.inbuf s start (String.length s - start)
+      | Some nl ->
+          process_line cl (String.sub s start (nl - start));
+          go (nl + 1)
+    in
+    go 0
+  in
+  let handle_client_read cl =
+    let buf = Bytes.create 4096 in
+    match Unix.read cl.fd buf 0 4096 with
+    | 0 -> drop_client cl
+    | n ->
+        Buffer.add_subbytes cl.inbuf buf 0 n;
+        process_inbuf cl
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> drop_client cl
+  in
+  let flush_client cl now =
+    if cl.out <> "" then
+      match Unix.write_substring cl.fd cl.out 0 (String.length cl.out) with
+      | n ->
+          cl.out <- String.sub cl.out n (String.length cl.out - n);
+          cl.last_write <- now
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          drop_client cl
+  in
+  let accept_clients () =
+    let rec go () =
+      match Unix.accept lfd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          let cid = !next_cid in
+          incr next_cid;
+          clients :=
+            {
+              cid;
+              fd;
+              inbuf = Buffer.create 256;
+              out = "";
+              last_write = Unix.gettimeofday ();
+            }
+            :: !clients;
+          go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    in
+    go ()
+  in
+  let check_write_timeouts now =
+    let slow =
+      List.filter
+        (fun cl -> cl.out <> "" && now -. cl.last_write > o.write_timeout_s)
+        !clients
+    in
+    List.iter
+      (fun cl ->
+        log (Printf.sprintf "dropping slow client %d (write stalled > %gs)"
+               cl.cid o.write_timeout_s);
+        drop_client cl)
+      slow
+  in
+  let next_timeout now =
+    let candidates = ref [] in
+    let add t = if t > 0.0 then candidates := t :: !candidates else candidates := 0.01 :: !candidates in
+    (match o.pool.Config.hard_deadline_s with
+    | Some limit ->
+        List.iter
+          (fun w ->
+            match (w.busy, w.term_at) with
+            | Some _, None -> add (w.started +. limit -. now)
+            | Some _, Some t when not w.sigkilled ->
+                add (t +. o.pool.Config.grace_s -. now)
+            | _ -> ())
+          !workers
+    | None -> ());
+    Jobq.iter q (fun (j : job) ->
+        if j.not_before > now then add (j.not_before -. now));
+    if List.length !workers < o.pool.Config.workers && !respawn_at > now then
+      add (!respawn_at -. now);
+    List.iter
+      (fun cl ->
+        if cl.out <> "" then
+          add (cl.last_write +. o.write_timeout_s -. now))
+      !clients;
+    match !candidates with
+    | [] -> 0.5
+    | l -> Float.max 0.01 (List.fold_left Float.min 0.5 l)
+  in
+
+  (* ---------------- main loop ---------------- *)
+  let running = ref true in
+  while !running do
+    if !drain_requested && not !draining then begin
+      draining := true;
+      log "drain requested (signal): finishing queued work, shedding new"
+    end;
+    let now = Unix.gettimeofday () in
+    if
+      List.length !workers < o.pool.Config.workers
+      && now >= !respawn_at
+      && ((not !draining) || Jobq.depth q > 0 || Hashtbl.length inflight > 0)
+    then ignore (spawn ());
+    feed now;
+    enforce_deadlines now;
+    check_write_timeouts now;
+    if
+      !draining
+      && Jobq.depth q = 0
+      && Hashtbl.length inflight = 0
+      && List.for_all (fun cl -> cl.out = "") !clients
+    then running := false
+    else begin
+      let rfds =
+        (lfd :: List.map (fun cl -> cl.fd) !clients)
+        @ List.map (fun w -> w.res_fd) !workers
+      in
+      let wfds =
+        List.filter_map
+          (fun cl -> if cl.out <> "" then Some cl.fd else None)
+          !clients
+      in
+      let readable, writable, _ =
+        match Unix.select rfds wfds [] (next_timeout now) with
+        | r -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if List.mem lfd readable then accept_clients ();
+      List.iter
+        (fun fd ->
+          if fd <> lfd then
+            match List.find_opt (fun w -> w.res_fd = fd) !workers with
+            | Some w -> (
+                match (Marshal.from_channel w.res_in : int * wres) with
+                | msg -> accept_result w msg
+                | exception End_of_file -> handle_death w ~decode_error:None
+                | exception Failure msg ->
+                    (try Unix.kill w.pid Sys.sigkill
+                     with Unix.Unix_error _ -> ());
+                    handle_death w ~decode_error:(Some msg))
+            | None -> (
+                match List.find_opt (fun cl -> cl.fd = fd) !clients with
+                | Some cl -> handle_client_read cl
+                | None -> ()))
+        readable;
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun cl -> cl.fd = fd) !clients with
+          | Some cl -> flush_client cl now
+          | None -> ())
+        writable
+    end
+  done;
+
+  (* orderly shutdown: EOF the job pipes, reap, close everything *)
+  List.iter
+    (fun w ->
+      close_out_noerr w.job_out;
+      close_in_noerr w.res_in)
+    !workers;
+  List.iter (fun w -> ignore (waitpid_retry w.pid)) !workers;
+  workers := [];
+  List.iter (fun cl -> try Unix.close cl.fd with Unix.Unix_error _ -> ()) !clients;
+  clients := [];
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  (try Sys.remove o.socket with Sys_error _ -> ());
+  (match !intake_chan with Some ch -> close_out_noerr ch | None -> ());
+  Sys.set_signal Sys.sigpipe old_sigpipe;
+  log
+    (Printf.sprintf "drained: %d job(s) done, %d shed, %d cache hit(s), %d worker death(s)"
+       !jobs_done (Jobq.shed q) (Cache.hits cache) !worker_deaths)

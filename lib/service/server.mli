@@ -1,0 +1,85 @@
+(** certifyd's server loop: admission control, dispatch, fault
+    containment and journal-backed durability in one select loop.
+
+    Architecture (see DESIGN.md §10):
+
+    {v
+              clients (Unix socket, JSON lines)
+                 │ admission: validate → cache → shed → breaker
+                 ▼
+       bounded job queue ── intake file (fsync before dispatch)
+                 │
+                 ▼
+       pre-forked warm workers (Marshal pipes, hard deadlines)
+                 │
+                 ▼
+       journal (fsync per completion) → response to client
+    v}
+
+    Robustness properties:
+
+    - {e backpressure}: past [queue_cap] waiting jobs, new work is shed
+      with an [Overloaded] response and an EWMA-derived retry hint —
+      the queue cannot grow without bound;
+    - {e fault containment}: a worker death (crash, OOM guard, deadline
+      kill) is confined to its in-flight job — crash retries with
+      jittered backoff, a per-model circuit breaker quarantines a model
+      after repeated crashes, and a replacement worker is forked on a
+      consecutive-death backoff schedule;
+    - {e durability}: accepted jobs hit the fsynced intake file before
+      they can run; completions hit the fsynced journal before the
+      client sees them. A daemon killed at any instant and restarted
+      with [resume = true] re-runs exactly the intaken-but-unjournaled
+      jobs, and the journal rebuilds the result cache.
+
+    Drain (SIGTERM, SIGINT or a [Shutdown] request): new certify
+    requests are shed, queued and in-flight jobs finish and are
+    journaled, buffered responses are flushed, workers get EOF and are
+    reaped, the socket is unlinked. *)
+
+type opts = {
+  socket : string;  (** Unix-domain socket path (replaced if present) *)
+  models : string list;  (** zoo models to warm-load before binding *)
+  pool : Deept.Config.pool;
+      (** worker count, hard deadline, memory cap, retry/backoff policy *)
+  deadline_s : float option;
+      (** default cooperative per-job deadline (jobs may override) *)
+  queue_cap : int;  (** waiting jobs before admission sheds *)
+  breaker_threshold : int;  (** consecutive crashes that open a breaker *)
+  breaker_cooloff_s : float;
+  write_timeout_s : float;
+      (** a client whose socket accepts no bytes for this long while
+          responses are pending is dropped (its jobs finish journal-only) *)
+  journal : string option;
+      (** completion journal path; the intake file lives beside it at
+          [<journal>.intake]. [None] = no durability (tests only). *)
+  resume : bool;  (** recover journal + intake instead of starting fresh *)
+  log : string -> unit;
+}
+
+val opts :
+  ?pool:Deept.Config.pool ->
+  ?deadline_s:float ->
+  ?queue_cap:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooloff_s:float ->
+  ?write_timeout_s:float ->
+  ?journal:string ->
+  ?resume:bool ->
+  ?log:(string -> unit) ->
+  socket:string ->
+  string list ->
+  opts
+(** Defaults: {!Deept.Config.default_pool}, no deadline, [queue_cap 64],
+    breaker 3 crashes / 5 s cooloff, 10 s write timeout, no journal.
+    @raise Invalid_argument on a non-positive cap or timeout, or
+    [resume] without a journal. *)
+
+val run : opts -> unit
+(** Load the models, bind the socket and serve until drained. Blocks for
+    the daemon's whole life; returns after an orderly drain. *)
+
+val load_intake : log:(string -> unit) -> string -> (int * Protocol.certify) list
+(** Read an intake file, tolerating (and truncating) a torn final line
+    exactly like {!Deept.Journal.resume}. Exposed for tests.
+    @raise Failure on a malformed line that is not the final one. *)
