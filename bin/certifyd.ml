@@ -67,6 +67,13 @@ let max_retries_arg =
   let doc = "Re-runs of a job whose worker crashed." in
   Arg.(value & opt int 1 & info [ "max-retries" ] ~doc)
 
+let retry_hint_arg =
+  let doc =
+    "Retry-after hint (seconds) sent with shed responses before the \
+     first completed job primes the service-time EWMA."
+  in
+  Arg.(value & opt float 0.1 & info [ "retry-hint" ] ~doc)
+
 let backoff_arg =
   let doc = "Base of the crash-retry / worker-respawn backoff, seconds." in
   Arg.(value & opt float 0.05 & info [ "backoff" ] ~doc)
@@ -108,10 +115,29 @@ let quiet_arg =
   let doc = "Suppress progress logging on stderr." in
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
 
-let serve data socket models jobs queue_cap deadline hard_deadline grace
-    mem_limit max_retries backoff max_backoff breaker_threshold
-    breaker_cooloff write_timeout journal resume quiet =
+let chaos_arg =
+  let doc =
+    "Arm the deterministic I/O fault plan \
+     ACTION@NTH[:op=OP][:site=SUB][:persist] — e.g. \
+     crash@3:site=journal.append, torn:9@0:site=intake, \
+     enospc@2:persist. See Deept.Sysio."
+  in
+  let plan_c =
+    Arg.conv
+      ( (fun s ->
+          match Deept.Sysio.plan_of_string s with
+          | Ok p -> Ok p
+          | Error e -> Error (`Msg e)),
+        fun ppf p -> Format.pp_print_string ppf (Deept.Sysio.plan_to_string p)
+      )
+  in
+  Arg.(value & opt (some plan_c) None & info [ "chaos" ] ~doc)
+
+let serve data socket models jobs queue_cap retry_hint deadline hard_deadline
+    grace mem_limit max_retries backoff max_backoff breaker_threshold
+    breaker_cooloff write_timeout journal resume chaos quiet =
   Zoo.data_dir := data;
+  (match chaos with Some p -> Deept.Sysio.arm p | None -> ());
   let log =
     if quiet then fun _ -> ()
     else fun s -> Printf.eprintf "certifyd: %s\n%!" s
@@ -128,7 +154,8 @@ let serve data socket models jobs queue_cap deadline hard_deadline grace
   in
   let o =
     Service.Server.opts ~pool ?deadline_s:deadline ~queue_cap
-      ~breaker_threshold ~breaker_cooloff_s:breaker_cooloff
+      ~retry_hint_s:retry_hint ~breaker_threshold
+      ~breaker_cooloff_s:breaker_cooloff
       ~write_timeout_s:write_timeout ?journal ~resume ~log ~socket models
   in
   Service.Server.run o
@@ -142,10 +169,11 @@ let serve_cmd =
           recovery.")
     Term.(
       const serve $ data_arg $ socket_arg $ models_arg $ jobs_arg
-      $ queue_cap_arg $ deadline_arg $ hard_deadline_arg $ grace_arg
+      $ queue_cap_arg $ retry_hint_arg $ deadline_arg $ hard_deadline_arg
+      $ grace_arg
       $ mem_limit_arg $ max_retries_arg $ backoff_arg $ max_backoff_arg
       $ breaker_threshold_arg $ breaker_cooloff_arg $ write_timeout_arg
-      $ journal_arg $ resume_arg $ quiet_arg)
+      $ journal_arg $ resume_arg $ chaos_arg $ quiet_arg)
 
 (* --- request ---------------------------------------------------------- *)
 
@@ -218,6 +246,18 @@ let timeout_arg =
   let doc = "Seconds to wait for the daemon's socket to accept." in
   Arg.(value & opt float 30.0 & info [ "connect-timeout" ] ~doc)
 
+let retries_arg =
+  let doc =
+    "Total attempts per request (idempotent rids, jittered backoff \
+     honouring the daemon's retry-after hints, reconnect on a dropped \
+     connection). 1 = the legacy single-shot pipelined path."
+  in
+  Arg.(value & opt int 3 & info [ "retries" ] ~doc)
+
+let retry_backoff_arg =
+  let doc = "Initial client retry backoff, seconds (doubles, capped)." in
+  Arg.(value & opt float 0.05 & info [ "retry-backoff" ] ~doc)
+
 let print_response = function
   | Service.Protocol.Result r ->
       Printf.printf "[%d]%s %s@%s%s  attempts=%d retries=%d  (%.3fs)\n" r.id
@@ -249,8 +289,7 @@ let print_response = function
   | Service.Protocol.Ok_ack -> Printf.printf "ok\n"
 
 let request socket model index sentence count word p radius verifier deadline
-    crash stall timeout =
-  let conn = Service.Client.connect_retry ~timeout_s:timeout socket in
+    crash stall timeout retries retry_backoff =
   let mk k =
     let input =
       match sentence with
@@ -261,22 +300,41 @@ let request socket model index sentence count word p radius verifier deadline
       ~tag:(index + k) ~drill_crash:crash ?drill_stall_s:stall ~model ~radius
       input
   in
-  for k = 0 to count - 1 do
-    Service.Client.send conn (Service.Protocol.Certify (mk k))
-  done;
   let failures = ref 0 in
-  for _ = 1 to count do
-    match Service.Client.recv conn with
-    | Some r ->
-        print_response r;
-        (match r with
-        | Service.Protocol.Result _ -> ()
-        | _ -> incr failures)
-    | None ->
-        Printf.printf "daemon closed the connection\n";
-        incr failures
-  done;
-  Service.Client.close conn;
+  let note r =
+    print_response r;
+    match r with Service.Protocol.Result _ -> () | _ -> incr failures
+  in
+  if retries <= 1 then begin
+    (* single-shot: pipeline everything over one connection *)
+    let conn = Service.Client.connect_retry ~timeout_s:timeout socket in
+    for k = 0 to count - 1 do
+      Service.Client.send conn (Service.Protocol.Certify (mk k))
+    done;
+    for _ = 1 to count do
+      match Service.Client.recv conn with
+      | Some r -> note r
+      | None ->
+          Printf.printf "daemon closed the connection\n";
+          incr failures
+    done;
+    Service.Client.close conn
+  end
+  else begin
+    let policy =
+      Service.Client.policy ~max_attempts:retries ~backoff_s:retry_backoff
+        ~connect_timeout_s:timeout ()
+    in
+    let s = Service.Client.session ~policy socket in
+    for k = 0 to count - 1 do
+      match Service.Client.call s (mk k) with
+      | r -> note r
+      | exception Failure msg ->
+          Printf.printf "%s\n" msg;
+          incr failures
+    done;
+    Service.Client.hangup s
+  end;
   if !failures > 0 then exit 3
 
 let request_cmd =
@@ -289,7 +347,8 @@ let request_cmd =
     Term.(
       const request $ socket_arg $ model_arg $ index_arg $ sentence_arg
       $ count_arg $ word_arg $ norm_arg $ radius_arg $ verifier_arg
-      $ req_deadline_arg $ crash_arg $ stall_arg $ timeout_arg)
+      $ req_deadline_arg $ crash_arg $ stall_arg $ timeout_arg $ retries_arg
+      $ retry_backoff_arg)
 
 (* --- stats / shutdown ------------------------------------------------- *)
 

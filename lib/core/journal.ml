@@ -48,7 +48,7 @@ type t = {
   jpath : string;
   mutable rev_entries : entry list;  (* newest first *)
   mutable ids : (int, unit) Hashtbl.t;
-  mutable chan : out_channel option;  (* open lazily on first append *)
+  mutable fd : Unix.file_descr option;  (* open lazily on first append *)
   mutable truncate_on_open : bool;  (* [create]: replace an old file *)
 }
 
@@ -59,7 +59,7 @@ let journaled j id = Hashtbl.mem j.ids id
 let of_entries jpath ~truncate_on_open es =
   let ids = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.replace ids e.job ()) es;
-  { jpath; rev_entries = List.rev es; ids; chan = None; truncate_on_open }
+  { jpath; rev_entries = List.rev es; ids; fd = None; truncate_on_open }
 
 let create jpath = of_entries jpath ~truncate_on_open:true []
 
@@ -130,22 +130,22 @@ let resume jpath =
         let fd = Unix.openfile jpath [ Unix.O_WRONLY ] 0o644 in
         Fun.protect
           ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-          (fun () -> Unix.ftruncate fd offset)
+          (fun () -> Sysio.ftruncate ~site:"journal.truncate" fd offset)
     | None -> ());
     of_entries jpath ~truncate_on_open:false es
   end
 
-let fsync_dir dir =
+let fsync_dir ~site dir =
   match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
   | exception Unix.Unix_error _ -> ()  (* best effort, e.g. exotic fs *)
   | fd ->
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+        (fun () -> try Sysio.fsync ~site fd with Unix.Unix_error _ -> ())
 
-let channel j =
-  match j.chan with
-  | Some oc -> oc
+let descr j =
+  match j.fd with
+  | Some fd -> fd
   | None ->
       let flags =
         if j.truncate_on_open then
@@ -153,12 +153,11 @@ let channel j =
         else [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
       in
       let fd = Unix.openfile j.jpath flags 0o644 in
-      let oc = Unix.out_channel_of_descr fd in
-      j.chan <- Some oc;
+      j.fd <- Some fd;
       j.truncate_on_open <- false;
       (* make the file's directory entry durable once *)
-      fsync_dir (Filename.dirname j.jpath);
-      oc
+      fsync_dir ~site:"journal.dir" (Filename.dirname j.jpath);
+      fd
 
 let append j e =
   if journaled j e.job then
@@ -166,8 +165,9 @@ let append j e =
       (Printf.sprintf "Journal.append: job %d already journaled" e.job);
   j.rev_entries <- e :: j.rev_entries;
   Hashtbl.replace j.ids e.job ();
-  let oc = channel j in
-  output_string oc (to_json e);
-  output_char oc '\n';
-  flush oc;
-  Unix.fsync (Unix.descr_of_out_channel oc)
+  let fd = descr j in
+  (* One unbuffered write per line through the Sysio shim: partial
+     writes are looped, EINTR restarted, and the chaos layer can tear
+     or fail the append at any byte (see Sysio / bin/crashprobe). *)
+  Sysio.write_string ~site:"journal.append" fd (to_json e ^ "\n");
+  Sysio.fsync ~site:"journal.fsync" fd

@@ -74,3 +74,8 @@ val load : string -> entry list
 (** Read-only load; a torn final line is skipped with a warning (the
     file is left untouched). @raise Failure on other malformed lines,
     [Sys_error] if the file does not exist. *)
+
+val fsync_dir : site:string -> string -> unit
+(** Best-effort fsync of a directory (through {!Sysio}), making a freshly
+    created file's directory entry durable. Shared with the daemon's
+    intake file. *)

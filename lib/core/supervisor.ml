@@ -58,14 +58,16 @@ let worker_main ~mem_limit_mb ~job_r ~res_w (worker : int -> 'a -> 'b) =
   Sys.set_signal Sys.sigpipe Sys.Signal_default;
   (match mem_limit_mb with Some mb -> install_mem_guard mb | None -> ());
   let jin = Unix.in_channel_of_descr job_r in
-  let rout = Unix.out_channel_of_descr res_w in
   let rec loop () =
     match (Marshal.from_channel jin : int * 'a) with
     | exception End_of_file -> exit 0
     | id, payload ->
         let r = worker id payload in
-        Marshal.to_channel rout (id, r) [];
-        flush rout;
+        (* Unbuffered through the shim: short writes looped, EINTR
+           restarted, and the chaos layer can tear a result mid-pipe
+           (the supervisor's decode-failure path handles the stump). *)
+        let b = Marshal.to_bytes (id, r) [] in
+        Sysio.write_all ~site:"worker.result" res_w b 0 (Bytes.length b);
         loop ()
   in
   try loop ()
@@ -197,13 +199,14 @@ let run ?(pool = Config.default_pool) ?on_result ~worker jobs =
       pending := List.filter (fun j' -> j'.id <> j.id) !pending;
       Hashtbl.replace inflight j.id j;
       match
-        Marshal.to_channel w.job_out (j.id, j.payload) [];
-        flush w.job_out
+        let b = Marshal.to_bytes (j.id, j.payload) [] in
+        Sysio.write_all ~site:"supervisor.dispatch" w.job_w_fd b 0
+          (Bytes.length b)
       with
       | () ->
           w.busy <- Some j.id;
           w.started <- now
-      | exception Sys_error _ ->
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
           (* the worker died between jobs (external kill, idle OOM): the
              job never ran there — reap, put it back, drop the corpse *)
           ignore (waitpid_retry w.pid);

@@ -1,14 +1,28 @@
 (* Blocking line-oriented client for the certifyd socket. *)
 
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+module Sysio = Deept.Sysio
+
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+(* A write to a connection whose daemon died must surface as EPIPE for
+   the session retry loop to catch — with the default disposition the
+   process is silently killed by SIGPIPE instead. Ignore it once, on
+   first connect, unless the host program installed its own handler. *)
+let quiet_sigpipe =
+  lazy
+    (if not Sys.win32 then
+       match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+       | Sys.Signal_default | Sys.Signal_ignore -> ()
+       | handler -> Sys.set_signal Sys.sigpipe handler)
 
 let connect path =
+  Lazy.force quiet_sigpipe;
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX path)
    with e ->
      Unix.close fd;
      raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  { fd; ic = Unix.in_channel_of_descr fd }
 
 let connect_retry ?(timeout_s = 10.0) path =
   let deadline = Unix.gettimeofday () +. timeout_s in
@@ -23,9 +37,8 @@ let connect_retry ?(timeout_s = 10.0) path =
   go ()
 
 let send t req =
-  output_string t.oc (Protocol.request_to_json req);
-  output_char t.oc '\n';
-  flush t.oc
+  Sysio.send_string ~site:"client.send" t.fd
+    (Protocol.request_to_json req ^ "\n")
 
 let recv t =
   match input_line t.ic with
@@ -40,3 +53,107 @@ let request t req =
   recv t
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* ---------------- retrying session ----------------
+
+   One rid per logical request, reused verbatim across every retry and
+   reconnect: the daemon deduplicates on it, so a retry after a lost
+   response replays the original answer instead of running the job
+   twice. Backoff honours the daemon's retry-after hint (Overloaded /
+   Quarantined) and is jittered so a herd of shed clients does not
+   return in lockstep. *)
+
+type policy = {
+  max_attempts : int;
+  backoff_s : float;
+  max_backoff_s : float;
+  connect_timeout_s : float;
+}
+
+let default_policy =
+  { max_attempts = 5; backoff_s = 0.05; max_backoff_s = 2.0; connect_timeout_s = 10.0 }
+
+let policy ?(max_attempts = default_policy.max_attempts)
+    ?(backoff_s = default_policy.backoff_s)
+    ?(max_backoff_s = default_policy.max_backoff_s)
+    ?(connect_timeout_s = default_policy.connect_timeout_s) () =
+  if max_attempts < 1 then invalid_arg "Client.policy: max_attempts < 1";
+  if backoff_s <= 0.0 || max_backoff_s < backoff_s then
+    invalid_arg "Client.policy: need 0 < backoff_s <= max_backoff_s";
+  if connect_timeout_s <= 0.0 then
+    invalid_arg "Client.policy: connect_timeout_s <= 0";
+  { max_attempts; backoff_s; max_backoff_s; connect_timeout_s }
+
+type session = {
+  path : string;
+  pol : policy;
+  rng : Random.State.t;
+  rid_prefix : string;
+  mutable seq : int;
+  mutable conn : t option;
+}
+
+let session ?(policy = default_policy) path =
+  let pid = Unix.getpid () in
+  let now = int_of_float (Unix.gettimeofday () *. 1e6) in
+  {
+    path;
+    pol = policy;
+    rng = Random.State.make [| pid; now |];
+    (* unique enough across client processes for one daemon lifetime *)
+    rid_prefix = Printf.sprintf "c%d.%x" pid (now land 0xffffff);
+    seq = 0;
+    conn = None;
+  }
+
+let hangup s =
+  match s.conn with
+  | Some c ->
+      close c;
+      s.conn <- None
+  | None -> ()
+
+let fresh_rid s =
+  s.seq <- s.seq + 1;
+  Printf.sprintf "%s.%d" s.rid_prefix s.seq
+
+let call s (c : Protocol.certify) =
+  let c =
+    match c.Protocol.rid with
+    | Some _ -> c
+    | None -> { c with Protocol.rid = Some (fresh_rid s) }
+  in
+  let rec go attempt backoff =
+    let conn =
+      match s.conn with
+      | Some conn -> conn
+      | None ->
+          let conn = connect_retry ~timeout_s:s.pol.connect_timeout_s s.path in
+          s.conn <- Some conn;
+          conn
+    in
+    let lost what =
+      (* connection died mid-request: the daemon may or may not have the
+         job — only the rid knows. Reconnect and resend the same one. *)
+      hangup s;
+      if attempt + 1 >= s.pol.max_attempts then
+        failwith ("certifyd client: " ^ what ^ " and retries exhausted")
+      else go (attempt + 1) backoff
+    in
+    match request conn (Protocol.Certify c) with
+    | Some (Protocol.Overloaded { retry_after_s; _ } as resp)
+    | Some (Protocol.Quarantined { retry_after_s; _ } as resp) ->
+        if attempt + 1 >= s.pol.max_attempts then resp
+        else begin
+          let base = Float.max retry_after_s backoff in
+          let jitter = 0.5 +. Random.State.float s.rng 0.5 in
+          Unix.sleepf (Float.min s.pol.max_backoff_s (base *. jitter));
+          go (attempt + 1) (Float.min s.pol.max_backoff_s (backoff *. 2.0))
+        end
+    | Some resp -> resp
+    | None -> lost "connection closed"
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        lost "connection reset"
+    | exception Sys_error _ -> lost "connection error"
+  in
+  go 0 s.pol.backoff_s

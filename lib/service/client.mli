@@ -25,3 +25,57 @@ val request : t -> Protocol.request -> Protocol.response option
 (** {!send} then {!recv}. *)
 
 val close : t -> unit
+
+(** {2 Retrying session}
+
+    A lost response is indistinguishable from a lost request, so blind
+    resends risk running a job twice. {!call} closes that hole: every
+    logical request carries an idempotency key ([rid]) that is reused
+    verbatim across retries and reconnects, and the daemon answers a
+    duplicate rid with the original job's result. *)
+
+type policy = {
+  max_attempts : int;  (** total tries per {!call}, including the first *)
+  backoff_s : float;  (** initial sleep between tries; doubles *)
+  max_backoff_s : float;  (** backoff and sleep ceiling *)
+  connect_timeout_s : float;  (** per-reconnect {!connect_retry} budget *)
+}
+
+val default_policy : policy
+(** 5 attempts, 50 ms initial backoff, 2 s cap, 10 s connect budget. *)
+
+val policy :
+  ?max_attempts:int ->
+  ?backoff_s:float ->
+  ?max_backoff_s:float ->
+  ?connect_timeout_s:float ->
+  unit ->
+  policy
+(** Validated constructor over {!default_policy}.
+    @raise Invalid_argument on a non-positive field or a cap below the
+    initial backoff. *)
+
+type session
+(** A lazily-(re)connected client with a per-session rid namespace. *)
+
+val session : ?policy:policy -> string -> session
+(** [session path] — no I/O happens until the first {!call}. *)
+
+val call : session -> Protocol.certify -> Protocol.response
+(** Send one certify request, retrying until a terminal response:
+
+    - missing [rid]: a fresh session-unique one is filled in, and the
+      {e same} rid is resent on every retry — the daemon deduplicates;
+    - [Overloaded] / [Quarantined]: sleep
+      [max(retry_after hint, backoff)] with ±50% jitter, then retry;
+      the last attempt returns the shed response as-is;
+    - EOF / [EPIPE] / [ECONNRESET] mid-request: reconnect (honouring
+      [connect_timeout_s]) and resend.
+
+    @raise Failure when the connection keeps dying through
+    [max_attempts]; @raise Unix.Unix_error when reconnection times
+    out. *)
+
+val hangup : session -> unit
+(** Close the session's connection, if open; the next {!call}
+    reconnects. *)

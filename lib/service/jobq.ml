@@ -7,6 +7,7 @@
 
 type 'a t = {
   cap : int;
+  default_service_s : float; (* retry-hint stand-in before the EWMA primes *)
   q : 'a Queue.t;
   mutable front : 'a list; (* requeued jobs, ahead of [q] *)
   mutable ewma_s : float;
@@ -15,7 +16,19 @@ type 'a t = {
 }
 
 let ewma_alpha = 0.2
-let create ~cap = { cap; q = Queue.create (); front = []; ewma_s = 0.0; accepted = 0; shed = 0 }
+
+let create ?(default_service_s = 0.1) ~cap () =
+  if default_service_s <= 0.0 then
+    invalid_arg "Jobq.create: default_service_s <= 0";
+  {
+    cap;
+    default_service_s;
+    q = Queue.create ();
+    front = [];
+    ewma_s = 0.0;
+    accepted = 0;
+    shed = 0;
+  }
 let depth t = List.length t.front + Queue.length t.q
 
 let admit t x =
@@ -54,12 +67,15 @@ let pop t ~ready =
       !found
 
 let note_service t wall_s =
-  t.ewma_s <-
-    (if t.ewma_s = 0.0 then wall_s
-     else (ewma_alpha *. wall_s) +. ((1.0 -. ewma_alpha) *. t.ewma_s))
+  (* A cache-warm or stalled-clock sample of 0 (or junk) must not pin
+     the EWMA at an unprimed 0 — the shed hint would degenerate. *)
+  if Float.is_finite wall_s && wall_s > 0.0 then
+    t.ewma_s <-
+      (if t.ewma_s = 0.0 then wall_s
+       else (ewma_alpha *. wall_s) +. ((1.0 -. ewma_alpha) *. t.ewma_s))
 
 let retry_after t ~workers =
-  let per = if t.ewma_s > 0.0 then t.ewma_s else 0.1 in
+  let per = if t.ewma_s > 0.0 then t.ewma_s else t.default_service_s in
   Float.max 0.05 (float_of_int (depth t + 1) *. per /. float_of_int (max 1 workers))
 
 let full t = depth t >= t.cap

@@ -11,7 +11,11 @@
 
 type 'a t
 
-val create : cap:int -> 'a t
+val create : ?default_service_s:float -> cap:int -> unit -> 'a t
+(** [default_service_s] (default 0.1, must be positive) stands in for
+    the EWMA in {!retry_after} until the first completed job primes it —
+    without it the very first shed would hint an arbitrary constant. *)
+
 val depth : 'a t -> int
 
 val admit : 'a t -> 'a -> bool
@@ -25,11 +29,13 @@ val pop : 'a t -> ready:('a -> bool) -> 'a option
     stay put, order preserved. *)
 
 val note_service : 'a t -> float -> unit
-(** Feed one completed job's wall time into the EWMA (α = 0.2). *)
+(** Feed one completed job's wall time into the EWMA (α = 0.2).
+    Non-finite or non-positive samples are discarded. *)
 
 val retry_after : 'a t -> workers:int -> float
 (** Load-shedding hint: expected queue drain time
-    [(depth+1) · ewma / workers], floored at 50 ms. *)
+    [(depth+1) · per / workers], floored at 50 ms, where [per] is the
+    EWMA once primed and [default_service_s] before that. *)
 
 val full : 'a t -> bool
 (** [depth >= cap] — the next {!admit} would shed. *)

@@ -14,6 +14,7 @@ type certify = {
   verifier : Config.dot_variant;
   deadline_s : float option;
   tag : int option;
+  rid : string option;
   drill_crash : bool;
   drill_stall_s : float option;
 }
@@ -101,6 +102,7 @@ let certify_fields ?id (c : certify) =
   | Some d -> fld "deadline_s" (Printf.sprintf "%.17g" d)
   | None -> ());
   (match c.tag with Some t -> fld "tag" (string_of_int t) | None -> ());
+  (match c.rid with Some r -> fld "rid" (quoted r) | None -> ());
   if c.drill_crash then fld "crash" "1";
   (match c.drill_stall_s with
   | Some s -> fld "stall_s" (Printf.sprintf "%.17g" s)
@@ -116,8 +118,15 @@ let request_to_json = function
 let certify_known =
   [
     "op"; "id"; "model"; "index"; "sentence"; "word"; "norm"; "radius";
-    "verifier"; "deadline_s"; "tag"; "crash"; "stall_s";
+    "verifier"; "deadline_s"; "tag"; "rid"; "crash"; "stall_s";
   ]
+
+(* Request ids are client-chosen; keep them short and printable so they
+   can ride in intake lines and logs without escaping surprises. *)
+let valid_rid r =
+  let n = String.length r in
+  n >= 1 && n <= 64
+  && String.for_all (fun c -> Char.code c > 0x20 && Char.code c < 0x7f) r
 
 let ( let* ) = Result.bind
 
@@ -155,6 +164,13 @@ let certify_of_fields ~allow_id fields =
   let* verifier = verifier_of_name vname in
   let* deadline_s = Jsonl.num_opt fields "deadline_s" in
   let* tag = Jsonl.int_opt fields "tag" in
+  let* rid = Jsonl.str_opt fields "rid" in
+  let* () =
+    match rid with
+    | Some r when not (valid_rid r) ->
+        Error "rid must be 1-64 printable non-space characters"
+    | _ -> Ok ()
+  in
   let* crash = Jsonl.int_opt fields "crash" in
   let* drill_stall_s = Jsonl.num_opt fields "stall_s" in
   Ok
@@ -167,6 +183,7 @@ let certify_of_fields ~allow_id fields =
       verifier;
       deadline_s;
       tag;
+      rid;
       drill_crash = crash = Some 1;
       drill_stall_s;
     }
@@ -298,7 +315,11 @@ let response_of_json line =
   | op -> Stdlib.Error ("unknown response op " ^ op)
 
 let certify ?(word = 1) ?(p = Lp.L2) ?(verifier = Config.Fast) ?deadline_s ?tag
-    ?(drill_crash = false) ?drill_stall_s ~model ~radius input =
+    ?rid ?(drill_crash = false) ?drill_stall_s ~model ~radius input =
+  (match rid with
+  | Some r when not (valid_rid r) ->
+      invalid_arg "Protocol.certify: rid must be 1-64 printable characters"
+  | _ -> ());
   {
     model;
     input;
@@ -308,6 +329,7 @@ let certify ?(word = 1) ?(p = Lp.L2) ?(verifier = Config.Fast) ?deadline_s ?tag
     verifier;
     deadline_s;
     tag;
+    rid;
     drill_crash;
     drill_stall_s;
   }

@@ -22,6 +22,12 @@ type certify = {
   deadline_s : float option;
       (** per-job cooperative deadline; [None] inherits the daemon's *)
   tag : int option;  (** opaque client correlation id, echoed back *)
+  rid : string option;
+      (** idempotency key: the daemon deduplicates requests that carry
+          the same rid — retries after a lost response replay the
+          original job's result instead of recomputing or double-running
+          it. 1-64 printable non-space chars; survives [--resume] by
+          riding in the intake record. *)
   drill_crash : bool;  (** fault drill: worker exits hard mid-job *)
   drill_stall_s : float option;  (** fault drill: worker sleeps first *)
 }
@@ -70,6 +76,7 @@ val certify :
   ?verifier:Deept.Config.dot_variant ->
   ?deadline_s:float ->
   ?tag:int ->
+  ?rid:string ->
   ?drill_crash:bool ->
   ?drill_stall_s:float ->
   model:string ->
@@ -90,6 +97,9 @@ val intake_to_json : id:int -> certify -> string
     the intake file, written before a job is enqueued. *)
 
 val intake_of_json : string -> (int * certify, string) result
+
+val valid_rid : string -> bool
+(** 1-64 printable non-space characters — what the decoder enforces. *)
 
 val norm_name : Deept.Lp.t -> string
 val norm_of_name : string -> (Deept.Lp.t, string) result

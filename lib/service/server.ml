@@ -14,6 +14,7 @@ module Journal = Deept.Journal
 module Supervisor = Deept.Supervisor
 module Engine = Deept.Engine
 module Region = Deept.Region
+module Sysio = Deept.Sysio
 
 type opts = {
   socket : string;
@@ -24,6 +25,7 @@ type opts = {
   breaker_threshold : int;
   breaker_cooloff_s : float;
   write_timeout_s : float;
+  retry_hint_s : float;  (* Overloaded hint before the EWMA primes *)
   journal : string option;
   resume : bool;
   log : string -> unit;
@@ -31,10 +33,11 @@ type opts = {
 
 let opts ?(pool = Config.default_pool) ?deadline_s ?(queue_cap = 64)
     ?(breaker_threshold = 3) ?(breaker_cooloff_s = 5.0)
-    ?(write_timeout_s = 10.0) ?journal ?(resume = false)
+    ?(write_timeout_s = 10.0) ?(retry_hint_s = 0.1) ?journal ?(resume = false)
     ?(log = fun _ -> ()) ~socket models =
   if queue_cap < 1 then invalid_arg "Server.opts: queue_cap < 1";
   if write_timeout_s <= 0.0 then invalid_arg "Server.opts: write_timeout_s <= 0";
+  if retry_hint_s <= 0.0 then invalid_arg "Server.opts: retry_hint_s <= 0";
   if resume && journal = None then
     invalid_arg "Server.opts: resume requires a journal";
   {
@@ -46,6 +49,7 @@ let opts ?(pool = Config.default_pool) ?deadline_s ?(queue_cap = 64)
     breaker_threshold;
     breaker_cooloff_s;
     write_timeout_s;
+    retry_hint_s;
     journal;
     resume;
     log;
@@ -189,7 +193,7 @@ let load_intake ~log path =
                        "intake: dropping torn final line at byte %d (%s)" off
                        msg);
                   let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
-                  Unix.ftruncate fd off;
+                  Sysio.ftruncate ~site:"intake.truncate" fd off;
                   Unix.close fd;
                   List.rev acc
                 end
@@ -228,31 +232,32 @@ let run o =
      --resume: truncate it eagerly on fresh starts. *)
   (match o.journal with
   | Some p when not o.resume && Sys.file_exists (intake_path p) ->
-      let fd = Unix.openfile (intake_path p) [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+      let fd = Unix.openfile (intake_path p) [ Unix.O_WRONLY ] 0o644 in
+      Sysio.ftruncate ~site:"intake.truncate" fd 0;
       Unix.close fd
   | _ -> ());
-  let intake_chan = ref None in
+  let intake_fd = ref None in
   let intake_append id c =
     match o.journal with
     | None -> ()
     | Some p ->
-        let ch =
-          match !intake_chan with
-          | Some ch -> ch
+        let fd =
+          match !intake_fd with
+          | Some fd -> fd
           | None ->
               let fd =
                 Unix.openfile (intake_path p)
                   [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
                   0o644
               in
-              let ch = Unix.out_channel_of_descr fd in
-              intake_chan := Some ch;
-              ch
+              intake_fd := Some fd;
+              Journal.fsync_dir ~site:"intake.dir"
+                (Filename.dirname (intake_path p));
+              fd
         in
-        output_string ch (Protocol.intake_to_json ~id c);
-        output_char ch '\n';
-        flush ch;
-        Unix.fsync (Unix.descr_of_out_channel ch)
+        Sysio.write_string ~site:"intake.append" fd
+          (Protocol.intake_to_json ~id c ^ "\n");
+        Sysio.fsync ~site:"intake.fsync" fd
   in
 
   let cache = Cache.create () in
@@ -271,8 +276,20 @@ let run o =
     id
   in
 
-  let q : job Jobq.t = Jobq.create ~cap:o.queue_cap in
+  let q : job Jobq.t =
+    Jobq.create ~default_service_s:o.retry_hint_s ~cap:o.queue_cap ()
+  in
   let inflight : (int, job) Hashtbl.t = Hashtbl.create 16 in
+  (* Idempotency: rid -> job id for every request that carried one, and
+     id -> finished wire result so a deduplicated retry can replay the
+     answer instead of recomputing (or worse, double-running) the job. *)
+  let rids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let done_results : (int, Protocol.result_r) Hashtbl.t = Hashtbl.create 16 in
+  let register_rid (c : Protocol.certify) id =
+    match c.Protocol.rid with
+    | Some r -> Hashtbl.replace rids r id
+    | None -> ()
+  in
   let workers = ref [] in
   let clients = ref [] in
   let breakers : (string, Breaker.t) Hashtbl.t = Hashtbl.create 4 in
@@ -301,6 +318,35 @@ let run o =
   | true, Some p ->
       let entries = load_intake ~log (intake_path p) in
       List.iter (fun (id, _) -> bump_id id) entries;
+      (* Rebuild the idempotency tables: rids ride in the intake
+         encoding, finished answers come from the journal — so a client
+         retrying a rid across the restart still gets a replay, not a
+         duplicate run. *)
+      let jtbl : (int, Journal.entry) Hashtbl.t = Hashtbl.create 64 in
+      (match journal with
+      | Some j ->
+          List.iter
+            (fun e -> Hashtbl.replace jtbl e.Journal.job e)
+            (Journal.entries j)
+      | None -> ());
+      List.iter
+        (fun (id, (c : Protocol.certify)) ->
+          register_rid c id;
+          match Hashtbl.find_opt jtbl id with
+          | Some e ->
+              Hashtbl.replace done_results id
+                {
+                  Protocol.id;
+                  tag = c.Protocol.tag;
+                  verdict = e.Journal.verdict;
+                  rung = e.Journal.rung;
+                  attempts = e.Journal.attempts;
+                  retries = e.Journal.retries;
+                  wall_s = e.Journal.wall_s;
+                  cached = true;
+                }
+          | None -> ())
+        entries;
       let missing = List.filter (fun (id, _) -> not (journaled id)) entries in
       let missing =
         List.sort (fun (a, _) (b, _) -> compare b a) missing (* desc: requeue front-pushes *)
@@ -322,6 +368,17 @@ let run o =
                   retries = 0;
                   wall_s = 0.0;
                   detail = "model not loaded";
+                };
+              Hashtbl.replace done_results id
+                {
+                  Protocol.id;
+                  tag = c.Protocol.tag;
+                  verdict = Verdict.Unknown Verdict.Numerical_fault;
+                  rung = "resume";
+                  attempts = 0;
+                  retries = 0;
+                  wall_s = 0.0;
+                  cached = true;
                 }
           | Some w ->
               Jobq.requeue q
@@ -352,15 +409,17 @@ let run o =
   let parent_fds () =
     (lfd :: List.map (fun c -> c.fd) !clients)
     @ List.concat_map (fun w -> [ w.res_fd; w.job_w_fd ]) !workers
-    @ (match !intake_chan with
-      | Some ch -> [ Unix.descr_of_out_channel ch ]
-      | None -> [])
+    @ (match !intake_fd with Some fd -> [ fd ] | None -> [])
   in
   let spawn () =
     let job_r, job_w = Unix.pipe () in
     let res_r, res_w = Unix.pipe () in
     match Unix.fork () with
     | 0 ->
+        (* Workers run clean: an armed chaos plan targets the daemon's
+           durability path, and inheriting it would make the crash-point
+           enumeration nondeterministic (see bin/crashprobe.ml). *)
+        Sysio.disarm ();
         List.iter
           (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
           (parent_fds ());
@@ -439,18 +498,20 @@ let run o =
         wall_s = wall;
         detail = "key=" ^ j.key;
       };
-    respond j
-      (Protocol.Result
-         {
-           Protocol.id = j.id;
-           tag = j.c.Protocol.tag;
-           verdict = r.w_verdict;
-           rung = r.w_rung;
-           attempts = r.w_attempts;
-           retries = j.retries;
-           wall_s = wall;
-           cached = false;
-         });
+    let res =
+      {
+        Protocol.id = j.id;
+        tag = j.c.Protocol.tag;
+        verdict = r.w_verdict;
+        rung = r.w_rung;
+        attempts = r.w_attempts;
+        retries = j.retries;
+        wall_s = wall;
+        cached = false;
+      }
+    in
+    Hashtbl.replace done_results j.id { res with Protocol.cached = true };
+    respond j (Protocol.Result res);
     incr jobs_done
   in
   let finalize_failure (j : job) failure =
@@ -469,18 +530,20 @@ let run o =
         wall_s = wall;
         detail = Supervisor.failure_detail failure;
       };
-    respond j
-      (Protocol.Result
-         {
-           Protocol.id = j.id;
-           tag = j.c.Protocol.tag;
-           verdict;
-           rung = "worker";
-           attempts = 0;
-           retries = j.retries;
-           wall_s = wall;
-           cached = false;
-         });
+    let res =
+      {
+        Protocol.id = j.id;
+        tag = j.c.Protocol.tag;
+        verdict;
+        rung = "worker";
+        attempts = 0;
+        retries = j.retries;
+        wall_s = wall;
+        cached = false;
+      }
+    in
+    Hashtbl.replace done_results j.id { res with Protocol.cached = true };
+    respond j (Protocol.Result res);
     incr jobs_done
   in
 
@@ -535,14 +598,13 @@ let run o =
     let now = Unix.gettimeofday () in
     if j.first_dispatch = None then j.first_dispatch <- Some now;
     Hashtbl.replace inflight j.id j;
-    match
-      Marshal.to_channel w.job_out (j.id, j.c) [];
-      flush w.job_out
+    let b = Marshal.to_bytes (j.id, j.c) [] in
+    match Sysio.write_all ~site:"server.dispatch" w.job_w_fd b 0 (Bytes.length b)
     with
     | () ->
         w.busy <- Some j.id;
         w.started <- now
-    | exception Sys_error _ ->
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
         (* worker died idle: the job never ran there *)
         ignore (waitpid_retry w.pid);
         note_death ();
@@ -603,7 +665,15 @@ let run o =
       breakers = Buffer.contents b;
     }
   in
-  let admit cl (c : Protocol.certify) =
+  (* A deduplicated retry of a still-running job re-attaches the new
+     connection so the eventual result is delivered exactly once, to the
+     client that is still listening. *)
+  let reattach id cid =
+    let att (j : job) = if j.id = id then j.client <- Some cid in
+    Hashtbl.iter (fun _ j -> att j) inflight;
+    Jobq.iter q att
+  in
+  let admit_new cl (c : Protocol.certify) =
     match Warm.find warm c.Protocol.model with
     | None ->
         send cl
@@ -642,23 +712,31 @@ let run o =
                     wall_s = 0.0;
                     detail = "key=" ^ key;
                   };
-                send cl
-                  (Protocol.Result
-                     {
-                       Protocol.id;
-                       tag = c.Protocol.tag;
-                       verdict = e.Cache.verdict;
-                       rung = e.Cache.rung;
-                       attempts = e.Cache.attempts;
-                       retries = 0;
-                       wall_s = 0.0;
-                       cached = true;
-                     })
+                let res =
+                  {
+                    Protocol.id;
+                    tag = c.Protocol.tag;
+                    verdict = e.Cache.verdict;
+                    rung = e.Cache.rung;
+                    attempts = e.Cache.attempts;
+                    retries = 0;
+                    wall_s = 0.0;
+                    cached = true;
+                  }
+                in
+                register_rid c id;
+                Hashtbl.replace done_results id res;
+                send cl (Protocol.Result res)
             | None ->
                 if !draining then
                   send cl
                     (Protocol.Overloaded
-                       { tag = c.Protocol.tag; retry_after_s = 1.0 })
+                       {
+                         tag = c.Protocol.tag;
+                         retry_after_s =
+                           Jobq.retry_after q
+                             ~workers:(max 1 (List.length !workers));
+                       })
                 else if Jobq.full q then begin
                   (* a full admit both counts the shed and refuses *)
                   let j =
@@ -706,9 +784,18 @@ let run o =
                         }
                       in
                       ignore (Jobq.admit q j);
+                      register_rid c id;
                       (* durable before dispatchable: a daemon killed
                          from here on re-runs this job on --resume *)
                       intake_append id c))
+  in
+  let admit cl (c : Protocol.certify) =
+    match Option.bind c.Protocol.rid (Hashtbl.find_opt rids) with
+    | Some id -> (
+        match Hashtbl.find_opt done_results id with
+        | Some res -> send cl (Protocol.Result res)
+        | None -> reattach id cl.cid)
+    | None -> admit_new cl c
   in
   let process_line cl line =
     if String.trim line <> "" then
@@ -740,12 +827,20 @@ let run o =
     | n ->
         Buffer.add_subbytes cl.inbuf buf 0 n;
         process_inbuf cl
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        () (* select will mark it readable again *)
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> drop_client cl
   in
   let flush_client cl now =
+    (* Sysio.single_write restarts EINTR and may report a partial count;
+       the unsent suffix stays buffered in [cl.out] — bytes are never
+       dropped, the next writable tick continues where this one ended. *)
     if cl.out <> "" then
-      match Unix.write_substring cl.fd cl.out 0 (String.length cl.out) with
+      match
+        Sysio.single_write ~site:"server.client_send" cl.fd cl.out 0
+          (String.length cl.out)
+      with
       | n ->
           cl.out <- String.sub cl.out n (String.length cl.out - n);
           cl.last_write <- now
@@ -895,7 +990,9 @@ let run o =
   clients := [];
   (try Unix.close lfd with Unix.Unix_error _ -> ());
   (try Sys.remove o.socket with Sys_error _ -> ());
-  (match !intake_chan with Some ch -> close_out_noerr ch | None -> ());
+  (match !intake_fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
   Sys.set_signal Sys.sigpipe old_sigpipe;
   log
     (Printf.sprintf "drained: %d job(s) done, %d shed, %d cache hit(s), %d worker death(s)"

@@ -50,6 +50,9 @@ type opts = {
   write_timeout_s : float;
       (** a client whose socket accepts no bytes for this long while
           responses are pending is dropped (its jobs finish journal-only) *)
+  retry_hint_s : float;
+      (** [Overloaded] retry hint per job before the service-time EWMA
+          has its first sample *)
   journal : string option;
       (** completion journal path; the intake file lives beside it at
           [<journal>.intake]. [None] = no durability (tests only). *)
@@ -64,6 +67,7 @@ val opts :
   ?breaker_threshold:int ->
   ?breaker_cooloff_s:float ->
   ?write_timeout_s:float ->
+  ?retry_hint_s:float ->
   ?journal:string ->
   ?resume:bool ->
   ?log:(string -> unit) ->
@@ -71,9 +75,9 @@ val opts :
   string list ->
   opts
 (** Defaults: {!Deept.Config.default_pool}, no deadline, [queue_cap 64],
-    breaker 3 crashes / 5 s cooloff, 10 s write timeout, no journal.
-    @raise Invalid_argument on a non-positive cap or timeout, or
-    [resume] without a journal. *)
+    breaker 3 crashes / 5 s cooloff, 10 s write timeout, 0.1 s unprimed
+    retry hint, no journal. @raise Invalid_argument on a non-positive
+    cap, timeout or hint, or [resume] without a journal. *)
 
 val run : opts -> unit
 (** Load the models, bind the socket and serve until drained. Blocks for

@@ -133,41 +133,55 @@ let test_protocol_rejects () =
 
 (* ---------------- verdict strings (daemon rejections) -------------- *)
 
+let contains ~sub s =
+  let lp = String.length sub and le = String.length s in
+  let rec go i = i + lp <= le && (String.sub s i lp = sub || go (i + 1)) in
+  go 0
+
 let test_verdict_of_string_res () =
+  (* exhaustive over the constructors: V.all_reasons is the compiler's
+     list, so a new reason cannot silently skip this round-trip *)
   List.iter
     (fun v ->
       match V.of_string_res (V.to_string v) with
       | Ok v' -> check_true ("round-trip " ^ V.to_string v) (V.equal v v')
       | Error e -> Alcotest.failf "of_string_res %s: %s" (V.to_string v) e)
-    [
-      V.Certified;
-      V.Falsified;
-      V.Unknown V.Overloaded;
-      V.Unknown V.Quarantined;
-      V.Unknown V.Timeout;
-    ];
+    (V.Certified :: V.Falsified
+    :: List.map (fun r -> V.Unknown r) V.all_reasons);
+  (* every reason name round-trips through the reason codec too *)
+  List.iter
+    (fun r ->
+      check_true ("reason round-trip " ^ V.reason_name r)
+        (V.reason_of_string (V.reason_name r) = Some r))
+    V.all_reasons;
+  (* a known-shaped but unknown reason lists every valid reason name *)
   (match V.of_string_res "unknown(nope)" with
   | Ok _ -> Alcotest.fail "accepted unknown(nope)"
   | Error e ->
-      (* the rejection must list the valid reasons, including the
-         daemon's admission verdicts *)
-      let mem s =
-        let lp = String.length s and le = String.length e in
-        let rec go i =
-          i + lp <= le && (String.sub e i lp = s || go (i + 1))
-        in
-        go 0
-      in
-      check_true "lists overloaded" (mem "overloaded");
-      check_true "lists quarantined" (mem "quarantined"));
-  match V.of_string_res "bogus" with
-  | Ok _ -> Alcotest.fail "accepted bogus"
-  | Error e -> check_true "explains shape" (String.length e > String.length "bogus")
+      List.iter
+        (fun r ->
+          check_true ("rejection lists " ^ V.reason_name r)
+            (contains ~sub:(V.reason_name r) e))
+        V.all_reasons);
+  (* malformed strings are rejected with a message that explains the
+     expected shapes, never accepted and never a bare parse crash *)
+  List.iter
+    (fun s ->
+      match V.of_string_res s with
+      | Ok v -> Alcotest.failf "accepted %S as %s" s (V.to_string v)
+      | Error e ->
+          check_true (Printf.sprintf "%S rejection explains itself" s)
+            (String.length e > String.length s && contains ~sub:"expected" e))
+    [
+      "bogus"; ""; "Certified"; "CERTIFIED"; " certified"; "certified ";
+      "unknown"; "unknown("; "unknown()"; "unknown(timeout"; "unknowntimeout)";
+      "unknown(timeout))"; "falsified(oops)"; "unknown(TIMEOUT)";
+    ]
 
 (* ---------------- admission queue ---------------- *)
 
 let test_jobq_shed_and_requeue () =
-  let q = Service.Jobq.create ~cap:2 in
+  let q = Service.Jobq.create ~cap:2 () in
   check_true "admit 1" (Service.Jobq.admit q 1);
   check_true "admit 2" (Service.Jobq.admit q 2);
   check_true "full at cap" (Service.Jobq.full q);
@@ -188,7 +202,7 @@ let test_jobq_shed_and_requeue () =
   check_true "empty" (Service.Jobq.pop q ~ready:(fun _ -> true) = None)
 
 let test_jobq_retry_after () =
-  let q = Service.Jobq.create ~cap:8 in
+  let q = Service.Jobq.create ~cap:8 () in
   check_true "floored at 50ms with no history"
     (Service.Jobq.retry_after q ~workers:2 >= 0.05);
   Service.Jobq.note_service q 1.0;
@@ -197,6 +211,28 @@ let test_jobq_retry_after () =
   ignore (Service.Jobq.admit q 2);
   let hint = Service.Jobq.retry_after q ~workers:1 in
   check_true "hint scales with depth and ewma" (hint >= Service.Jobq.ewma_s q)
+
+let test_jobq_default_hint () =
+  (* before the first completed job there is no EWMA; the hint must come
+     from the configured default, not a baked-in constant *)
+  let q = Service.Jobq.create ~default_service_s:0.5 ~cap:4 () in
+  check_true "unprimed hint uses the configured default"
+    (abs_float (Service.Jobq.retry_after q ~workers:1 -. 0.5) < 1e-12);
+  (* junk samples (cache-warm zeros, clock skew) must not fake-prime it *)
+  Service.Jobq.note_service q 0.0;
+  Service.Jobq.note_service q (-1.0);
+  Service.Jobq.note_service q Float.nan;
+  Service.Jobq.note_service q Float.infinity;
+  check_true "junk samples discarded"
+    (Service.Jobq.ewma_s q = 0.0
+    && abs_float (Service.Jobq.retry_after q ~workers:1 -. 0.5) < 1e-12);
+  Service.Jobq.note_service q 2.0;
+  check_true "first real sample primes the ewma"
+    (Service.Jobq.ewma_s q = 2.0);
+  check_true "non-positive default rejected"
+    (match Service.Jobq.create ~default_service_s:0.0 ~cap:1 () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
 
 (* ---------------- circuit breaker (fake clock) ---------------- *)
 
@@ -467,6 +503,98 @@ let test_daemon_sigkill_resume () =
   check_true "exactly the intaken jobs, exactly once"
     (List.sort compare final = List.sort compare intaken)
 
+let rid_req ~rid k =
+  P.Certify (P.certify ~rid ~tag:k ~model:"sst_3" ~radius:0.004 (P.Index k))
+
+let test_daemon_rid_dedup () =
+  if not have_model then () else
+  with_tmp "rid" @@ fun base ->
+  let socket = base ^ ".sock" in
+  let pid = start_daemon socket in
+  Fun.protect ~finally:(fun () -> stop_daemon pid) @@ fun () ->
+  let conn = Cl.connect_retry ~timeout_s:60.0 socket in
+  Cl.send conn (rid_req ~rid:"drill-a" 0);
+  let first = expect_result conn "first delivery" in
+  check_true "first delivery recomputes" (not first.P.cached);
+  (* a blind resend of the same rid — the client pretending it lost the
+     answer — must replay the original result, not run the job again *)
+  Cl.send conn (rid_req ~rid:"drill-a" 0);
+  let replay = expect_result conn "rid replay" in
+  check_true "replay is marked cached" replay.P.cached;
+  check_true "replay keeps the original id" (replay.P.id = first.P.id);
+  check_true "replay keeps the verdict"
+    (V.equal replay.P.verdict first.P.verdict);
+  (* a fresh rid for the same work is a new logical request *)
+  Cl.send conn (rid_req ~rid:"drill-b" 0);
+  let other = expect_result conn "fresh rid" in
+  check_true "fresh rid gets a fresh id" (other.P.id <> first.P.id);
+  (match Cl.request conn P.Stats with
+  | Some (P.Stats_r s) ->
+      check_true "dedup never re-ran the job" (s.P.jobs_done = 1)
+  | _ -> Alcotest.fail "stats request failed");
+  Cl.close conn
+
+let test_daemon_rid_dedup_resume () =
+  if not have_model then () else
+  with_tmp "ridresume" @@ fun base ->
+  let socket = base ^ ".sock" and journal = base ^ ".jsonl" in
+  let pid = start_daemon ~journal socket in
+  let conn = Cl.connect_retry ~timeout_s:60.0 socket in
+  Cl.send conn (rid_req ~rid:"drill-r0" 0);
+  Cl.send conn (rid_req ~rid:"drill-r1" 1);
+  let r0 = expect_result conn "result 0" in
+  let r1 = expect_result conn "result 1" in
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  Cl.close conn;
+  (* the dedup tables are rebuilt from intake ⋈ journal on --resume, so
+     a client retrying across the crash still gets a replay, not a
+     duplicate execution *)
+  let pid2 = start_daemon ~journal ~resume:true socket in
+  Fun.protect ~finally:(fun () -> stop_daemon pid2) @@ fun () ->
+  let conn2 = Cl.connect_retry ~timeout_s:60.0 socket in
+  Cl.send conn2 (rid_req ~rid:"drill-r0" 0);
+  Cl.send conn2 (rid_req ~rid:"drill-r1" 1);
+  let r0' = expect_result conn2 "replay 0 after resume" in
+  let r1' = expect_result conn2 "replay 1 after resume" in
+  List.iter2
+    (fun (r : P.result_r) (r' : P.result_r) ->
+      check_true "post-crash replay is cached" r'.P.cached;
+      check_true "post-crash replay keeps the id" (r'.P.id = r.P.id);
+      check_true "post-crash replay keeps the verdict"
+        (V.equal r'.P.verdict r.P.verdict))
+    [ r0; r1 ] [ r0'; r1' ];
+  Cl.close conn2
+
+let test_client_session_reconnect () =
+  if not have_model then () else
+  with_tmp "session" @@ fun base ->
+  let socket = base ^ ".sock" in
+  let pid = start_daemon socket in
+  let pol =
+    Cl.policy ~max_attempts:5 ~backoff_s:0.05 ~connect_timeout_s:60.0 ()
+  in
+  let s = Cl.session ~policy:pol socket in
+  let certify k =
+    P.certify ~tag:k ~model:"sst_3" ~radius:0.004 (P.Index k)
+  in
+  (match Cl.call s (certify 0) with
+  | P.Result r -> check_true "first call recomputes" (not r.P.cached)
+  | other -> Alcotest.failf "first call: %s" (P.response_to_json other));
+  (* kill the daemon under the session, bring up a fresh one on the
+     same socket: the next call must ride through the dead connection
+     (EPIPE/EOF), reconnect and succeed *)
+  stop_daemon pid;
+  let pid2 = start_daemon socket in
+  Fun.protect ~finally:(fun () -> stop_daemon pid2) @@ fun () ->
+  (match Cl.call s (certify 1) with
+  | P.Result r ->
+      check_true "call after daemon restart reconnects and completes"
+        (not (V.is_fault r.P.verdict))
+  | other ->
+      Alcotest.failf "call after restart: %s" (P.response_to_json other));
+  Cl.hangup s
+
 let () =
   Alcotest.run "service"
     [
@@ -484,6 +612,8 @@ let () =
         [
           Alcotest.test_case "shed and requeue" `Quick test_jobq_shed_and_requeue;
           Alcotest.test_case "retry-after hint" `Quick test_jobq_retry_after;
+          Alcotest.test_case "default hint before first sample" `Quick
+            test_jobq_default_hint;
         ] );
       ( "breaker",
         [ Alcotest.test_case "open/half-open/close" `Quick test_breaker_schedule ]
@@ -505,5 +635,10 @@ let () =
             test_daemon_cache_bit_identical;
           Alcotest.test_case "sigterm drains" `Slow test_daemon_sigterm_drains;
           Alcotest.test_case "sigkill + resume" `Slow test_daemon_sigkill_resume;
+          Alcotest.test_case "rid dedup" `Slow test_daemon_rid_dedup;
+          Alcotest.test_case "rid dedup across resume" `Slow
+            test_daemon_rid_dedup_resume;
+          Alcotest.test_case "client session reconnect" `Slow
+            test_client_session_reconnect;
         ] );
     ]
