@@ -21,7 +21,19 @@ let tolerance = ref 0.25
 
 (* Timing fields compared when present; lower is better for all,
    compared as a ratio against the previous run. *)
-let metrics = [ "blocked_ns"; "parallel_ns"; "wall_s"; "p95_ms" ]
+let metrics =
+  [
+    "blocked_ns";
+    "parallel_ns";
+    "wall_s";
+    "p95_ms";
+    (* the fused-kernel PR's rows: affine-fusion win and the job
+       transport cost (Marshal pipe vs shared-memory descriptors) *)
+    "unfused_ns";
+    "fused_ns";
+    "marshal_ns";
+    "shm_ns";
+  ]
 
 (* Rate fields in [0, 1] (the service bench's shed and cache-hit
    rates): a ratio is meaningless when the previous value is 0, so

@@ -107,6 +107,17 @@ let apply_domains ~jobs ?(probes = 1) domains cfg =
       jobs probes domains avail;
   Deept.Config.with_domains domains cfg
 
+let no_fuse_arg =
+  let doc =
+    "Disable the affine-fusion pre-pass (chains of affine ops composed \
+     into single linear nodes at program load). Fusion preserves \
+     certification decisions and radii; this flag pins the exact \
+     unfused op graph — useful when op indices must line up with an \
+     external trace. --fault disables fusion automatically (fault sites \
+     are addressed by unfused op index)."
+  in
+  Arg.(value & flag & info [ "no-fuse" ] ~doc)
+
 let probes_arg =
   let doc =
     "Concurrent radius-search probes per refinement round. 1 (the \
@@ -173,11 +184,16 @@ let show_cmd =
 
 (* --- t1 -------------------------------------------------------------- *)
 
-let certify_t1 data name index sentence word p radius verifier domains profile =
+let certify_t1 data name index sentence word p radius verifier domains profile
+    no_fuse =
   setup data;
   let entry, model = load name in
   let c, (toks, label) = pick_input entry model index sentence in
   let program = Nn.Model.to_ir model in
+  (* The DeepT verifiers run on the fused graph (a no-op on the zoo
+     architectures); prediction and the CROWN baselines keep the
+     as-lowered one. *)
+  let vprogram = if no_fuse then program else Fuse.fuse_program program in
   let x = Nn.Model.embed_tokens model toks in
   let wrap, trace, report = profiler ~model:name profile in
   Printf.printf "sentence: %s\nlabel: %s, perturbing word %d (%s) with l%s radius %g\n"
@@ -195,13 +211,13 @@ let certify_t1 data name index sentence word p radius verifier domains profile =
       | Deept_fast ->
           Deept.Certify.certify
             (wrap (apply_domains ~jobs:1 domains Deept.Config.fast))
-            program
+            vprogram
             (Deept.Region.lp_ball ~p x ~word ~radius)
             ~true_class:label
       | Deept_precise ->
           Deept.Certify.certify
             (wrap (apply_domains ~jobs:1 domains Deept.Config.precise))
-            program
+            vprogram
             (Deept.Region.lp_ball ~p x ~word ~radius)
             ~true_class:label
       | Crown_baf | Crown_backward ->
@@ -224,16 +240,17 @@ let t1_cmd =
     Term.(
       const certify_t1 $ data_arg $ model_arg $ index_arg $ sentence_arg
       $ word_arg $ norm_arg $ radius_arg $ verifier_arg $ domains_arg
-      $ profile_arg)
+      $ profile_arg $ no_fuse_arg)
 
 (* --- radius ----------------------------------------------------------- *)
 
 let radius_search data name index sentence word p verifier domains probes
-    profile =
+    profile no_fuse =
   setup data;
   let entry, model = load name in
   let c, (toks, label) = pick_input entry model index sentence in
   let program = Nn.Model.to_ir model in
+  let vprogram = if no_fuse then program else Fuse.fuse_program program in
   let x = Nn.Model.embed_tokens model toks in
   let wrap, trace, report = profiler ~model:name profile in
   let pred = Nn.Forward.predict program x in
@@ -250,12 +267,12 @@ let radius_search data name index sentence word p verifier domains probes
        same either way. *)
     let deept base =
       if probes <= 1 then
-        ( Deept.Certify.certified_radius (deept_cfg base) program ~p x ~word
+        ( Deept.Certify.certified_radius (deept_cfg base) vprogram ~p x ~word
             ~true_class:label (),
           None )
       else
         let r =
-          Deept.Certify.certified_radius_v (deept_cfg base) program ~p x ~word
+          Deept.Certify.certified_radius_v (deept_cfg base) vprogram ~p x ~word
             ~true_class:label ()
         in
         (r.Deept.Certify.radius, Some r)
@@ -293,7 +310,7 @@ let radius_cmd =
     Term.(
       const radius_search $ data_arg $ model_arg $ index_arg $ sentence_arg
       $ word_arg $ norm_arg $ verifier_arg $ domains_arg $ probes_arg
-      $ profile_arg)
+      $ profile_arg $ no_fuse_arg)
 
 (* --- t2 --------------------------------------------------------------- *)
 
@@ -455,7 +472,7 @@ let crash_sentence_arg =
 
 let batch data name count word p radius verifier deadline budget fault
     fault_rungs jobs journal_path resume_path max_retries grace hard_deadline
-    mem_limit fault_sentence crash_sentence domains probes =
+    mem_limit fault_sentence crash_sentence domains probes no_fuse =
   setup data;
   let entry, model = load name in
   let c = Zoo.corpus_of entry.Zoo.corpus in
@@ -482,6 +499,12 @@ let batch data name count word p radius verifier deadline budget fault
     | Some (op, action) ->
         let persist = if fault_rungs <= 0 then max_int else fault_rungs in
         { cfg with Deept.Config.fault = Some (Deept.Config.fault ~persist op action) }
+  in
+  (* Propagate.fuse_for keeps the graph unfused whenever cfg arms fault
+     injection (fault sites are addressed by unfused op index); that also
+     covers --fault-sentence, which narrows the same armed cfg. *)
+  let program =
+    if no_fuse then program else Deept.Propagate.fuse_for cfg program
   in
   let sentences =
     Array.of_list (List.filteri (fun i _ -> i < count) c.Text.Corpus.test)
@@ -647,7 +670,8 @@ let batch_cmd =
       $ radius_arg $ verifier_arg $ deadline_arg $ budget_arg $ fault_arg
       $ fault_rungs_arg $ jobs_arg $ journal_arg $ resume_arg
       $ max_retries_arg $ grace_arg $ hard_deadline_arg $ mem_limit_arg
-      $ fault_sentence_arg $ crash_sentence_arg $ domains_arg $ probes_arg)
+      $ fault_sentence_arg $ crash_sentence_arg $ domains_arg $ probes_arg
+      $ no_fuse_arg)
 
 let () =
   let info = Cmd.info "certify" ~doc:"DeepT robustness certification CLI." in

@@ -147,6 +147,15 @@ let serve data socket models jobs queue_cap retry_hint deadline hard_deadline
       ~grace_s:grace ?mem_limit_mb:mem_limit ~max_retries ~backoff_s:backoff
       ~max_backoff_s:max_backoff ()
   in
+  (* Same oversubscription warning `certify` prints for its jobs x
+     probes x domains product, counting the daemon's pre-forked workers
+     (each runs 1 probe on 1 domain). *)
+  let avail = Domain.recommended_domain_count () in
+  if jobs > avail then
+    Printf.eprintf
+      "certifyd: warning: %d daemon worker(s) x 1 probe(s) x 1 domain(s) \
+       oversubscribes the %d recommended domain(s) on this machine\n%!"
+      jobs avail;
   let journal, resume =
     match (resume, journal) with
     | Some p, _ -> (Some p, true)

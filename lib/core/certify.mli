@@ -117,3 +117,20 @@ val enumerate_synonyms :
 val count_combinations : (int * float array list) list -> int
 (** Number of sentences the enumeration baseline must classify
     (product over positions of [1 + #alternatives]). *)
+
+val certify_regions :
+  ?arena:Xfer.arena -> ?pool:Config.pool ->
+  Config.t -> Ir.program -> true_class:int ->
+  (int * Zonotope.t) list ->
+  float Supervisor.job_result list
+(** Certify a batch of explicit input regions on the supervised worker
+    pool, returning each job's margin (see {!certify_margin};
+    [neg_infinity] means not certified). With [arena] (created before
+    the call, hence before the pool forks), each region's large
+    coefficient matrices travel by {!Xfer} descriptor through the
+    MAP_SHARED arena instead of being [Marshal]ed over the job pipe;
+    small matrices — and everything under [DEEPT_NO_SHM=1] or without
+    [arena] — keep the Marshal path. Margins are bit-identical across
+    the two transports. All arena blocks are freed after the last
+    outcome is collected, including jobs whose worker was killed, so
+    the arena is reusable afterwards. *)

@@ -1,0 +1,71 @@
+(* Zonotope job transport: descriptor codec over the Shm arena.
+
+   A multi-norm zonotope is three matrices plus small metadata. For
+   dispatch to a forked worker, each matrix becomes a Shm.mat_desc —
+   arena-resident when large, inline (plain Marshal) when small — and
+   the descriptor triple is what crosses the job pipe. Packing and
+   freeing happen in the arena's owner (the supervisor); unpacking is a
+   bit-exact copy-out on the worker side, so results computed from an
+   unpacked zonotope are bit-identical to results computed from the
+   original, whichever transport each matrix took. *)
+
+open Tensor
+
+type arena = Shm.t
+
+type zono_desc = {
+  p : Lp.t;
+  vrows : int;
+  vcols : int;
+  center : Shm.mat_desc;
+  phi : Shm.mat_desc;
+  eps : Shm.mat_desc;
+}
+
+let inline_zono (z : Zonotope.t) =
+  {
+    p = z.Zonotope.p;
+    vrows = z.Zonotope.vrows;
+    vcols = z.Zonotope.vcols;
+    center = Shm.Inline z.Zonotope.center;
+    phi = Shm.Inline z.Zonotope.phi;
+    eps = Shm.Inline z.Zonotope.eps;
+  }
+
+let pack_zono ?arena ?threshold (z : Zonotope.t) =
+  match arena with
+  | None -> inline_zono z
+  | Some a ->
+      if not (Shm.available ()) then inline_zono z
+      else
+        {
+          p = z.Zonotope.p;
+          vrows = z.Zonotope.vrows;
+          vcols = z.Zonotope.vcols;
+          center = Shm.pack_mat ?threshold a z.Zonotope.center;
+          phi = Shm.pack_mat ?threshold a z.Zonotope.phi;
+          eps = Shm.pack_mat ?threshold a z.Zonotope.eps;
+        }
+
+let unpack_zono ?arena (d : zono_desc) =
+  let mat = function
+    | Shm.Inline m -> m
+    | Shm.Block _ as b -> (
+        match arena with
+        | Some a -> Shm.unpack_mat a b
+        | None ->
+            invalid_arg "Xfer.unpack_zono: arena-resident block but no arena")
+  in
+  Zonotope.make ~p:d.p ~center:(mat d.center) ~phi:(mat d.phi) ~eps:(mat d.eps)
+
+let free_zono arena (d : zono_desc) =
+  Shm.free_mat arena d.center;
+  Shm.free_mat arena d.phi;
+  Shm.free_mat arena d.eps
+
+let desc_floats (d : zono_desc) =
+  Shm.desc_floats d.center + Shm.desc_floats d.phi + Shm.desc_floats d.eps
+
+let zono_floats (z : Zonotope.t) =
+  let f m = Mat.rows m * Mat.cols m in
+  f z.Zonotope.center + f z.Zonotope.phi + f z.Zonotope.eps

@@ -1,0 +1,46 @@
+(** Zonotope job transport over the {!Tensor.Shm} arena.
+
+    Converts a {!Zonotope.t} into a small marshallable descriptor whose
+    large matrices live in a MAP_SHARED arena created before the worker
+    pool forked, and back. The descriptor — not the matrices — crosses
+    the supervisor's job pipe; the worker reads the arena pages in
+    place. Unpacking is a bit-exact copy, so any result computed from
+    the unpacked zonotope is bit-identical to one computed from the
+    original, regardless of which matrices took the arena path and
+    which stayed inline (size threshold, arena exhaustion, or
+    [DEEPT_NO_SHM=1]). *)
+
+type arena = Tensor.Shm.t
+
+type zono_desc = {
+  p : Lp.t;
+  vrows : int;
+  vcols : int;
+  center : Tensor.Shm.mat_desc;
+  phi : Tensor.Shm.mat_desc;
+  eps : Tensor.Shm.mat_desc;
+}
+
+val inline_zono : Zonotope.t -> zono_desc
+(** All three matrices inline — the pure-Marshal transport. *)
+
+val pack_zono : ?arena:arena -> ?threshold:int -> Zonotope.t -> zono_desc
+(** Pack for dispatch: matrices of at least [threshold]
+    ({!Tensor.Shm.default_threshold}) floats go to the arena, the rest
+    (and everything, when [arena] is absent or [DEEPT_NO_SHM=1] is set)
+    stay inline. Arena owner only. *)
+
+val unpack_zono : ?arena:arena -> zono_desc -> Zonotope.t
+(** Bit-exact reconstruction (worker side). @raise Invalid_argument on
+    an arena-resident block when no [arena] is supplied. *)
+
+val free_zono : arena -> zono_desc -> unit
+(** Return the descriptor's arena blocks (owner side, once the job's
+    result — or its worker's death — has been collected). *)
+
+val desc_floats : zono_desc -> int
+(** Arena floats held by the descriptor (0 when fully inline). *)
+
+val zono_floats : Zonotope.t -> int
+(** Total floats of a zonotope's three matrices — what {!pack_zono}
+    would need in the worst case; for sizing arenas. *)

@@ -1,0 +1,165 @@
+(* Affine-fusion pre-pass over Ir programs.
+
+   The zonotope interpreter pays one full pass over the (variables x
+   symbols) coefficient matrices per op. For ops that are row-wise
+   affine in the value columns — [Linear], and mean-only [Center_norm],
+   which is the column-affine map y = x.M + beta with
+   M[c][j] = gamma[j] * (delta_cj - 1/d) — a chain of k such ops can be
+   composed once at program load into a single [Linear] node, so the
+   interpreter performs one coefficient pass instead of k.
+
+   Legality rules (each is load-bearing):
+
+   - only [Linear] and [Center_norm { divide_std = false }] enter a
+     run: every other op either allocates symbols, is non-linear, or is
+     not expressible as a plain x.M + b on the value columns
+     ([Pool_first] and [Positional] change or depend on the row
+     structure, so they stay put — and remain countable by
+     [Propagate.affine_prefix_len], which sees fused nodes as the plain
+     [Linear]s they are);
+   - a run extends through value [v] only when [v] has exactly one
+     consumer (the next op of the run) and is not the program output:
+     fusing away a value somebody else reads would change the graph's
+     meaning, not just its cost;
+   - runs shorter than 2 composed ops are emitted verbatim: rewriting a
+     lone [Center_norm] into a dense [Linear] would replace an O(d)
+     structured transfer by an O(d^2) matmul for zero fused benefit;
+   - the fused program must pass [Ir.validate] (composition of finite
+     weights can overflow on adversarial models); if it does not, the
+     original program is returned untouched.
+
+   Numerics: the composed weights are dyadically recombined
+   (w1.w2 instead of two successive products), so fused intermediate
+   floats may differ from unfused ones in the last ulps. Certification
+   *decisions* — and therefore the bisection radii, which are dyadic
+   rationals determined by those boolean decisions — are preserved; the
+   test suite pins this on the committed models. On every zoo model the
+   pass is in fact a structural no-op (residual connections give each
+   normalization two consumers), so existing pins are untouched by
+   construction; the fused win shows on chain-shaped programs (see
+   bench/kernels.ml's fused rows). *)
+
+open Tensor
+
+type stats = { runs : int; ops_fused : int; ops_before : int; ops_after : int }
+
+(* The (M, b) atom of an op that is row-wise affine in the value
+   columns, or None. *)
+let atom d op =
+  match op with
+  | Ir.Linear { src; w; b } -> Some (src, `Mat (w, b))
+  | Ir.Center_norm { src; gamma; beta; divide_std = false } ->
+      Some (src, `Center (d, gamma, beta))
+  | _ -> None
+
+let materialize = function
+  | `Mat (w, b) -> (w, b)
+  | `Center (d, gamma, beta) ->
+      let inv = 1.0 /. float_of_int d in
+      ( Mat.init d d (fun c j ->
+            gamma.(j) *. ((if c = j then 1.0 else 0.0) -. inv)),
+        beta )
+
+(* (M, b) . (M', b') = (M.M', b.M' + b') *)
+let compose (m, b) (m', b') =
+  (Mat.matmul m m', Array.mapi (fun j x -> x +. b'.(j)) (Mat.vec_mat b m'))
+
+let fuse (p : Ir.program) =
+  let n = Array.length p.Ir.ops in
+  let dims = Array.init (Ir.num_values p) (Ir.out_dim p) in
+  (* Consumer counts per value id; the program output counts as one. *)
+  let uses = Array.make (n + 1) 0 in
+  Array.iter
+    (fun op -> List.iter (fun s -> uses.(s) <- uses.(s) + 1) (Ir.op_src_ids op))
+    p.Ir.ops;
+  uses.(Ir.output_id p) <- uses.(Ir.output_id p) + 1;
+  let remap = Array.make (n + 1) (-1) in
+  remap.(0) <- 0;
+  let out = ref [] in
+  let n_out = ref 0 in
+  let emit op =
+    out := op :: !out;
+    incr n_out
+  in
+  let runs = ref 0 and ops_fused = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    (match atom dims.(start + 1) p.Ir.ops.(start) with
+    | Some (src0, a0) ->
+        (* Greedily extend while the op's value feeds exactly the next
+           affine op. Op index j defines value j + 1. *)
+        let stop = ref start in
+        let continue = ref true in
+        while !continue && !stop + 1 < n do
+          let v = !stop + 1 in
+          match atom dims.(!stop + 2) p.Ir.ops.(!stop + 1) with
+          | Some (src, _) when src = v && uses.(v) = 1 -> incr stop
+          | _ -> continue := false
+        done;
+        if !stop > start then begin
+          let acc = ref (materialize a0) in
+          for j = start + 1 to !stop do
+            match atom dims.(j + 1) p.Ir.ops.(j) with
+            | Some (_, a) -> acc := compose !acc (materialize a)
+            | None -> assert false
+          done;
+          let w, b = !acc in
+          emit (Ir.Linear { src = remap.(src0); w; b });
+          (* Intermediate values vanish; the run's last value survives. *)
+          remap.(!stop + 1) <- !n_out;
+          incr runs;
+          ops_fused := !ops_fused + (!stop - start + 1);
+          i := !stop + 1
+        end
+        else begin
+          emit
+            (match p.Ir.ops.(start) with
+            | Ir.Linear { src; w; b } -> Ir.Linear { src = remap.(src); w; b }
+            | Ir.Center_norm { src; gamma; beta; divide_std } ->
+                Ir.Center_norm { src = remap.(src); gamma; beta; divide_std }
+            | _ -> assert false);
+          remap.(start + 1) <- !n_out;
+          incr i
+        end
+    | None ->
+        let r v =
+          let v' = remap.(v) in
+          assert (v' >= 0);
+          v'
+        in
+        emit
+          (match p.Ir.ops.(start) with
+          | Ir.Linear { src; w; b } -> Ir.Linear { src = r src; w; b }
+          | Ir.Relu src -> Ir.Relu (r src)
+          | Ir.Tanh src -> Ir.Tanh (r src)
+          | Ir.Add (a, b) -> Ir.Add (r a, r b)
+          | Ir.Center_norm { src; gamma; beta; divide_std } ->
+              Ir.Center_norm { src = r src; gamma; beta; divide_std }
+          | Ir.Self_attention { src; att } ->
+              Ir.Self_attention { src = r src; att }
+          | Ir.Pool_first src -> Ir.Pool_first (r src)
+          | Ir.Positional { src; pos } -> Ir.Positional { src = r src; pos });
+        remap.(start + 1) <- !n_out;
+        incr i)
+  done;
+  let fused =
+    { Ir.input_dim = p.Ir.input_dim; ops = Array.of_list (List.rev !out) }
+  in
+  let stats =
+    {
+      runs = !runs;
+      ops_fused = !ops_fused;
+      ops_before = n;
+      ops_after = Array.length fused.Ir.ops;
+    }
+  in
+  if !runs = 0 then (p, { stats with ops_after = n })
+  else
+    match Ir.validate fused with
+    | Ok () -> (fused, stats)
+    | Error _ ->
+        (* Composed weights went non-finite: keep the original graph. *)
+        (p, { runs = 0; ops_fused = 0; ops_before = n; ops_after = n })
+
+let fuse_program p = fst (fuse p)

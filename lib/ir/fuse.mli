@@ -1,0 +1,42 @@
+(** Affine-fusion pre-pass: compose maximal chains of row-wise affine
+    ops into single {!Ir.op.Linear} nodes at program load.
+
+    A chain of k affine ops costs the zonotope interpreter k full
+    passes over the coefficient matrices; the composed node costs one.
+    Eligible ops are [Linear] and mean-only [Center_norm] (the
+    column-affine map [y = x.M + beta] with
+    [M[c][j] = gamma[j]((c = j) - 1/d)]). A run extends through a value
+    only when that value has exactly one consumer and is not the
+    program output, and runs shorter than two ops are emitted verbatim
+    — so the pass can only remove coefficient passes, never change
+    reachable graph structure.
+
+    Fused nodes are plain [Linear]s: every domain, the serializer,
+    [Ir.validate] and {!Propagate.affine_prefix_len} (prefix sharing)
+    work on them unchanged. Composition reassociates float products,
+    so fused intermediate values may differ from unfused ones in the
+    last ulps; certification decisions — and the bisection radii
+    derived from them — are preserved (pinned by the test suite). On
+    the zoo models the pass is a structural no-op (residuals give every
+    normalization two consumers), which is what makes it
+    bit-compatible with every committed pin by construction.
+
+    Fusion must be disabled when per-op fault injection is armed
+    ([Config.fault] names an op index into the {e unfused} graph); use
+    [Propagate.fuse_for], which gates on the config, rather than
+    calling {!fuse_program} directly from certification front-ends. *)
+
+type stats = {
+  runs : int;  (** composed chains *)
+  ops_fused : int;  (** source ops absorbed into those chains *)
+  ops_before : int;
+  ops_after : int;
+}
+
+val fuse : Ir.program -> Ir.program * stats
+(** Returns the fused program (the input itself when no chain of ≥ 2
+    eligible ops exists, or when the composed weights fail
+    [Ir.validate]) and what was done. *)
+
+val fuse_program : Ir.program -> Ir.program
+(** [fst (fuse p)]. *)

@@ -1,0 +1,373 @@
+(* Bigarray-backed dense matrices for the zonotope coefficient blocks.
+
+   Same row-major flat layout and the same blocked kernels as [Mat], but
+   over a C-layout float64 [Bigarray.Array1] instead of an OCaml float
+   array. Two properties make that worth a second backend:
+
+   - an [Array1] can be a *view* into a [Unix.map_file] MAP_SHARED
+     arena ([Shm]), so a forked worker can run the kernels directly on
+     parent-written coefficient blocks without copying them off the
+     job pipe;
+   - the data lives outside the OCaml heap, so multi-megabyte
+     coefficient blocks neither inflate the major heap nor get walked
+     by the GC.
+
+   The kernels are line-for-line ports of the PR 3 register/column-tiled
+   [Mat] kernels: identical 2x4 register tile, identical [jtile], the
+   same left-operand zero skip and the same ascending-p accumulation
+   order — so on equal inputs the results are bit-identical to [Mat]'s
+   (the test suite checks this, including on degenerate shapes). *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { rows : int; cols : int; data : buf }
+
+let check_dims r c =
+  if r < 0 || c < 0 then invalid_arg "Bigmat: negative dimension"
+
+let create rows cols =
+  check_dims rows cols;
+  let data = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (rows * cols) in
+  Bigarray.Array1.fill data 0.0;
+  { rows; cols; data }
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    let base = i * cols in
+    for j = 0 to cols - 1 do
+      Bigarray.Array1.unsafe_set m.data (base + j) (f i j)
+    done
+  done;
+  m
+
+let of_array1 ~rows ~cols data =
+  check_dims rows cols;
+  if Bigarray.Array1.dim data <> rows * cols then
+    invalid_arg "Bigmat.of_array1: size mismatch";
+  { rows; cols; data }
+
+let rows m = m.rows
+let cols m = m.cols
+let dims m = (m.rows, m.cols)
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Bigmat.get";
+  Bigarray.Array1.unsafe_get m.data ((i * m.cols) + j)
+
+let set m i j v =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Bigmat.set";
+  Bigarray.Array1.unsafe_set m.data ((i * m.cols) + j) v
+
+(* Copy conversions to and from the float-array backend. [blit_of_mat]
+   fills an existing Bigmat (typically an arena view) in place. *)
+
+let blit_of_mat (src : Mat.t) dst =
+  if Mat.rows src <> dst.rows || Mat.cols src <> dst.cols then
+    invalid_arg "Bigmat.blit_of_mat: shape mismatch";
+  let d = src.Mat.data in
+  for i = 0 to Array.length d - 1 do
+    Bigarray.Array1.unsafe_set dst.data i (Array.unsafe_get d i)
+  done
+
+let of_mat (m : Mat.t) =
+  let b =
+    {
+      rows = Mat.rows m;
+      cols = Mat.cols m;
+      data =
+        Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+          (Mat.rows m * Mat.cols m);
+    }
+  in
+  blit_of_mat m b;
+  b
+
+let to_mat m =
+  let n = m.rows * m.cols in
+  let data = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set data i (Bigarray.Array1.unsafe_get m.data i)
+  done;
+  Mat.of_array ~rows:m.rows ~cols:m.cols data
+
+(* Bitwise equality (via the IEEE bit pattern, so NaNs compare by
+   payload, not by IEEE = which would make nothing equal). *)
+let equal_bits_mat b (m : Mat.t) =
+  b.rows = Mat.rows m && b.cols = Mat.cols m
+  &&
+  let d = m.Mat.data in
+  let n = Array.length d in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if
+      Int64.bits_of_float (Bigarray.Array1.unsafe_get b.data i)
+      <> Int64.bits_of_float (Array.unsafe_get d i)
+    then ok := false
+  done;
+  !ok
+
+(* ---------------- matrix products ----------------
+
+   Ports of the [Mat] kernels (see the long comment there): the naive
+   i-k-j reference, the 2x4 register tile restricted to a row range and
+   a column tile, and the A^T.B variant that reads [a] with stride [m].
+   Loop structure, accumulation order and the zero skip are identical,
+   which is what makes the two backends bit-compatible. *)
+
+let matmul_naive a b =
+  if a.cols <> b.rows then invalid_arg "Bigmat.matmul: inner dimension mismatch";
+  let m = a.rows and k = a.cols and n = b.cols in
+  let out = create m n in
+  let od = out.data and ad = a.data and bd = b.data in
+  for i = 0 to m - 1 do
+    let arow = i * k and orow = i * n in
+    for p = 0 to k - 1 do
+      let aip = Bigarray.Array1.unsafe_get ad (arow + p) in
+      if aip <> 0.0 then begin
+        let brow = p * n in
+        for j = 0 to n - 1 do
+          Bigarray.Array1.unsafe_set od (orow + j)
+            (Bigarray.Array1.unsafe_get od (orow + j)
+            +. (aip *. Bigarray.Array1.unsafe_get bd (brow + j)))
+        done
+      end
+    done
+  done;
+  out
+
+let use_naive =
+  match Sys.getenv_opt "MAT_NAIVE" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let jtile = 120
+
+let mm_row ~k ~n (a : buf) (b : buf) (out : buf) i ~jlo ~jhi =
+  let a0 = i * k and o0 = i * n in
+  let j = ref jlo in
+  while !j + 3 < jhi do
+    let j0 = !j in
+    let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
+    for p = 0 to k - 1 do
+      let x = Bigarray.Array1.unsafe_get a (a0 + p) in
+      if x <> 0.0 then begin
+        let br = (p * n) + j0 in
+        s0 := !s0 +. (x *. Bigarray.Array1.unsafe_get b br);
+        s1 := !s1 +. (x *. Bigarray.Array1.unsafe_get b (br + 1));
+        s2 := !s2 +. (x *. Bigarray.Array1.unsafe_get b (br + 2));
+        s3 := !s3 +. (x *. Bigarray.Array1.unsafe_get b (br + 3))
+      end
+    done;
+    Bigarray.Array1.unsafe_set out (o0 + j0) !s0;
+    Bigarray.Array1.unsafe_set out (o0 + j0 + 1) !s1;
+    Bigarray.Array1.unsafe_set out (o0 + j0 + 2) !s2;
+    Bigarray.Array1.unsafe_set out (o0 + j0 + 3) !s3;
+    j := j0 + 4
+  done;
+  while !j < jhi do
+    let j0 = !j in
+    let s = ref 0.0 in
+    for p = 0 to k - 1 do
+      let x = Bigarray.Array1.unsafe_get a (a0 + p) in
+      if x <> 0.0 then s := !s +. (x *. Bigarray.Array1.unsafe_get b ((p * n) + j0))
+    done;
+    Bigarray.Array1.unsafe_set out (o0 + j0) !s;
+    incr j
+  done
+
+let mm_rows ~k ~n (a : buf) (b : buf) (out : buf) r0 r1 ~jlo ~jhi =
+  let i = ref r0 in
+  while !i + 1 < r1 do
+    let i0 = !i in
+    let a0 = i0 * k and a1 = (i0 + 1) * k in
+    let o0 = i0 * n and o1 = (i0 + 1) * n in
+    let j = ref jlo in
+    while !j + 3 < jhi do
+      let j0 = !j in
+      let s00 = ref 0.0 and s01 = ref 0.0 and s02 = ref 0.0 and s03 = ref 0.0 in
+      let s10 = ref 0.0 and s11 = ref 0.0 and s12 = ref 0.0 and s13 = ref 0.0 in
+      for p = 0 to k - 1 do
+        let x0 = Bigarray.Array1.unsafe_get a (a0 + p) in
+        let x1 = Bigarray.Array1.unsafe_get a (a1 + p) in
+        let br = (p * n) + j0 in
+        let b0 = Bigarray.Array1.unsafe_get b br in
+        let b1 = Bigarray.Array1.unsafe_get b (br + 1) in
+        let b2 = Bigarray.Array1.unsafe_get b (br + 2) in
+        let b3 = Bigarray.Array1.unsafe_get b (br + 3) in
+        if x0 <> 0.0 then begin
+          s00 := !s00 +. (x0 *. b0);
+          s01 := !s01 +. (x0 *. b1);
+          s02 := !s02 +. (x0 *. b2);
+          s03 := !s03 +. (x0 *. b3)
+        end;
+        if x1 <> 0.0 then begin
+          s10 := !s10 +. (x1 *. b0);
+          s11 := !s11 +. (x1 *. b1);
+          s12 := !s12 +. (x1 *. b2);
+          s13 := !s13 +. (x1 *. b3)
+        end
+      done;
+      Bigarray.Array1.unsafe_set out (o0 + j0) !s00;
+      Bigarray.Array1.unsafe_set out (o0 + j0 + 1) !s01;
+      Bigarray.Array1.unsafe_set out (o0 + j0 + 2) !s02;
+      Bigarray.Array1.unsafe_set out (o0 + j0 + 3) !s03;
+      Bigarray.Array1.unsafe_set out (o1 + j0) !s10;
+      Bigarray.Array1.unsafe_set out (o1 + j0 + 1) !s11;
+      Bigarray.Array1.unsafe_set out (o1 + j0 + 2) !s12;
+      Bigarray.Array1.unsafe_set out (o1 + j0 + 3) !s13;
+      j := j0 + 4
+    done;
+    while !j < jhi do
+      let j0 = !j in
+      let s0 = ref 0.0 and s1 = ref 0.0 in
+      for p = 0 to k - 1 do
+        let bv = Bigarray.Array1.unsafe_get b ((p * n) + j0) in
+        let x0 = Bigarray.Array1.unsafe_get a (a0 + p) in
+        let x1 = Bigarray.Array1.unsafe_get a (a1 + p) in
+        if x0 <> 0.0 then s0 := !s0 +. (x0 *. bv);
+        if x1 <> 0.0 then s1 := !s1 +. (x1 *. bv)
+      done;
+      Bigarray.Array1.unsafe_set out (o0 + j0) !s0;
+      Bigarray.Array1.unsafe_set out (o1 + j0) !s1;
+      incr j
+    done;
+    i := i0 + 2
+  done;
+  if !i < r1 then mm_row ~k ~n a b out !i ~jlo ~jhi
+
+let mm_ta_rows ~k ~m ~n (a : buf) (b : buf) (out : buf) r0 r1 ~jlo ~jhi =
+  let row1 i0 =
+    let o0 = i0 * n in
+    let j = ref jlo in
+    while !j + 3 < jhi do
+      let j0 = !j in
+      let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
+      for p = 0 to k - 1 do
+        let x = Bigarray.Array1.unsafe_get a ((p * m) + i0) in
+        if x <> 0.0 then begin
+          let br = (p * n) + j0 in
+          s0 := !s0 +. (x *. Bigarray.Array1.unsafe_get b br);
+          s1 := !s1 +. (x *. Bigarray.Array1.unsafe_get b (br + 1));
+          s2 := !s2 +. (x *. Bigarray.Array1.unsafe_get b (br + 2));
+          s3 := !s3 +. (x *. Bigarray.Array1.unsafe_get b (br + 3))
+        end
+      done;
+      Bigarray.Array1.unsafe_set out (o0 + j0) !s0;
+      Bigarray.Array1.unsafe_set out (o0 + j0 + 1) !s1;
+      Bigarray.Array1.unsafe_set out (o0 + j0 + 2) !s2;
+      Bigarray.Array1.unsafe_set out (o0 + j0 + 3) !s3;
+      j := j0 + 4
+    done;
+    while !j < jhi do
+      let j0 = !j in
+      let s = ref 0.0 in
+      for p = 0 to k - 1 do
+        let x = Bigarray.Array1.unsafe_get a ((p * m) + i0) in
+        if x <> 0.0 then
+          s := !s +. (x *. Bigarray.Array1.unsafe_get b ((p * n) + j0))
+      done;
+      Bigarray.Array1.unsafe_set out (o0 + j0) !s;
+      incr j
+    done
+  in
+  let i = ref r0 in
+  while !i + 1 < r1 do
+    let i0 = !i in
+    let o0 = i0 * n and o1 = (i0 + 1) * n in
+    let j = ref jlo in
+    while !j + 3 < jhi do
+      let j0 = !j in
+      let s00 = ref 0.0 and s01 = ref 0.0 and s02 = ref 0.0 and s03 = ref 0.0 in
+      let s10 = ref 0.0 and s11 = ref 0.0 and s12 = ref 0.0 and s13 = ref 0.0 in
+      for p = 0 to k - 1 do
+        let ar = (p * m) + i0 in
+        let x0 = Bigarray.Array1.unsafe_get a ar in
+        let x1 = Bigarray.Array1.unsafe_get a (ar + 1) in
+        let br = (p * n) + j0 in
+        let b0 = Bigarray.Array1.unsafe_get b br in
+        let b1 = Bigarray.Array1.unsafe_get b (br + 1) in
+        let b2 = Bigarray.Array1.unsafe_get b (br + 2) in
+        let b3 = Bigarray.Array1.unsafe_get b (br + 3) in
+        if x0 <> 0.0 then begin
+          s00 := !s00 +. (x0 *. b0);
+          s01 := !s01 +. (x0 *. b1);
+          s02 := !s02 +. (x0 *. b2);
+          s03 := !s03 +. (x0 *. b3)
+        end;
+        if x1 <> 0.0 then begin
+          s10 := !s10 +. (x1 *. b0);
+          s11 := !s11 +. (x1 *. b1);
+          s12 := !s12 +. (x1 *. b2);
+          s13 := !s13 +. (x1 *. b3)
+        end
+      done;
+      Bigarray.Array1.unsafe_set out (o0 + j0) !s00;
+      Bigarray.Array1.unsafe_set out (o0 + j0 + 1) !s01;
+      Bigarray.Array1.unsafe_set out (o0 + j0 + 2) !s02;
+      Bigarray.Array1.unsafe_set out (o0 + j0 + 3) !s03;
+      Bigarray.Array1.unsafe_set out (o1 + j0) !s10;
+      Bigarray.Array1.unsafe_set out (o1 + j0 + 1) !s11;
+      Bigarray.Array1.unsafe_set out (o1 + j0 + 2) !s12;
+      Bigarray.Array1.unsafe_set out (o1 + j0 + 3) !s13;
+      j := j0 + 4
+    done;
+    while !j < jhi do
+      let j0 = !j in
+      let s0 = ref 0.0 and s1 = ref 0.0 in
+      for p = 0 to k - 1 do
+        let ar = (p * m) + i0 in
+        let bv = Bigarray.Array1.unsafe_get b ((p * n) + j0) in
+        let x0 = Bigarray.Array1.unsafe_get a ar in
+        let x1 = Bigarray.Array1.unsafe_get a (ar + 1) in
+        if x0 <> 0.0 then s0 := !s0 +. (x0 *. bv);
+        if x1 <> 0.0 then s1 := !s1 +. (x1 *. bv)
+      done;
+      Bigarray.Array1.unsafe_set out (o0 + j0) !s0;
+      Bigarray.Array1.unsafe_set out (o1 + j0) !s1;
+      incr j
+    done;
+    i := i0 + 2
+  done;
+  if !i < r1 then row1 !i
+
+let with_jtiles ~n body r0 r1 =
+  let jlo = ref 0 in
+  while !jlo < n do
+    let jhi = min n (!jlo + jtile) in
+    body r0 r1 ~jlo:!jlo ~jhi;
+    jlo := jhi
+  done
+
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+let matmul a b =
+  if a.cols <> b.rows then invalid_arg "Bigmat.matmul: inner dimension mismatch";
+  if use_naive then matmul_naive a b
+  else begin
+    let m = a.rows and k = a.cols and n = b.cols in
+    let out = create m n in
+    with_jtiles ~n (mm_rows ~k ~n a.data b.data out.data) 0 m;
+    out
+  end
+
+let matmul_ta a b =
+  if a.rows <> b.rows then
+    invalid_arg "Bigmat.matmul_ta: inner dimension mismatch";
+  if use_naive then matmul_naive (transpose a) b
+  else begin
+    let m = a.cols and k = a.rows and n = b.cols in
+    let out = create m n in
+    with_jtiles ~n (mm_ta_rows ~k ~m ~n a.data b.data out.data) 0 m;
+    out
+  end
+
+let fold f acc m =
+  let n = m.rows * m.cols in
+  let acc = ref acc in
+  for i = 0 to n - 1 do
+    acc := f !acc (Bigarray.Array1.unsafe_get m.data i)
+  done;
+  !acc
+
+let max_abs m = fold (fun acc x -> Float.max acc (Float.abs x)) 0.0 m

@@ -1,0 +1,61 @@
+(** Bigarray-backed dense matrices (C-layout float64 [Array1]) behind
+    the {!Mat} kernel interface.
+
+    The blocked kernels are exact ports of {!Mat}'s (same 2x4 register
+    tile, same column tiling, same left-operand zero skip, same
+    ascending inner-dimension accumulation), so on equal inputs the
+    results are bit-identical across the two backends. [MAT_NAIVE=1]
+    selects the naive reference kernel exactly as it does for {!Mat}.
+
+    The payoff over {!Mat}: the storage can alias a [Unix.map_file]
+    MAP_SHARED arena ({!Shm}), letting forked workers run kernels
+    directly on parent-written coefficient blocks — the zero-copy job
+    transport — and large blocks live outside the GC-managed heap. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { rows : int; cols : int; data : buf }
+
+val create : int -> int -> t
+(** Zero-filled [rows x cols] matrix on a fresh (non-shared) buffer. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val of_array1 : rows:int -> cols:int -> buf -> t
+(** Wrap an existing buffer (e.g. an {!Shm} arena view) without
+    copying. @raise Invalid_argument on a size mismatch. *)
+
+val of_mat : Mat.t -> t
+(** Copy a float-array matrix into a fresh buffer. *)
+
+val to_mat : t -> Mat.t
+(** Copy out to the float-array backend. *)
+
+val blit_of_mat : Mat.t -> t -> unit
+(** Copy a {!Mat} into an existing equal-shaped Bigmat in place (the
+    write side of the arena transport).
+    @raise Invalid_argument on a shape mismatch. *)
+
+val rows : t -> int
+val cols : t -> int
+val dims : t -> int * int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val transpose : t -> t
+
+val matmul : t -> t -> t
+(** Blocked [A.B]; bit-identical to [Mat.matmul] on equal inputs. *)
+
+val matmul_ta : t -> t -> t
+(** Blocked [Aᵀ.B] without a transpose copy; bit-identical to
+    [Mat.matmul_ta] on equal inputs. *)
+
+val matmul_naive : t -> t -> t
+(** The i-k-j reference kernel ([MAT_NAIVE=1] path). *)
+
+val equal_bits_mat : t -> Mat.t -> bool
+(** Bitwise equality against a float-array matrix (compares IEEE bit
+    patterns, so it is meaningful even on NaN). *)
+
+val fold : ('a -> float -> 'a) -> 'a -> t -> 'a
+val max_abs : t -> float

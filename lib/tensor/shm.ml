@@ -1,0 +1,156 @@
+(* Shared-memory arena for zero-copy job dispatch.
+
+   A MAP_SHARED [Unix.map_file] mapping of an unlinked temp file,
+   exposed as a float64 [Bigarray.Array1]. The mapping is created in the
+   supervisor *before* it forks workers, so every worker inherits the
+   same physical pages: the parent writes a coefficient matrix into the
+   arena once, ships only an (offset, rows, cols) descriptor over the
+   job pipe, and the worker reads the floats in place — no [Marshal]
+   serialization, no multi-megabyte copy squeezed through a 64 KB pipe
+   buffer.
+
+   Allocator discipline: only the parent (the process that created the
+   arena) calls [alloc]/[free]. The free list lives in that process's
+   OCaml heap — workers never see or mutate it — so a worker dying
+   mid-job (SIGKILL, OOM) cannot corrupt allocator state: the parent
+   frees the job's blocks when the supervisor reports the job done or
+   failed, and the arena is immediately reusable. Data races are
+   excluded by the pipe protocol: a block is written before its
+   descriptor is sent, and never mutated until the worker's result (or
+   death) has been collected.
+
+   [DEEPT_NO_SHM=1] is the escape hatch mirroring [MAT_NAIVE=1]: callers
+   consult [available ()] and fall back to the plain Marshal transport. *)
+
+type t = {
+  buf : Bigmat.buf;
+  capacity : int; (* in floats *)
+  owner : int; (* pid that created the arena and owns the free list *)
+  mutable free_list : (int * int) list; (* (offset, length), sorted, coalesced *)
+}
+
+let available () =
+  match Sys.getenv_opt "DEEPT_NO_SHM" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
+
+let create ~floats =
+  if floats < 0 then invalid_arg "Shm.create: negative size";
+  let path = Filename.temp_file "deept_shm" ".arena" in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  (* Unlink immediately: the mapping keeps the pages alive, and a killed
+     process can never leave a stale arena file behind. *)
+  (try Sys.remove path with Sys_error _ -> ());
+  let ga =
+    Unix.map_file fd Bigarray.float64 Bigarray.c_layout true [| max 1 floats |]
+  in
+  Unix.close fd;
+  {
+    buf = Bigarray.array1_of_genarray ga;
+    capacity = floats;
+    owner = Unix.getpid ();
+    free_list = (if floats > 0 then [ (0, floats) ] else []);
+  }
+
+let capacity t = t.capacity
+
+let avail t = List.fold_left (fun acc (_, len) -> acc + len) 0 t.free_list
+
+let check_owner t who =
+  if Unix.getpid () <> t.owner then
+    invalid_arg (who ^ ": arena allocator is owned by the creating process")
+
+(* First fit. Deterministic, and with the job-batch free pattern (all
+   blocks of a batch freed before the next batch allocates) fragmentation
+   cannot accumulate. *)
+let alloc t n =
+  check_owner t "Shm.alloc";
+  if n < 0 then invalid_arg "Shm.alloc: negative size";
+  if n = 0 then Some 0
+  else
+    let rec go acc = function
+      | [] -> None
+      | (off, len) :: rest when len >= n ->
+          let rest' = if len = n then rest else (off + n, len - n) :: rest in
+          t.free_list <- List.rev_append acc rest';
+          Some off
+      | blk :: rest -> go (blk :: acc) rest
+    in
+    go [] t.free_list
+
+let free t ~off ~len =
+  check_owner t "Shm.free";
+  if len < 0 || off < 0 || off + len > t.capacity then invalid_arg "Shm.free";
+  if len > 0 then begin
+    (* Insert sorted by offset, coalescing with both neighbours. *)
+    let merge_right (o, l) = function
+      | (o2, l2) :: rest when o + l = o2 -> (o, l + l2) :: rest
+      | rest -> (o, l) :: rest
+    in
+    let rec ins = function
+      | [] -> [ (off, len) ]
+      | (o, l) :: rest when off + len < o -> (off, len) :: (o, l) :: rest
+      | (o, l) :: rest when off + len = o -> (off, len + l) :: rest
+      | (o, l) :: rest when o + l = off -> merge_right (o, l + len) rest
+      | (o, l) :: rest when off >= o + l -> (o, l) :: ins rest
+      | _ -> invalid_arg "Shm.free: block overlaps the free list"
+    in
+    t.free_list <- ins t.free_list
+  end
+
+let check_range t ~off n who =
+  if off < 0 || n < 0 || off + n > t.capacity then invalid_arg who
+
+let write_floats t ~off (a : float array) =
+  let n = Array.length a in
+  check_range t ~off n "Shm.write_floats";
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set t.buf (off + i) (Array.unsafe_get a i)
+  done
+
+let read_floats t ~off n =
+  check_range t ~off n "Shm.read_floats";
+  Array.init n (fun i -> Bigarray.Array1.unsafe_get t.buf (off + i))
+
+(* ------------------------------------------------------------------ *)
+(* Matrix descriptors: what actually crosses the job pipe. *)
+
+type mat_desc =
+  | Inline of Mat.t  (* below threshold (or arena full): plain Marshal *)
+  | Block of { off : int; rows : int; cols : int }
+
+(* Blocks below ~1 MiB stay on the Marshal path: serializing them is
+   cheaper than the allocator round-trip is worth, and keeping small
+   payloads inline means an exhausted arena degrades gracefully instead
+   of failing. 131072 floats puts the recorded 1344-symbol coefficient
+   blocks (216 x 1344) on the arena path and the 344-symbol ones inline. *)
+let default_threshold = 131_072
+
+let pack_mat ?(threshold = default_threshold) t (m : Mat.t) =
+  let n = Mat.rows m * Mat.cols m in
+  if n < threshold then Inline m
+  else
+    match alloc t n with
+    | None -> Inline m (* arena full: degrade to Marshal, never fail *)
+    | Some off ->
+        write_floats t ~off m.Mat.data;
+        Block { off; rows = Mat.rows m; cols = Mat.cols m }
+
+let unpack_mat t = function
+  | Inline m -> m
+  | Block { off; rows; cols } ->
+      Mat.of_array ~rows ~cols (read_floats t ~off (rows * cols))
+
+let view_mat t = function
+  | Inline m -> Bigmat.of_mat m
+  | Block { off; rows; cols } ->
+      check_range t ~off (rows * cols) "Shm.view_mat";
+      Bigmat.of_array1 ~rows ~cols (Bigarray.Array1.sub t.buf off (rows * cols))
+
+let free_mat t = function
+  | Inline _ -> ()
+  | Block { off; rows; cols } -> free t ~off ~len:(rows * cols)
+
+let desc_floats = function
+  | Inline _ -> 0
+  | Block { rows; cols; _ } -> rows * cols

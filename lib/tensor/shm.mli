@@ -1,0 +1,82 @@
+(** Shared-memory arena: zero-copy transport for large matrices across
+    [fork].
+
+    A MAP_SHARED [Unix.map_file] mapping of an unlinked temp file. The
+    supervisor creates the arena {e before} forking workers, writes big
+    coefficient matrices into it, and ships only [(offset, rows, cols)]
+    descriptors over the job pipes; workers read the floats in place
+    (optionally through a {!Bigmat} view, with no copy at all).
+
+    {b Ownership.} Only the creating process may call {!alloc}/{!free};
+    the free list lives in its heap and is invisible to workers, so a
+    worker killed mid-job cannot corrupt allocator state — the parent
+    frees the job's blocks once the supervisor has collected the result
+    (or the death), and the arena is immediately reusable.
+
+    {b Escape hatch.} [DEEPT_NO_SHM=1] (mirroring [MAT_NAIVE=1]) makes
+    {!available} report [false]; callers then keep everything on the
+    plain [Marshal] path. *)
+
+type t
+
+val available : unit -> bool
+(** [false] iff [DEEPT_NO_SHM] is set (to anything but ["0"] or [""]). *)
+
+val create : floats:int -> t
+(** Map a fresh arena of [floats] float64 slots. The backing temp file
+    is unlinked immediately, so no stale file can outlive the
+    processes. *)
+
+val capacity : t -> int
+(** Arena size in floats. *)
+
+val avail : t -> int
+(** Free floats (sum of the free list) — [capacity] when no block is
+    live. Owner process only. *)
+
+val alloc : t -> int -> int option
+(** First-fit allocation of [n] floats; [None] when no free block is
+    large enough. Owner process only
+    (@raise Invalid_argument otherwise). *)
+
+val free : t -> off:int -> len:int -> unit
+(** Return a block, coalescing adjacent free ranges. Owner process only.
+    @raise Invalid_argument on overlap or out-of-range. *)
+
+val write_floats : t -> off:int -> float array -> unit
+val read_floats : t -> off:int -> int -> float array
+
+(** {1 Matrix descriptors}
+
+    The small marshallable values that replace whole matrices on the
+    job pipe. *)
+
+type mat_desc =
+  | Inline of Mat.t
+      (** below {!default_threshold} (or the arena was full): the matrix
+          itself travels by [Marshal], exactly as before this layer *)
+  | Block of { off : int; rows : int; cols : int }
+      (** the matrix lives in the arena at [off] *)
+
+val default_threshold : int
+(** Matrices smaller than this many floats stay [Inline] (131072 floats
+    = 1 MiB: the recorded ≥ 1344-symbol coefficient blocks go to the
+    arena, smaller ones keep the cheaper Marshal path). *)
+
+val pack_mat : ?threshold:int -> t -> Mat.t -> mat_desc
+(** Copy the matrix into the arena if it is big enough and space
+    permits; degrade to [Inline] otherwise (never fails). Owner process
+    only. *)
+
+val unpack_mat : t -> mat_desc -> Mat.t
+(** Bit-exact copy out (any process sharing the mapping). *)
+
+val view_mat : t -> mat_desc -> Bigmat.t
+(** Zero-copy {!Bigmat} view of a [Block] (an [Inline] matrix is copied
+    into a fresh buffer). *)
+
+val free_mat : t -> mat_desc -> unit
+(** Return a [Block]'s storage; no-op on [Inline]. Owner process only. *)
+
+val desc_floats : mat_desc -> int
+(** Arena floats a descriptor holds (0 for [Inline]). *)

@@ -1,0 +1,399 @@
+(* Fused-kernel PR suite: the affine-fusion pre-pass (structure,
+   semantic equivalence, barriers, prefix sharing, the fault-injection
+   exclusion, zoo no-op + pinned radii), the Bigarray-backed Bigmat
+   kernels (bit-identity vs Mat on degenerate and production shapes),
+   and the shared-memory transport (pack/unpack bit-exactness,
+   Marshal-vs-shm margin bit-identity across forked workers, and a
+   SIGKILL drill showing a dead worker leaves the arena reusable).
+   Part of `dune runtest` and the @kernels alias. *)
+
+open Tensor
+module Lp = Deept.Lp
+module Zonotope = Deept.Zonotope
+module C = Deept.Config
+
+let check_true = Helpers.check_true
+let check_float = Helpers.check_float
+
+(* Exact bit-level equality — the PR's claims are "bit-identical", not
+   "close", so -0.0 vs 0.0 or a ulp of reassociation must fail. *)
+let bits_equal_arrays msg (a : float array) (b : float array) =
+  if Array.length a <> Array.length b then
+    Alcotest.failf "%s: length %d vs %d" msg (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+        Alcotest.failf "%s: entry %d: %h vs %h" msg i x b.(i))
+    a
+
+let bits_equal_mats msg (a : Mat.t) (b : Mat.t) =
+  if Mat.dims a <> Mat.dims b then Alcotest.failf "%s: shape mismatch" msg;
+  bits_equal_arrays msg a.Mat.data b.Mat.data
+
+let bits_equal_zonos msg (a : Zonotope.t) (b : Zonotope.t) =
+  bits_equal_mats (msg ^ " center") a.Zonotope.center b.Zonotope.center;
+  bits_equal_mats (msg ^ " phi") a.Zonotope.phi b.Zonotope.phi;
+  bits_equal_mats (msg ^ " eps") a.Zonotope.eps b.Zonotope.eps
+
+(* --- program builders ------------------------------------------------ *)
+
+let lin rng src din dout =
+  Ir.Linear
+    {
+      src;
+      w = Mat.random_gaussian rng din dout 0.5;
+      b = Array.init dout (fun _ -> Rng.uniform rng (-0.2) 0.2);
+    }
+
+let cnorm ?(divide_std = false) rng src d =
+  Ir.Center_norm
+    {
+      src;
+      gamma = Array.init d (fun _ -> Rng.uniform rng 0.5 1.5);
+      beta = Array.init d (fun _ -> Rng.uniform rng (-0.1) 0.1);
+      divide_std;
+    }
+
+let prog d ops = { Ir.input_dim = d; ops = Array.of_list ops }
+
+(* Linear -> mean-only Center_norm -> Linear: a maximal 3-op run. *)
+let chain_program seed =
+  let rng = Rng.create seed in
+  let d = 4 in
+  prog d [ lin rng 0 d d; cnorm rng 1 d; lin rng 2 d d ]
+
+(* --- fusion: structure ----------------------------------------------- *)
+
+let test_chain_structure () =
+  let p = chain_program 7 in
+  let fused, stats = Fuse.fuse p in
+  check_true "one run" (stats.Fuse.runs = 1);
+  check_true "three ops absorbed" (stats.Fuse.ops_fused = 3);
+  check_true "single op left" (Array.length fused.Ir.ops = 1);
+  (match fused.Ir.ops.(0) with
+  | Ir.Linear { src = 0; _ } -> ()
+  | _ -> Alcotest.fail "fused op is not a Linear from the input");
+  check_true "fused program validates" (Result.is_ok (Ir.validate fused))
+
+let test_chain_semantics () =
+  let p = chain_program 11 in
+  let fused = Fuse.fuse_program p in
+  let rng = Rng.create 12 in
+  (* Concrete forward: fused differs only by float reassociation. *)
+  for _ = 1 to 20 do
+    let x = Mat.random_gaussian rng 3 4 1.0 in
+    let y0 = Nn.Forward.run p x and y1 = Nn.Forward.run fused x in
+    check_true "concrete outputs close" (Mat.equal ~tol:1e-9 y0 y1)
+  done;
+  (* Abstract: output bounds agree to reassociation noise (the fused
+     node is a single exact affine map — no new symbols, no loss). *)
+  let x = Mat.random_gaussian rng 3 4 1.0 in
+  let z = Deept.Region.lp_ball_all ~p:Lp.Linf x ~radius:0.01 in
+  let b0 = Zonotope.bounds (Deept.Propagate.run C.fast p z) in
+  let b1 = Zonotope.bounds (Deept.Propagate.run C.fast fused z) in
+  check_true "abstract lo close"
+    (Mat.equal ~tol:1e-9 b0.Interval.Imat.lo b1.Interval.Imat.lo);
+  check_true "abstract hi close"
+    (Mat.equal ~tol:1e-9 b0.Interval.Imat.hi b1.Interval.Imat.hi)
+
+let test_barriers () =
+  let rng = Rng.create 21 in
+  let d = 4 in
+  (* A value with two consumers (residual shape) blocks the run. *)
+  let residual = prog d [ lin rng 0 d d; lin rng 1 d d; Ir.Add (1, 2) ] in
+  check_true "two consumers: physically unchanged"
+    (Fuse.fuse_program residual == residual);
+  (* A non-affine op in the middle blocks the run. *)
+  let relu = prog d [ lin rng 0 d d; Ir.Relu 1; lin rng 2 d d ] in
+  check_true "relu barrier: physically unchanged"
+    (Fuse.fuse_program relu == relu);
+  (* divide_std normalization is not affine; mean-only is. *)
+  let std = prog d [ lin rng 0 d d; cnorm ~divide_std:true rng 1 d; lin rng 2 d d ] in
+  check_true "divide_std barrier: physically unchanged"
+    (Fuse.fuse_program std == std);
+  (* A run may end at the program output. *)
+  let tail = prog d [ lin rng 0 d d; lin rng 1 d d ] in
+  let fused, stats = Fuse.fuse tail in
+  check_true "tail pair fuses" (Array.length fused.Ir.ops = 1 && stats.Fuse.runs = 1)
+
+(* --- fusion: prefix sharing sees through fused nodes ------------------ *)
+
+let test_prefix_sharing () =
+  let rng = Rng.create 31 in
+  let d = 4 in
+  (* ViT-style shape: affine patch-embedding prefix (two Linears +
+     positional encoding), then the non-affine body. *)
+  let p =
+    prog d
+      [
+        lin rng 0 d d;
+        lin rng 1 d d;
+        Ir.Positional { src = 2; pos = Mat.random_gaussian rng 6 d 0.3 };
+        Ir.Relu 3;
+        lin rng 4 d d;
+      ]
+  in
+  check_true "unfused prefix covers the three affine ops"
+    (Deept.Propagate.affine_prefix_len p = 3);
+  let fused = Fuse.fuse_program p in
+  check_true "the two Linears composed" (Array.length fused.Ir.ops = 4);
+  let len = Deept.Propagate.affine_prefix_len fused in
+  check_true "fused prefix still covers embedding + positional" (len = 2);
+  let x = Mat.random_gaussian rng 3 d 1.0 in
+  let z = Deept.Region.lp_ball_all ~p:Lp.Linf x ~radius:0.02 in
+  let vals = Deept.Propagate.run_prefix C.fast fused z ~len in
+  let full = Deept.Propagate.run C.fast fused z in
+  let shared = Deept.Propagate.run ~prefix:(vals, len) C.fast fused z in
+  bits_equal_zonos "shared prefix vs full run on fused program" full shared
+
+(* --- fusion x fault injection ----------------------------------------- *)
+
+let test_fuse_for_fault () =
+  let p = chain_program 41 in
+  let armed = { C.fast with C.fault = Some (C.fault 1 C.Inject_nan) } in
+  check_true "fault armed: fusion disabled, program physically unchanged"
+    (Deept.Propagate.fuse_for armed p == p);
+  check_true "no fault: fusion applies"
+    (Array.length (Deept.Propagate.fuse_for C.fast p).Ir.ops = 1)
+
+(* --- fusion: zoo models ----------------------------------------------- *)
+
+let test_zoo_noop () =
+  (* Residual connections give every normalization two consumers, so
+     fusion must not restructure a zoo-architecture program at all. *)
+  let p = Helpers.tiny_program ~layers:2 5 in
+  let fused, stats = Fuse.fuse p in
+  check_true "no runs on transformer graph" (stats.Fuse.runs = 0);
+  check_true "physically unchanged" (fused == p)
+
+let test_small3_fused_pins () =
+  if not (Sys.file_exists "../data/small_3.model") then ()
+  else begin
+    Zoo.data_dir := "../data";
+    let entry = Zoo.entry "small_3" in
+    let model = Zoo.load_or_train ~log:(fun _ -> ()) "small_3" in
+    let c = Zoo.corpus_of entry.Zoo.corpus in
+    let program = Nn.Model.to_ir model in
+    let fused, stats = Fuse.fuse program in
+    check_true "small_3 fusion is a structural no-op" (stats.Fuse.runs = 0);
+    let toks, label = List.nth c.Text.Corpus.test 0 in
+    let x = Nn.Model.embed_tokens model toks in
+    let radius cfg prog =
+      Deept.Certify.certified_radius cfg prog ~p:Lp.L2 x ~word:1
+        ~true_class:label ()
+    in
+    (* Same dyadic pins as test_interp's unfused baselines. *)
+    check_float ~tol:0.0 "fused deept-fast idx0 l2" 0.181640625
+      (radius C.fast fused);
+    check_float ~tol:0.0 "fused deept-precise idx0 l2" 0.17578125
+      (radius C.precise fused)
+  end
+
+(* --- fused-vs-unfused radii on a fusible model ------------------------ *)
+
+let test_fusible_radii_identical () =
+  (* The zoo is a structural no-op, so exercise the radius pipeline on a
+     graph that genuinely fuses: an MLP head of stacked affine ops. The
+     bisection compares margins against 0, and the pinned dyadic radii
+     must survive the (reassociated) fused weights. *)
+  let rng = Rng.create 51 in
+  let d = 6 in
+  let p =
+    prog d
+      [ lin rng 0 d d; cnorm rng 1 d; lin rng 2 d 8; Ir.Relu 3; lin rng 4 8 2 ]
+  in
+  let fused = Fuse.fuse_program p in
+  check_true "head chain fused" (Array.length fused.Ir.ops < Array.length p.Ir.ops);
+  let x = Mat.random_gaussian rng 1 d 1.0 in
+  let r prog =
+    Deept.Certify.certified_radius C.fast prog ~p:Lp.Linf x ~word:0
+      ~true_class:0 ~hi:0.1 ~iters:12 ()
+  in
+  (* Bisection radii are dyadic rationals; identical decisions at every
+     probe give identical radii. Reassociation can in principle flip a
+     margin sitting exactly on 0, so compare the radii themselves with
+     tolerance 0 — on this fixed seed they agree exactly, which is the
+     bit-compatibility the PR claims. *)
+  check_float ~tol:0.0 "fused vs unfused radius" (r p) (r fused)
+
+(* --- Bigmat: bit-identity vs Mat -------------------------------------- *)
+
+let test_bigmat_kernels () =
+  let rng = Rng.create 61 in
+  let shapes = [ (0, 0, 0); (0, 5, 3); (4, 5, 0); (3, 0, 2); (1, 1, 1); (5, 7, 6); (24, 24, 344) ] in
+  List.iter
+    (fun (m, k, n) ->
+      let a = Mat.random_gaussian rng m k 1.0 in
+      let b = Mat.random_gaussian rng k n 1.0 in
+      let name = Printf.sprintf "%dx%dx%d" m k n in
+      check_true ("matmul " ^ name)
+        (Bigmat.equal_bits_mat
+           (Bigmat.matmul (Bigmat.of_mat a) (Bigmat.of_mat b))
+           (Mat.matmul a b));
+      let at = Mat.random_gaussian rng k m 1.0 in
+      check_true ("matmul_ta " ^ name)
+        (Bigmat.equal_bits_mat
+           (Bigmat.matmul_ta (Bigmat.of_mat at) (Bigmat.of_mat b))
+           (Mat.matmul_ta at b)))
+    shapes;
+  (* of_mat/to_mat round-trips bits. *)
+  let m = Mat.random_gaussian rng 9 13 2.0 in
+  bits_equal_mats "bigmat roundtrip" m (Bigmat.to_mat (Bigmat.of_mat m))
+
+(* --- Shm: pack/unpack and the arena ----------------------------------- *)
+
+let test_shm_roundtrip () =
+  if not (Shm.available ()) then ()
+  else begin
+    let a = Shm.create ~floats:4096 in
+    let rng = Rng.create 71 in
+    let m = Mat.random_gaussian rng 16 32 1.0 in
+    let d = Shm.pack_mat ~threshold:0 a m in
+    (match d with
+    | Shm.Block _ -> ()
+    | Shm.Inline _ -> Alcotest.fail "threshold 0 should land in the arena");
+    bits_equal_mats "unpack_mat" m (Shm.unpack_mat a d);
+    check_true "view_mat reads the same bits in place"
+      (Bigmat.equal_bits_mat (Shm.view_mat a d) m);
+    Shm.free_mat a d;
+    check_true "free restores the whole arena" (Shm.avail a = Shm.capacity a);
+    (* Small blocks stay inline under the default threshold. *)
+    (match Shm.pack_mat a m with
+    | Shm.Inline _ -> ()
+    | Shm.Block _ -> Alcotest.fail "512 floats must not cross default_threshold");
+    (* A block larger than the arena degrades to Inline, never fails. *)
+    (match Shm.pack_mat ~threshold:0 a (Mat.create 100 100) with
+    | Shm.Inline _ -> ()
+    | Shm.Block _ -> Alcotest.fail "oversized block should degrade to Inline")
+  end
+
+let test_xfer_roundtrip () =
+  if not (Shm.available ()) then ()
+  else begin
+    let arena = Shm.create ~floats:8192 in
+    let rng = Rng.create 81 in
+    let z = Helpers.random_zonotope ~p:Lp.L2 ~vrows:3 ~vcols:4 ~ep:2 ~ee:5 rng in
+    let d = Deept.Xfer.pack_zono ~arena ~threshold:0 z in
+    bits_equal_zonos "xfer shm roundtrip" z (Deept.Xfer.unpack_zono ~arena d);
+    Deept.Xfer.free_zono arena d;
+    check_true "xfer free restores the arena" (Shm.avail arena = Shm.capacity arena);
+    (* Without an arena the descriptor is self-contained. *)
+    let d2 = Deept.Xfer.pack_zono z in
+    bits_equal_zonos "xfer inline roundtrip" z (Deept.Xfer.unpack_zono d2)
+  end
+
+(* --- transport: Marshal vs shm across forked workers ------------------ *)
+
+(* Regions wide enough that the eps block (32 x 4200 floats) crosses
+   Shm.default_threshold and genuinely rides the arena. *)
+let wide_jobs model =
+  let x = Nn.Model.embed_tokens model [| 1; 2; 3; 4 |] in
+  let nv = Mat.rows x * Mat.cols x in
+  List.init 3 (fun i ->
+      let rng = Rng.create (90 + i) in
+      ( i,
+        Zonotope.make ~p:Lp.Linf ~center:(Mat.copy x)
+          ~phi:(Mat.create nv 0)
+          ~eps:(Mat.random_gaussian rng nv 4200 5e-4) ))
+
+let margin_bits results =
+  List.sort (fun a b -> compare a.Deept.Supervisor.job b.Deept.Supervisor.job) results
+  |> List.map (fun r ->
+         match r.Deept.Supervisor.outcome with
+         | Ok m -> (r.Deept.Supervisor.job, Int64.bits_of_float m)
+         | Error _ -> Alcotest.failf "job %d failed" r.Deept.Supervisor.job)
+
+let test_transport_bit_identity () =
+  if not (Shm.available ()) then ()
+  else begin
+    let model = Helpers.tiny_model 3 in
+    let program = Nn.Model.to_ir model in
+    let jobs = wide_jobs model in
+    let pool = C.pool ~workers:2 () in
+    let arena = Shm.create ~floats:(1 lsl 20) in
+    let base =
+      Deept.Certify.certify_regions ~pool C.fast program ~true_class:0 jobs
+    in
+    let shm =
+      Deept.Certify.certify_regions ~arena ~pool C.fast program ~true_class:0
+        jobs
+    in
+    check_true "margins bit-identical across transports"
+      (margin_bits base = margin_bits shm);
+    check_true "certify_regions returned every block"
+      (Shm.avail arena = Shm.capacity arena)
+  end
+
+let test_sigkill_leaves_arena_reusable () =
+  if not (Shm.available ()) then ()
+  else begin
+    let model = Helpers.tiny_model 3 in
+    let program = Nn.Model.to_ir model in
+    let jobs = wide_jobs model in
+    let arena = Shm.create ~floats:(1 lsl 20) in
+    let packed =
+      List.map (fun (id, z) -> (id, Deept.Xfer.pack_zono ~arena z)) jobs
+    in
+    (* Worker 's job 1 dies by SIGKILL mid-batch: only the parent owns
+       the allocator, so a killed reader cannot corrupt the arena. *)
+    let worker id desc =
+      if id = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+      Deept.Certify.certify_margin C.fast program
+        (Deept.Xfer.unpack_zono ~arena desc)
+        ~true_class:0
+    in
+    let pool = C.pool ~workers:2 ~max_retries:0 () in
+    let rs = Deept.Supervisor.run ~pool ~worker packed in
+    List.iter
+      (fun r ->
+        match (r.Deept.Supervisor.job, r.Deept.Supervisor.outcome) with
+        | 1, Ok _ -> Alcotest.fail "killed job reported success"
+        | 1, Error _ -> ()
+        | _, Ok _ -> ()
+        | j, Error _ -> Alcotest.failf "job %d failed unexpectedly" j)
+      rs;
+    (* The parent frees every block — including the killed job's — and
+       the arena is whole again. *)
+    List.iter (fun (_, d) -> Deept.Xfer.free_zono arena d) packed;
+    check_true "arena fully reclaimed after SIGKILL"
+      (Shm.avail arena = Shm.capacity arena);
+    (* And still serves a clean batch with bit-identical margins. *)
+    let again =
+      Deept.Certify.certify_regions ~arena ~pool:(C.pool ~workers:2 ()) C.fast
+        program ~true_class:0 jobs
+    in
+    let base =
+      Deept.Certify.certify_regions C.fast program ~true_class:0 jobs
+    in
+    check_true "post-kill margins bit-identical"
+      (margin_bits again = margin_bits base);
+    check_true "arena reclaimed again" (Shm.avail arena = Shm.capacity arena)
+  end
+
+let () =
+  Alcotest.run "fuse"
+    [
+      ( "fusion",
+        [
+          Alcotest.test_case "chain structure" `Quick test_chain_structure;
+          Alcotest.test_case "chain semantics" `Quick test_chain_semantics;
+          Alcotest.test_case "barriers" `Quick test_barriers;
+          Alcotest.test_case "prefix sharing" `Quick test_prefix_sharing;
+          Alcotest.test_case "fault exclusion" `Quick test_fuse_for_fault;
+          Alcotest.test_case "zoo no-op" `Quick test_zoo_noop;
+          Alcotest.test_case "small_3 pins" `Slow test_small3_fused_pins;
+          Alcotest.test_case "fusible radii" `Quick test_fusible_radii_identical;
+        ] );
+      ( "bigmat",
+        [ Alcotest.test_case "bit-identity vs Mat" `Quick test_bigmat_kernels ] );
+      ( "shm",
+        [
+          Alcotest.test_case "mat roundtrip" `Quick test_shm_roundtrip;
+          Alcotest.test_case "zonotope roundtrip" `Quick test_xfer_roundtrip;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "bit-identity" `Slow test_transport_bit_identity;
+          Alcotest.test_case "sigkill drill" `Slow test_sigkill_leaves_arena_reusable;
+        ] );
+    ]
