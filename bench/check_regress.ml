@@ -33,6 +33,10 @@ let metrics =
     "fused_ns";
     "marshal_ns";
     "shm_ns";
+    (* the refine bench's base arm (plain Precise radius search; its
+       refine arm reports as wall_s). Keys match with the leading
+       quote, so "wall_s" never aliases into this one. *)
+    "base_wall_s";
   ]
 
 (* Rate fields in [0, 1] (the service bench's shed and cache-hit
@@ -122,6 +126,36 @@ let () =
     Printf.eprintf
       "check_regress: %s not found — run `dune exec bench/kernels.exe -- --json` first\n"
       !cur_path;
+    exit 1
+  end;
+  (* Intra-row invariant of the refine bench, checked on the current
+     snapshot alone (no previous run needed): a refined radius below the
+     base radius means the refinement arm regressed the very search it
+     extends. refine.exe gates this at write time; re-checking the
+     committed snapshot here means a hand-edited or stale baseline
+     cannot pass silently. *)
+  let invariant_failures = ref 0 in
+  let ic = open_in !cur_path in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         ( str_field line "name",
+           num_field line "radius",
+           num_field line "refined_radius" )
+       with
+       | Some name, Some r, Some rr when rr < r ->
+           Printf.printf
+             "  %-26s refined_radius %.17g < radius %.17g  INVARIANT\n" name rr
+             r;
+           incr invariant_failures
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !invariant_failures > 0 then begin
+    Printf.printf "%d row(s) violate refined_radius >= radius\n"
+      !invariant_failures;
     exit 1
   end;
   if not (Sys.file_exists prev_path) then begin

@@ -130,6 +130,16 @@ let probes_arg =
   in
   Arg.(value & opt int 1 & info [ "probes" ] ~doc)
 
+let refine_arg =
+  let doc =
+    "Branch-and-bound refinement (DeepT verifiers only): when the \
+     requested configuration fails cleanly on precision, split the noise \
+     symbols that dominate the losing logit margin and re-certify the \
+     halves before giving up. Sound: certified only if every branch \
+     certifies."
+  in
+  Arg.(value & flag & info [ "refine" ] ~doc)
+
 let setup data = Zoo.data_dir := data
 
 (* --profile wiring: [wrap] installs the collector's sink on a DeepT
@@ -184,8 +194,14 @@ let show_cmd =
 
 (* --- t1 -------------------------------------------------------------- *)
 
-let certify_t1 data name index sentence word p radius verifier domains profile
-    no_fuse =
+let certify_t1 data name index sentence word p radius verifier refine domains
+    profile no_fuse =
+  if refine && (verifier = Crown_baf || verifier = Crown_backward) then begin
+    prerr_endline
+      "certify: --refine is a DeepT engine feature (use deept-fast or \
+       deept-precise)";
+    exit 1
+  end;
   setup data;
   let entry, model = load name in
   let c, (toks, label) = pick_input entry model index sentence in
@@ -206,20 +222,33 @@ let certify_t1 data name index sentence word p radius verifier domains profile
   let pred = Nn.Forward.predict program x in
   if pred <> label then Printf.printf "misclassified even without perturbation\n"
   else begin
+    (* With --refine the query goes through the engine so the refine
+       rung (and the ladder line showing what each attempt returned) is
+       available; without it, the direct single-propagation path is
+       unchanged. *)
+    let deept base =
+      let cfg = wrap (apply_domains ~jobs:1 domains base) in
+      if not refine then
+        Deept.Certify.certify cfg vprogram
+          (Deept.Region.lp_ball ~p x ~word ~radius)
+          ~true_class:label
+      else begin
+        let cfg =
+          Deept.Config.with_refine (Some Deept.Config.default_refine) cfg
+        in
+        let o =
+          Deept.Engine.certify cfg vprogram
+            (Deept.Region.lp_ball ~p x ~word ~radius)
+            ~true_class:label
+        in
+        Format.printf "%a@." Deept.Engine.pp_outcome o;
+        o.Deept.Engine.verdict = Deept.Verdict.Certified
+      end
+    in
     let ok =
       match verifier with
-      | Deept_fast ->
-          Deept.Certify.certify
-            (wrap (apply_domains ~jobs:1 domains Deept.Config.fast))
-            vprogram
-            (Deept.Region.lp_ball ~p x ~word ~radius)
-            ~true_class:label
-      | Deept_precise ->
-          Deept.Certify.certify
-            (wrap (apply_domains ~jobs:1 domains Deept.Config.precise))
-            vprogram
-            (Deept.Region.lp_ball ~p x ~word ~radius)
-            ~true_class:label
+      | Deept_fast -> deept Deept.Config.fast
+      | Deept_precise -> deept Deept.Config.precise
       | Crown_baf | Crown_backward ->
           let g = Linrelax.Verify.graph_of program ~seq_len:(Mat.rows x) in
           let v =
@@ -239,13 +268,19 @@ let t1_cmd =
     (Cmd.info "t1" ~doc:"Certify an lp-ball perturbation of one word.")
     Term.(
       const certify_t1 $ data_arg $ model_arg $ index_arg $ sentence_arg
-      $ word_arg $ norm_arg $ radius_arg $ verifier_arg $ domains_arg
-      $ profile_arg $ no_fuse_arg)
+      $ word_arg $ norm_arg $ radius_arg $ verifier_arg $ refine_arg
+      $ domains_arg $ profile_arg $ no_fuse_arg)
 
 (* --- radius ----------------------------------------------------------- *)
 
-let radius_search data name index sentence word p verifier domains probes
-    profile no_fuse =
+let radius_search data name index sentence word p verifier refine domains
+    probes profile no_fuse =
+  if refine && (verifier = Crown_baf || verifier = Crown_backward) then begin
+    prerr_endline
+      "certify: --refine is a DeepT engine feature (use deept-fast or \
+       deept-precise)";
+    exit 1
+  end;
   setup data;
   let entry, model = load name in
   let c, (toks, label) = pick_input entry model index sentence in
@@ -259,14 +294,19 @@ let radius_search data name index sentence word p verifier domains probes
   else begin
     let search = Deept.Config.search ~probes () in
     let deept_cfg base =
-      Deept.Config.with_search search
-        (wrap (apply_domains ~jobs:1 ~probes domains base))
+      let cfg =
+        Deept.Config.with_search search
+          (wrap (apply_domains ~jobs:1 ~probes domains base))
+      in
+      if refine then
+        Deept.Config.with_refine (Some Deept.Config.default_refine) cfg
+      else cfg
     in
-    (* Multi-probe searches go through the reporting API so the probe
-       budget and final bracket can be shown; the headline line is the
-       same either way. *)
+    (* Multi-probe and refined searches go through the reporting API so
+       the probe budget, final bracket and refined radius can be shown;
+       the headline line is the same either way. *)
     let deept base =
-      if probes <= 1 then
+      if probes <= 1 && not refine then
         ( Deept.Certify.certified_radius (deept_cfg base) vprogram ~p x ~word
             ~true_class:label (),
           None )
@@ -292,15 +332,27 @@ let radius_search data name index sentence word p verifier domains probes
     in
     Printf.printf "certified radius: %.6g\n" r;
     (match rep with
-    | Some rep ->
+    | Some rep when probes > 1 ->
         let good, bad = rep.Deept.Certify.bracket in
         Printf.printf
-          "search: %d probes/round, %d bracket + %d refine probes in %d \
+          "search: %d probes/round, %d bracket + %d bisect probes in %d \
            round(s), final bracket [%.6g, %s)\n"
           probes rep.Deept.Certify.bracket_probes
           rep.Deept.Certify.bisect_probes rep.Deept.Certify.rounds good
           (if bad = infinity then "inf" else Printf.sprintf "%.6g" bad)
-    | None -> ());
+    | _ -> ());
+    (match rep with
+    | Some { Deept.Certify.refined_radius = Some rr; _ } ->
+        Printf.printf "refined radius: %.6g%s\n" rr
+          (if rr > r && r > 0.0 then
+             Printf.sprintf "  (+%.2f%% over the plain search)"
+               ((rr /. r -. 1.0) *. 100.0)
+           else if rr > r then "  (recovered from 0)"
+           else "  (refinement could not move the failing edge)")
+    | Some { Deept.Certify.refined_radius = None; _ } when refine ->
+        Printf.printf
+          "refined radius: n/a (the plain bracket never closed)\n"
+    | _ -> ());
     report ()
   end
 
@@ -309,8 +361,8 @@ let radius_cmd =
     (Cmd.info "radius" ~doc:"Bracket-search the maximal certified radius.")
     Term.(
       const radius_search $ data_arg $ model_arg $ index_arg $ sentence_arg
-      $ word_arg $ norm_arg $ verifier_arg $ domains_arg $ probes_arg
-      $ profile_arg $ no_fuse_arg)
+      $ word_arg $ norm_arg $ verifier_arg $ refine_arg $ domains_arg
+      $ probes_arg $ profile_arg $ no_fuse_arg)
 
 (* --- t2 --------------------------------------------------------------- *)
 
@@ -470,7 +522,7 @@ let crash_sentence_arg =
   in
   Arg.(value & opt (some int) None & info [ "crash-sentence" ] ~doc)
 
-let batch data name count word p radius verifier deadline budget fault
+let batch data name count word p radius verifier refine deadline budget fault
     fault_rungs jobs journal_path resume_path max_retries grace hard_deadline
     mem_limit fault_sentence crash_sentence domains probes no_fuse =
   setup data;
@@ -486,6 +538,11 @@ let batch data name count word p radius verifier deadline budget fault
           "certify: batch supports only deept-fast and deept-precise (the \
            degradation ladder is a DeepT engine feature)";
         exit 1
+  in
+  let base =
+    if refine then
+      Deept.Config.with_refine (Some Deept.Config.default_refine) base
+    else base
   in
   let cfg =
     let cfg =
@@ -555,6 +612,7 @@ let batch data name count word p radius verifier deadline budget fault
         {
           Deept.Engine.rung_name = "crash:" ^ Printexc.to_string exn;
           verdict = Deept.Verdict.Unknown Deept.Verdict.Numerical_fault;
+          direction = Deept.Engine.Down;
         }
       in
       {
@@ -587,11 +645,31 @@ let batch data name count word p radius verifier deadline budget fault
         }
   in
   let fresh = ref [] in
+  (* Histogram of every ladder rung attempted, with its direction —
+     built from outcome.attempts of this run's fresh results (resumed
+     journal rows only record the final rung, not the walk). *)
+  let attempt_hist = ref [] in
+  let note_attempts (r : Deept.Engine.outcome Deept.Supervisor.job_result) =
+    match r.Deept.Supervisor.outcome with
+    | Error _ -> ()
+    | Ok o ->
+        List.iter
+          (fun (a : Deept.Engine.attempt) ->
+            let k =
+              match a.Deept.Engine.direction with
+              | Deept.Engine.Down -> a.Deept.Engine.rung_name
+              | Deept.Engine.Up -> a.Deept.Engine.rung_name ^ " (up)"
+            in
+            let n = try List.assoc k !attempt_hist with Not_found -> 0 in
+            attempt_hist := (k, n + 1) :: List.remove_assoc k !attempt_hist)
+          o.Deept.Engine.attempts
+  in
   ignore
     (Deept.Supervisor.run ~pool
        ~on_result:(fun r ->
          let e = entry_of r in
          fresh := e :: !fresh;
+         note_attempts r;
          (match journal with Some j -> Deept.Journal.append j e | None -> ());
          let i = e.Deept.Journal.job in
          let toks, _ = sentences.(i) in
@@ -631,6 +709,12 @@ let batch data name count word p radius verifier deadline budget fault
   List.iter
     (fun (r, n) -> Printf.printf "  %-28s %d\n" r n)
     (tally (fun (e : Deept.Journal.entry) -> e.Deept.Journal.rung));
+  if !attempt_hist <> [] then begin
+    Printf.printf "attempts by rung (this run):\n";
+    List.iter
+      (fun (r, n) -> Printf.printf "  %-28s %d\n" r n)
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) !attempt_hist)
+  end;
   let count_verdicts pred =
     List.length
       (List.filter (fun (e : Deept.Journal.entry) -> pred e.Deept.Journal.verdict) rows)
@@ -667,7 +751,8 @@ let batch_cmd =
           numerical fault, else 0.")
     Term.(
       const batch $ data_arg $ model_arg $ count_arg $ word_arg $ norm_arg
-      $ radius_arg $ verifier_arg $ deadline_arg $ budget_arg $ fault_arg
+      $ radius_arg $ verifier_arg $ refine_arg $ deadline_arg $ budget_arg
+      $ fault_arg
       $ fault_rungs_arg $ jobs_arg $ journal_arg $ resume_arg
       $ max_retries_arg $ grace_arg $ hard_deadline_arg $ mem_limit_arg
       $ fault_sentence_arg $ crash_sentence_arg $ domains_arg $ probes_arg

@@ -239,6 +239,14 @@ let verifier_arg =
   in
   Arg.(value & opt verifier_c Deept.Config.Fast & info [ "verifier"; "v" ] ~doc)
 
+let refine_arg =
+  let doc =
+    "Branch-and-bound refinement: on a precision failure the engine \
+     splits the most influential noise symbols and re-certifies the \
+     branches before giving up."
+  in
+  Arg.(value & flag & info [ "refine" ] ~doc)
+
 let req_deadline_arg =
   let doc = "Cooperative per-job deadline for these requests, seconds." in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~doc)
@@ -293,19 +301,21 @@ let print_response = function
         (s.cache_hits + s.cache_misses)
         s.cache_size s.worker_deaths
         (if s.draining then "  DRAINING" else "")
-        (if s.breakers = "" then "(none tripped)" else s.breakers)
+        (if s.breakers = "" then "(none tripped)" else s.breakers);
+      Printf.printf "rungs: %s\n"
+        (if s.rungs = "" then "(no computed jobs yet)" else s.rungs)
   | Service.Protocol.Error msg -> Printf.printf "error: %s\n" msg
   | Service.Protocol.Ok_ack -> Printf.printf "ok\n"
 
-let request socket model index sentence count word p radius verifier deadline
-    crash stall timeout retries retry_backoff =
+let request socket model index sentence count word p radius verifier refine
+    deadline crash stall timeout retries retry_backoff =
   let mk k =
     let input =
       match sentence with
       | Some s -> Service.Protocol.Sentence s
       | None -> Service.Protocol.Index (index + k)
     in
-    Service.Protocol.certify ~word ~p ~verifier ?deadline_s:deadline
+    Service.Protocol.certify ~word ~p ~verifier ~refine ?deadline_s:deadline
       ~tag:(index + k) ~drill_crash:crash ?drill_stall_s:stall ~model ~radius
       input
   in
@@ -356,8 +366,8 @@ let request_cmd =
     Term.(
       const request $ socket_arg $ model_arg $ index_arg $ sentence_arg
       $ count_arg $ word_arg $ norm_arg $ radius_arg $ verifier_arg
-      $ req_deadline_arg $ crash_arg $ stall_arg $ timeout_arg $ retries_arg
-      $ retry_backoff_arg)
+      $ refine_arg $ req_deadline_arg $ crash_arg $ stall_arg $ timeout_arg
+      $ retries_arg $ retry_backoff_arg)
 
 (* --- stats / shutdown ------------------------------------------------- *)
 

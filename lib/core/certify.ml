@@ -141,7 +141,45 @@ type radius_report = {
   bisect_probes : int;
   rounds : int;
   faulted_probes : (float * Verdict.unknown_reason) list;
+  refined_radius : float option;
 }
+
+(* Branch-and-bound refinement at the failing edge of the plain search's
+   final bracket (good, bad). The first refined probe is [bad] itself —
+   the smallest radius the *plain* config is known to fail at. Only if
+   branch-and-bound certifies that edge does the search continue (a few
+   bisections of [bad, 2*bad], all with the refined certifier);
+   otherwise the plain radius stands. So a refined radius above the
+   plain one is attributable to refinement alone, never to extra
+   bisection of the plain bracket, and the refined probes — each up to
+   1 + max_branches full propagations — are spent only where refinement
+   has already proven it can move the edge. The probe is deterministic
+   (Brefine's contract), so the refined radius is as reproducible as
+   the plain one. *)
+let refine_steps = 3
+
+let refine_edge (cfg : Config.t) program ~p x ~word ~true_class (good, bad) =
+  match cfg.Config.refine with
+  | None -> None
+  | Some _ ->
+      if not (Float.is_finite bad) || bad <= good then None
+      else begin
+        let certifies radius =
+          radius > 0.0
+          && Brefine.certify cfg program
+               (Region.lp_ball ~p x ~word ~radius)
+               ~true_class
+        in
+        if not (certifies bad) then Some good
+        else begin
+          let g = ref bad and b = ref (2.0 *. bad) in
+          for _ = 1 to refine_steps do
+            let mid = 0.5 *. (!g +. !b) in
+            if certifies mid then g := mid else b := mid
+          done;
+          Some !g
+        end
+      end
 
 let certified_radius_v cfg program ~p x ~word ~true_class ?hi ?(iters = 10) ()
     =
@@ -164,6 +202,10 @@ let certified_radius_v cfg program ~p x ~word ~true_class ?hi ?(iters = 10) ()
     end
   in
   let r = run_search ?hi ~iters ~search probe in
+  let refined_radius =
+    refine_edge cfg program ~p x ~word ~true_class
+      (r.Psearch.good, r.Psearch.bad)
+  in
   {
     radius = r.Psearch.radius;
     bracket = (r.Psearch.good, r.Psearch.bad);
@@ -171,6 +213,7 @@ let certified_radius_v cfg program ~p x ~word ~true_class ?hi ?(iters = 10) ()
     bisect_probes = r.Psearch.stats.Psearch.bisect_probes;
     rounds = r.Psearch.stats.Psearch.rounds;
     faulted_probes = r.Psearch.stats.Psearch.faulted;
+    refined_radius;
   }
 
 let certify_synonyms cfg program x subs ~true_class =

@@ -84,6 +84,14 @@ type radius_report = {
       (** probes that ended in a typed fault rather than a clean
           not-certified, in launch order — nonempty means the radius may
           be pessimistic (faulted probes count as "bad") *)
+  refined_radius : float option;
+      (** largest radius certified with branch-and-bound refinement
+          ({!Brefine}) at the plain search's failing edge; always
+          [>= radius]. [None] when [cfg.refine] is off or the plain
+          bracket never closed. The first refined probe is the plain
+          [bad] edge itself and the search only continues past it on
+          success, so a strictly larger value is attributable to
+          refinement, never to extra bisection of the plain bracket. *)
 }
 
 val certified_radius_v :
@@ -91,7 +99,10 @@ val certified_radius_v :
   true_class:int -> ?hi:float -> ?iters:int -> unit -> radius_report
 (** Like {!certified_radius} but over {!certify_v}, reporting the final
     bracket, the probe budget split by phase, and which probes faulted
-    instead of silently treating them as "not robust". *)
+    instead of silently treating them as "not robust". When
+    [cfg.refine] is set, a few branch-and-bound probes run at the
+    bracket's failing edge afterwards and fill [refined_radius]; the
+    plain search (and hence [radius]) is untouched by refinement. *)
 
 val search_prefix :
   Config.t -> Ir.program -> p:Lp.t -> Tensor.Mat.t -> word:int ->

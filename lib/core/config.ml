@@ -84,6 +84,21 @@ let search ?(probes = default_search.probes) ?rounds
   | _ -> ());
   { probes; rounds; share_prefix; probe_backend }
 
+type refine = { top_k : int; max_branches : int; depth : int }
+
+let default_refine = { top_k = 2; max_branches = 8; depth = 2 }
+
+let refine ?(top_k = default_refine.top_k)
+    ?(max_branches = default_refine.max_branches)
+    ?(depth = default_refine.depth) () =
+  if top_k < 1 || top_k > 6 then
+    invalid_arg "Config.refine: need 1 <= top_k <= 6";
+  if max_branches < 2 || max_branches > 256 then
+    invalid_arg "Config.refine: need 2 <= max_branches <= 256";
+  if depth < 1 || depth > 8 then
+    invalid_arg "Config.refine: need 1 <= depth <= 8";
+  { top_k; max_branches; depth }
+
 type t = {
   variant : dot_variant;
   order : dual_order;
@@ -95,6 +110,7 @@ type t = {
   domains : int;
   trace : Interp.sink option;
   search : search;
+  refine : refine option;
 }
 
 let default =
@@ -109,6 +125,7 @@ let default =
     domains = 1;
     trace = None;
     search = default_search;
+    refine = None;
   }
 
 let fast = default
@@ -129,6 +146,7 @@ let with_domains n cfg =
 
 let with_trace sink cfg = { cfg with trace = sink }
 let with_search s cfg = { cfg with search = s }
+let with_refine r cfg = { cfg with refine = r }
 
 let probe_backend_name = function
   | Fork_probes -> "fork"
@@ -136,6 +154,19 @@ let probe_backend_name = function
   | Serial_probes -> "serial"
 
 let variant_name = function Fast -> "fast" | Precise -> "precise" | Combined -> "combined"
+
+let refine_key = function
+  | None -> "-"
+  | Some r -> Printf.sprintf "k%d.b%d.d%d" r.top_k r.max_branches r.depth
+
+let policy_key c =
+  Printf.sprintf "%s:o%s:s%s:ss%d:k%d:rf%s"
+    (variant_name c.variant)
+    (match c.order with Linf_first -> "linf" | Lp_first -> "lp")
+    (match c.softmax with Stable -> "stable" | Direct -> "direct")
+    (if c.refine_softmax_sum then 1 else 0)
+    c.reduction_k
+    (refine_key c.refine)
 
 let fault_action_name = function
   | Inject_nan -> "nan"
@@ -163,6 +194,11 @@ let pp ppf c =
       (Printf.sprintf ", probes=%d(%s%s)" c.search.probes
          (probe_backend_name c.search.probe_backend)
          (if c.search.share_prefix then "" else ", no-share"));
+  (match c.refine with
+  | Some r ->
+      Buffer.add_string b
+        (Printf.sprintf ", refine=k%d/b%d/d%d" r.top_k r.max_branches r.depth)
+  | None -> ());
   Format.fprintf ppf "deept(%s, %s, softmax=%s, refine=%b, k=%d%s)"
     (variant_name c.variant)
     (match c.order with Linf_first -> "linf-first" | Lp_first -> "lp-first")

@@ -159,6 +159,36 @@ val search :
     @raise Invalid_argument unless [1 <= probes <= 64] and
     [rounds >= 1] when given. *)
 
+(** {1 Upward refinement: branch-and-bound symbol splitting}
+
+    Policy for {!Brefine}'s branch-and-bound refinement — the ladder's
+    {e upward} direction. When a rung fails on precision ([Unknown
+    Imprecise]), the refiner ranks input noise symbols by their absolute
+    coefficient contribution to the losing logit margin, splits the
+    [top_k] strongest symbol ranges in half and re-certifies every
+    half-combination. [None] (the default) disables refinement and
+    preserves the engine's pre-refinement behavior bit-for-bit. *)
+
+type refine = {
+  top_k : int;
+      (** symbols split per branch-and-bound node (≥ 1); a node spawns
+          [2^top_k] sub-branches (capped by [max_branches]) *)
+  max_branches : int;
+      (** total branch-propagation budget for one refinement; shared
+          between the first split wave and recursive re-splits *)
+  depth : int;
+      (** maximum nesting of splits: 1 = split once, no recursion on
+          still-imprecise branches *)
+}
+
+val default_refine : refine
+(** [top_k = 2], [max_branches = 8], [depth = 2]. *)
+
+val refine : ?top_k:int -> ?max_branches:int -> ?depth:int -> unit -> refine
+(** Validating constructor over {!default_refine}.
+    @raise Invalid_argument unless [1 <= top_k <= 6],
+    [2 <= max_branches <= 256] and [1 <= depth <= 8]. *)
+
 type t = {
   variant : dot_variant;
   order : dual_order;
@@ -185,6 +215,10 @@ type t = {
   search : search;
       (** radius-search policy (default {!default_search} = sequential
           bisection). Plain data, safe across the Marshal boundary. *)
+  refine : refine option;
+      (** branch-and-bound refinement policy for the ladder's upward
+          direction (default [None] = refinement off, pre-refinement
+          behavior preserved bit-for-bit). Plain data, Marshal-safe. *)
 }
 
 val default : t
@@ -211,6 +245,20 @@ val with_trace : Interp.sink option -> t -> t
 
 val with_search : search -> t -> t
 (** Sets {!t.search}. *)
+
+val with_refine : refine option -> t -> t
+(** Sets {!t.refine}. *)
+
+val policy_key : t -> string
+(** Canonical serialization of every {e precision-relevant} field of the
+    config — variant, dual order, softmax form, sum refinement,
+    reduction budget, and the refine policy. Two configs with equal
+    [policy_key] produce bit-identical verdicts on the same query, so
+    this is the one sanctioned cache-key component for config identity
+    (see {!Service.Cache}): new precision-relevant fields must be added
+    here, never ad-hoc in a cache. Budgets, fault injection, tracing and
+    scheduling knobs are deliberately excluded — they affect {e whether}
+    an answer is produced, not which answer. *)
 
 val variant_name : dot_variant -> string
 val probe_backend_name : probe_backend -> string

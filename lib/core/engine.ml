@@ -1,8 +1,13 @@
 open Tensor
 
-type rung = Abstract of { rname : string; cfg : Config.t } | Box
+type rung =
+  | Abstract of { rname : string; cfg : Config.t }
+  | Box
+  | Refine of { rname : string; cfg : Config.t }
 
-type attempt = { rung_name : string; verdict : Verdict.t }
+type direction = Down | Up
+
+type attempt = { rung_name : string; verdict : Verdict.t; direction : direction }
 
 type outcome = {
   verdict : Verdict.t;
@@ -10,7 +15,16 @@ type outcome = {
   attempts : attempt list;
 }
 
-let rung_name = function Abstract { rname; _ } -> rname | Box -> "interval"
+type ladder = { down : rung list; up : rung list }
+
+let rung_name = function
+  | Abstract { rname; _ } -> rname
+  | Box -> "interval"
+  | Refine { rname; _ } -> rname
+
+let ladder ?(up = []) down =
+  if down = [] then invalid_arg "Engine.ladder: empty down walk";
+  { down; up }
 
 let default_ladder (cfg : Config.t) =
   let base = Abstract { rname = Config.variant_name cfg.Config.variant; cfg } in
@@ -34,6 +48,17 @@ let default_ladder (cfg : Config.t) =
     else []
   in
   (base :: fast) @ reduced @ [ Box ]
+
+(* The upward walk: one branch-and-bound refinement rung, present only
+   when the config opts into refinement — with [refine = None] the
+   ladder is exactly the pre-refinement one-directional walk,
+   bit-for-bit. *)
+let refine_rungs (cfg : Config.t) =
+  match cfg.Config.refine with
+  | None -> []
+  | Some _ -> [ Refine { rname = "refine"; cfg } ]
+
+let ladder_of cfg = { down = default_ladder cfg; up = refine_rungs cfg }
 
 (* The fault stays active for [persist] ladder attempts, then the rung
    configs run clean — this is what lets tests exercise "rung N faults,
@@ -99,23 +124,33 @@ let run_box ~fault ~(budget : Config.budget) program region ~true_class =
       | b -> (
           match Interval.Ibp.margin ~checks program b ~true_class with
           | exception Zonotope.Unbounded -> Verdict.Unknown Verdict.Unbounded
-          | m ->
-              let m =
-                match fault with
-                | Some { Config.action = Config.Inject_nan; _ } -> Float.nan
-                | Some { Config.action = Config.Inject_inf; _ } -> neg_infinity
-                | _ -> m
-              in
+          | m -> (
               let timed_out =
                 match budget.Config.time_limit_s with
                 | Some limit -> Unix.gettimeofday () -. t0 > limit
                 | None -> false
               in
               if timed_out then Verdict.Unknown Verdict.Timeout
-              else if Float.is_nan m then Verdict.Unknown Verdict.Numerical_fault
-              else if m = neg_infinity then Verdict.Unknown Verdict.Unbounded
-              else if m > 0.0 then Verdict.Certified
-              else Verdict.Unknown Verdict.Imprecise))
+              else
+                match fault with
+                | Some
+                    { Config.action = Config.Inject_nan | Config.Inject_inf; _ }
+                  ->
+                    (* An injected poison is what this attempt actually
+                       dies with: both poisons read as Numerical_fault,
+                       matching the zonotope rungs' poison scan.
+                       (Inject_inf used to be funneled through
+                       [m = -inf] and mislabeled Unbounded, so a ladder
+                       exhausted under a persistent inf fault recorded
+                       the wrong reason on its interval attempt.) *)
+                    Verdict.Unknown Verdict.Numerical_fault
+                | _ ->
+                    if Float.is_nan m then
+                      Verdict.Unknown Verdict.Numerical_fault
+                    else if m = neg_infinity then
+                      Verdict.Unknown Verdict.Unbounded
+                    else if m > 0.0 then Verdict.Certified
+                    else Verdict.Unknown Verdict.Imprecise)))
 
 (* ---------------- the ladder ---------------- *)
 
@@ -128,6 +163,11 @@ let run_rung attempt_idx (base_cfg : Config.t) ?prefix program region ~true_clas
       run_box
         ~fault:(fault_for attempt_idx base_cfg.Config.fault)
         ~budget:base_cfg.Config.budget program region ~true_class
+  | Refine { cfg; _ } ->
+      (* Branch regions differ from the input region, so the shared
+         prefix does not apply — each branch re-propagates in full. *)
+      let cfg = { cfg with Config.fault = fault_for attempt_idx cfg.Config.fault } in
+      (Brefine.certify_v cfg program region ~true_class).Brefine.verdict
 
 (* The leading affine ops (ViT patch embedding: Linear + Positional) are
    deterministic, config-independent exact maps — propagate them once and
@@ -148,37 +188,67 @@ let shared_prefix (cfg : Config.t) program region =
           | vals -> Some (vals, len)
           | exception _ -> None))
 
-let certify ?ladder ?(falsify_samples = 8) (cfg : Config.t) program region
+let certify ?ladder:l ?(falsify_samples = 8) (cfg : Config.t) program region
     ~true_class =
-  let rungs = match ladder with Some [] -> invalid_arg "Engine.certify: empty ladder" | Some r -> r | None -> default_ladder cfg in
+  let l =
+    match l with
+    | Some { down = []; _ } -> invalid_arg "Engine.certify: empty ladder"
+    | Some l -> l
+    | None -> ladder_of cfg
+  in
   if falsify_samples > 0 && falsify ~samples:falsify_samples program region ~true_class
   then begin
-    let a = { rung_name = "concrete"; verdict = Verdict.Falsified } in
+    let a = { rung_name = "concrete"; verdict = Verdict.Falsified; direction = Down } in
     { verdict = Verdict.Falsified; rung_name = "concrete"; attempts = [ a ] }
   end
   else begin
     let prefix = shared_prefix cfg program region in
     let attempts = ref [] in
-    let rec go idx = function
+    let run idx rung =
+      match run_rung idx cfg ?prefix program region ~true_class rung with
+      | v -> v
+      | exception Verdict.Abort r -> Verdict.Unknown r
+      | exception Zonotope.Unbounded -> Verdict.Unknown Verdict.Unbounded
+    in
+    let record rung direction v =
+      attempts := { rung_name = rung_name rung; verdict = v; direction } :: !attempts
+    in
+    let final v rung =
+      { verdict = v; rung_name = rung_name rung; attempts = List.rev !attempts }
+    in
+    (* Upward walk: refine-and-retry rungs, entered only when the
+       requested rung failed cleanly on precision. A decisive answer
+       (Certified — refinement cannot falsify) ends the walk; anything
+       else falls through to the next up rung, and the last attempt's
+       verdict stands when the walk is exhausted. The attempt index
+       keeps counting so a fault spec's [persist] spans both
+       directions. *)
+    let rec go_up idx = function
       | [] -> assert false
       | rung :: rest ->
-          let v =
-            match run_rung idx cfg ?prefix program region ~true_class rung with
-            | v -> v
-            | exception Verdict.Abort r -> Verdict.Unknown r
-            | exception Zonotope.Unbounded -> Verdict.Unknown Verdict.Unbounded
-          in
-          attempts := { rung_name = rung_name rung; verdict = v } :: !attempts;
-          let final () =
-            {
-              verdict = v;
-              rung_name = rung_name rung;
-              attempts = List.rev !attempts;
-            }
-          in
-          if Verdict.is_fault v && rest <> [] then go (idx + 1) rest else final ()
+          let v = run idx rung in
+          record rung Up v;
+          if v = Verdict.Certified || v = Verdict.Falsified || rest = [] then
+            final v rung
+          else go_up (idx + 1) rest
     in
-    go 0 rungs
+    (* Downward walk: the pre-refinement degradation ladder, unchanged.
+       The up walk fires only off the *first* rung — the configuration
+       the caller asked for — and only on Unknown Imprecise: cheaper
+       rungs are coarser, so refining one of them when the requested
+       rung already failed on precision could not prove anything the
+       requested rung's refinement would not. *)
+    let rec go_down idx = function
+      | [] -> assert false
+      | rung :: rest ->
+          let v = run idx rung in
+          record rung Down v;
+          if idx = 0 && v = Verdict.Unknown Verdict.Imprecise && l.up <> []
+          then go_up (idx + 1) l.up
+          else if Verdict.is_fault v && rest <> [] then go_down (idx + 1) rest
+          else final v rung
+    in
+    go_down 0 l.down
   end
 
 let pp_outcome ppf o =

@@ -33,51 +33,88 @@ let probe_of certifies r =
   | exception Verdict.Abort reason -> Faulted reason
   | exception Zonotope.Unbounded -> Faulted Verdict.Unbounded
 
-(* ---------------- runners ---------------- *)
+(* ---------------- generic wave runners ---------------- *)
 
-let serial_runner probe radii = Array.map probe radii
+(* The scheduling substrate shared by the radius probes below and by
+   Brefine's branch waves: evaluate [f 0 .. f (n-1)], return results in
+   index order. Results must be plain data (they may cross the Marshal
+   boundary), and [f] must be deterministic — a crashed fork worker is
+   never retried, it is mapped through [crash]. *)
+type 'r wave = (int -> 'r) -> int -> 'r array
 
-(* One forked process per radius over the Supervisor plumbing. Probes are
-   deterministic, so a crashed worker is not retried — the crash is
-   reported as a Faulted outcome (counted "bad" by the fold) instead of
-   being re-run to crash again. Outcomes are plain data (no closures), so
-   they cross the Marshal boundary unchanged. *)
-let fork_runner probe radii =
-  let n = Array.length radii in
+let serial_wave f n =
+  if n = 0 then [||]
+  else begin
+    (* explicit ascending loop: the evaluation order is part of the
+       determinism contract, not an Array.init implementation detail *)
+    let out = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      out.(i) <- f i
+    done;
+    out
+  end
+
+(* One forked process per index over the Supervisor plumbing. The work
+   closure is inherited by fork, not marshalled; only the result crosses
+   the pipe. A crashed worker surfaces as [crash reason] in its slot. *)
+let fork_wave ~crash f n =
   if n = 0 then [||]
   else if Tensor.Dpool.domains_active () then
     (* The OCaml 5 runtime forbids Unix.fork while worker domains are
        live (e.g. a --domains pool built for a shared prefix): degrade
-       to in-process probes rather than crash. *)
-    serial_runner probe radii
+       to in-process evaluation rather than crash. *)
+    serial_wave f n
   else begin
     (* Forked children inherit buffered stdio; flush now or every worker
        re-emits the parent's pending output on exit. *)
     flush stdout;
     flush stderr;
-    let jobs = List.init n (fun i -> (i, radii.(i))) in
+    let jobs = List.init n (fun i -> (i, i)) in
     let pool = Config.pool ~workers:n ~max_retries:0 () in
-    let results = Supervisor.run ~pool ~worker:(fun _ r -> probe r) jobs in
-    let out = Array.make n Bad in
+    let results = Supervisor.run ~pool ~worker:(fun _ i -> f i) jobs in
+    let out = Array.make n None in
     List.iter
       (fun (r : _ Supervisor.job_result) ->
         out.(r.Supervisor.job) <-
-          (match r.Supervisor.outcome with
-          | Ok o -> o
-          | Error f -> Faulted (Supervisor.failure_reason f)))
+          Some
+            (match r.Supervisor.outcome with
+            | Ok o -> o
+            | Error fl -> crash (Supervisor.failure_reason fl)))
       results;
-    out
+    Array.map
+      (function Some r -> r | None -> crash Verdict.Worker_crashed)
+      out
   end
 
-(* Thread-per-probe over a shared domain pool — for --jobs 1 runs where
-   forking whole processes is undesirable. Each chunk is one probe;
-   outcomes land in caller-indexed slots, so completion order is
-   irrelevant even before the fold. *)
+(* Thread-per-index over a shared domain pool — for --jobs 1 runs where
+   forking whole processes is undesirable. Each chunk is one evaluation;
+   results land in caller-indexed slots, so completion order is
+   irrelevant. *)
+let dpool_wave dp f n =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    Tensor.Dpool.run_chunks dp ~nchunks:n (fun i -> out.(i) <- Some (f i));
+    Array.map (function Some r -> r | None -> assert false) out
+  end
+
+(* ---------------- probe runners ---------------- *)
+
+let serial_runner probe radii =
+  serial_wave (fun i -> probe radii.(i)) (Array.length radii)
+
+(* Probes are deterministic, so a crashed worker is not retried — the
+   crash is reported as a Faulted outcome (counted "bad" by the fold)
+   instead of being re-run to crash again. Outcomes are plain data (no
+   closures), so they cross the Marshal boundary unchanged. *)
+let fork_runner probe radii =
+  fork_wave
+    ~crash:(fun reason -> Faulted reason)
+    (fun i -> probe radii.(i))
+    (Array.length radii)
+
 let dpool_runner dp probe radii =
-  let n = Array.length radii in
-  let out = Array.make n Bad in
-  Tensor.Dpool.run_chunks dp ~nchunks:n (fun i -> out.(i) <- probe radii.(i));
-  out
+  dpool_wave dp (fun i -> probe radii.(i)) (Array.length radii)
 
 (* ---------------- the search ---------------- *)
 

@@ -63,6 +63,30 @@ val probe_of : (float -> bool) -> probe
 (** Wraps a boolean predicate, mapping {!Verdict.Abort} and
     {!Zonotope.Unbounded} to [Faulted]. *)
 
+(** {1 Generic wave runners}
+
+    The scheduling substrate under the probe runners, reused by
+    {!Brefine} for branch-and-bound waves: evaluate [f 0 .. f (n-1)]
+    and return the results in index order. [f] must be deterministic
+    and its result plain data (it may cross the Marshal boundary). *)
+
+type 'r wave = (int -> 'r) -> int -> 'r array
+
+val serial_wave : 'r wave
+(** Ascending in-process evaluation — the deterministic reference. *)
+
+val fork_wave : crash:(Verdict.unknown_reason -> 'r) -> 'r wave
+(** One forked process per index over the {!Supervisor} plumbing
+    ([max_retries = 0]); a crashed worker's slot is filled with
+    [crash reason]. The closure is inherited by [fork], not marshalled.
+    Degrades to {!serial_wave} while any {!Tensor.Dpool} has live
+    worker domains (the runtime forbids forking then). *)
+
+val dpool_wave : Tensor.Dpool.t -> 'r wave
+(** Thread-per-index over a shared domain pool; results land in
+    caller-indexed slots. Nested pool use inside [f] degrades to serial
+    (the pool's reentrancy guard). *)
+
 val serial_runner : runner
 (** Left-to-right in-process evaluation — the deterministic reference
     backend and the [Sequential] executor's implicit behavior. *)

@@ -270,6 +270,61 @@ let scale_coeffs s z = { z with phi = Mat.scale s z.phi; eps = Mat.scale s z.eps
 
 let neg z = scale (-1.0) z
 
+(* ---------------- symbol splitting (branch-and-bound) ---------------- *)
+
+type half = Lower | Upper
+type symbol = Phi of int | Eps of int
+
+(* Restricting ε_k to a half-range is an exact re-parameterization:
+   ε_k = shift + 0.5 ε'_k with ε'_k ∈ [-1, 1] covers exactly [-1, 0]
+   (Lower) or [0, 1] (Upper), so the two halves partition the parent.
+   All ops are plain float multiply-adds in variable order — the result
+   is bit-deterministic.
+
+   A φ symbol cannot be halved in place: the φ block is constrained
+   jointly by ‖φ‖_p ≤ 1, and substituting φ_k = shift + 0.5 φ'_k while
+   keeping φ'_k inside the p-ball can *shrink* other coordinates' reach
+   (unsound: e.g. p = 2, φ = (0.6, -0.8) lies in the parent, but after
+   substituting on k = 1 the needed φ' has norm > 1). Instead the split
+   coordinate is decoupled: the φ column is zeroed and re-issued as a
+   fresh ε column of half magnitude, centered on the chosen half. The
+   branch then constrains φ_k ∈ [shift - 1/2, shift + 1/2] {e
+   independently} of the other φ coordinates — a superset of the
+   parent's {‖φ‖_p ≤ 1, φ_k in the half}, so each branch is a sound
+   relaxation and the two branches still cover the parent. The branch is
+   strictly tighter than the parent in the split coordinate (range
+   halved), which is where downstream nonlinear transformers gain
+   precision. *)
+let restrict_symbol z sym half =
+  let n = num_vars z in
+  let shift = match half with Lower -> -0.5 | Upper -> 0.5 in
+  match sym with
+  | Eps k ->
+      let e = num_eps z in
+      if k < 0 || k >= e then
+        invalid_arg "Zonotope.restrict_symbol: eps index out of range";
+      let center = Mat.copy z.center and eps = Mat.copy z.eps in
+      for v = 0 to n - 1 do
+        let c = eps.Mat.data.((v * e) + k) in
+        center.Mat.data.(v) <- center.Mat.data.(v) +. (shift *. c);
+        eps.Mat.data.((v * e) + k) <- 0.5 *. c
+      done;
+      { z with center; eps }
+  | Phi k ->
+      let np = num_phi z and ne = num_eps z in
+      if k < 0 || k >= np then
+        invalid_arg "Zonotope.restrict_symbol: phi index out of range";
+      let center = Mat.copy z.center and phi = Mat.copy z.phi in
+      let eps = Mat.create n (ne + 1) in
+      for v = 0 to n - 1 do
+        let c = phi.Mat.data.((v * np) + k) in
+        center.Mat.data.(v) <- center.Mat.data.(v) +. (shift *. c);
+        phi.Mat.data.((v * np) + k) <- 0.0;
+        Array.blit z.eps.Mat.data (v * ne) eps.Mat.data (v * (ne + 1)) ne;
+        eps.Mat.data.((v * (ne + 1)) + ne) <- 0.5 *. c
+      done;
+      { z with center; phi; eps }
+
 let center_rows z ~gamma ~beta =
   if Array.length gamma <> z.vcols || Array.length beta <> z.vcols then
     invalid_arg "Zonotope.center_rows: parameter length";

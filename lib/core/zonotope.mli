@@ -131,6 +131,35 @@ val scale_coeffs : float -> t -> t
 
 val neg : t -> t
 
+(** {1 Symbol splitting (branch-and-bound refinement)} *)
+
+type half = Lower | Upper
+
+type symbol =
+  | Phi of int  (** an ℓp-constrained input noise symbol (column of φ) *)
+  | Eps of int  (** an ℓ∞ noise symbol (column of ε) *)
+
+val restrict_symbol : t -> symbol -> half -> t
+(** [restrict_symbol z sym half] restricts one noise symbol to the lower
+    ([[-1, 0]]) or upper ([[0, 1]]) half of its range, re-centering the
+    affected variables and halving the symbol's coefficients — the
+    splitting primitive of {!Brefine}'s branch-and-bound.
+
+    For an [Eps] symbol the split is an exact partition: the [Lower] and
+    [Upper] branches together concretize to exactly the parent. For a
+    [Phi] symbol (jointly constrained by [‖φ‖_p ≤ 1]) halving in place
+    would be unsound, so the split coordinate is {e decoupled}: its φ
+    column is zeroed and re-issued as a fresh trailing ε column of half
+    magnitude around the half's midpoint. Each branch is then a sound
+    relaxation of "parent ∩ half" and the two branches still cover the
+    parent, which is all branch-and-bound needs ("every branch certifies"
+    remains a sound proof); the branch is strictly tighter than the
+    parent in the split coordinate.
+
+    Pure float multiply-adds in a fixed order: bit-deterministic across
+    runs, processes and domain counts.
+    @raise Invalid_argument if the symbol index is out of range. *)
+
 val center_rows : t -> gamma:float array -> beta:float array -> t
 (** The paper's normalization layer (no std): subtract the row mean of
     the value, then scale each column by [gamma] and shift by [beta] —

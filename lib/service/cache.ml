@@ -15,8 +15,13 @@ let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
 
 (* The key pins everything the verdict depends on: the model *weights*
    (digest, not name — retraining must invalidate), the exact input,
-   the perturbation and the verifier policy. One line, journal-safe
-   (the key rides in Journal.entry.detail as "key=..."). *)
+   the perturbation and the verifier policy. The policy component is
+   Config.policy_key over Protocol.base_config — the same derivation
+   the worker runs the job with — so any precision-relevant knob added
+   to the request changes the key automatically; hand-rolling the
+   verifier name here is how a refine flag would silently alias a
+   non-refined entry. One line, journal-safe (the key rides in
+   Journal.entry.detail as "key=..."). *)
 let key ~digest (c : Protocol.certify) =
   let input =
     match c.input with
@@ -25,7 +30,7 @@ let key ~digest (c : Protocol.certify) =
   in
   Printf.sprintf "%s|%s|w%d|L%s|r%.17g|%s|d%s" digest input c.word
     (Protocol.norm_name c.p) c.radius
-    (Config.variant_name c.verifier)
+    (Config.policy_key (Protocol.base_config c))
     (match c.deadline_s with None -> "-" | Some d -> Printf.sprintf "%.17g" d)
 
 let find t k =

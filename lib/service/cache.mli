@@ -6,7 +6,10 @@
     verdict. Keys embed the model {e digest} (weights hash, so a
     retrained model never serves stale verdicts), the exact input, the
     perturbation (norm, radius at full [%.17g] precision) and the
-    verifier policy including the effective deadline. Only non-fault
+    verifier policy including the effective deadline. The policy
+    component is {!Deept.Config.policy_key} applied to
+    {!Protocol.base_config} — the exact config the worker runs — so a
+    refined and an unrefined run of the same query never alias. Only non-fault
     verdicts are stored — a timeout or dead worker describes that run,
     not the query.
 

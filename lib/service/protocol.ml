@@ -12,6 +12,7 @@ type certify = {
   p : Lp.t;
   radius : float;
   verifier : Config.dot_variant;
+  refine : bool;
   deadline_s : float option;
   tag : int option;
   rid : string option;
@@ -45,6 +46,7 @@ type stats_r = {
   worker_deaths : int;
   draining : bool;
   breakers : string;
+  rungs : string;
 }
 
 type response =
@@ -98,6 +100,7 @@ let certify_fields ?id (c : certify) =
   fld "norm" (quoted (norm_name c.p));
   fld "radius" (Printf.sprintf "%.17g" c.radius);
   fld "verifier" (quoted (Config.variant_name c.verifier));
+  if c.refine then fld "refine" "1";
   (match c.deadline_s with
   | Some d -> fld "deadline_s" (Printf.sprintf "%.17g" d)
   | None -> ());
@@ -118,7 +121,7 @@ let request_to_json = function
 let certify_known =
   [
     "op"; "id"; "model"; "index"; "sentence"; "word"; "norm"; "radius";
-    "verifier"; "deadline_s"; "tag"; "rid"; "crash"; "stall_s";
+    "verifier"; "refine"; "deadline_s"; "tag"; "rid"; "crash"; "stall_s";
   ]
 
 (* Request ids are client-chosen; keep them short and printable so they
@@ -162,6 +165,7 @@ let certify_of_fields ~allow_id fields =
     Result.map (Option.value ~default:"fast") (Jsonl.str_opt fields "verifier")
   in
   let* verifier = verifier_of_name vname in
+  let* refine = Jsonl.int_opt fields "refine" in
   let* deadline_s = Jsonl.num_opt fields "deadline_s" in
   let* tag = Jsonl.int_opt fields "tag" in
   let* rid = Jsonl.str_opt fields "rid" in
@@ -181,6 +185,7 @@ let certify_of_fields ~allow_id fields =
       p;
       radius;
       verifier;
+      refine = refine = Some 1;
       deadline_s;
       tag;
       rid;
@@ -236,11 +241,11 @@ let response_to_json = function
         (opt_tag_field tag) (quoted model) retry_after_s
   | Stats_r s ->
       Printf.sprintf
-        "{\"op\":\"stats\",\"uptime_s\":%.6f,\"workers\":%d,\"queue_depth\":%d,\"inflight\":%d,\"jobs_done\":%d,\"shed\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"cache_size\":%d,\"worker_deaths\":%d,\"draining\":%d,\"breakers\":%s}"
+        "{\"op\":\"stats\",\"uptime_s\":%.6f,\"workers\":%d,\"queue_depth\":%d,\"inflight\":%d,\"jobs_done\":%d,\"shed\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"cache_size\":%d,\"worker_deaths\":%d,\"draining\":%d,\"breakers\":%s,\"rungs\":%s}"
         s.uptime_s s.workers s.queue_depth s.inflight s.jobs_done s.shed
         s.cache_hits s.cache_misses s.cache_size s.worker_deaths
         (if s.draining then 1 else 0)
-        (quoted s.breakers)
+        (quoted s.breakers) (quoted s.rungs)
   | Error msg -> Printf.sprintf "{\"op\":\"error\",\"msg\":%s}" (quoted msg)
   | Ok_ack -> "{\"op\":\"ok\"}"
 
@@ -292,6 +297,9 @@ let response_of_json line =
       let* worker_deaths = Jsonl.int fields "worker_deaths" in
       let* draining = Jsonl.int fields "draining" in
       let* breakers = Jsonl.str fields "breakers" in
+      let* rungs =
+        Result.map (Option.value ~default:"") (Jsonl.str_opt fields "rungs")
+      in
       Ok
         (Stats_r
            {
@@ -307,6 +315,7 @@ let response_of_json line =
              worker_deaths;
              draining = draining = 1;
              breakers;
+             rungs;
            })
   | "error" ->
       let* msg = Jsonl.str fields "msg" in
@@ -314,8 +323,9 @@ let response_of_json line =
   | "ok" -> Ok Ok_ack
   | op -> Stdlib.Error ("unknown response op " ^ op)
 
-let certify ?(word = 1) ?(p = Lp.L2) ?(verifier = Config.Fast) ?deadline_s ?tag
-    ?rid ?(drill_crash = false) ?drill_stall_s ~model ~radius input =
+let certify ?(word = 1) ?(p = Lp.L2) ?(verifier = Config.Fast)
+    ?(refine = false) ?deadline_s ?tag ?rid ?(drill_crash = false)
+    ?drill_stall_s ~model ~radius input =
   (match rid with
   | Some r when not (valid_rid r) ->
       invalid_arg "Protocol.certify: rid must be 1-64 printable characters"
@@ -327,9 +337,27 @@ let certify ?(word = 1) ?(p = Lp.L2) ?(verifier = Config.Fast) ?deadline_s ?tag
     p;
     radius;
     verifier;
+    refine;
     deadline_s;
     tag;
     rid;
     drill_crash;
     drill_stall_s;
   }
+
+(* The one request -> Config derivation. Everything that consumes a
+   certify request — the worker that runs it and the cache key that
+   memoizes it — goes through here, so a policy knob added to the
+   request cannot silently reach one and not the other. Budgets
+   (deadline) are layered on separately by the caller: they shape how
+   long a run may take, not what it computes, and the cache keys them
+   independently. *)
+let base_config (c : certify) =
+  let base =
+    match c.verifier with
+    | Config.Fast -> Config.fast
+    | Config.Precise -> Config.precise
+    | Config.Combined -> Config.combined
+  in
+  if c.refine then Config.with_refine (Some Config.default_refine) base
+  else base

@@ -19,6 +19,11 @@ type certify = {
   p : Deept.Lp.t;
   radius : float;
   verifier : Deept.Config.dot_variant;
+  refine : bool;
+      (** run the engine's refinement rung on precision failures
+          (branch-and-bound symbol splitting, {!Deept.Brefine}) with
+          {!Deept.Config.default_refine}. Wire field ["refine":1];
+          absent means off. *)
   deadline_s : float option;
       (** per-job cooperative deadline; [None] inherits the daemon's *)
   tag : int option;  (** opaque client correlation id, echoed back *)
@@ -58,6 +63,10 @@ type stats_r = {
   worker_deaths : int;
   draining : bool;
   breakers : string;  (** per-model breaker states, ["name=closed ..."] *)
+  rungs : string;
+      (** histogram of ladder rungs attempted by jobs computed in this
+          process ({e not} cache replays), ["precise=3 refine=2 ..."];
+          empty until the first computed job *)
 }
 
 type response =
@@ -74,6 +83,7 @@ val certify :
   ?word:int ->
   ?p:Deept.Lp.t ->
   ?verifier:Deept.Config.dot_variant ->
+  ?refine:bool ->
   ?deadline_s:float ->
   ?tag:int ->
   ?rid:string ->
@@ -84,7 +94,15 @@ val certify :
   input ->
   certify
 (** Convenience constructor with the protocol defaults ([word 1],
-    [L2], [fast]). *)
+    [L2], [fast], refine off). *)
+
+val base_config : certify -> Deept.Config.t
+(** The single request → verifier-policy derivation: the named preset
+    plus {!Deept.Config.default_refine} when [refine] is set. Both the
+    worker that runs a job and the cache key that memoizes it
+    ({!Cache.key}, via {!Deept.Config.policy_key}) derive from this, so
+    request knobs cannot reach one and not the other. Deadlines are
+    layered on by the caller — they bound the run, not the result. *)
 
 val request_to_json : request -> string
 val request_of_json : string -> (request, string) result

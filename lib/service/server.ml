@@ -60,14 +60,22 @@ let intake_path journal_path = journal_path ^ ".intake"
 (* ---------------- the worker side ---------------- *)
 
 (* What crosses the result pipe: the outcome distilled to marshal-plain
-   data (Verdict.t and strings only — no closures, no custom blocks). *)
-type wres = { w_verdict : Verdict.t; w_rung : string; w_attempts : int }
+   data (Verdict.t and strings only — no closures, no custom blocks).
+   [w_rungs] lists every ladder rung the engine attempted, in order —
+   the daemon aggregates them into the stats histogram. *)
+type wres = {
+  w_verdict : Verdict.t;
+  w_rung : string;
+  w_attempts : int;
+  w_rungs : string list;
+}
 
 let crash_result exn =
   {
     w_verdict = Verdict.Unknown Verdict.Numerical_fault;
     w_rung = "crash:" ^ Printexc.to_string exn;
     w_attempts = 1;
+    w_rungs = [];
   }
 
 (* One job, run inside a pre-forked worker. The fault drills exercise
@@ -84,6 +92,7 @@ let run_job warm deadline_default _id (c : Protocol.certify) =
         w_verdict = Verdict.Unknown Verdict.Numerical_fault;
         w_rung = "crash:model not loaded";
         w_attempts = 0;
+        w_rungs = [];
       }
   | Some w -> (
       try
@@ -99,15 +108,17 @@ let run_job warm deadline_default _id (c : Protocol.certify) =
         let x = Nn.Model.embed_tokens w.Warm.model toks in
         let pred = Nn.Forward.predict w.Warm.program x in
         if pred <> label then
-          { w_verdict = Verdict.Falsified; w_rung = "concrete"; w_attempts = 1 }
+          {
+            w_verdict = Verdict.Falsified;
+            w_rung = "concrete";
+            w_attempts = 1;
+            w_rungs = [];
+          }
         else begin
           let word = max 0 (min c.Protocol.word (Array.length toks - 1)) in
-          let base =
-            match c.Protocol.verifier with
-            | Config.Fast -> Config.fast
-            | Config.Precise -> Config.precise
-            | Config.Combined -> Config.combined
-          in
+          (* base_config is also what the cache key serializes — keep the
+             two derivations one. *)
+          let base = Protocol.base_config c in
           let deadline =
             match c.Protocol.deadline_s with
             | Some _ as d -> d
@@ -122,6 +133,9 @@ let run_job warm deadline_default _id (c : Protocol.certify) =
             w_verdict = o.Engine.verdict;
             w_rung = o.Engine.rung_name;
             w_attempts = List.length o.Engine.attempts;
+            w_rungs =
+              List.map (fun (a : Engine.attempt) -> a.Engine.rung_name)
+                o.Engine.attempts;
           }
         end
       with exn -> crash_result exn)
@@ -307,6 +321,17 @@ let run o =
   let draining = ref false in
   let start_time = Unix.gettimeofday () in
   let jobs_done = ref 0 in
+  (* Rung histogram: every ladder rung attempted by jobs computed in
+     this process. Cache replays don't count — they report the cached
+     attempts but spend no propagation here. *)
+  let rung_hist : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let count_rungs names =
+    List.iter
+      (fun r ->
+        Hashtbl.replace rung_hist r
+          (1 + Option.value ~default:0 (Hashtbl.find_opt rung_hist r)))
+      names
+  in
   let worker_deaths = ref 0 in
   let consec_deaths = ref 0 in
   let respawn_at = ref 0.0 in
@@ -486,6 +511,7 @@ let run o =
       match j.first_dispatch with Some t -> now -. t | None -> 0.0
     in
     Jobq.note_service q wall;
+    count_rungs r.w_rungs;
     Cache.store cache j.key
       { Cache.verdict = r.w_verdict; rung = r.w_rung; attempts = r.w_attempts };
     journal_append
@@ -663,6 +689,11 @@ let run o =
       worker_deaths = !worker_deaths;
       draining = !draining;
       breakers = Buffer.contents b;
+      rungs =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) rung_hist []
+        |> List.sort compare
+        |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+        |> String.concat " ";
     }
   in
   (* A deduplicated retry of a still-running job re-attaches the new

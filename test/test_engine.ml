@@ -137,6 +137,27 @@ let test_ladder_exhausted () =
   Helpers.check_true "no faulted rung certified"
     (List.for_all (fun (a : E.attempt) -> a.E.verdict <> V.Certified) o.E.attempts)
 
+let test_ladder_inf_exhausted () =
+  let (program, _, pred, region) = setup 41 in
+  (* Regression: an injected inf used to reach the interval fallback as
+     an [m = -inf] margin and get mislabeled Unbounded, so a ladder
+     exhausted under a persistent inf fault recorded the wrong death
+     reason on its last attempt. Every attempt — the interval rung
+     included — must record the poison it actually died with. *)
+  let cfg = { C.precise with C.fault = Some (C.fault 0 C.Inject_inf) } in
+  let o = E.certify cfg program region ~true_class:pred in
+  Helpers.check_true "exhausted inf ladder is a numerical fault"
+    (o.E.verdict = V.Unknown V.Numerical_fault);
+  Helpers.check_true "all four rungs attempted"
+    (rung_names o = [ "precise"; "fast"; "fast-k24"; "interval" ]);
+  List.iter
+    (fun (a : E.attempt) ->
+      Helpers.check_true
+        (Printf.sprintf "rung %s records the injected poison, not Unbounded"
+           a.E.rung_name)
+        (a.E.verdict = V.Unknown V.Numerical_fault && a.E.direction = E.Down))
+    o.E.attempts
+
 let test_ladder_unbounded_exhausted () =
   let (program, _, pred, region) = setup 41 in
   let cfg = { C.precise with C.fault = Some (C.fault 1 C.Raise_unbounded) } in
@@ -300,6 +321,8 @@ let () =
           Alcotest.test_case "shape" `Quick test_ladder_shape;
           Alcotest.test_case "fires in order" `Quick test_ladder_fires_in_order;
           Alcotest.test_case "exhausted" `Quick test_ladder_exhausted;
+          Alcotest.test_case "inf exhausted records poison" `Quick
+            test_ladder_inf_exhausted;
           Alcotest.test_case "unbounded exhausted" `Quick test_ladder_unbounded_exhausted;
           Alcotest.test_case "timeout rescue" `Quick test_ladder_timeout_rescue;
           Alcotest.test_case "symbol budget rescue" `Quick

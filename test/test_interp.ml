@@ -198,8 +198,9 @@ let test_ladder_interval_rung_timeout () =
   let region = Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius:0.01 in
   let cfg = Deept.Config.with_budget ~deadline:0.0 Deept.Config.fast in
   let o =
-    Deept.Engine.certify ~ladder:[ Deept.Engine.Box ] ~falsify_samples:0 cfg p
-      region ~true_class:0
+    Deept.Engine.certify
+      ~ladder:(Deept.Engine.ladder [ Deept.Engine.Box ])
+      ~falsify_samples:0 cfg p region ~true_class:0
   in
   Helpers.check_true "interval rung timeout"
     (Deept.Verdict.equal o.Deept.Engine.verdict

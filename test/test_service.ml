@@ -90,6 +90,7 @@ let test_response_round_trip () =
             worker_deaths = 1;
             draining = true;
             breakers = "sst_3=closed";
+            rungs = "fast=2 precise=8 refine=1";
           };
         P.Error "no such model \"nope\"";
         P.Ok_ack;

@@ -14,7 +14,10 @@
 # models need it, since the benchmark runs inside the scratch dir). The
 # optional TOLERANCE (a fraction, default check_regress's 0.25) widens
 # the gate for benchmarks whose wall-clock is inherently noisier —
-# fork-based probe workers time-sharing an undersized machine.
+# fork-based probe workers time-sharing an undersized machine. Any
+# arguments past TOLERANCE are forwarded to the benchmark verbatim (the
+# refine gate re-measures a subset of the committed baseline's models;
+# check_regress reports the missing rows as dropped without failing).
 set -eu
 
 bench=$(realpath "$1")
@@ -28,11 +31,16 @@ check_args=()
 if [ "$#" -ge 5 ]; then
   check_args=(--tolerance "$5")
 fi
+bench_args=()
+if [ "$#" -ge 6 ]; then
+  bench_args=("${@:6}")
+fi
 
 tmp=$(mktemp -d regress_gate.XXXXXX)
 trap 'rm -rf "$tmp"' EXIT
 
 base=$(basename "$baseline")
 cp "$baseline" "$tmp/$base"
-(cd "$tmp" && "$bench" --json --out "$base" ${data_args[@]+"${data_args[@]}"})
+(cd "$tmp" && "$bench" --json --out "$base" ${data_args[@]+"${data_args[@]}"} \
+  ${bench_args[@]+"${bench_args[@]}"})
 "$check" --current "$tmp/$base" ${check_args[@]+"${check_args[@]}"}
