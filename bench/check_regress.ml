@@ -33,6 +33,10 @@ let metrics =
     "fused_ns";
     "marshal_ns";
     "shm_ns";
+    (* the sparsity PR's rows: blocked dense vs ?cols tile-skipping on
+       banded late-pipeline coefficient blocks *)
+    "dense_ns";
+    "sparse_ns";
     (* the refine bench's base arm (plain Precise radius search; its
        refine arm reports as wall_s). Keys match with the leading
        quote, so "wall_s" never aliases into this one. *)

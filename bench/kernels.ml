@@ -25,6 +25,12 @@
    one when composed at load (the composition itself is outside the
    timed region, exactly as it is outside the certification loop).
 
+   The sparse rows measure what column-block liveness buys on the
+   late-pipeline shapes where decorrelation and branch compaction leave
+   most symbol columns dead: the blocked dense kernel over the full
+   width vs the same product restricted to the live intervals
+   (bit-identical by the occupancy invariant, checked before timing).
+
    The dispatch rows measure the per-job transport cost of a coefficient
    block to a forked worker: Marshal over the job pipe (the seed
    transport) vs writing into the pre-fork MAP_SHARED arena and shipping
@@ -167,6 +173,68 @@ let measure_fused e =
       }
   | _ -> assert false
 
+(* --- sparsity-aware (tile-skipping) kernels ---------------------------- *)
+
+(* Late-pipeline coefficient blocks are column-sparse: decorrelation
+   zeroes most eps columns and branch compaction leaves a reduced tail
+   plus a handful of freshly minted split columns, with Bands tracking
+   the survivors. Each row times the blocked dense kernel against the
+   same product restricted to the live intervals — the operand's dead
+   columns are genuinely zero, exactly the occupancy invariant the
+   sparse path relies on in production — after checking the two agree
+   bit for bit. *)
+type sparse_row = {
+  sshape : shape;
+  sdensity : float;
+  dense_ns : float;
+  sparse_ns : float;
+}
+
+let sparse_shapes =
+  [
+    (* the last-layer post-softmax coefficient block after a
+       decorrelation pass leaves ~10% of the 3800 symbols live *)
+    ( { label = "sparse_ta_24x24_e3800_d10"; ta = true; m = 24; k = 24; n = 3800 },
+      [ (0, 120); (1200, 1330); (2500, 2630) ] );
+    (* a refined branch right after restrict_symbol: the parent's
+       compacted tail plus the minted split columns, ~5% of the
+       pre-compaction width *)
+    ( { label = "sparse_rows_81x9_e1344_d05"; ta = false; m = 81; k = 9; n = 1344 },
+      [ (0, 48); (1320, 1344) ] );
+  ]
+
+let measure_sparse ((s : shape), live) =
+  let rng = Rng.create 0x5ba5 in
+  let a =
+    if s.ta then Mat.random_uniform rng s.k s.m 1.0
+    else Mat.random_uniform rng s.m s.k 1.0
+  in
+  let b = Mat.create s.k s.n in
+  List.iter
+    (fun (lo, hi) ->
+      for i = 0 to s.k - 1 do
+        for j = lo to hi - 1 do
+          b.Mat.data.((i * s.n) + j) <- Rng.uniform rng (-1.0) 1.0
+        done
+      done)
+    live;
+  let dense () = if s.ta then Mat.matmul_ta a b else Mat.matmul a b in
+  let sparse () =
+    if s.ta then Mat.matmul_ta ~cols:live a b else Mat.matmul ~cols:live a b
+  in
+  let reference = dense () in
+  if not (Mat.equal reference (sparse ())) then begin
+    Printf.eprintf "kernels: sparse kernel diverges on %s\n%!" s.label;
+    exit 4
+  end;
+  let sdensity =
+    float_of_int (List.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0 live)
+    /. float_of_int s.n
+  in
+  match time_interleaved [ dense; sparse ] with
+  | [ dense_ns; sparse_ns ] -> { sshape = s; sdensity; dense_ns; sparse_ns }
+  | _ -> assert false
+
 (* --- Marshal vs shared-memory dispatch -------------------------------- *)
 
 (* Round-trip one coefficient block (216 x E: the 9 x 24 value's
@@ -214,7 +282,7 @@ let setup_dispatch () =
         | Job (Shm.Inline m) ->
             Marshal.to_channel oc (hash_mat m) [];
             flush oc
-        | Job (Shm.Block _ as d) ->
+        | Job ((Shm.Block _ | Shm.Banded _) as d) ->
             Marshal.to_channel oc (hash_view (Shm.view_mat arena d)) [];
             flush oc);
         serve ()
@@ -283,6 +351,12 @@ let json_of_fused ~cores r =
   Printf.sprintf
     "{\"name\":\"%s\",\"chain\":%d,\"m\":24,\"k\":24,\"n\":%d,\"unfused_ns\":%.1f,\"fused_ns\":%.1f,\"cores\":%d}"
     r.flabel chain_len r.e r.unfused_ns r.fused_ns cores
+
+let json_of_sparse ~cores r =
+  Printf.sprintf
+    "{\"name\":\"%s\",\"ta\":%b,\"m\":%d,\"k\":%d,\"n\":%d,\"density\":%.4f,\"dense_ns\":%.1f,\"sparse_ns\":%.1f,\"cores\":%d}"
+    r.sshape.label r.sshape.ta r.sshape.m r.sshape.k r.sshape.n r.sdensity
+    r.dense_ns r.sparse_ns cores
 
 let json_of_dispatch ~cores r =
   Printf.sprintf
@@ -354,6 +428,14 @@ let () =
       Printf.printf "%-26s %12.0f %12.0f %8.2fx\n" r.flabel r.unfused_ns
         r.fused_ns (r.unfused_ns /. r.fused_ns))
     fused_rows;
+  let sparse_rows = List.map measure_sparse sparse_shapes in
+  Printf.printf "\n%-26s %8s %12s %12s %9s\n" "sparse (tile-skipping)" "density"
+    "dense ns" "sparse ns" "x sparse";
+  List.iter
+    (fun r ->
+      Printf.printf "%-26s %7.0f%% %12.0f %12.0f %8.2fx\n" r.sshape.label
+        (r.sdensity *. 100.0) r.dense_ns r.sparse_ns (r.dense_ns /. r.sparse_ns))
+    sparse_rows;
   let dispatch_rows =
     match dispatch with
     | None ->
@@ -375,5 +457,6 @@ let () =
     write_json !out
       (List.map (json_of_row ~cores) rows
       @ List.map (json_of_fused ~cores) fused_rows
+      @ List.map (json_of_sparse ~cores) sparse_rows
       @ List.map (json_of_dispatch ~cores) dispatch_rows);
   Dpool.shutdown pool

@@ -148,14 +148,27 @@ let serve data socket models jobs queue_cap retry_hint deadline hard_deadline
       ~max_backoff_s:max_backoff ()
   in
   (* Same oversubscription warning `certify` prints for its jobs x
-     probes x domains product, counting the daemon's pre-forked workers
-     (each runs 1 probe on 1 domain). *)
+     probes x domains product. A daemon worker runs 1 probe on 1 domain
+     only until a refine=1 request lands on it: Brefine's split wave
+     then fans the worker out to a pool of concurrent branch evaluators
+     (forked processes or domains, by probe backend) sized exactly as
+     Brefine.wave_of sizes its dpool from Config.default_refine — so
+     the honest worst case is jobs x that fan-out, not jobs x 1 x 1. *)
   let avail = Domain.recommended_domain_count () in
+  let refine_fanout =
+    max 2 (min 16 Deept.Config.default_refine.Deept.Config.max_branches)
+  in
   if jobs > avail then
     Printf.eprintf
       "certifyd: warning: %d daemon worker(s) x 1 probe(s) x 1 domain(s) \
        oversubscribes the %d recommended domain(s) on this machine\n%!"
-      jobs avail;
+      jobs avail
+  else if jobs * refine_fanout > avail then
+    Printf.eprintf
+      "certifyd: warning: refine=1 requests fan each of the %d daemon \
+       worker(s) out to %d branch evaluator(s) (%d total), which would \
+       oversubscribe the %d recommended domain(s) on this machine\n%!"
+      jobs refine_fanout (jobs * refine_fanout) avail;
   let journal, resume =
     match (resume, journal) with
     | Some p, _ -> (Some p, true)

@@ -188,6 +188,13 @@ and split_node (cfg : Config.t) program ~true_class region out ~budget
     let evals =
       wave
         (fun b ->
+          (* Compact before propagating: splits re-center and append
+             one-hot columns, leaving coverage-empty ones behind; a
+             dropped column is ±0.0 in every row, so branch margins —
+             and hence verdicts — are unchanged (zero-weight symbols are
+             never ranked, so the split choice below is also immune).
+             [Propagate.run] seeds its ctx from the region's ε width,
+             keeping downstream symbol ids coherent. *)
           let region_b =
             List.fold_left
               (fun (z, i) sym ->
@@ -197,7 +204,7 @@ and split_node (cfg : Config.t) program ~true_class region out ~budget
                 in
                 (Zonotope.restrict_symbol z sym half, i + 1))
               (region, 0) chosen
-            |> fst
+            |> fst |> Zonotope.compact
           in
           eval_branch cfg program ~true_class region_b ~budget:sub_budget
             ~depth_left:(depth_left - 1))

@@ -182,7 +182,24 @@ let matmul_zz ?(precise = false) ?(order = Config.Linf_first) ctx
     Array.blit eps_aff.Mat.data (v * ee) eps.Mat.data (v * w) ee;
     if fresh.(v) >= 0 then eps.Mat.data.((v * w) + base + fresh.(v)) <- rad.(v)
   done;
-  Zonotope.make ~p ~center ~phi ~eps
+  (* The affine ε part mixes [a]'s coefficients within a value row
+     (block k -> m) and [b]'s across all rows (widen); dead columns stay
+     exactly ±0.0 only when both centers are finite (an infinite center
+     times a dead 0.0 would write NaN there), so widen to full
+     otherwise. *)
+  let occ =
+    if
+      Mat.finite_class a.Zonotope.center <> `Finite
+      || Mat.finite_class b.Zonotope.center <> `Finite
+    then Bands.full
+    else
+      Bands.union
+        (Bands.union
+           (Bands.block_rows ~bin:k ~bout:m a.Zonotope.eps_occ)
+           (Bands.widen_rows ~rows:nv b.Zonotope.eps_occ))
+        (Zonotope.fresh_bands ~fresh ~base ~rows:n ~per_row:m)
+  in
+  Zonotope.make ~p ~center ~phi ~eps |> Zonotope.with_eps_occ occ
 
 let mul_zz ?(precise = false) ?(order = Config.Linf_first) ctx (a : Zonotope.t)
     (b : Zonotope.t) =
@@ -245,4 +262,17 @@ let mul_zz ?(precise = false) ?(order = Config.Linf_first) ctx (a : Zonotope.t)
     Array.blit eps_aff.Mat.data (v * ee) eps.Mat.data (v * w) ee;
     if fresh.(v) >= 0 then eps.Mat.data.((v * w) + base + fresh.(v)) <- rad.(v)
   done;
-  Zonotope.make ~p ~center ~phi ~eps
+  (* Pointwise product keeps each operand's row structure; same
+     finite-center condition as [matmul_zz] for the dead columns. *)
+  let occ =
+    if
+      Mat.finite_class a.Zonotope.center <> `Finite
+      || Mat.finite_class b.Zonotope.center <> `Finite
+    then Bands.full
+    else
+      Bands.union
+        (Bands.union a.Zonotope.eps_occ b.Zonotope.eps_occ)
+        (Zonotope.fresh_bands ~fresh ~base ~rows:a.Zonotope.vrows
+           ~per_row:a.Zonotope.vcols)
+  in
+  Zonotope.make ~p ~center ~phi ~eps |> Zonotope.with_eps_occ occ

@@ -160,6 +160,11 @@ let apply ctx (z : Zonotope.t) rule =
      them can be infinite (an overflowed dot-product remainder), and
      0 * inf would inject NaN instead of the intended constant form. *)
   let scaled lam x = if lam = 0.0 then 0.0 else lam *. x in
+  (* A non-finite slope would smear NaN into columns the occupancy
+     declares dead (lam * ±0.0); only an all-finite lambda vector may
+     skip dead columns or keep the band structure. *)
+  let lambdas_finite = Array.for_all (fun c -> Float.is_finite c.lambda) cs in
+  let skip_dead = lambdas_finite && not (Bands.is_full z.Zonotope.eps_occ) in
   (* Each variable touches only its own coefficient rows, so the scaling
      loop shards over the pool with bit-identical results; the deadline
      is polled once per chunk. *)
@@ -171,10 +176,20 @@ let apply ctx (z : Zonotope.t) rule =
       for j = 0 to ep - 1 do
         phi.Mat.data.((v * ep) + j) <- scaled c.lambda phi.Mat.data.((v * ep) + j)
       done;
-      for j = 0 to old_w - 1 do
-        eps.Mat.data.((v * w) + j) <-
-          scaled c.lambda z.Zonotope.eps.Mat.data.((v * old_w) + j)
-      done;
+      if skip_dead then
+        List.iter
+          (fun (jlo, jhi) ->
+            for j = jlo to jhi - 1 do
+              eps.Mat.data.((v * w) + j) <-
+                scaled c.lambda z.Zonotope.eps.Mat.data.((v * old_w) + j)
+            done)
+          (Bands.row_intervals ~lo:v ~hi:(v + 1) ~cols:old_w
+             z.Zonotope.eps_occ)
+      else
+        for j = 0 to old_w - 1 do
+          eps.Mat.data.((v * w) + j) <-
+            scaled c.lambda z.Zonotope.eps.Mat.data.((v * old_w) + j)
+        done;
       if fresh.(v) >= 0 then eps.Mat.data.((v * w) + base + fresh.(v)) <- c.beta
     done
   in
@@ -182,7 +197,15 @@ let apply ctx (z : Zonotope.t) rule =
   | Some p when Dpool.size p > 1 && n * (ep + w + 1) >= 32_768 ->
       Dpool.run_ranges p ~n ~chunk:64 var_range
   | _ -> var_range ~start:0 ~stop:n);
+  let occ =
+    if lambdas_finite then
+      Bands.union z.Zonotope.eps_occ
+        (Zonotope.fresh_bands ~fresh ~base ~rows:z.Zonotope.vrows
+           ~per_row:z.Zonotope.vcols)
+    else Bands.full
+  in
   Zonotope.make ~p:z.Zonotope.p ~center ~phi ~eps
+  |> Zonotope.with_eps_occ occ
 
 let relu ctx z = apply ctx z relu_coeffs
 let sqrt_ ctx z = apply ctx z sqrt_coeffs

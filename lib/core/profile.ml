@@ -15,6 +15,7 @@ type row = {
   mutable wall_s : float;
   mutable size : int;
   mutable width : float;
+  mutable density : float;
 }
 
 type t = { mutable rows : row option array }
@@ -43,6 +44,7 @@ let sink t (e : Interp.event) =
             wall_s = 0.0;
             size = 0;
             width = 0.0;
+            density = 1.0;
           }
         in
         t.rows.(e.Interp.op_index) <- Some r;
@@ -51,7 +53,8 @@ let sink t (e : Interp.event) =
   r.calls <- r.calls + 1;
   r.wall_s <- r.wall_s +. e.Interp.wall_s;
   r.size <- e.Interp.size;
-  r.width <- e.Interp.width
+  r.width <- e.Interp.width;
+  r.density <- e.Interp.density
 
 let rows t = Array.to_list t.rows |> List.filter_map Fun.id
 
@@ -73,11 +76,12 @@ let total_wall t = List.fold_left (fun acc r -> acc +. r.wall_s) 0.0 (rows t)
 
 let pp ppf t =
   let rs = rows t in
-  Format.fprintf ppf "@[<v>  op  kind              calls   wall(s)     size     width";
+  Format.fprintf ppf
+    "@[<v>  op  kind              calls   wall(s)     size     width   density";
   List.iter
     (fun r ->
-      Format.fprintf ppf "@,%4d  %-16s %6d  %8.4f %8d  %8.4g" r.op_index r.kind
-        r.calls r.wall_s r.size r.width)
+      Format.fprintf ppf "@,%4d  %-16s %6d  %8.4f %8d  %8.4g  %8.3f" r.op_index
+        r.kind r.calls r.wall_s r.size r.width r.density)
     rs;
   Format.fprintf ppf "@,      %-16s %6d  %8.4f" "(total)"
     (List.fold_left (fun acc r -> acc + r.calls) 0 rs)
@@ -110,6 +114,8 @@ let to_json ?model t =
         (Printf.sprintf "    {\"op\":%d,\"kind\":%S,\"calls\":%d,\"wall_s\":%.6g,\"size\":%d,\"width\":"
            r.op_index r.kind r.calls r.wall_s r.size);
       json_float b r.width;
+      Buffer.add_string b ",\"density\":";
+      json_float b r.density;
       Buffer.add_string b (if i = List.length rs - 1 then "}\n" else "},\n"))
     rs;
   Buffer.add_string b "  ],\n  \"kinds\": [\n";

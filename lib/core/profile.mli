@@ -15,6 +15,9 @@ type row = {
   mutable wall_s : float;  (** summed transformer wall time *)
   mutable size : int;  (** last observed domain size (ε count) *)
   mutable width : float;  (** last observed bound width; nan = collapsed *)
+  mutable density : float;
+      (** last observed coefficient-storage density (live area / dense
+          area, {!Interp.DOMAIN.density}); 1.0 for dense domains *)
 }
 
 type t

@@ -103,6 +103,8 @@ module Domain = struct
     | b ->
         Tensor.Mat.max_abs (Tensor.Mat.sub b.Interval.Imat.hi b.Interval.Imat.lo)
     | exception Zonotope.Unbounded -> nan
+
+  let density _ z = Zonotope.eps_density z
 end
 
 module I = Interp.Make (Domain)

@@ -13,12 +13,19 @@ let scores ?pool (z : Zonotope.t) =
   let nv = Zonotope.num_vars z and w = Zonotope.num_eps z in
   let s = Array.make w 0.0 in
   let data = z.Zonotope.eps.Mat.data in
+  (* Columns outside every occupancy band hold only ±0.0: the dense scan
+     accumulates [abs (±0.0) = +0.0] there, leaving the initial 0.0 —
+     skipping them is unconditionally bit-identical. *)
+  let live = Bands.col_intervals ~cols:w z.Zonotope.eps_occ in
   let body start stop =
     for v = 0 to nv - 1 do
       let base = v * w in
-      for j = start to stop - 1 do
-        s.(j) <- s.(j) +. Float.abs (Array.unsafe_get data (base + j))
-      done
+      List.iter
+        (fun (lo, hi) ->
+          for j = max lo start to min hi stop - 1 do
+            s.(j) <- s.(j) +. Float.abs (Array.unsafe_get data (base + j))
+          done)
+        live
     done
   in
   (match pool with
@@ -94,7 +101,10 @@ let decorrelate_min_k ctx (z : Zonotope.t) k =
   if k < 0 then invalid_arg "Reduction.decorrelate_min_k: negative k";
   let w = Zonotope.num_eps z in
   if w <= k then begin
-    Zonotope.reset_symbols ctx w;
+    (* Under budget, but coverage-empty columns are still dead weight for
+       every downstream op: drop them physically (no-op without bands). *)
+    let z = Zonotope.compact z in
+    Zonotope.reset_symbols ctx (Zonotope.num_eps z);
     z
   end
   else begin
@@ -110,13 +120,21 @@ let decorrelate_min_k ctx (z : Zonotope.t) k =
        for every pool size. *)
     let fold = Array.make nv 0.0 in
     let data = z.Zonotope.eps.Mat.data in
+    (* Dead columns contribute [abs (±0.0)] to the fold — skipping them
+       is bit-identical, same argument as in [scores]. *)
+    let live_row v =
+      Bands.row_intervals ~lo:v ~hi:(v + 1) ~cols:w z.Zonotope.eps_occ
+    in
     let fold_body start stop =
       for v = start to stop - 1 do
         let base = v * w in
         let acc = ref 0.0 in
-        for j = 0 to w - 1 do
-          if dropped.(j) then acc := !acc +. Float.abs data.(base + j)
-        done;
+        List.iter
+          (fun (lo, hi) ->
+            for j = lo to hi - 1 do
+              if dropped.(j) then acc := !acc +. Float.abs data.(base + j)
+            done)
+          (live_row v);
         fold.(v) <- !acc
       done
     in
@@ -143,7 +161,25 @@ let decorrelate_min_k ctx (z : Zonotope.t) k =
       Array.iteri (fun t j -> eps.Mat.data.(obase + t) <- data.(base + j)) keep;
       if fresh.(v) >= 0 then eps.Mat.data.(obase + k + fresh.(v)) <- fold.(v)
     done;
-    Zonotope.reset_symbols ctx new_w;
-    Zonotope.make ~p:z.Zonotope.p ~center:(Mat.copy z.Zonotope.center)
-      ~phi:(Mat.copy z.Zonotope.phi) ~eps
+    (* [keep] is sorted ascending, so old column j -> its keep position
+       is a monotone remap; fold symbols get per-value-row bands. Then
+       compact: zero-score kept columns are coverage-empty and can be
+       dropped outright (identical radii — they are ±0.0 everywhere). *)
+    let pos = Array.make w (-1) in
+    Array.iteri (fun t j -> pos.(j) <- t) keep;
+    let occ =
+      Bands.union
+        (Bands.remap_cols
+           (fun j -> if j < w && pos.(j) >= 0 then Some pos.(j) else None)
+           z.Zonotope.eps_occ)
+        (Zonotope.fresh_bands ~fresh ~base:k ~rows:z.Zonotope.vrows
+           ~per_row:z.Zonotope.vcols)
+    in
+    let out =
+      Zonotope.make ~p:z.Zonotope.p ~center:(Mat.copy z.Zonotope.center)
+        ~phi:(Mat.copy z.Zonotope.phi) ~eps
+      |> Zonotope.with_eps_occ occ |> Zonotope.compact
+    in
+    Zonotope.reset_symbols ctx (Zonotope.num_eps out);
+    out
   end

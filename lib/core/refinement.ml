@@ -164,6 +164,11 @@ let softmax_sum (z : Zonotope.t) =
           end
         end
       done;
+      (* The residual mix adds t * β_s to every variable's ε row; β_s is
+         ±0.0 on columns dead in every row and t is finite (capped), so
+         dead columns stay dead — but the writes land in all rows, so
+         each band must be widened to the full row range. *)
       Zonotope.make ~p:z.Zonotope.p ~center ~phi ~eps
+      |> Zonotope.with_eps_occ (Bands.widen_rows ~rows:nv z.Zonotope.eps_occ)
     end
   end

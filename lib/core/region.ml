@@ -11,7 +11,12 @@ let lp_ball ~p x ~word ~radius =
       for j = 0 to d - 1 do
         Mat.set eps ((word * d) + j) j radius
       done;
+      (* only the perturbed word's rows carry ε coefficients *)
       Zonotope.make ~p ~center:(Mat.copy x) ~phi:(Mat.create nv 0) ~eps
+      |> Zonotope.with_eps_occ
+           (Bands.of_bands
+              [ { Bands.col_lo = 0; col_hi = d;
+                  row_lo = word * d; row_hi = (word + 1) * d } ])
   | Lp.L1 | Lp.L2 ->
       let phi = Mat.create nv d in
       for j = 0 to d - 1 do
@@ -46,7 +51,18 @@ let box lo hi =
   done;
   let eps = Mat.create nv !count in
   List.iter (fun (v, k, r) -> eps.Mat.data.((v * !count) + k) <- r) !idx;
+  (* One 1x1 band per perturbed entry; when there are many, the band
+     cap coalesces them into the bounding box of the perturbed rows,
+     which is still tight for localized perturbations (synonym_box). *)
+  let occ =
+    Bands.of_bands
+      (List.map
+         (fun (v, k, _) ->
+           { Bands.col_lo = k; col_hi = k + 1; row_lo = v; row_hi = v + 1 })
+         !idx)
+  in
   Zonotope.make ~p:Lp.Linf ~center ~phi:(Mat.create nv 0) ~eps
+  |> Zonotope.with_eps_occ occ
 
 let synonym_box x subs =
   let d = Mat.cols x in

@@ -38,7 +38,8 @@ let stable_row ctx row =
     else None
   in
   let boxed u =
-    (* the interval [0, u] as an independent scalar zonotope *)
+    (* the interval [0, u] as an independent scalar zonotope: a single
+       one-hot ε column, so its occupancy is one 1x1 band *)
     let base = Zonotope.alloc_eps ctx 1 in
     let eps = Mat.create 1 (base + 1) in
     Mat.set eps 0 base (0.5 *. u);
@@ -46,6 +47,9 @@ let stable_row ctx row =
       ~center:(Mat.make 1 1 (0.5 *. u))
       ~phi:(Mat.create 1 (Zonotope.num_phi row))
       ~eps
+    |> Zonotope.with_eps_occ
+         (Bands.of_bands
+            [ { Bands.col_lo = base; col_hi = base + 1; row_lo = 0; row_hi = 1 } ])
   in
   let outputs =
     List.init n (fun i ->

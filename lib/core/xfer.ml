@@ -20,6 +20,10 @@ type zono_desc = {
   center : Shm.mat_desc;
   phi : Shm.mat_desc;
   eps : Shm.mat_desc;
+  eps_occ : Bands.t;
+      (* rides the pipe so the worker's unpacked zonotope keeps its
+         sparsity; also what makes the eps matrix eligible for the
+         Banded arena encoding (only live columns are shipped) *)
 }
 
 let inline_zono (z : Zonotope.t) =
@@ -30,6 +34,7 @@ let inline_zono (z : Zonotope.t) =
     center = Shm.Inline z.Zonotope.center;
     phi = Shm.Inline z.Zonotope.phi;
     eps = Shm.Inline z.Zonotope.eps;
+    eps_occ = z.Zonotope.eps_occ;
   }
 
 let pack_zono ?arena ?threshold (z : Zonotope.t) =
@@ -44,19 +49,29 @@ let pack_zono ?arena ?threshold (z : Zonotope.t) =
           vcols = z.Zonotope.vcols;
           center = Shm.pack_mat ?threshold a z.Zonotope.center;
           phi = Shm.pack_mat ?threshold a z.Zonotope.phi;
-          eps = Shm.pack_mat ?threshold a z.Zonotope.eps;
+          eps =
+            Shm.pack_mat ?threshold
+              ~cols:
+                (Bands.col_intervals ~cols:(Zonotope.num_eps z)
+                   z.Zonotope.eps_occ)
+              a z.Zonotope.eps;
+          eps_occ = z.Zonotope.eps_occ;
         }
 
 let unpack_zono ?arena (d : zono_desc) =
   let mat = function
     | Shm.Inline m -> m
-    | Shm.Block _ as b -> (
+    | (Shm.Block _ | Shm.Banded _) as b -> (
         match arena with
         | Some a -> Shm.unpack_mat a b
         | None ->
             invalid_arg "Xfer.unpack_zono: arena-resident block but no arena")
   in
+  (* A Banded eps unpacks dead entries to +0.0 where the sender may have
+     held -0.0 — covered by the occupancy contract (|dead| = 0.0), and
+     invisible to radii/verdicts (abs/L1 treat ±0.0 identically). *)
   Zonotope.make ~p:d.p ~center:(mat d.center) ~phi:(mat d.phi) ~eps:(mat d.eps)
+  |> Zonotope.with_eps_occ d.eps_occ
 
 let free_zono arena (d : zono_desc) =
   Shm.free_mat arena d.center;

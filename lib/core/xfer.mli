@@ -19,6 +19,9 @@ type zono_desc = {
   center : Tensor.Shm.mat_desc;
   phi : Tensor.Shm.mat_desc;
   eps : Tensor.Shm.mat_desc;
+  eps_occ : Tensor.Bands.t;
+      (** the ε occupancy rides along so the unpacked zonotope keeps its
+          sparsity on the worker side *)
 }
 
 val inline_zono : Zonotope.t -> zono_desc
@@ -28,11 +31,16 @@ val pack_zono : ?arena:arena -> ?threshold:int -> Zonotope.t -> zono_desc
 (** Pack for dispatch: matrices of at least [threshold]
     ({!Tensor.Shm.default_threshold}) floats go to the arena, the rest
     (and everything, when [arena] is absent or [DEEPT_NO_SHM=1] is set)
-    stay inline. Arena owner only. *)
+    stay inline. The ε matrix uses the arena's [Banded] encoding when
+    its occupancy covers less than the full width — only live columns
+    are written and shipped. Arena owner only. *)
 
 val unpack_zono : ?arena:arena -> zono_desc -> Zonotope.t
-(** Bit-exact reconstruction (worker side). @raise Invalid_argument on
-    an arena-resident block when no [arena] is supplied. *)
+(** Bit-exact reconstruction (worker side) up to dead-zero signs: a
+    [Banded] ε block scatters dead entries as canonical [+0.0] where
+    the sender may have carried [-0.0] — invisible to every bound and
+    verdict. @raise Invalid_argument on an arena-resident block when no
+    [arena] is supplied. *)
 
 val free_zono : arena -> zono_desc -> unit
 (** Return the descriptor's arena blocks (owner side, once the job's

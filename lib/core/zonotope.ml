@@ -37,17 +37,59 @@ type t = {
   center : Mat.t;
   phi : Mat.t;
   eps : Mat.t;
+  eps_occ : Bands.t;
 }
 
 let num_vars z = z.vrows * z.vcols
 let num_phi z = Mat.cols z.phi
 let num_eps z = Mat.cols z.eps
 
+(* The ε occupancy invariant (see Bands and DESIGN.md section 14):
+   outside the band union of [eps_occ] every entry of [eps] has
+   absolute value 0.0. Every transformer below maintains it — affine
+   maps convert bands structurally, nonlinear transformers append a
+   band for the rows they minted symbols for, and anything that could
+   smear values across the tracked structure (non-finite scalars,
+   non-finite weights) widens to [Bands.full], which is always sound.
+   With DEEPT_NO_SPARSE set, [make] pins every occupancy to full and
+   the whole layer degrades to the dense kernels. *)
+
 let make ~p ~center ~phi ~eps =
   let n = Mat.rows center * Mat.cols center in
   if Mat.rows phi <> n || Mat.rows eps <> n then
     invalid_arg "Zonotope.make: coefficient row count mismatch";
-  { vrows = Mat.rows center; vcols = Mat.cols center; p; center; phi; eps }
+  let eps_occ =
+    if not Bands.enabled || Mat.cols eps > 0 then Bands.full else Bands.empty
+  in
+  { vrows = Mat.rows center; vcols = Mat.cols center; p; center; phi; eps;
+    eps_occ }
+
+let with_eps_occ occ z =
+  { z with eps_occ = (if Bands.enabled then occ else Bands.full) }
+
+(* Occupancy of freshly minted symbols: transformers assign fresh ids
+   ascending in the flat variable order ([fresh.(v)] is the id offset of
+   variable [v], or -1), so the ids minted inside one value row of
+   [per_row] variables form a contiguous column range — one band per
+   value row that allocated any. *)
+let fresh_bands ~fresh ~base ~rows ~per_row =
+  let bands = ref [] in
+  for i = rows - 1 downto 0 do
+    let lo = ref max_int and hi = ref min_int in
+    for j = 0 to per_row - 1 do
+      let f = fresh.((i * per_row) + j) in
+      if f >= 0 then begin
+        if f < !lo then lo := f;
+        if f + 1 > !hi then hi := f + 1
+      end
+    done;
+    if !lo < !hi then
+      bands :=
+        { Bands.col_lo = base + !lo; col_hi = base + !hi;
+          row_lo = i * per_row; row_hi = (i + 1) * per_row }
+        :: !bands
+  done;
+  Bands.of_bands !bands
 
 let of_const p m =
   let n = Mat.rows m * Mat.cols m in
@@ -58,6 +100,7 @@ let of_const p m =
     center = Mat.copy m;
     phi = Mat.create n 0;
     eps = Mat.create n 0;
+    eps_occ = Bands.empty;
   }
 
 (* ---------------- bounds ---------------- *)
@@ -96,10 +139,32 @@ let dual_row_norm p (m : Mat.t) v =
       done;
       !acc
 
+(* ℓ1 norm of ε row [v] walking only the live band intervals. Skipped
+   entries contribute [Float.abs (±0.0) = +0.0], and adding +0.0 to the
+   non-negative accumulator never changes a bit, so this is
+   unconditionally identical to the dense scan — no finiteness gate
+   needed (dead entries are ±0.0 by the occupancy invariant, never NaN:
+   paths that could poison them widen the occupancy to full first). *)
+let eps_l1_row z v =
+  if Bands.is_full z.eps_occ then dual_row_norm Lp.Linf z.eps v
+  else begin
+    let m = z.eps in
+    let c = Mat.cols m in
+    let base = v * c in
+    let acc = ref 0.0 in
+    List.iter
+      (fun (lo, hi) ->
+        for j = lo to hi - 1 do
+          acc := !acc +. Float.abs (Array.unsafe_get m.Mat.data (base + j))
+        done)
+      (Bands.row_intervals ~lo:v ~hi:(v + 1) ~cols:c z.eps_occ);
+    !acc
+  end
+
 let radius_terms z v =
   if v < 0 || v >= num_vars z then invalid_arg "Zonotope.radius_terms";
   let a = dual_row_norm z.p z.phi v in
-  let b = dual_row_norm Lp.Linf z.eps v in
+  let b = eps_l1_row z v in
   (a, b)
 
 let bounds_var z v =
@@ -178,7 +243,17 @@ let pad_eps z w =
     for v = 0 to n - 1 do
       Array.blit z.eps.Mat.data (v * cur) eps.Mat.data (v * w) cur
     done;
-    { z with eps }
+    (* The appended columns are all-zero, so a full occupancy can be
+       sharpened to a band over the pre-existing columns — this is
+       where a dense prefix regains structure before fresh symbols are
+       appended behind it. *)
+    let eps_occ =
+      if Bands.enabled && Bands.is_full z.eps_occ && cur > 0 then
+        Bands.of_bands
+          [ { Bands.col_lo = 0; col_hi = cur; row_lo = 0; row_hi = n } ]
+      else z.eps_occ
+    in
+    { z with eps; eps_occ }
   end
 
 let align a b =
@@ -190,17 +265,38 @@ let align a b =
 (* Apply [block -> w^T . block] to every per-value-row coefficient block.
    [matmul_ta] fuses the transpose of [w] (no copy per value row) and
    shards wide blocks — the dominant products of a certification, with
-   the ε width in the thousands by the last layer — over the pool. *)
-let map_coeff_blocks ?pool vrows vcols_in vcols_out (w : Mat.t) (g : Mat.t) =
+   the ε width in the thousands by the last layer — over the pool.
+
+   [?occ] (the coefficient matrix's band occupancy) lets the kernel
+   skip dead column tiles per value row. Gated on the weight being free
+   of infinities: with finite weights a dead column's dense output is
+   exactly the +0.0 the skip leaves behind (the zero-skip is on the
+   weight operand, so a dead ±0.0 coefficient only ever enters as
+   [finite * ±0.0] accumulated onto +0.0), while an infinite weight
+   would turn [inf * 0.0] into NaN in the dense result — so those fall
+   back to the dense sweep. *)
+let map_coeff_blocks ?pool ?occ vrows vcols_in vcols_out (w : Mat.t) (g : Mat.t)
+    =
   let e = Mat.cols g in
   let out = Mat.create (vrows * vcols_out) e in
-  if e > 0 then
+  if e > 0 then begin
+    let cols_for =
+      match occ with
+      | Some o when not (Bands.is_full o) && Mat.finite_class w = `Finite ->
+          fun i ->
+            Some
+              (Bands.row_intervals ~lo:(i * vcols_in)
+                 ~hi:((i + 1) * vcols_in)
+                 ~cols:e o)
+      | _ -> fun _ -> None
+    in
     for i = 0 to vrows - 1 do
       let block = Mat.sub_rows g (i * vcols_in) vcols_in in
-      let mapped = Mat.matmul_ta ?pool w block in
+      let mapped = Mat.matmul_ta ?pool ?cols:(cols_for i) w block in
       Array.blit mapped.Mat.data 0 out.Mat.data (i * vcols_out * e)
         (vcols_out * e)
-    done;
+    done
+  end;
   out
 
 (* An infinite coefficient (overflowed dot-product remainder, Dot.mid_rad)
@@ -227,7 +323,14 @@ let linear_map ?pool z w b =
       p = z.p;
       center = Mat.add_row_broadcast (Mat.matmul ?pool z.center w) b;
       phi = map_coeff_blocks ?pool z.vrows z.vcols vcols w z.phi;
-      eps = map_coeff_blocks ?pool z.vrows z.vcols vcols w z.eps;
+      eps = map_coeff_blocks ?pool ~occ:z.eps_occ z.vrows z.vcols vcols w z.eps;
+      (* the map mixes variables only within a value row, so bands
+         survive at value-row granularity; an infinite weight can smear
+         NaN/inf anywhere, so that path forgets the structure *)
+      eps_occ =
+        (if Mat.finite_class w = `Finite then
+           Bands.block_rows ~bin:z.vcols ~bout:vcols z.eps_occ
+         else Bands.full);
     }
   in
   if Mat.finite_class z.phi = `Inf || Mat.finite_class z.eps = `Inf then begin
@@ -246,16 +349,23 @@ let add a b =
     center = Mat.add a.center b.center;
     phi = Mat.add a.phi b.phi;
     eps = Mat.add a.eps b.eps;
+    eps_occ = Bands.union a.eps_occ b.eps_occ;
   }
 
 let add_const z m = { z with center = Mat.add z.center m }
 
+(* Scaling by a finite [s] maps a dead ±0.0 to ±0.0 (possibly flipping
+   its sign — the occupancy invariant only tracks |x| = 0.0); a
+   non-finite [s] turns dead zeros into NaN, so the structure is
+   forgotten. *)
 let scale s z =
+  let eps_occ = if Float.is_finite s then z.eps_occ else Bands.full in
   {
     z with
     center = Mat.scale s z.center;
     phi = Mat.scale s z.phi;
     eps = Mat.scale s z.eps;
+    eps_occ;
   }
 
 (* Rescale only the generator coefficients, sharing the center. This is
@@ -266,7 +376,9 @@ let scale s z =
    Sharing the center (no copy) is safe because the only center-mutating
    path, fault injection, disables prefix sharing (see
    Certify.search_prefix). *)
-let scale_coeffs s z = { z with phi = Mat.scale s z.phi; eps = Mat.scale s z.eps }
+let scale_coeffs s z =
+  let eps_occ = if Float.is_finite s then z.eps_occ else Bands.full in
+  { z with phi = Mat.scale s z.phi; eps = Mat.scale s z.eps; eps_occ }
 
 let neg z = scale (-1.0) z
 
@@ -323,7 +435,13 @@ let restrict_symbol z sym half =
         Array.blit z.eps.Mat.data (v * ne) eps.Mat.data (v * (ne + 1)) ne;
         eps.Mat.data.((v * (ne + 1)) + ne) <- 0.5 *. c
       done;
-      { z with center; phi; eps }
+      (* the minted ε column is the split φ column's coefficients: a
+         one-column band over all rows *)
+      let eps_occ =
+        Bands.add z.eps_occ
+          { Bands.col_lo = ne; col_hi = ne + 1; row_lo = 0; row_hi = n }
+      in
+      { z with center; phi; eps; eps_occ }
 
 let center_rows z ~gamma ~beta =
   if Array.length gamma <> z.vcols || Array.length beta <> z.vcols then
@@ -337,28 +455,48 @@ let center_rows z ~gamma ~beta =
     let means = Mat.row_means z.center in
     Mat.mapi (fun i j v -> (gamma.(j) *. (v -. means.(i))) +. beta.(j)) z.center
   in
-  let coeff (m : Mat.t) =
+  (* A non-finite gamma would write NaN where the dense map reads a
+     dead ±0.0 (inf * 0.0), so column skipping is only engaged — and
+     the band structure only kept — when every gamma is finite. *)
+  let gamma_finite = Array.for_all Float.is_finite gamma in
+  let coeff ?occ (m : Mat.t) =
     (* coefficient matrices: same linear map, no bias *)
     let e = Mat.cols m in
     let out = Mat.create (Mat.rows m) e in
     if e > 0 then
       for i = 0 to z.vrows - 1 do
         let base = i * d in
-        for j = 0 to e - 1 do
-          let mean = ref 0.0 in
-          for c = 0 to d - 1 do
-            mean := !mean +. m.Mat.data.(((base + c) * e) + j)
-          done;
-          let mean = !mean /. fd in
-          for c = 0 to d - 1 do
-            out.Mat.data.(((base + c) * e) + j) <-
-              gamma.(c) *. (m.Mat.data.(((base + c) * e) + j) -. mean)
-          done
-        done
+        let live =
+          match occ with
+          | Some o when gamma_finite && not (Bands.is_full o) ->
+              Bands.row_intervals ~lo:base ~hi:(base + d) ~cols:e o
+          | _ -> [ (0, e) ]
+        in
+        List.iter
+          (fun (jlo, jhi) ->
+            for j = jlo to jhi - 1 do
+              let mean = ref 0.0 in
+              for c = 0 to d - 1 do
+                mean := !mean +. m.Mat.data.(((base + c) * e) + j)
+              done;
+              let mean = !mean /. fd in
+              for c = 0 to d - 1 do
+                out.Mat.data.(((base + c) * e) + j) <-
+                  gamma.(c) *. (m.Mat.data.(((base + c) * e) + j) -. mean)
+              done
+            done)
+          live
       done;
     out
   in
-  { z with center; phi = coeff z.phi; eps = coeff z.eps }
+  let eps_occ =
+    if gamma_finite then
+      (* the mean mixes rows within a value row: widen bands to
+         value-row granularity *)
+      Bands.block_rows ~bin:d ~bout:d z.eps_occ
+    else Bands.full
+  in
+  { z with center; phi = coeff z.phi; eps = coeff ~occ:z.eps_occ z.eps; eps_occ }
 
 let positional z pos =
   if Mat.rows pos < z.vrows || Mat.cols pos <> z.vcols then
@@ -376,7 +514,10 @@ let select_rows_of_mat (m : Mat.t) idx =
     idx;
   out
 
-let reindex z vrows vcols idx =
+let reindex z vrows vcols idx ~eps_occ =
+  (* [eps_occ] is the caller's row-permuted occupancy: each call site
+     knows how [idx] moves coefficient rows and supplies a sound
+     (possibly widened) image of [z.eps_occ] under that move. *)
   {
     z with
     vrows;
@@ -386,6 +527,7 @@ let reindex z vrows vcols idx =
         (Array.map (fun v -> z.center.Mat.data.(v)) idx);
     phi = select_rows_of_mat z.phi idx;
     eps = select_rows_of_mat z.eps idx;
+    eps_occ;
   }
 
 let select_value_rows z start n =
@@ -396,7 +538,12 @@ let select_value_rows z start n =
         let i = k / z.vcols and j = k mod z.vcols in
         ((start + i) * z.vcols) + j)
   in
-  reindex z n z.vcols idx
+  (* contiguous row slice: intersect the bands with it and rebase *)
+  let eps_occ =
+    Bands.restrict_rows ~lo:(start * z.vcols) ~hi:((start + n) * z.vcols)
+      z.eps_occ
+  in
+  reindex z n z.vcols idx ~eps_occ
 
 let pool_first z = select_value_rows z 0 1
 
@@ -408,7 +555,10 @@ let select_value_cols z start n =
         let i = k / n and j = k mod n in
         (i * z.vcols) + start + j)
   in
-  reindex z z.vrows n idx
+  (* keeps a sub-range of each value row: widening each band to its
+     value rows and re-blocking at the new width is sound *)
+  let eps_occ = Bands.block_rows ~bin:z.vcols ~bout:n z.eps_occ in
+  reindex z z.vrows n idx ~eps_occ
 
 let transpose_value z =
   let idx =
@@ -417,7 +567,13 @@ let transpose_value z =
         (* output var (i, j) with shape (vcols, vrows) reads input (j, i) *)
         (j * z.vcols) + i)
   in
-  reindex z z.vcols z.vrows idx
+  (* a vector transpose permutes nothing; a true transpose scatters
+     rows, so widen each band to all rows *)
+  let eps_occ =
+    if z.vrows = 1 || z.vcols = 1 then z.eps_occ
+    else Bands.widen_rows ~rows:(num_vars z) z.eps_occ
+  in
+  reindex z z.vcols z.vrows idx ~eps_occ
 
 let reshape_value z ~rows ~cols =
   if rows * cols <> num_vars z then invalid_arg "Zonotope.reshape_value";
@@ -449,6 +605,11 @@ let hcat_value a b =
     center = Mat.hcat a.center b.center;
     phi = pick a.phi b.phi `Phi;
     eps = pick a.eps b.eps `Eps;
+    (* both sides' rows land inside the same widened value rows *)
+    eps_occ =
+      Bands.union
+        (Bands.block_rows ~bin:a.vcols ~bout:vcols a.eps_occ)
+        (Bands.block_rows ~bin:b.vcols ~bout:vcols b.eps_occ);
   }
 
 let vcat_value a b =
@@ -461,6 +622,9 @@ let vcat_value a b =
     center = Mat.vcat a.center b.center;
     phi = Mat.vcat a.phi b.phi;
     eps = Mat.vcat a.eps b.eps;
+    eps_occ =
+      Bands.union a.eps_occ
+        (Bands.shift_rows (a.vrows * a.vcols) b.eps_occ);
   }
 
 let of_rows = function
@@ -476,12 +640,30 @@ let map_rows_affine ?pool z m =
      runs on the blocked (and, for the softmax's n^2-variable difference
      matrices, pool-sharded) kernel. *)
   let vrows = Mat.rows m in
-  let combine (g : Mat.t) =
+  (* An infinity in [m] multiplies dead +0.0 entries into NaN under the
+     dense kernel; only a finite [m] may skip dead columns or keep the
+     band structure. *)
+  let m_finite = Mat.finite_class m = `Finite in
+  let combine ?occ (g : Mat.t) =
     let e = Mat.cols g in
     if e = 0 then Mat.create (vrows * z.vcols) 0
     else begin
       let wide = Mat.of_array ~rows:z.vrows ~cols:(z.vcols * e) g.Mat.data in
-      let mapped = Mat.matmul ?pool m wide in
+      (* In the wide view, value column j holds symbol columns
+         [j*e, (j+1)*e): replicate the live symbol intervals into each
+         value column's slot (ascending j keeps the list sorted). *)
+      let cols =
+        match occ with
+        | Some o when m_finite && not (Bands.is_full o) ->
+            let ivs = Bands.col_intervals ~cols:e o in
+            Some
+              (List.concat_map
+                 (fun j ->
+                   List.map (fun (lo, hi) -> ((j * e) + lo, (j * e) + hi)) ivs)
+                 (List.init z.vcols Fun.id))
+        | _ -> None
+      in
+      let mapped = Mat.matmul ?pool ?cols m wide in
       Mat.of_array ~rows:(vrows * z.vcols) ~cols:e mapped.Mat.data
     end
   in
@@ -490,7 +672,13 @@ let map_rows_affine ?pool z m =
     vrows;
     center = Mat.matmul m z.center;
     phi = combine z.phi;
-    eps = combine z.eps;
+    eps = combine ~occ:z.eps_occ z.eps;
+    eps_occ =
+      (if m_finite then
+         (* every output row mixes all input rows of its value column:
+            widen each band to the full new row range *)
+         Bands.widen_rows ~rows:(vrows * z.vcols) z.eps_occ
+       else Bands.full);
   }
 
 (* ---------------- variable access ---------------- *)
@@ -501,6 +689,52 @@ let var_affine z v =
 
 let phi_block z start n = Mat.sub_rows z.phi start n
 let eps_block z start n = Mat.sub_rows z.eps start n
+
+(* ---------------- dead-symbol compaction ---------------- *)
+
+let eps_density z =
+  Bands.density ~rows:(num_vars z) ~cols:(num_eps z) z.eps_occ
+
+let compact z =
+  let e = num_eps z in
+  if e = 0 || Bands.is_full z.eps_occ then z
+  else begin
+    let dead = Bands.dead_cols ~cols:e z.eps_occ in
+    let live = ref 0 in
+    Array.iter (fun d -> if not d then incr live) dead;
+    if !live = e then z
+    else begin
+      (* Dropping a coverage-empty column removes only ±0.0 entries:
+         the ℓ1 row norms — and therefore every radius and verdict —
+         are unchanged. [remap] sends old column ids to new ones so the
+         bands move with their columns. *)
+      let remap = Array.make e (-1) in
+      let next = ref 0 in
+      for j = 0 to e - 1 do
+        if not dead.(j) then begin
+          remap.(j) <- !next;
+          incr next
+        end
+      done;
+      let n = num_vars z in
+      let out = Mat.create n !live in
+      for i = 0 to n - 1 do
+        let src = i * e and dst = i * !live in
+        for j = 0 to e - 1 do
+          let k = Array.unsafe_get remap j in
+          if k >= 0 then
+            Array.unsafe_set out.Mat.data (dst + k)
+              (Array.unsafe_get z.eps.Mat.data (src + j))
+        done
+      done;
+      let eps_occ =
+        Bands.remap_cols
+          (fun j -> if j < e && remap.(j) >= 0 then Some remap.(j) else None)
+          z.eps_occ
+      in
+      { z with eps = out; eps_occ }
+    end
+  end
 
 let contains_sample ?(tol = 1e-7) z m =
   Mat.dims m = (z.vrows, z.vcols)

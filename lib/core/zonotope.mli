@@ -70,6 +70,10 @@ type t = {
   center : Tensor.Mat.t;  (** [vrows x vcols] *)
   phi : Tensor.Mat.t;  (** [(vrows * vcols) x Ep] *)
   eps : Tensor.Mat.t;  (** [(vrows * vcols) x E∞ (prefix)] *)
+  eps_occ : Tensor.Bands.t;
+      (** column-band occupancy of [eps]: outside the band union every
+          entry of [eps] is ±0.0 (see {!Tensor.Bands}). Maintained by
+          every transformer; [Tensor.Bands.full] is always sound. *)
 }
 
 (** {1 Construction} *)
@@ -78,7 +82,23 @@ val of_const : Lp.t -> Tensor.Mat.t -> t
 (** Point zonotope (no noise symbols). *)
 
 val make : p:Lp.t -> center:Tensor.Mat.t -> phi:Tensor.Mat.t -> eps:Tensor.Mat.t -> t
-(** Checks coefficient row counts against the value shape. *)
+(** Checks coefficient row counts against the value shape. The occupancy
+    defaults to [Bands.empty] for a zero-column ε matrix and
+    [Bands.full] otherwise; sharpen it afterwards with {!with_eps_occ}. *)
+
+val with_eps_occ : Tensor.Bands.t -> t -> t
+(** [with_eps_occ occ z] replaces the ε occupancy. The caller asserts
+    [occ] covers every nonzero of [z.eps] ({!Tensor.Bands}); with
+    [DEEPT_NO_SPARSE] set the occupancy is pinned to [Bands.full]
+    regardless. *)
+
+val fresh_bands :
+  fresh:int array -> base:int -> rows:int -> per_row:int -> Tensor.Bands.t
+(** Occupancy of freshly minted symbols: [fresh.(v)] is the id offset
+    (from global id [base]) minted for flat variable [v], or [-1].
+    Offsets must ascend with [v] (how all transformers allocate), so the
+    ids of one value row of [per_row] variables form a contiguous column
+    range — the result has one band per value row that minted any. *)
 
 val num_vars : t -> int
 val num_phi : t -> int
@@ -204,6 +224,24 @@ val of_rows : t list -> t
 val map_rows_affine : ?pool:Tensor.Dpool.t -> t -> Tensor.Mat.t -> t
 (** [map_rows_affine z m] abstracts [m · x] for the constant matrix [m]
     applied from the left to the [vrows x vcols] value [x]. *)
+
+(** {1 Dead-symbol compaction} *)
+
+val eps_density : t -> float
+(** Live fraction of the ε coefficient matrix per its occupancy bands
+    ([Tensor.Bands.density]); 1.0 when nothing is known (full). *)
+
+val compact : t -> t
+(** Physically drops ε columns covered by no occupancy band and remaps
+    the surviving columns (order-preserving) in both the matrix and the
+    bands. Dropped columns are provably ±0.0 in every row, so radii,
+    bounds and verdicts are bit-identical before and after.
+
+    {b Symbol identity caveat:} after compaction ε column ids no longer
+    match the owning {!ctx}'s global numbering — callers that index
+    symbols ({!restrict_symbol} [Eps k]) must remap, and the ctx must be
+    re-synced via {!reset_symbols} when the compacted value is the only
+    one alive (noise-symbol reduction and branch evaluation do both). *)
 
 (** {1 Variable-level access (used by the transformers)} *)
 

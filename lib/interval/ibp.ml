@@ -138,6 +138,9 @@ module Domain = struct
       done
     done;
     !w
+
+  (* Dense storage, no sparsity tracking. *)
+  let density () _ = 1.0
 end
 
 module I = Interp.Make (Domain)

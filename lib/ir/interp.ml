@@ -19,6 +19,7 @@ type event = {
   wall_s : float;
   size : int;
   width : float;
+  density : float;
 }
 
 type sink = event -> unit
@@ -65,6 +66,7 @@ module type DOMAIN = sig
   val is_poisoned : value -> finiteness
   val size : state -> value -> int
   val width : state -> value -> float
+  val density : state -> value -> float
 end
 
 module Make (D : DOMAIN) = struct
@@ -93,6 +95,7 @@ module Make (D : DOMAIN) = struct
             wall_s = Unix.gettimeofday () -. t_op;
             size = D.size st out;
             width = D.width st out;
+            density = D.density st out;
           }
     | None -> ());
     (match checks.deadline with

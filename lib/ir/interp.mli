@@ -39,10 +39,14 @@ type event = {
   width : float;
       (** largest concretized bound width of the op output; [nan] when
           the domain cannot bound it (collapsed abstraction) *)
+  density : float;
+      (** live fraction of the op output's coefficient storage per the
+          domain's sparsity tracking ({!DOMAIN.density}); 1.0 for
+          domains without one *)
 }
-(** One per-op trace record. [wall_s], [size] and [width] are computed
-    only when a sink is installed — an idle trace stream costs one
-    branch per op. *)
+(** One per-op trace record. [wall_s], [size], [width] and [density]
+    are computed only when a sink is installed — an idle trace stream
+    costs one branch per op. *)
 
 type sink = event -> unit
 
@@ -114,6 +118,11 @@ module type DOMAIN = sig
   val width : state -> value -> float
   (** Largest concretized bound width of a value, for trace events.
       Only called when a sink is installed — may be expensive. *)
+
+  val density : state -> value -> float
+  (** Live fraction of the value's coefficient storage (live area /
+      dense area) for trace events; domains without sparsity tracking
+      return 1.0. Only called when a sink is installed. *)
 end
 
 module Make (D : DOMAIN) : sig

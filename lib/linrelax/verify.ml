@@ -90,6 +90,9 @@ module Domain = struct
   let is_poisoned _ = `Finite
   let size d _ = d.scalars
   let width d id = Engine.interval_width d.st id
+
+  (* Dense storage, no sparsity tracking. *)
+  let density _ _ = 1.0
 end
 
 module I = Interp.Make (Domain)

@@ -77,6 +77,9 @@ module Domain = struct
 
   (* A concrete value is a point: its bound width is zero. *)
   let width () _ = 0.0
+
+  (* Dense storage, no sparsity tracking. *)
+  let density () _ = 1.0
 end
 
 module I = Interp.Make (Domain)

@@ -109,256 +109,60 @@ let equal_bits_mat b (m : Mat.t) =
 
 (* ---------------- matrix products ----------------
 
-   Ports of the [Mat] kernels (see the long comment there): the naive
-   i-k-j reference, the 2x4 register tile restricted to a row range and
-   a column tile, and the A^T.B variant that reads [a] with stride [m].
-   Loop structure, accumulation order and the zero skip are identical,
-   which is what makes the two backends bit-compatible. *)
+   The kernel bodies live in [Bigmat_kern], generated from the same
+   kern_body.inc source as [Mat_kern]: identical 2x4 register tile,
+   identical [jtile], the same left-operand zero skip, the same
+   ascending-p accumulation order and the same [?cols] tile-skip
+   driver — compiled from one text, so the two backends cannot drift
+   and results stay bit-identical on equal inputs (the test suite
+   checks this, including on degenerate shapes). *)
 
 let matmul_naive a b =
   if a.cols <> b.rows then invalid_arg "Bigmat.matmul: inner dimension mismatch";
   let m = a.rows and k = a.cols and n = b.cols in
   let out = create m n in
-  let od = out.data and ad = a.data and bd = b.data in
-  for i = 0 to m - 1 do
-    let arow = i * k and orow = i * n in
-    for p = 0 to k - 1 do
-      let aip = Bigarray.Array1.unsafe_get ad (arow + p) in
-      if aip <> 0.0 then begin
-        let brow = p * n in
-        for j = 0 to n - 1 do
-          Bigarray.Array1.unsafe_set od (orow + j)
-            (Bigarray.Array1.unsafe_get od (orow + j)
-            +. (aip *. Bigarray.Array1.unsafe_get bd (brow + j)))
-        done
-      end
-    done
-  done;
+  Bigmat_kern.naive_into ~m ~k ~n a.data b.data out.data;
   out
 
-let use_naive =
-  match Sys.getenv_opt "MAT_NAIVE" with
-  | None | Some "" | Some "0" -> false
-  | Some _ -> true
-
-let jtile = 120
-
-let mm_row ~k ~n (a : buf) (b : buf) (out : buf) i ~jlo ~jhi =
-  let a0 = i * k and o0 = i * n in
-  let j = ref jlo in
-  while !j + 3 < jhi do
-    let j0 = !j in
-    let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
-    for p = 0 to k - 1 do
-      let x = Bigarray.Array1.unsafe_get a (a0 + p) in
-      if x <> 0.0 then begin
-        let br = (p * n) + j0 in
-        s0 := !s0 +. (x *. Bigarray.Array1.unsafe_get b br);
-        s1 := !s1 +. (x *. Bigarray.Array1.unsafe_get b (br + 1));
-        s2 := !s2 +. (x *. Bigarray.Array1.unsafe_get b (br + 2));
-        s3 := !s3 +. (x *. Bigarray.Array1.unsafe_get b (br + 3))
-      end
-    done;
-    Bigarray.Array1.unsafe_set out (o0 + j0) !s0;
-    Bigarray.Array1.unsafe_set out (o0 + j0 + 1) !s1;
-    Bigarray.Array1.unsafe_set out (o0 + j0 + 2) !s2;
-    Bigarray.Array1.unsafe_set out (o0 + j0 + 3) !s3;
-    j := j0 + 4
-  done;
-  while !j < jhi do
-    let j0 = !j in
-    let s = ref 0.0 in
-    for p = 0 to k - 1 do
-      let x = Bigarray.Array1.unsafe_get a (a0 + p) in
-      if x <> 0.0 then s := !s +. (x *. Bigarray.Array1.unsafe_get b ((p * n) + j0))
-    done;
-    Bigarray.Array1.unsafe_set out (o0 + j0) !s;
-    incr j
-  done
-
-let mm_rows ~k ~n (a : buf) (b : buf) (out : buf) r0 r1 ~jlo ~jhi =
-  let i = ref r0 in
-  while !i + 1 < r1 do
-    let i0 = !i in
-    let a0 = i0 * k and a1 = (i0 + 1) * k in
-    let o0 = i0 * n and o1 = (i0 + 1) * n in
-    let j = ref jlo in
-    while !j + 3 < jhi do
-      let j0 = !j in
-      let s00 = ref 0.0 and s01 = ref 0.0 and s02 = ref 0.0 and s03 = ref 0.0 in
-      let s10 = ref 0.0 and s11 = ref 0.0 and s12 = ref 0.0 and s13 = ref 0.0 in
-      for p = 0 to k - 1 do
-        let x0 = Bigarray.Array1.unsafe_get a (a0 + p) in
-        let x1 = Bigarray.Array1.unsafe_get a (a1 + p) in
-        let br = (p * n) + j0 in
-        let b0 = Bigarray.Array1.unsafe_get b br in
-        let b1 = Bigarray.Array1.unsafe_get b (br + 1) in
-        let b2 = Bigarray.Array1.unsafe_get b (br + 2) in
-        let b3 = Bigarray.Array1.unsafe_get b (br + 3) in
-        if x0 <> 0.0 then begin
-          s00 := !s00 +. (x0 *. b0);
-          s01 := !s01 +. (x0 *. b1);
-          s02 := !s02 +. (x0 *. b2);
-          s03 := !s03 +. (x0 *. b3)
-        end;
-        if x1 <> 0.0 then begin
-          s10 := !s10 +. (x1 *. b0);
-          s11 := !s11 +. (x1 *. b1);
-          s12 := !s12 +. (x1 *. b2);
-          s13 := !s13 +. (x1 *. b3)
-        end
-      done;
-      Bigarray.Array1.unsafe_set out (o0 + j0) !s00;
-      Bigarray.Array1.unsafe_set out (o0 + j0 + 1) !s01;
-      Bigarray.Array1.unsafe_set out (o0 + j0 + 2) !s02;
-      Bigarray.Array1.unsafe_set out (o0 + j0 + 3) !s03;
-      Bigarray.Array1.unsafe_set out (o1 + j0) !s10;
-      Bigarray.Array1.unsafe_set out (o1 + j0 + 1) !s11;
-      Bigarray.Array1.unsafe_set out (o1 + j0 + 2) !s12;
-      Bigarray.Array1.unsafe_set out (o1 + j0 + 3) !s13;
-      j := j0 + 4
-    done;
-    while !j < jhi do
-      let j0 = !j in
-      let s0 = ref 0.0 and s1 = ref 0.0 in
-      for p = 0 to k - 1 do
-        let bv = Bigarray.Array1.unsafe_get b ((p * n) + j0) in
-        let x0 = Bigarray.Array1.unsafe_get a (a0 + p) in
-        let x1 = Bigarray.Array1.unsafe_get a (a1 + p) in
-        if x0 <> 0.0 then s0 := !s0 +. (x0 *. bv);
-        if x1 <> 0.0 then s1 := !s1 +. (x1 *. bv)
-      done;
-      Bigarray.Array1.unsafe_set out (o0 + j0) !s0;
-      Bigarray.Array1.unsafe_set out (o1 + j0) !s1;
-      incr j
-    done;
-    i := i0 + 2
-  done;
-  if !i < r1 then mm_row ~k ~n a b out !i ~jlo ~jhi
-
-let mm_ta_rows ~k ~m ~n (a : buf) (b : buf) (out : buf) r0 r1 ~jlo ~jhi =
-  let row1 i0 =
-    let o0 = i0 * n in
-    let j = ref jlo in
-    while !j + 3 < jhi do
-      let j0 = !j in
-      let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
-      for p = 0 to k - 1 do
-        let x = Bigarray.Array1.unsafe_get a ((p * m) + i0) in
-        if x <> 0.0 then begin
-          let br = (p * n) + j0 in
-          s0 := !s0 +. (x *. Bigarray.Array1.unsafe_get b br);
-          s1 := !s1 +. (x *. Bigarray.Array1.unsafe_get b (br + 1));
-          s2 := !s2 +. (x *. Bigarray.Array1.unsafe_get b (br + 2));
-          s3 := !s3 +. (x *. Bigarray.Array1.unsafe_get b (br + 3))
-        end
-      done;
-      Bigarray.Array1.unsafe_set out (o0 + j0) !s0;
-      Bigarray.Array1.unsafe_set out (o0 + j0 + 1) !s1;
-      Bigarray.Array1.unsafe_set out (o0 + j0 + 2) !s2;
-      Bigarray.Array1.unsafe_set out (o0 + j0 + 3) !s3;
-      j := j0 + 4
-    done;
-    while !j < jhi do
-      let j0 = !j in
-      let s = ref 0.0 in
-      for p = 0 to k - 1 do
-        let x = Bigarray.Array1.unsafe_get a ((p * m) + i0) in
-        if x <> 0.0 then
-          s := !s +. (x *. Bigarray.Array1.unsafe_get b ((p * n) + j0))
-      done;
-      Bigarray.Array1.unsafe_set out (o0 + j0) !s;
-      incr j
-    done
-  in
-  let i = ref r0 in
-  while !i + 1 < r1 do
-    let i0 = !i in
-    let o0 = i0 * n and o1 = (i0 + 1) * n in
-    let j = ref jlo in
-    while !j + 3 < jhi do
-      let j0 = !j in
-      let s00 = ref 0.0 and s01 = ref 0.0 and s02 = ref 0.0 and s03 = ref 0.0 in
-      let s10 = ref 0.0 and s11 = ref 0.0 and s12 = ref 0.0 and s13 = ref 0.0 in
-      for p = 0 to k - 1 do
-        let ar = (p * m) + i0 in
-        let x0 = Bigarray.Array1.unsafe_get a ar in
-        let x1 = Bigarray.Array1.unsafe_get a (ar + 1) in
-        let br = (p * n) + j0 in
-        let b0 = Bigarray.Array1.unsafe_get b br in
-        let b1 = Bigarray.Array1.unsafe_get b (br + 1) in
-        let b2 = Bigarray.Array1.unsafe_get b (br + 2) in
-        let b3 = Bigarray.Array1.unsafe_get b (br + 3) in
-        if x0 <> 0.0 then begin
-          s00 := !s00 +. (x0 *. b0);
-          s01 := !s01 +. (x0 *. b1);
-          s02 := !s02 +. (x0 *. b2);
-          s03 := !s03 +. (x0 *. b3)
-        end;
-        if x1 <> 0.0 then begin
-          s10 := !s10 +. (x1 *. b0);
-          s11 := !s11 +. (x1 *. b1);
-          s12 := !s12 +. (x1 *. b2);
-          s13 := !s13 +. (x1 *. b3)
-        end
-      done;
-      Bigarray.Array1.unsafe_set out (o0 + j0) !s00;
-      Bigarray.Array1.unsafe_set out (o0 + j0 + 1) !s01;
-      Bigarray.Array1.unsafe_set out (o0 + j0 + 2) !s02;
-      Bigarray.Array1.unsafe_set out (o0 + j0 + 3) !s03;
-      Bigarray.Array1.unsafe_set out (o1 + j0) !s10;
-      Bigarray.Array1.unsafe_set out (o1 + j0 + 1) !s11;
-      Bigarray.Array1.unsafe_set out (o1 + j0 + 2) !s12;
-      Bigarray.Array1.unsafe_set out (o1 + j0 + 3) !s13;
-      j := j0 + 4
-    done;
-    while !j < jhi do
-      let j0 = !j in
-      let s0 = ref 0.0 and s1 = ref 0.0 in
-      for p = 0 to k - 1 do
-        let ar = (p * m) + i0 in
-        let bv = Bigarray.Array1.unsafe_get b ((p * n) + j0) in
-        let x0 = Bigarray.Array1.unsafe_get a ar in
-        let x1 = Bigarray.Array1.unsafe_get a (ar + 1) in
-        if x0 <> 0.0 then s0 := !s0 +. (x0 *. bv);
-        if x1 <> 0.0 then s1 := !s1 +. (x1 *. bv)
-      done;
-      Bigarray.Array1.unsafe_set out (o0 + j0) !s0;
-      Bigarray.Array1.unsafe_set out (o1 + j0) !s1;
-      incr j
-    done;
-    i := i0 + 2
-  done;
-  if !i < r1 then row1 !i
-
-let with_jtiles ~n body r0 r1 =
-  let jlo = ref 0 in
-  while !jlo < n do
-    let jhi = min n (!jlo + jtile) in
-    body r0 r1 ~jlo:!jlo ~jhi;
-    jlo := jhi
-  done
+let use_naive = Bigmat_kern.use_naive
 
 let transpose m = init m.cols m.rows (fun i j -> get m j i)
 
-let matmul a b =
+let matmul ?cols a b =
   if a.cols <> b.rows then invalid_arg "Bigmat.matmul: inner dimension mismatch";
   if use_naive then matmul_naive a b
   else begin
     let m = a.rows and k = a.cols and n = b.cols in
     let out = create m n in
-    with_jtiles ~n (mm_rows ~k ~n a.data b.data out.data) 0 m;
+    Bigmat_kern.with_jtiles ?cols ~n
+      (Bigmat_kern.mm_rows ~k ~n a.data b.data out.data)
+      0 m;
     out
   end
 
-let matmul_ta a b =
+let matmul_ta ?cols a b =
   if a.rows <> b.rows then
     invalid_arg "Bigmat.matmul_ta: inner dimension mismatch";
   if use_naive then matmul_naive (transpose a) b
   else begin
     let m = a.cols and k = a.rows and n = b.cols in
     let out = create m n in
-    with_jtiles ~n (mm_ta_rows ~k ~m ~n a.data b.data out.data) 0 m;
+    Bigmat_kern.with_jtiles ?cols ~n
+      (Bigmat_kern.mm_ta_rows ~k ~m ~n a.data b.data out.data)
+      0 m;
+    out
+  end
+
+let matmul_tb ?cols a b =
+  if a.cols <> b.cols then
+    invalid_arg "Bigmat.matmul_tb: inner dimension mismatch";
+  if use_naive then matmul_naive a (transpose b)
+  else begin
+    let m = a.rows and k = a.cols and n = b.rows in
+    let out = create m n in
+    Bigmat_kern.with_jtiles ?cols ~n
+      (Bigmat_kern.mm_tb_rows ~k ~n a.data b.data out.data)
+      0 m;
     out
   end
 

@@ -43,12 +43,19 @@ val get : t -> int -> int -> float
 val set : t -> int -> int -> float -> unit
 val transpose : t -> t
 
-val matmul : t -> t -> t
-(** Blocked [A.B]; bit-identical to [Mat.matmul] on equal inputs. *)
+val matmul : ?cols:(int * int) list -> t -> t -> t
+(** Blocked [A.B]; bit-identical to [Mat.matmul] on equal inputs.
+    [cols] restricts the computed output columns to the given live
+    intervals exactly as in [Mat.matmul] (the caller asserts the
+    skipped columns are dead). *)
 
-val matmul_ta : t -> t -> t
+val matmul_ta : ?cols:(int * int) list -> t -> t -> t
 (** Blocked [Aᵀ.B] without a transpose copy; bit-identical to
-    [Mat.matmul_ta] on equal inputs. *)
+    [Mat.matmul_ta] on equal inputs. [cols] as in {!matmul}. *)
+
+val matmul_tb : ?cols:(int * int) list -> t -> t -> t
+(** Blocked [A.Bᵀ] without a transpose copy; bit-identical to
+    [Mat.matmul_tb] on equal inputs. [cols] as in {!matmul}. *)
 
 val matmul_naive : t -> t -> t
 (** The i-k-j reference kernel ([MAT_NAIVE=1] path). *)

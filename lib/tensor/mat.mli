@@ -117,26 +117,37 @@ val fill : t -> float -> unit
 
 (** {1 Linear algebra} *)
 
-val matmul : ?pool:Dpool.t -> t -> t -> t
+val matmul : ?pool:Dpool.t -> ?cols:(int * int) list -> t -> t -> t
 (** [matmul a b] with a: m x k, b: k x n gives m x n. Runs the
     register-blocked kernel, sharded over disjoint output-row chunks on
     [pool] when given and the product is large enough; results are
     bit-identical to {!matmul_naive} on finite data regardless of pool
     size. [MAT_NAIVE=1] in the environment forces the naive kernel
-    (read once at startup). *)
+    (read once at startup).
+
+    [cols] (sorted half-open intervals, typically
+    [Bands.col_intervals]) restricts the computed output columns: tiles
+    outside the intervals are skipped and those outputs keep the +0.0
+    of the fresh result buffer. The caller asserts the skipped columns
+    are dead — all-zero in [b] with [a] free of infinities — which
+    makes the skipped +0.0 exactly what the dense kernel would have
+    computed, so the restriction cannot change a bit. [MAT_NAIVE=1]
+    ignores [cols] and computes the dense product (same bits, same
+    argument). *)
 
 val matmul_naive : t -> t -> t
 (** The original i-k-j reference kernel, serial and unblocked. The seed
     baseline of [bench/kernels.ml] and the oracle of the kernel
     equivalence property tests. *)
 
-val matmul_ta : ?pool:Dpool.t -> t -> t -> t
+val matmul_ta : ?pool:Dpool.t -> ?cols:(int * int) list -> t -> t -> t
 (** [matmul_ta a b] = [matmul (transpose a) b] without materializing the
-    transpose: a: k x m, b: k x n gives m x n. *)
+    transpose: a: k x m, b: k x n gives m x n. [cols] as in {!matmul}. *)
 
-val matmul_tb : ?pool:Dpool.t -> t -> t -> t
+val matmul_tb : ?pool:Dpool.t -> ?cols:(int * int) list -> t -> t -> t
 (** [matmul_tb a b] = [matmul a (transpose b)] without materializing the
-    transpose: a: m x k, b: n x k gives m x n. *)
+    transpose: a: m x k, b: n x k gives m x n. [cols] as in {!matmul}
+    (dead columns here are all-zero rows of [b]). *)
 
 val gemm : ?pool:Dpool.t -> ?ta:bool -> ?tb:bool -> t -> t -> t
 (** General matrix product with optional operand transposes, fused into

@@ -118,6 +118,28 @@ let read_floats t ~off n =
 type mat_desc =
   | Inline of Mat.t  (* below threshold (or arena full): plain Marshal *)
   | Block of { off : int; rows : int; cols : int }
+  | Banded of {
+      off : int;
+      rows : int;
+      cols : int;
+      intervals : (int * int) list;
+          (* sorted disjoint live column ranges; only their entries are
+             stored (row-major, concatenated), everything outside
+             unpacks to +0.0 *)
+    }
+
+let intervals_width ivs =
+  List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 ivs
+
+let check_intervals ~cols ivs who =
+  let last =
+    List.fold_left
+      (fun prev (lo, hi) ->
+        if lo < prev || hi < lo || hi > cols then invalid_arg who;
+        hi)
+      0 ivs
+  in
+  ignore last
 
 (* Blocks below ~1 MiB stay on the Marshal path: serializing them is
    cheaper than the allocator round-trip is worth, and keeping small
@@ -126,31 +148,95 @@ type mat_desc =
    blocks (216 x 1344) on the arena path and the 344-symbol ones inline. *)
 let default_threshold = 131_072
 
-let pack_mat ?(threshold = default_threshold) t (m : Mat.t) =
-  let n = Mat.rows m * Mat.cols m in
-  if n < threshold then Inline m
-  else
-    match alloc t n with
-    | None -> Inline m (* arena full: degrade to Marshal, never fail *)
-    | Some off ->
-        write_floats t ~off m.Mat.data;
-        Block { off; rows = Mat.rows m; cols = Mat.cols m }
+let pack_mat ?(threshold = default_threshold) ?cols:live t (m : Mat.t) =
+  let rows = Mat.rows m and cols = Mat.cols m in
+  let n = rows * cols in
+  match live with
+  | Some ivs when intervals_width ivs < cols ->
+      (* Banded: store only the live columns. The caller asserts entries
+         outside [ivs] are ±0.0 (they unpack as +0.0 — the canonical
+         dead zero). The threshold applies to the *stored* size: a
+         matrix whose live part is small rides the pipe inline-banded
+         cheaply too, but Inline keeps the dense matrix, so only the
+         arena path actually sheds the dead columns. *)
+      check_intervals ~cols ivs "Shm.pack_mat: bad intervals";
+      let lw = intervals_width ivs in
+      let bn = rows * lw in
+      if bn < threshold then Inline m
+      else (
+        match alloc t bn with
+        | None -> Inline m
+        | Some off ->
+            let pos = ref off in
+            for r = 0 to rows - 1 do
+              let base = r * cols in
+              List.iter
+                (fun (lo, hi) ->
+                  for j = lo to hi - 1 do
+                    Bigarray.Array1.unsafe_set t.buf !pos
+                      (Array.unsafe_get m.Mat.data (base + j));
+                    incr pos
+                  done)
+                ivs
+            done;
+            Banded { off; rows; cols; intervals = ivs })
+  | _ -> (
+      if n < threshold then Inline m
+      else
+        match alloc t n with
+        | None -> Inline m (* arena full: degrade to Marshal, never fail *)
+        | Some off ->
+            write_floats t ~off m.Mat.data;
+            Block { off; rows = Mat.rows m; cols = Mat.cols m })
+
+(* Scatter a banded block into a zero-filled [rows x cols] write target.
+   Dead entries stay the +0.0 of the fresh buffer. *)
+let scatter_banded t ~off ~rows ~cols ~intervals set =
+  let lw = intervals_width intervals in
+  check_range t ~off (rows * lw) "Shm.unpack_mat";
+  let pos = ref off in
+  for r = 0 to rows - 1 do
+    let base = r * cols in
+    List.iter
+      (fun (lo, hi) ->
+        for j = lo to hi - 1 do
+          set (base + j) (Bigarray.Array1.unsafe_get t.buf !pos);
+          incr pos
+        done)
+      intervals
+  done
 
 let unpack_mat t = function
   | Inline m -> m
   | Block { off; rows; cols } ->
       Mat.of_array ~rows ~cols (read_floats t ~off (rows * cols))
+  | Banded { off; rows; cols; intervals } ->
+      let out = Mat.create rows cols in
+      scatter_banded t ~off ~rows ~cols ~intervals (fun i v ->
+          Array.unsafe_set out.Mat.data i v);
+      out
 
 let view_mat t = function
   | Inline m -> Bigmat.of_mat m
   | Block { off; rows; cols } ->
       check_range t ~off (rows * cols) "Shm.view_mat";
       Bigmat.of_array1 ~rows ~cols (Bigarray.Array1.sub t.buf off (rows * cols))
+  | Banded { off; rows; cols; intervals } ->
+      (* A banded block is stored compacted, so a dense view requires a
+         scatter copy — the transport still shipped only the live
+         columns. *)
+      let out = Bigmat.create rows cols in
+      scatter_banded t ~off ~rows ~cols ~intervals (fun i v ->
+          Bigarray.Array1.unsafe_set out.Bigmat.data i v);
+      out
 
 let free_mat t = function
   | Inline _ -> ()
   | Block { off; rows; cols } -> free t ~off ~len:(rows * cols)
+  | Banded { off; rows; intervals; _ } ->
+      free t ~off ~len:(rows * intervals_width intervals)
 
 let desc_floats = function
   | Inline _ -> 0
   | Block { rows; cols; _ } -> rows * cols
+  | Banded { rows; intervals; _ } -> rows * intervals_width intervals

@@ -57,23 +57,46 @@ type mat_desc =
           itself travels by [Marshal], exactly as before this layer *)
   | Block of { off : int; rows : int; cols : int }
       (** the matrix lives in the arena at [off] *)
+  | Banded of {
+      off : int;
+      rows : int;
+      cols : int;
+      intervals : (int * int) list;
+    }
+      (** only the live column ranges [intervals] (sorted, disjoint,
+          half-open) are stored at [off], row-major concatenated; all
+          other entries unpack to [+0.0]. Produced by {!pack_mat} when
+          the caller supplies column occupancy ([?cols]) covering less
+          than the full width. *)
 
 val default_threshold : int
 (** Matrices smaller than this many floats stay [Inline] (131072 floats
     = 1 MiB: the recorded ≥ 1344-symbol coefficient blocks go to the
     arena, smaller ones keep the cheaper Marshal path). *)
 
-val pack_mat : ?threshold:int -> t -> Mat.t -> mat_desc
+val pack_mat : ?threshold:int -> ?cols:(int * int) list -> t -> Mat.t -> mat_desc
 (** Copy the matrix into the arena if it is big enough and space
     permits; degrade to [Inline] otherwise (never fails). Owner process
-    only. *)
+    only.
+
+    [cols] (sorted disjoint half-open live column intervals, typically
+    [Bands.col_intervals]) switches to the [Banded] encoding when it
+    covers less than the full width: only the live columns are written
+    to the arena, and the caller asserts everything outside them is
+    ±0.0 (dead entries later unpack as [+0.0]). The [threshold] then
+    applies to the stored (live) size.
+    @raise Invalid_argument on unsorted/overlapping/out-of-range
+    intervals. *)
 
 val unpack_mat : t -> mat_desc -> Mat.t
-(** Bit-exact copy out (any process sharing the mapping). *)
+(** Bit-exact copy out (any process sharing the mapping); a [Banded]
+    block scatters into a zero-filled matrix, so dead entries are
+    canonical [+0.0]. *)
 
 val view_mat : t -> mat_desc -> Bigmat.t
 (** Zero-copy {!Bigmat} view of a [Block] (an [Inline] matrix is copied
-    into a fresh buffer). *)
+    into a fresh buffer; a [Banded] block is scatter-copied — the
+    transport still shipped only its live columns). *)
 
 val free_mat : t -> mat_desc -> unit
 (** Return a [Block]'s storage; no-op on [Inline]. Owner process only. *)

@@ -251,7 +251,8 @@ let test_shm_roundtrip () =
     let d = Shm.pack_mat ~threshold:0 a m in
     (match d with
     | Shm.Block _ -> ()
-    | Shm.Inline _ -> Alcotest.fail "threshold 0 should land in the arena");
+    | Shm.Inline _ | Shm.Banded _ ->
+        Alcotest.fail "threshold 0 should land in the arena as a Block");
     bits_equal_mats "unpack_mat" m (Shm.unpack_mat a d);
     check_true "view_mat reads the same bits in place"
       (Bigmat.equal_bits_mat (Shm.view_mat a d) m);
@@ -260,11 +261,13 @@ let test_shm_roundtrip () =
     (* Small blocks stay inline under the default threshold. *)
     (match Shm.pack_mat a m with
     | Shm.Inline _ -> ()
-    | Shm.Block _ -> Alcotest.fail "512 floats must not cross default_threshold");
+    | Shm.Block _ | Shm.Banded _ ->
+        Alcotest.fail "512 floats must not cross default_threshold");
     (* A block larger than the arena degrades to Inline, never fails. *)
     (match Shm.pack_mat ~threshold:0 a (Mat.create 100 100) with
     | Shm.Inline _ -> ()
-    | Shm.Block _ -> Alcotest.fail "oversized block should degrade to Inline")
+    | Shm.Block _ | Shm.Banded _ ->
+        Alcotest.fail "oversized block should degrade to Inline")
   end
 
 let test_xfer_roundtrip () =

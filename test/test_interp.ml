@@ -305,7 +305,9 @@ let test_trace_stream () =
       Alcotest.(check string) "kind" (Ir.kind_name p.Ir.ops.(i)) e.Interp.kind;
       Helpers.check_true "wall >= 0" (e.Interp.wall_s >= 0.0);
       Helpers.check_true "size > 0" (e.Interp.size > 0);
-      Helpers.check_true "finite width" (Float.is_finite e.Interp.width))
+      Helpers.check_true "finite width" (Float.is_finite e.Interp.width);
+      Helpers.check_true "density in (0, 1]"
+        (e.Interp.density > 0.0 && e.Interp.density <= 1.0))
     evs
 
 let test_profile_collector () =
@@ -326,7 +328,9 @@ let test_profile_collector () =
     (fun i (r : Deept.Profile.row) ->
       Alcotest.(check int) "row op" i r.Deept.Profile.op_index;
       Alcotest.(check int) "two calls" 2 r.Deept.Profile.calls;
-      Helpers.check_true "wall >= 0" (r.Deept.Profile.wall_s >= 0.0))
+      Helpers.check_true "wall >= 0" (r.Deept.Profile.wall_s >= 0.0);
+      Helpers.check_true "density in (0, 1]"
+        (r.Deept.Profile.density > 0.0 && r.Deept.Profile.density <= 1.0))
     rows;
   Helpers.check_true "total wall = sum of rows"
     (Float.abs
@@ -339,7 +343,13 @@ let test_profile_collector () =
   let json = Deept.Profile.to_json ~model:"tiny" prof in
   List.iter
     (fun sub -> Helpers.check_true ("json has " ^ sub) (contains ~sub json))
-    [ "\"model\": \"tiny\""; "\"total_wall_s\""; "\"ops\""; "\"kinds\"" ]
+    [
+      "\"model\": \"tiny\"";
+      "\"total_wall_s\"";
+      "\"ops\"";
+      "\"kinds\"";
+      "\"density\":";
+    ]
 
 let () =
   Alcotest.run "interp"

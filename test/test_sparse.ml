@@ -1,0 +1,754 @@
+(* Sparsity-aware zonotope kernels: the Bands occupancy algebra, the
+   tile-skipping matmul kernels' bit-identity contract, dead-symbol
+   compaction (standalone and through decorrelate / branch refinement),
+   the Banded shared-memory transport (round-trips, SIGKILL-mid-batch
+   arena reclaim) and the dense-vs-sparse oracle: a child process
+   running the exact same queries under DEEPT_NO_SPARSE=1 must print a
+   bit-identical report. Also reachable as `dune build @sparse`. *)
+
+open Tensor
+module C = Deept.Config
+module V = Deept.Verdict
+module Z = Deept.Zonotope
+module Lp = Deept.Lp
+
+let check_true = Helpers.check_true
+
+let bits_equal_mats msg (a : Mat.t) (b : Mat.t) =
+  check_true (msg ^ ": dims") (Mat.dims a = Mat.dims b);
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.Mat.data.(i) then
+        Alcotest.failf "%s: element %d differs bitwise: %h vs %h" msg i x
+          b.Mat.data.(i))
+    a.Mat.data
+
+let band ~cols:(col_lo, col_hi) ~rows:(row_lo, row_hi) =
+  { Bands.col_lo; col_hi; row_lo; row_hi }
+
+(* ---------------- Bands algebra ---------------- *)
+
+let test_bands_normalize () =
+  check_true "full is full" (Bands.is_full Bands.full);
+  check_true "empty is empty" (Bands.is_empty Bands.empty);
+  check_true "full never empty" (not (Bands.is_empty Bands.full));
+  (* degenerate rectangles are dropped *)
+  check_true "degenerate drops to empty"
+    (Bands.is_empty
+       (Bands.of_bands
+          [ band ~cols:(3, 3) ~rows:(0, 5); band ~cols:(2, 4) ~rows:(7, 7) ]));
+  (* same-row touching columns merge into one rectangle *)
+  let merged =
+    Bands.of_bands [ band ~cols:(0, 2) ~rows:(0, 4); band ~cols:(2, 5) ~rows:(0, 4) ]
+  in
+  (match Bands.to_bands ~rows:4 ~cols:5 merged with
+  | [ b ] ->
+      check_true "merged covers both"
+        (b.Bands.col_lo = 0 && b.Bands.col_hi = 5 && b.Bands.row_lo = 0
+        && b.Bands.row_hi = 4)
+  | l -> Alcotest.failf "expected 1 merged band, got %d" (List.length l));
+  (* containment collapses *)
+  let contained =
+    Bands.of_bands [ band ~cols:(0, 6) ~rows:(0, 6); band ~cols:(2, 3) ~rows:(1, 2) ]
+  in
+  check_true "contained band absorbed"
+    (List.length (Bands.to_bands ~rows:6 ~cols:6 contained) = 1);
+  (* to_bands concretizes full and clips to the shape *)
+  (match Bands.to_bands ~rows:3 ~cols:7 Bands.full with
+  | [ b ] ->
+      check_true "full concretizes to the dense band"
+        (b.Bands.col_lo = 0 && b.Bands.col_hi = 7 && b.Bands.row_lo = 0
+        && b.Bands.row_hi = 3)
+  | _ -> Alcotest.fail "full should concretize to one band");
+  check_true "zero shape concretizes to nothing"
+    (Bands.to_bands ~rows:0 ~cols:7 Bands.full = [])
+
+let test_bands_queries () =
+  let t =
+    Bands.of_bands [ band ~cols:(1, 3) ~rows:(0, 2); band ~cols:(6, 8) ~rows:(1, 4) ]
+  in
+  check_true "col_intervals are the live columns"
+    (Bands.col_intervals ~cols:10 t = [ (1, 3); (6, 8) ]);
+  check_true "col_intervals clip to the width"
+    (Bands.col_intervals ~cols:7 t = [ (1, 3); (6, 7) ]);
+  check_true "row_intervals keep only bands meeting the rows"
+    (Bands.row_intervals ~lo:0 ~hi:1 ~cols:10 t = [ (1, 3) ]);
+  check_true "row_intervals see both when rows overlap both"
+    (Bands.row_intervals ~lo:1 ~hi:2 ~cols:10 t = [ (1, 3); (6, 8) ]);
+  check_true "full yields the dense interval"
+    (Bands.col_intervals ~cols:10 Bands.full = [ (0, 10) ]);
+  check_true "mem inside" (Bands.mem t ~row:1 ~col:2);
+  check_true "mem outside col" (not (Bands.mem t ~row:1 ~col:4));
+  check_true "mem outside row" (not (Bands.mem t ~row:3 ~col:2));
+  let dead = Bands.dead_cols ~cols:10 t in
+  check_true "dead_cols marks exactly the uncovered columns"
+    (dead = [| true; false; false; true; true; true; false; false; true; true |]);
+  (* area counts overlaps once *)
+  let overlapping =
+    Bands.of_bands [ band ~cols:(0, 4) ~rows:(0, 3); band ~cols:(2, 6) ~rows:(1, 5) ]
+  in
+  (* rows 0: cols 0-4 (4); rows 1-2: cols 0-6 (12); rows 3-4: cols 2-6 (8) *)
+  Alcotest.(check int) "area" 24 (Bands.area ~rows:5 ~cols:6 overlapping);
+  Helpers.check_float "density" (24.0 /. 30.0)
+    (Bands.density ~rows:5 ~cols:6 overlapping);
+  Helpers.check_float "full density" 1.0 (Bands.density ~rows:5 ~cols:6 Bands.full);
+  Alcotest.(check int) "empty area" 0 (Bands.area ~rows:5 ~cols:6 Bands.empty)
+
+let test_bands_transforms () =
+  let t = Bands.of_bands [ band ~cols:(2, 5) ~rows:(1, 3) ] in
+  check_true "shift_rows translates"
+    (Bands.row_intervals ~lo:11 ~hi:12 ~cols:9 (Bands.shift_rows 10 t) = [ (2, 5) ]);
+  check_true "restrict_rows rebases"
+    (Bands.row_intervals ~lo:0 ~hi:1 ~cols:9 (Bands.restrict_rows ~lo:2 ~hi:3 t)
+    = [ (2, 5) ]);
+  check_true "restrict_rows outside is empty"
+    (Bands.is_empty (Bands.restrict_rows ~lo:5 ~hi:9 t));
+  check_true "widen_rows covers all rows"
+    (Bands.row_intervals ~lo:99 ~hi:100 ~cols:9 (Bands.widen_rows ~rows:100 t)
+    = [ (2, 5) ]);
+  (* block_rows: rows [1,3) of 2-scalar blocks = blocks [0,2) = rows [0,6)
+     of 3-scalar blocks *)
+  (match Bands.to_bands ~rows:6 ~cols:9 (Bands.block_rows ~bin:2 ~bout:3 t) with
+  | [ b ] -> check_true "block_rows rescales" (b.Bands.row_lo = 0 && b.Bands.row_hi = 6)
+  | _ -> Alcotest.fail "block_rows should keep one band");
+  check_true "union with full is full"
+    (Bands.is_full (Bands.union t Bands.full));
+  check_true "add to full stays full"
+    (Bands.is_full (Bands.add Bands.full (band ~cols:(0, 1) ~rows:(0, 1))));
+  (* remap: drop column 3, shift 4 to 3 *)
+  let t = Bands.of_bands [ band ~cols:(2, 5) ~rows:(0, 2) ] in
+  let remapped =
+    Bands.remap_cols
+      (fun c -> if c = 3 then None else if c > 3 then Some (c - 1) else Some c)
+      t
+  in
+  check_true "remap_cols rewrites the range"
+    (Bands.col_intervals ~cols:9 remapped = [ (2, 4) ]);
+  check_true "remap_cols dropping everything empties"
+    (Bands.is_empty (Bands.remap_cols (fun _ -> None) t))
+
+(* Over-approximation property: whatever of_bands / union / add do
+   (merging, capping into bounding boxes), every point of every input
+   band stays covered. *)
+let test_bands_over_approximation () =
+  let rng = Rng.create 4242 in
+  for _ = 1 to 50 do
+    let nbands = 1 + Rng.int rng 200 in
+    let bs =
+      List.init nbands (fun _ ->
+          let col_lo = Rng.int rng 40 and row_lo = Rng.int rng 40 in
+          band
+            ~cols:(col_lo, col_lo + 1 + Rng.int rng 8)
+            ~rows:(row_lo, row_lo + 1 + Rng.int rng 8))
+    in
+    let t = Bands.of_bands bs in
+    List.iter
+      (fun b ->
+        for r = b.Bands.row_lo to b.Bands.row_hi - 1 do
+          for c = b.Bands.col_lo to b.Bands.col_hi - 1 do
+            if not (Bands.mem t ~row:r ~col:c) then
+              Alcotest.failf "normalization lost point (%d, %d)" r c
+          done
+        done)
+      bs
+  done
+
+(* ---------------- tile-skipping kernels ---------------- *)
+
+(* A k x n matrix whose only nonzero columns are the live intervals —
+   plus signed zeros in the dead ones, which the contract allows the
+   skipped tiles to canonicalize away only in the *output* (the operand
+   is never written). *)
+let banded_right rng k n live =
+  let b = Mat.create k n in
+  List.iter
+    (fun (lo, hi) ->
+      for i = 0 to k - 1 do
+        for j = lo to hi - 1 do
+          b.Mat.data.((i * n) + j) <- Rng.uniform rng (-1.0) 1.0
+        done
+      done)
+    live;
+  b
+
+let cols_shapes =
+  [
+    ((1, 1, 1), [ (0, 1) ]);
+    ((3, 4, 8), [ (0, 2); (5, 7) ]);
+    ((7, 13, 121), [ (0, 17); (40, 41); (90, 121) ]);
+    ((24, 24, 344), [ (100, 200) ]);
+    ((9, 17, 240), []);
+    ((5, 6, 64), [ (0, 64) ]);
+  ]
+
+let test_cols_kernels_bit_identity () =
+  let rng = Rng.create 555 in
+  List.iter
+    (fun ((m, k, n), live) ->
+      let a = Mat.random_gaussian rng m k 1.0 in
+      let b = banded_right rng k n live in
+      let label = Printf.sprintf "%dx%dx%d" m k n in
+      let dense = Mat.matmul a b in
+      bits_equal_mats (label ^ " cols") dense (Mat.matmul ~cols:live a b);
+      let at = Mat.transpose a in
+      bits_equal_mats (label ^ " ta cols") dense (Mat.matmul_ta ~cols:live at b);
+      let bt = Mat.transpose b in
+      bits_equal_mats (label ^ " tb cols") dense (Mat.matmul_tb ~cols:live a bt);
+      check_true (label ^ " bigmat cols")
+        (Bigmat.equal_bits_mat
+           (Bigmat.matmul ~cols:live (Bigmat.of_mat a) (Bigmat.of_mat b))
+           dense);
+      check_true (label ^ " bigmat ta cols")
+        (Bigmat.equal_bits_mat
+           (Bigmat.matmul_ta ~cols:live (Bigmat.of_mat at) (Bigmat.of_mat b))
+           dense);
+      check_true (label ^ " bigmat tb cols")
+        (Bigmat.equal_bits_mat
+           (Bigmat.matmul_tb ~cols:live (Bigmat.of_mat a) (Bigmat.of_mat bt))
+           dense))
+    cols_shapes
+
+(* Same contract through a domain pool; runs in the final "pooled"
+   suite (after every fork-based test — see serial_l2_report). *)
+let test_cols_kernels_pooled () =
+  let rng = Rng.create 556 in
+  let pool = Dpool.create ~force:true 2 in
+  Fun.protect ~finally:(fun () -> Dpool.shutdown pool) @@ fun () ->
+  List.iter
+    (fun ((m, k, n), live) ->
+      let a = Mat.random_gaussian rng m k 1.0 in
+      let b = banded_right rng k n live in
+      bits_equal_mats
+        (Printf.sprintf "%dx%dx%d cols pool" m k n)
+        (Mat.matmul a b)
+        (Mat.matmul ~pool ~cols:live a b))
+    cols_shapes
+
+(* ---------------- dead-symbol compaction ---------------- *)
+
+(* Zero the listed eps columns of z and return it with the matching
+   banded occupancy (one band per live column over all rows). *)
+let kill_columns z dead =
+  let nv = Z.num_vars z and ne = Z.num_eps z in
+  List.iter
+    (fun j ->
+      for v = 0 to nv - 1 do
+        z.Z.eps.Mat.data.((v * ne) + j) <- 0.0
+      done)
+    dead;
+  let live =
+    List.filter (fun j -> not (List.mem j dead)) (List.init ne Fun.id)
+  in
+  Z.with_eps_occ
+    (Bands.of_bands
+       (List.map (fun j -> band ~cols:(j, j + 1) ~rows:(0, nv)) live))
+    z
+
+let test_compact_drops_dead () =
+  if not Bands.enabled then ()
+  else begin
+    let rng = Rng.create 909 in
+    let z = Helpers.random_zonotope ~vrows:3 ~vcols:4 ~ep:2 ~ee:7 rng in
+    let zs = kill_columns z [ 1; 4; 5 ] in
+    let before = Z.bounds zs in
+    check_true "density dropped below 1" (Z.eps_density zs < 1.0);
+    let zc = Z.compact zs in
+    Alcotest.(check int) "dead columns dropped" 4 (Z.num_eps zc);
+    bits_equal_mats "compaction keeps the bounds (lo)" before.Interval.Imat.lo
+      (Z.bounds zc).Interval.Imat.lo;
+    bits_equal_mats "compaction keeps the bounds (hi)" before.Interval.Imat.hi
+      (Z.bounds zc).Interval.Imat.hi;
+    (* the surviving columns keep their coefficients bit for bit *)
+    let ne = Z.num_eps zs in
+    let live = [ 0; 2; 3; 6 ] in
+    List.iteri
+      (fun j' j ->
+        for v = 0 to Z.num_vars zs - 1 do
+          let old_c = zs.Z.eps.Mat.data.((v * ne) + j)
+          and new_c = zc.Z.eps.Mat.data.((v * 4) + j') in
+          if Int64.bits_of_float old_c <> Int64.bits_of_float new_c then
+            Alcotest.failf "column %d -> %d: %h <> %h" j j' old_c new_c
+        done)
+      live;
+    (* a full occupancy is not compactable *)
+    let zf = Z.with_eps_occ Bands.full zs in
+    Alcotest.(check int) "full occ: compact is the identity" ne
+      (Z.num_eps (Z.compact zf));
+    (* idempotent *)
+    Alcotest.(check int) "compact is idempotent" 4 (Z.num_eps (Z.compact zc))
+  end
+
+(* The skip inside Reduction (scores / fold) is claimed bit-identical:
+   a banded input must give the exact bounds of the same matrices run
+   with occupancy information withheld. *)
+let test_decorrelate_sparse_matches_dense () =
+  let rng = Rng.create 911 in
+  let z = Helpers.random_zonotope ~vrows:4 ~vcols:5 ~ep:3 ~ee:24 rng in
+  let zs = kill_columns z [ 2; 3; 9; 10; 11; 17; 20; 21; 22; 23 ] in
+  let zd = Z.with_eps_occ Bands.full zs in
+  check_true "scores agree bitwise"
+    (Array.for_all2
+       (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+       (Deept.Reduction.scores zs) (Deept.Reduction.scores zd));
+  let reduce z0 =
+    let ctx = Z.ctx () in
+    ignore (Z.alloc_eps ctx (Z.num_eps z0));
+    Deept.Reduction.decorrelate_min_k ctx z0 6
+  in
+  let rs = reduce zs and rd = reduce zd in
+  bits_equal_mats "reduced bounds lo" (Z.bounds rd).Interval.Imat.lo
+    (Z.bounds rs).Interval.Imat.lo;
+  bits_equal_mats "reduced bounds hi" (Z.bounds rd).Interval.Imat.hi
+    (Z.bounds rs).Interval.Imat.hi;
+  if Bands.enabled then
+    check_true "banded reduction is no wider than the dense one"
+      (Z.num_eps rs <= Z.num_eps rd)
+
+(* Branch refinement on an L2 ball: the branch builder compacts each
+   branch after restrict_symbol, and the full report must stay
+   bit-identical across the serial, forked and domain-pool wave
+   runners. The forked leg lives here; the domain-pool leg runs in the
+   final "pooled" suite because OCaml's Unix.fork refuses to run once
+   any domain has been spawned, so every fork-based test must precede
+   every Dpool / shared_pool test in this binary. *)
+let imprecise_l2_query () =
+  let program = Helpers.tiny_program ~layers:2 43 in
+  let x = Mat.random_gaussian (Rng.create 143) 3 (Ir.out_dim program 0) 0.7 in
+  let pred = Nn.Forward.predict program x in
+  let found = ref None in
+  List.iter
+    (fun radius ->
+      if !found = None then begin
+        let region = Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius in
+        if
+          Deept.Certify.certify_v C.fast program region ~true_class:pred
+          = V.Unknown V.Imprecise
+        then found := Some region
+      end)
+    [ 0.02; 0.05; 0.1; 0.2; 0.5; 1.0; 2.0 ];
+  match !found with
+  | Some region -> (program, region, pred)
+  | None -> Alcotest.fail "no imprecise L2 radius found on the sweep"
+
+let serial_l2_report () =
+  let program, region, pred = imprecise_l2_query () in
+  let serial =
+    Deept.Brefine.certify_v ~wave:Deept.Psearch.serial_wave
+      (C.with_refine (Some C.default_refine) C.fast)
+      program region ~true_class:pred
+  in
+  check_true "symbols were split" (serial.Deept.Brefine.split <> []);
+  (program, region, pred, serial)
+
+let test_branch_compaction_fork () =
+  let program, region, pred, serial = serial_l2_report () in
+  let module B = Deept.Brefine in
+  let forked =
+    B.certify_v
+      ~wave:
+        (Deept.Psearch.fork_wave ~crash:(fun r ->
+             { B.bverdict = V.Unknown r; props = 0; bdepth = 0 }))
+      (C.with_refine (Some C.default_refine) C.fast)
+      program region ~true_class:pred
+  in
+  check_true "serial = fork (full report)" (serial = forked)
+
+let test_branch_compaction_dpool () =
+  let program, region, pred, serial = serial_l2_report () in
+  match Deept.Propagate.shared_pool 4 with
+  | None -> ()
+  | Some dp ->
+      let pooled =
+        Deept.Brefine.certify_v ~wave:(Deept.Psearch.dpool_wave dp)
+          (C.with_refine (Some C.default_refine) C.fast)
+          program region ~true_class:pred
+      in
+      check_true "serial = dpool (full report)" (serial = pooled)
+
+(* restrict_symbol itself: the minted eps column is live (one-hot band),
+   so compaction keeps it; widths are unchanged. *)
+let test_restrict_minted_column_is_live () =
+  if not Bands.enabled then ()
+  else begin
+    let rng = Rng.create 31 in
+    let x = Mat.random_gaussian rng 3 4 0.7 in
+    let parent = Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius:0.05 in
+    let child = Z.restrict_symbol parent (Z.Phi 1) Z.Lower in
+    Alcotest.(check int) "one minted column"
+      (Z.num_eps parent + 1) (Z.num_eps child);
+    Alcotest.(check int) "compaction keeps the live minted column"
+      (Z.num_eps child)
+      (Z.num_eps (Z.compact child))
+  end
+
+(* ---------------- Banded shared-memory transport ---------------- *)
+
+let test_shm_banded_roundtrip () =
+  if not (Shm.available ()) then ()
+  else begin
+    let a = Shm.create ~floats:4096 in
+    let rng = Rng.create 77 in
+    let live = [ (0, 3); (10, 14) ] in
+    let m = banded_right rng 8 20 live in
+    (* a signed dead zero: unpacking must canonicalize it to +0.0 *)
+    m.Mat.data.(5) <- -0.0;
+    let d = Shm.pack_mat ~threshold:0 ~cols:live a m in
+    (match d with
+    | Shm.Banded { rows; cols; intervals; _ } ->
+        check_true "banded shape" (rows = 8 && cols = 20 && intervals = live)
+    | Shm.Inline _ | Shm.Block _ -> Alcotest.fail "expected a Banded descriptor");
+    Alcotest.(check int) "desc_floats counts only live columns" (8 * 7)
+      (Shm.desc_floats d);
+    let u = Shm.unpack_mat a d in
+    check_true "unpacked dims" (Mat.dims u = (8, 20));
+    (* live columns bit-identical; dead ones canonical +0.0 *)
+    let zero_bits = Int64.bits_of_float 0.0 in
+    for i = 0 to 7 do
+      for j = 0 to 19 do
+        let got = Int64.bits_of_float u.Mat.data.((i * 20) + j) in
+        let want =
+          if List.exists (fun (lo, hi) -> lo <= j && j < hi) live then
+            Int64.bits_of_float m.Mat.data.((i * 20) + j)
+          else zero_bits
+        in
+        if got <> want then Alcotest.failf "entry (%d, %d) wrong" i j
+      done
+    done;
+    check_true "view_mat scatters the same values"
+      (Bigmat.equal_bits_mat (Shm.view_mat a d) u);
+    Shm.free_mat a d;
+    check_true "free restores the arena" (Shm.avail a = Shm.capacity a);
+    (* full-width occupancy keeps the plain Block encoding *)
+    (match Shm.pack_mat ~threshold:0 ~cols:[ (0, 20) ] a m with
+    | Shm.Block _ as d -> Shm.free_mat a d
+    | Shm.Inline _ | Shm.Banded _ ->
+        Alcotest.fail "full-width cols should stay a Block");
+    (* malformed intervals are rejected *)
+    List.iter
+      (fun bad ->
+        match Shm.pack_mat ~threshold:0 ~cols:bad a m with
+        | _ -> Alcotest.failf "bad intervals accepted"
+        | exception Invalid_argument _ -> ())
+      [ [ (10, 14); (0, 3) ]; [ (0, 5); (4, 8) ]; [ (-1, 2) ]; [ (18, 22) ] ]
+  end
+
+(* A zonotope whose eps block rides the Banded encoding: occupancy set,
+   dead columns zero (one of them -0.0). *)
+let banded_zono rng ~nv ~ne ~live =
+  let center = Mat.random_gaussian rng 1 nv 0.5 in
+  let eps = banded_right rng nv ne live in
+  eps.Mat.data.(ne - 1) <- -0.0;
+  Z.make ~p:Lp.Linf ~center ~phi:(Mat.create nv 0) ~eps
+  |> Z.with_eps_occ
+       (Bands.of_bands
+          (List.map (fun (lo, hi) -> band ~cols:(lo, hi) ~rows:(0, nv)) live))
+
+let test_xfer_banded_roundtrip () =
+  if not (Shm.available ()) || not Bands.enabled then ()
+  else begin
+    let arena = Shm.create ~floats:65536 in
+    let rng = Rng.create 88 in
+    let live = [ (0, 40); (100, 120) ] in
+    let z = banded_zono rng ~nv:32 ~ne:128 ~live in
+    let d = Deept.Xfer.pack_zono ~arena ~threshold:0 z in
+    (match d.Deept.Xfer.eps with
+    | Shm.Banded { intervals; _ } ->
+        check_true "eps shipped banded" (intervals = live)
+    | Shm.Inline _ | Shm.Block _ ->
+        Alcotest.fail "sparse eps should ride the Banded encoding");
+    Alcotest.(check int) "only live eps floats in the arena" (32 * 60)
+      (Shm.desc_floats d.Deept.Xfer.eps);
+    let u = Deept.Xfer.unpack_zono ~arena d in
+    bits_equal_mats "bounds lo" (Z.bounds z).Interval.Imat.lo
+      (Z.bounds u).Interval.Imat.lo;
+    bits_equal_mats "bounds hi" (Z.bounds z).Interval.Imat.hi
+      (Z.bounds u).Interval.Imat.hi;
+    check_true "occupancy rode along"
+      (Bands.col_intervals ~cols:128 u.Z.eps_occ
+      = Bands.col_intervals ~cols:128 z.Z.eps_occ);
+    (* dead -0.0 canonicalized, live bits preserved *)
+    check_true "dead -0.0 unpacked as +0.0"
+      (Int64.bits_of_float u.Z.eps.Mat.data.(127) = Int64.bits_of_float 0.0);
+    Deept.Xfer.free_zono arena d;
+    check_true "arena whole again" (Shm.avail arena = Shm.capacity arena)
+  end
+
+let test_banded_sigkill_drill () =
+  if not (Shm.available ()) || not Bands.enabled then ()
+  else begin
+    let model = Helpers.tiny_model 3 in
+    let program = Nn.Model.to_ir model in
+    let x = Nn.Model.embed_tokens model [| 1; 2; 3; 4 |] in
+    let nv = Mat.rows x * Mat.cols x in
+    let live = [ (0, 200); (1000, 1200) ] in
+    let jobs =
+      List.init 3 (fun i ->
+          let rng = Rng.create (190 + i) in
+          let eps = Mat.create nv 4200 in
+          List.iter
+            (fun (lo, hi) ->
+              for v = 0 to nv - 1 do
+                for j = lo to hi - 1 do
+                  eps.Mat.data.((v * 4200) + j) <- Rng.uniform rng (-5e-4) 5e-4
+                done
+              done)
+            live;
+          let z =
+            Z.make ~p:Lp.Linf ~center:(Mat.copy x) ~phi:(Mat.create nv 0) ~eps
+            |> Z.with_eps_occ
+                 (Bands.of_bands
+                    (List.map
+                       (fun (lo, hi) -> band ~cols:(lo, hi) ~rows:(0, nv))
+                       live))
+          in
+          (i, z))
+    in
+    let arena = Shm.create ~floats:(1 lsl 20) in
+    let packed =
+      List.map
+        (fun (id, z) -> (id, Deept.Xfer.pack_zono ~arena ~threshold:0 z))
+        jobs
+    in
+    List.iter
+      (fun (id, d) ->
+        match d.Deept.Xfer.eps with
+        | Shm.Banded _ -> ()
+        | Shm.Inline _ | Shm.Block _ ->
+            Alcotest.failf "job %d eps did not ride the Banded encoding" id)
+      packed;
+    (* Job 1's worker dies by SIGKILL mid-batch. Only the parent owns
+       the allocator, so the death cannot corrupt the arena. *)
+    let worker id desc =
+      if id = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+      Deept.Certify.certify_margin C.fast program
+        (Deept.Xfer.unpack_zono ~arena desc)
+        ~true_class:0
+    in
+    let pool = C.pool ~workers:2 ~max_retries:0 () in
+    let rs = Deept.Supervisor.run ~pool ~worker packed in
+    List.iter
+      (fun r ->
+        match (r.Deept.Supervisor.job, r.Deept.Supervisor.outcome) with
+        | 1, Ok _ -> Alcotest.fail "killed job reported success"
+        | 1, Error _ -> ()
+        | _, Ok _ -> ()
+        | j, Error _ -> Alcotest.failf "job %d failed unexpectedly" j)
+      rs;
+    List.iter (fun (_, d) -> Deept.Xfer.free_zono arena d) packed;
+    check_true "arena fully reclaimed after SIGKILL"
+      (Shm.avail arena = Shm.capacity arena);
+    (* The surviving margins equal the Marshal-transport ones bitwise. *)
+    List.iter
+      (fun r ->
+        if r.Deept.Supervisor.job <> 1 then
+          match r.Deept.Supervisor.outcome with
+          | Ok m ->
+              let z = List.assoc r.Deept.Supervisor.job jobs in
+              let base =
+                Deept.Certify.certify_margin C.fast program z ~true_class:0
+              in
+              if Int64.bits_of_float m <> Int64.bits_of_float base then
+                Alcotest.failf "job %d margin differs from Marshal path"
+                  r.Deept.Supervisor.job
+          | Error _ -> ())
+      rs
+  end
+
+(* ---------------- dense-vs-sparse oracle ---------------- *)
+
+(* A deterministic battery of real queries whose printed report must be
+   bit-identical (%h margins, exact radii, verdict strings) whether the
+   sparse machinery is on or off. The test re-executes this binary with
+   DEEPT_NO_SPARSE=1 and TEST_SPARSE_REPORT=1 and diffs the output. *)
+let report () =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let program = Helpers.tiny_program ~layers:2 43 in
+  let x = Mat.random_gaussian (Rng.create 143) 3 (Ir.out_dim program 0) 0.7 in
+  let pred = Nn.Forward.predict program x in
+  List.iter
+    (fun (pn, name) ->
+      List.iter
+        (fun radius ->
+          let region = Deept.Region.lp_ball ~p:pn x ~word:1 ~radius in
+          pf "%s r=%g fast margin %h verdict %s\n" name radius
+            (Deept.Certify.certify_margin C.fast program region ~true_class:pred)
+            (V.to_string
+               (Deept.Certify.certify_v C.fast program region ~true_class:pred));
+          pf "%s r=%g precise margin %h\n" name radius
+            (Deept.Certify.certify_margin C.precise program region
+               ~true_class:pred))
+        [ 0.01; 0.05; 0.2 ])
+    [ (Lp.L2, "l2"); (Lp.Linf, "linf"); (Lp.L1, "l1") ];
+  (* heavy decorrelation exercises the reduction skip + compaction *)
+  let region = Deept.Region.lp_ball ~p:Lp.Linf x ~word:1 ~radius:0.05 in
+  pf "reduction_k=8 margin %h\n"
+    (Deept.Certify.certify_margin
+       { C.fast with C.reduction_k = 8 }
+       program region ~true_class:pred);
+  pf "domains=2 margin %h\n"
+    (Deept.Certify.certify_margin
+       (C.with_domains 2 C.fast)
+       program region ~true_class:pred);
+  pf "radius fast l2 %h\n"
+    (Deept.Certify.certified_radius C.fast program ~p:Lp.L2 x ~word:1
+       ~true_class:pred ());
+  (* branch-and-bound refinement through the engine *)
+  let o =
+    Deept.Engine.certify ~falsify_samples:0
+      (C.with_refine (Some C.default_refine) C.fast)
+      program region ~true_class:pred
+  in
+  pf "refine engine %s@%s attempts=%d\n"
+    (V.to_string o.Deept.Engine.verdict)
+    o.Deept.Engine.rung_name
+    (List.length o.Deept.Engine.attempts);
+  (* committed-model pins, when the checkout has them *)
+  if Sys.file_exists "../data/small_3.model" then begin
+    Zoo.data_dir := "../data";
+    let entry = Zoo.entry "small_3" in
+    let model = Zoo.load_or_train ~log:(fun _ -> ()) "small_3" in
+    let c = Zoo.corpus_of entry.Zoo.corpus in
+    let program = Nn.Model.to_ir model in
+    let toks, label = List.nth c.Text.Corpus.test 0 in
+    let x = Nn.Model.embed_tokens model toks in
+    pf "small_3 fast l2 radius %.12g\n"
+      (Deept.Certify.certified_radius C.fast program ~p:Lp.L2 x ~word:1
+         ~true_class:label ());
+    pf "small_3 precise certifies 0.17578125: %b\n"
+      (Deept.Certify.certify C.precise program
+         (Deept.Region.lp_ball ~p:Lp.L2 x ~word:1 ~radius:0.17578125)
+         ~true_class:label);
+    let edge = 0.0576171875 in
+    let cfg =
+      C.with_refine (Some (C.refine ~top_k:1 ~max_branches:2 ~depth:1 ())) C.precise
+    in
+    let r =
+      Deept.Brefine.certify_v cfg program
+        (Deept.Region.lp_ball ~p:Lp.Linf x ~word:1 ~radius:edge)
+        ~true_class:label
+    in
+    pf "small_3 refined edge %s branches=%d depth=%d\n"
+      (V.to_string r.Deept.Brefine.verdict)
+      r.Deept.Brefine.branches r.Deept.Brefine.depth
+  end;
+  if Sys.file_exists "../data/sst_3.model" then begin
+    Zoo.data_dir := "../data";
+    let model = Zoo.load_or_train ~log:(fun _ -> ()) "sst_3" in
+    let c = Zoo.corpus_of (Zoo.entry "sst_3").Zoo.corpus in
+    let program = Nn.Model.to_ir model in
+    let toks, label = List.nth c.Text.Corpus.test 0 in
+    let x = Nn.Model.embed_tokens model toks in
+    (* the paper's headline search on the recorded model: the same
+       (idx 0, word 1, l2, 10 iters) query bench/radius.ml pins *)
+    pf "sst_3 fast l2 radius %.17g\n"
+      (Deept.Certify.certified_radius C.fast program ~p:Lp.L2 x ~word:1
+         ~true_class:label ())
+  end;
+  Buffer.contents b
+
+let contains_sub s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec go i = i + lb <= ls && (String.sub s i lb = sub || go (i + 1)) in
+  go 0
+
+let test_report_identical_no_sparse () =
+  let mine = report () in
+  (* the committed pins must appear verbatim on the sparse path (the
+     child-diff below then proves the dense path prints them too) *)
+  if Sys.file_exists "../data/small_3.model" then
+    List.iter
+      (fun sub -> check_true sub (contains_sub mine sub))
+      [
+        "small_3 fast l2 radius 0.181640625";
+        "small_3 precise certifies 0.17578125: true";
+      ];
+  if Sys.file_exists "../data/sst_3.model" then
+    check_true "sst_3 pin" (contains_sub mine "sst_3 fast l2 radius 0.1474609375");
+  let out = Filename.temp_file "sparse_report" ".txt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+  @@ fun () ->
+  let env =
+    Array.append
+      (Array.of_seq
+         (Seq.filter
+            (fun s ->
+              not
+                (String.starts_with ~prefix:"DEEPT_NO_SPARSE=" s
+                || String.starts_with ~prefix:"TEST_SPARSE_REPORT=" s))
+            (Array.to_seq (Unix.environment ()))))
+      [| "DEEPT_NO_SPARSE=1"; "TEST_SPARSE_REPORT=1" |]
+  in
+  let fd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin fd Unix.stderr
+  in
+  Unix.close fd;
+  let _, status = Unix.waitpid [] pid in
+  check_true "dense child exited cleanly" (status = Unix.WEXITED 0);
+  let theirs = In_channel.with_open_text out In_channel.input_all in
+  if mine <> theirs then
+    Alcotest.failf
+      "sparse and DEEPT_NO_SPARSE=1 reports differ:\n\
+       --- sparse ---\n%s--- dense ---\n%s" mine theirs
+
+let () =
+  (* Child mode: print the report under whatever mode the environment
+     selected and exit before alcotest parses argv. *)
+  match Sys.getenv_opt "TEST_SPARSE_REPORT" with
+  | Some "1" ->
+      print_string (report ());
+      exit 0
+  | _ ->
+      Alcotest.run "sparse"
+        [
+          ( "bands",
+            [
+              Alcotest.test_case "normalize + merge" `Quick test_bands_normalize;
+              Alcotest.test_case "queries" `Quick test_bands_queries;
+              Alcotest.test_case "transforms" `Quick test_bands_transforms;
+              Alcotest.test_case "over-approximation" `Quick
+                test_bands_over_approximation;
+            ] );
+          ( "kernels",
+            [
+              Alcotest.test_case "?cols bit identity" `Quick
+                test_cols_kernels_bit_identity;
+            ] );
+          ( "compaction",
+            [
+              Alcotest.test_case "drops dead columns" `Quick
+                test_compact_drops_dead;
+              Alcotest.test_case "decorrelate sparse = dense" `Quick
+                test_decorrelate_sparse_matches_dense;
+              Alcotest.test_case "branch compaction serial = fork" `Quick
+                test_branch_compaction_fork;
+              Alcotest.test_case "restrict-minted column live" `Quick
+                test_restrict_minted_column_is_live;
+            ] );
+          ( "transport",
+            [
+              Alcotest.test_case "shm banded roundtrip" `Quick
+                test_shm_banded_roundtrip;
+              Alcotest.test_case "xfer banded roundtrip" `Quick
+                test_xfer_banded_roundtrip;
+              Alcotest.test_case "banded sigkill drill" `Slow
+                test_banded_sigkill_drill;
+            ] );
+          ( "oracle",
+            [
+              Alcotest.test_case "report sparse = DEEPT_NO_SPARSE" `Slow
+                test_report_identical_no_sparse;
+            ] );
+          (* Domain-spawning tests last: Unix.fork (the transport drill,
+             Psearch.fork_wave) refuses to run once any domain exists. *)
+          ( "pooled",
+            [
+              Alcotest.test_case "?cols bit identity (dpool)" `Quick
+                test_cols_kernels_pooled;
+              Alcotest.test_case "branch compaction serial = dpool" `Quick
+                test_branch_compaction_dpool;
+            ] );
+        ]
